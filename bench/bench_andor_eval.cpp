@@ -1,0 +1,82 @@
+// Ablation A6 — evaluation strategies over AND/OR-graphs (Section 5/6.2):
+// sequential bottom-up, level-parallel bottom-up with p processors, and
+// top-down memoised search that visits only the queried subgraph.
+#include <cinttypes>
+#include <cstdio>
+
+#include "andor/chain_builder.hpp"
+#include "andor/level_evaluate.hpp"
+#include "andor/regular_builder.hpp"
+#include "andor/search.hpp"
+#include "bench_util.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace sysdp;
+
+void report() {
+  std::printf(
+      "# A6: AND/OR evaluation strategies (regular reduction graphs, "
+      "m = 3)\n");
+  std::printf("%6s %6s | %9s | %9s %9s %9s | %12s %9s\n", "N", "nodes",
+              "levels", "T(p=1)", "T(p=16)", "T(p=inf)", "topdown 1pair",
+              "of total");
+  Rng rng(1);
+  for (const std::size_t n_seg : {4u, 16u, 64u}) {
+    const auto g = random_multistage(n_seg + 1, 3, rng);
+    const auto reg = build_regular_andor(g, 2);
+    const auto p1 = evaluate_by_levels(reg.graph, 1);
+    const auto p16 = evaluate_by_levels(reg.graph, 16);
+    const auto pinf = evaluate_by_levels(reg.graph, 1u << 30);
+    const auto td = solve_top_down(reg.graph, reg.top_id(0, 0));
+    std::printf("%6zu %6zu | %9zu | %9" PRIu64 " %9" PRIu64 " %9" PRIu64
+                " | %12" PRIu64 " %8.1f%%\n",
+                n_seg, reg.graph.size(), p1.levels, p1.steps, p16.steps,
+                pinf.steps, td.visited,
+                100.0 * static_cast<double>(td.visited) /
+                    static_cast<double>(reg.graph.size()));
+  }
+  std::printf(
+      "# unbounded processors collapse each level to one step (the graph "
+      "height bounds parallel time); a top-down single-pair query already "
+      "skips 10-64%% of the reduction graph, and the locality grows when "
+      "the query is narrower than the structure:\n");
+  // A narrower query: the chain graph's root does reach everything, but a
+  // *sub*chain query uses only its triangle.
+  Rng rng2(2);
+  const auto dims = random_chain_dims(24, rng2);
+  const auto chain = build_chain_andor(dims);
+  const auto sub = solve_top_down(chain.graph, chain.or_id(0, 11));
+  std::printf("chain n=24: querying m[0,11] visits %" PRIu64
+              " of %zu nodes (%.1f%%)\n\n",
+              sub.visited, chain.graph.size(),
+              100.0 * static_cast<double>(sub.visited) /
+                  static_cast<double>(chain.graph.size()));
+}
+
+void bm_level_eval(benchmark::State& state) {
+  const auto p = static_cast<std::uint64_t>(state.range(0));
+  Rng rng(3);
+  const auto g = random_multistage(33, 3, rng);
+  const auto reg = build_regular_andor(g, 2);
+  for (auto _ : state) {
+    auto res = evaluate_by_levels(reg.graph, p);
+    benchmark::DoNotOptimize(res.steps);
+  }
+}
+BENCHMARK(bm_level_eval)->Arg(1)->Arg(16);
+
+void bm_top_down(benchmark::State& state) {
+  Rng rng(4);
+  const auto chain = build_chain_andor(random_chain_dims(48, rng));
+  for (auto _ : state) {
+    auto td = solve_top_down(chain.graph, chain.root);
+    benchmark::DoNotOptimize(td.value);
+  }
+}
+BENCHMARK(bm_top_down);
+
+}  // namespace
+
+SYSDP_BENCH_MAIN(report)

@@ -1,0 +1,62 @@
+// Ablation A3 — AT^2 across architectures (Section 4's VLSI criteria).
+// The broadcast AND/OR mapping finishes in N with Theta(n^4) bus wiring;
+// the serialised (Figure 8) design takes 2N with Theta(n^3) dummy
+// registers: the AT^2 crossover quantifies when planar systolic wiring
+// pays off.
+#include <cinttypes>
+#include <cstdio>
+
+#include "arrays/paper_metrics.hpp"
+#include "bench_util.hpp"
+#include "vlsi/area_model.hpp"
+
+namespace {
+
+using namespace sysdp;
+
+void report() {
+  std::printf("# A3: area and AT^2 - broadcast vs serialised chain search\n");
+  std::printf("%5s | %12s %12s | %8s %8s | %14s %14s | %9s\n", "N",
+              "A(bcast)", "A(serial)", "T=N", "T=2N", "AT2(bcast)",
+              "AT2(serial)", "winner");
+  for (const std::uint64_t n : {4u, 8u, 16u, 32u, 64u}) {
+    const auto ab = area_chain_broadcast(n);
+    const auto as = area_chain_serialized(n);
+    const double atb = at2(ab, t_broadcast(n));
+    const double ats = at2(as, t_pipelined(n));
+    std::printf("%5" PRIu64 " | %12" PRIu64 " %12" PRIu64 " | %8" PRIu64
+                " %8" PRIu64 " | %14.3e %14.3e | %9s\n",
+                n, ab.total(), as.total(), t_broadcast(n), t_pipelined(n),
+                atb, ats, atb < ats ? "broadcast" : "serial");
+  }
+  std::printf(
+      "# paper: serialisation doubles T but removes the broadcast buses; "
+      "the crossover (here between N = 32 and N = 64) is the 'additional hardware and "
+      "delay is problem dependent' trade-off of Section 6.2.\n\n");
+
+  std::printf("linear designs, area per problem size (m PEs):\n");
+  std::printf("%5s | %10s %10s %10s (N = 64 stages)\n", "m", "design1",
+              "design2", "design3");
+  for (const std::uint64_t m : {4u, 16u, 64u}) {
+    std::printf("%5" PRIu64 " | %10" PRIu64 " %10" PRIu64 " %10" PRIu64 "\n",
+                m, area_design1(m).total(), area_design2(m).total(),
+                area_design3(m, 64).total());
+  }
+  std::printf(
+      "# design 3 pays N*m path-register words for hardware path recovery."
+      "\n\n");
+}
+
+void bm_area_chain(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    auto b = area_chain_broadcast(n);
+    auto s = area_chain_serialized(n);
+    benchmark::DoNotOptimize(b.total() + s.total());
+  }
+}
+BENCHMARK(bm_area_chain)->Arg(16)->Arg(32)->Arg(64);
+
+}  // namespace
+
+SYSDP_BENCH_MAIN(report)

@@ -1,0 +1,72 @@
+// E2 — Section 3.2, Design 3: (N+1)m iterations, PU ~ 1, and the
+// order-of-magnitude input-bandwidth reduction from feeding node values
+// (N*m scalars) instead of edge costs ((N-1)*m^2 scalars).
+#include <cinttypes>
+#include <cstdio>
+
+#include "arrays/design3_feedback.hpp"
+#include "arrays/paper_metrics.hpp"
+#include "baseline/multistage_dp.hpp"
+#include "bench_util.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace sysdp;
+
+void report() {
+  std::printf(
+      "# E2: Design 3 - iterations, PU, and node-value vs edge-cost I/O\n");
+  std::printf("%5s %4s | %9s %9s | %8s %8s | %10s %10s %7s\n", "N", "m",
+              "iters", "(N+1)m", "PU(anal)", "PU(meas)", "node I/O",
+              "edge I/O", "ratio");
+  for (const std::size_t n : {4u, 8u, 16u, 32u, 64u}) {
+    for (const std::size_t m : {3u, 6u, 12u, 24u}) {
+      Rng rng(n * 1000 + m);
+      const auto nv = traffic_control_instance(n, m, rng);
+      Design3Feedback arr(nv);
+      const auto res = arr.run();
+      const double ratio = static_cast<double>(nv.edge_scalars()) /
+                           static_cast<double>(nv.input_scalars());
+      std::printf(
+          "%5zu %4zu | %9" PRIu64 " %9" PRIu64 " | %8.4f %8.4f | %10zu "
+          "%10zu %7.2f\n",
+          n, m, res.stats.cycles,
+          static_cast<std::uint64_t>((n + 1) * m),
+          analytic_pu_design3(n, m), res.stats.utilization_wall(),
+          nv.input_scalars(), nv.edge_scalars(), ratio);
+    }
+  }
+  std::printf(
+      "# paper: (N+1)m iterations; PU ~ 1; I/O ratio ~ m (order of "
+      "magnitude).\n\n");
+}
+
+void bm_design3(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto m = static_cast<std::size_t>(state.range(1));
+  Rng rng(7);
+  const auto nv = traffic_control_instance(n, m, rng);
+  for (auto _ : state) {
+    Design3Feedback arr(nv);
+    auto res = arr.run();
+    benchmark::DoNotOptimize(res.cost);
+  }
+}
+BENCHMARK(bm_design3)->Args({16, 8})->Args({64, 8})->Args({64, 32});
+
+void bm_design3_vs_sequential(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto m = static_cast<std::size_t>(state.range(1));
+  Rng rng(7);
+  const auto g = traffic_control_instance(n, m, rng).materialize();
+  for (auto _ : state) {
+    auto res = solve_multistage(g);
+    benchmark::DoNotOptimize(res.cost);
+  }
+}
+BENCHMARK(bm_design3_vs_sequential)->Args({16, 8})->Args({64, 8})->Args({64, 32});
+
+}  // namespace
+
+SYSDP_BENCH_MAIN(report)

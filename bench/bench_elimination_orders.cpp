@@ -1,0 +1,74 @@
+// Ablation A7 — elimination order on nonserial objectives (Section 6's
+// "favorable pattern of term interactions"): the same optimum from every
+// order, but steps and the largest intermediate table (the induced width,
+// i.e. the memory a hardware realisation must provide) vary sharply.
+#include <cinttypes>
+#include <cstdio>
+#include <numeric>
+
+#include "bench_util.hpp"
+#include "nonserial/elimination.hpp"
+#include "nonserial/nonserial_generators.hpp"
+
+namespace {
+
+using namespace sysdp;
+
+void report() {
+  std::printf(
+      "# A7: elimination-order ablation on random nonserial objectives\n");
+  std::printf("%6s %5s %6s | %10s %10s | %12s %12s | %8s\n", "vars", "m",
+              "terms", "steps(nat)", "steps(mind)", "table(nat)",
+              "table(mind)", "same opt");
+  for (const std::size_t n : {6u, 8u, 10u}) {
+    for (const std::size_t terms : {n, 2 * n}) {
+      Rng rng(n * 1000 + terms);
+      const auto obj = random_sparse_objective(n, 3, terms, rng);
+      const auto natural = solve_by_elimination(obj);
+      const auto mind = solve_by_elimination(obj, min_degree_order(obj));
+      std::printf("%6zu %5d %6zu | %10" PRIu64 " %10" PRIu64 " | %12" PRIu64
+                  " %12" PRIu64 " | %8s\n",
+                  n, 3, terms, natural.steps, mind.steps,
+                  natural.largest_table, mind.largest_table,
+                  natural.cost == mind.cost ? "yes" : "NO");
+    }
+  }
+  std::printf(
+      "# banded objectives (eq. 36) as the structured contrast - both "
+      "orders match eq. (40):\n");
+  for (const std::size_t n : {8u, 16u}) {
+    Rng rng(n);
+    const auto obj = random_banded_objective(n, 3, rng);
+    const auto natural = solve_by_elimination(obj);
+    const auto mind = solve_by_elimination(obj, min_degree_order(obj));
+    std::printf("  banded n=%zu: steps %" PRIu64 " vs %" PRIu64
+                ", eq40 = %" PRIu64 "\n",
+                n, natural.steps, mind.steps,
+                eq40_steps(std::vector<std::size_t>(n, 3)));
+  }
+  std::printf(
+      "# takeaway: min-degree keeps intermediate tables small on "
+      "unstructured problems; on banded problems the natural order is "
+      "already optimal - the structure Table 1's monadic-nonserial row "
+      "banks on.\n\n");
+}
+
+void bm_elimination_order(benchmark::State& state) {
+  const bool smart = state.range(0) != 0;
+  Rng rng(42);
+  const auto obj = random_sparse_objective(10, 3, 14, rng);
+  const auto order = smart ? min_degree_order(obj) : [&] {
+    std::vector<std::size_t> o(10);
+    std::iota(o.begin(), o.end(), 0);
+    return o;
+  }();
+  for (auto _ : state) {
+    auto res = solve_by_elimination(obj, order);
+    benchmark::DoNotOptimize(res.cost);
+  }
+}
+BENCHMARK(bm_elimination_order)->Arg(0)->Arg(1);
+
+}  // namespace
+
+SYSDP_BENCH_MAIN(report)

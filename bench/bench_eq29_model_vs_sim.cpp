@@ -1,0 +1,56 @@
+// E12 — eq. (29) vs simulation: the closed-form divide-and-conquer time
+// model against the highest-level-first list schedule, across N and K.
+#include <cinttypes>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "dnc/metrics.hpp"
+#include "dnc/schedule.hpp"
+
+namespace {
+
+using namespace sysdp;
+
+void report() {
+  std::printf("# E12: eq. (29) model vs list-schedule simulation\n");
+  std::printf("%6s %6s | %8s %8s %6s | %8s %8s | %8s\n", "N", "K", "T(sim)",
+              "T(eq29)", "diff", "T_c(sim)", "T_w(sim)", "PU(sim)");
+  for (const std::size_t n : {256u, 1024u, 4096u, 8192u}) {
+    for (const std::uint64_t k : {4u, 16u, 64u, 341u, 1024u}) {
+      const auto sim = schedule_and_tree(n, k);
+      const auto model = dnc_time_eq29(n, k);
+      std::printf("%6zu %6" PRIu64 " | %8" PRIu64 " %8" PRIu64 " %6" PRId64
+                  " | %8" PRIu64 " %8" PRIu64 " | %8.4f\n",
+                  n, k, sim.makespan, model,
+                  static_cast<std::int64_t>(sim.makespan) -
+                      static_cast<std::int64_t>(model),
+                  sim.computation, sim.wind_down, sim.utilization(k));
+    }
+  }
+  std::printf(
+      "# paper: T = T_c + T_w (eq. 29); the list schedule tracks the model "
+      "to within a few wind-down steps at every (N, K).\n\n");
+}
+
+void bm_list_schedule(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<std::uint64_t>(state.range(1));
+  for (auto _ : state) {
+    auto res = schedule_and_tree(n, k);
+    benchmark::DoNotOptimize(res.makespan);
+  }
+}
+BENCHMARK(bm_list_schedule)->Args({4096, 341})->Args({8192, 64});
+
+void bm_model_eval(benchmark::State& state) {
+  for (auto _ : state) {
+    std::uint64_t acc = 0;
+    for (std::uint64_t k = 1; k <= 1024; ++k) acc += dnc_time_eq29(8192, k);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(bm_model_eval);
+
+}  // namespace
+
+SYSDP_BENCH_MAIN(report)

@@ -1,0 +1,84 @@
+// E9 — Section 6.1 / eq. (40): monadic-nonserial elimination step counts
+// match the closed form, and the grouping transform (eq. 41) converts the
+// banded objective into a serial problem the systolic arrays solve.
+#include <cinttypes>
+#include <cstdio>
+
+#include "arrays/graph_adapter.hpp"
+#include "baseline/multistage_dp.hpp"
+#include "bench_util.hpp"
+#include "nonserial/elimination.hpp"
+#include "nonserial/grouping.hpp"
+#include "nonserial/nonserial_generators.hpp"
+
+namespace {
+
+using namespace sysdp;
+
+void report() {
+  std::printf(
+      "# E9: eq. (40) - elimination steps for banded nonserial objectives; "
+      "grouping transform check\n");
+  std::printf("%4s %4s | %10s %10s | %9s | %12s %8s\n", "N", "m",
+              "steps(sim)", "steps(40)", "final cmp", "grouped size",
+              "optimal");
+  for (const std::size_t n : {3u, 5u, 8u, 12u, 16u}) {
+    for (const std::size_t m : {2u, 3u, 4u}) {
+      Rng rng(n * 100 + m);
+      const auto obj = random_banded_objective(n, m, rng);
+      const auto elim = solve_by_elimination(obj);
+      const std::vector<std::size_t> domains(n, m);
+      const auto grouped = group_banded_to_serial(obj);
+      const auto serial = solve_multistage(grouped.graph);
+      std::printf("%4zu %4zu | %10" PRIu64 " %10" PRIu64 " | %9" PRIu64
+                  " | %6zu x %-3zu %8s\n",
+                  n, m, elim.steps, eq40_steps(domains),
+                  elim.final_comparisons, grouped.graph.num_stages(),
+                  grouped.graph.stage_size(0),
+                  serial.cost == elim.cost ? "yes" : "NO");
+    }
+  }
+  std::printf(
+      "# paper: steps(sim) == eq. (40); the grouped serial problem (m^2 "
+      "states/stage) yields the same optimum and runs on Design 1.\n\n");
+}
+
+void bm_elimination(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto m = static_cast<std::size_t>(state.range(1));
+  Rng rng(4);
+  const auto obj = random_banded_objective(n, m, rng);
+  for (auto _ : state) {
+    auto res = solve_by_elimination(obj);
+    benchmark::DoNotOptimize(res.cost);
+  }
+}
+BENCHMARK(bm_elimination)->Args({8, 4})->Args({16, 4})->Args({16, 8});
+
+void bm_grouping_plus_design1(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto m = static_cast<std::size_t>(state.range(1));
+  Rng rng(5);
+  const auto obj = random_banded_objective(n, m, rng);
+  for (auto _ : state) {
+    const auto grouped = group_banded_to_serial(obj);
+    auto res = run_design1_shortest(grouped.graph);
+    benchmark::DoNotOptimize(res.values);
+  }
+}
+BENCHMARK(bm_grouping_plus_design1)->Args({8, 4})->Args({16, 4});
+
+void bm_brute_force(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(6);
+  const auto obj = random_banded_objective(n, 3, rng);
+  for (auto _ : state) {
+    auto res = solve_brute_force(obj);
+    benchmark::DoNotOptimize(res.cost);
+  }
+}
+BENCHMARK(bm_brute_force)->Arg(6)->Arg(9);
+
+}  // namespace
+
+SYSDP_BENCH_MAIN(report)

@@ -1,0 +1,62 @@
+// E3 — Figure 6: KT^2 vs K for multiplying N = 4096 matrices by K
+// synchronous systolic arrays (time model eq. 29).  The paper reports the
+// minimum at K = 431 or 465; N / log2 N = 341.
+#include <cinttypes>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "dnc/metrics.hpp"
+#include "dnc/schedule.hpp"
+
+namespace {
+
+using namespace sysdp;
+
+void report() {
+  const std::uint64_t n = 4096;
+  std::printf("# E3: Figure 6 - K*T^2 vs K for N = %" PRIu64 " (eq. 29)\n",
+              n);
+  std::printf("%6s | %6s | %12s | %8s\n", "K", "T", "K*T^2", "PU");
+  for (const std::uint64_t k :
+       {1u,   16u,  64u,  128u, 256u, 300u, 341u, 400u, 431u,
+        455u, 465u, 512u, 600u, 800u, 1024u, 1200u}) {
+    std::printf("%6" PRIu64 " | %6" PRIu64 " | %12.0f | %8.4f\n", k,
+                dnc_time_eq29(n, k), kt2_eq29(n, k), pu_eq29(n, k));
+  }
+  const auto best = minimize_kt2(n, 2 * n);
+  std::printf("minimum: K = %" PRIu64 " with K*T^2 = %.0f\n", best.k,
+              best.kt2);
+  std::printf("paper:   K = 431 or 465; N/log2(N) = %.0f\n",
+              static_cast<double>(n) / 12.0);
+  std::printf("# the paper's candidates vs the curve:\n");
+  for (const std::uint64_t k : {431u, 465u}) {
+    std::printf("  K = %" PRIu64 ": K*T^2 = %.0f (%.1f%% above the curve "
+                "minimum)\n",
+                k, kt2_eq29(n, k),
+                100.0 * (kt2_eq29(n, k) / best.kt2 - 1.0));
+  }
+  std::printf("\n");
+}
+
+void bm_minimize_kt2(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    auto best = minimize_kt2(n, 2 * n);
+    benchmark::DoNotOptimize(best.k);
+  }
+}
+BENCHMARK(bm_minimize_kt2)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void bm_schedule_sim(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<std::uint64_t>(state.range(1));
+  for (auto _ : state) {
+    auto res = schedule_and_tree(n, k);
+    benchmark::DoNotOptimize(res.makespan);
+  }
+}
+BENCHMARK(bm_schedule_sim)->Args({4096, 341})->Args({4096, 465});
+
+}  // namespace
+
+SYSDP_BENCH_MAIN(report)

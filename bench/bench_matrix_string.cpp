@@ -1,0 +1,74 @@
+// E11 — Section 3.1: the O(m^2 N) sequential complexity of solving a
+// monadic-serial problem as a string of matrix multiplications (eq. 8), and
+// the equivalence of the monadic (right-associated) and polyadic (balanced)
+// evaluations.
+#include <cinttypes>
+#include <cstdio>
+
+#include "baseline/multistage_dp.hpp"
+#include "bench_util.hpp"
+#include "graph/generators.hpp"
+#include "semiring/ops.hpp"
+
+namespace {
+
+using namespace sysdp;
+
+void report() {
+  std::printf(
+      "# E11: eq. (8) - sequential cost of the matrix-string evaluation\n");
+  std::printf("%6s %4s | %12s %12s | %9s\n", "N", "m", "MACs(meas)",
+              "m^2(N-1)+m", "agree");
+  for (const std::size_t n : {8u, 32u, 128u, 512u}) {
+    for (const std::size_t m : {4u, 16u, 32u}) {
+      Rng rng(n + m);
+      const auto g = random_multistage(n, m, rng);
+      const auto res = solve_multistage(g);
+      const std::uint64_t model = static_cast<std::uint64_t>(m) * m * (n - 1) + m;
+      // Monadic vs polyadic equivalence on the same instance.
+      const auto mono = forward_costs(g, 0);
+      const auto poly = mat_vec<MinPlus>(
+          balanced_string_mat_mul<MinPlus>(g.matrix_string()),
+          std::vector<Cost>(g.stage_size(n - 1), 0));
+      std::printf("%6zu %4zu | %12" PRIu64 " %12" PRIu64 " | %9s\n", n, m,
+                  res.ops.mac, model, mono == poly ? "yes" : "NO");
+    }
+  }
+  std::printf(
+      "# paper: sequential complexity O(m^2 N); monadic and polyadic "
+      "evaluations of eq. (8)/(15) agree by associativity.\n\n");
+}
+
+void bm_string_mat_vec(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto m = static_cast<std::size_t>(state.range(1));
+  Rng rng(1);
+  const auto mats = random_matrix_string(n, m, rng);
+  std::vector<Cost> v(m, 0);
+  for (auto _ : state) {
+    auto y = string_mat_vec<MinPlus>(mats, v);
+    benchmark::DoNotOptimize(y);
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n * m * m));
+}
+BENCHMARK(bm_string_mat_vec)
+    ->Args({32, 8})
+    ->Args({128, 8})
+    ->Args({32, 32})
+    ->Args({128, 32});
+
+void bm_balanced_string_mul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto m = static_cast<std::size_t>(state.range(1));
+  Rng rng(2);
+  const auto mats = random_matrix_string(n, m, rng);
+  for (auto _ : state) {
+    auto prod = balanced_string_mat_mul<MinPlus>(mats);
+    benchmark::DoNotOptimize(prod);
+  }
+}
+BENCHMARK(bm_balanced_string_mul)->Args({32, 8})->Args({128, 8});
+
+}  // namespace
+
+SYSDP_BENCH_MAIN(report)

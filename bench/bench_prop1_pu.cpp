@@ -1,0 +1,59 @@
+// E4 — Proposition 1: asymptotic processor utilisation PU(k, N) for
+// k(N) with c_inf = lim k(N)/(N/log2 N) in {0, finite, infinite}:
+//   c_inf = 0        -> PU -> 1        (e.g. k = sqrt(N), k = log2 N)
+//   0 < c_inf < inf  -> PU -> 1/(1+c)  (k = c N / log2 N)
+//   c_inf = inf      -> PU -> 0        (k = N)
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "dnc/metrics.hpp"
+#include "dnc/schedule.hpp"
+
+namespace {
+
+using namespace sysdp;
+
+void report() {
+  std::printf("# E4: Proposition 1 - PU(k, N) along growth laws k(N)\n");
+  std::printf("%10s | %10s %10s %10s %10s %10s | %8s\n", "N", "k=log2N",
+              "k=sqrtN", "k=N/lgN", "k=2N/lgN", "k=N", "1/(1+c)");
+  for (std::uint64_t e = 10; e <= 26; e += 4) {
+    const std::uint64_t n = 1ull << e;
+    const auto lg = static_cast<std::uint64_t>(e);
+    const auto sq = static_cast<std::uint64_t>(std::sqrt(static_cast<double>(n)));
+    const auto crit = n / lg;
+    std::printf(
+        "%10" PRIu64 " | %10.4f %10.4f %10.4f %10.4f %10.4f | "
+        "{1, 1, %0.2f, %0.2f, 0}\n",
+        n, pu_eq29(n, lg), pu_eq29(n, sq), pu_eq29(n, crit),
+        pu_eq29(n, 2 * crit), pu_eq29(n, n), prop1_limit(1.0),
+        prop1_limit(2.0));
+  }
+  std::printf(
+      "# paper: columns converge to the bracketed limits as N -> inf.\n\n");
+}
+
+void bm_pu_sweep(benchmark::State& state) {
+  const std::uint64_t n = 1ull << static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    double acc = 0;
+    for (std::uint64_t k = 1; k <= 4096; k *= 2) acc += pu_eq29(n, k);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(bm_pu_sweep)->Arg(16)->Arg(24);
+
+void bm_schedule_utilization(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto res = schedule_and_tree(n, static_cast<std::uint64_t>(n) / 12);
+    benchmark::DoNotOptimize(res.makespan);
+  }
+}
+BENCHMARK(bm_schedule_utilization)->Arg(4096)->Arg(16384);
+
+}  // namespace
+
+SYSDP_BENCH_MAIN(report)

@@ -1,0 +1,67 @@
+// E7 — Proposition 2 / eq. (42): the broadcast-mapped AND/OR search of the
+// matrix-chain graph completes in T_d(N) = N steps, at the price of
+// broadcast buses for every level-skipping arc.
+#include <cinttypes>
+#include <cstdio>
+
+#include "andor/chain_builder.hpp"
+#include "andor/level_schedule.hpp"
+#include "arrays/paper_metrics.hpp"
+#include "baseline/matrix_chain.hpp"
+#include "bench_util.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace sysdp;
+
+void report() {
+  std::printf("# E7: Proposition 2 - broadcast AND/OR search, T_d(N) = N\n");
+  std::printf("%6s | %8s %8s | %10s %10s\n", "N", "T_d(sim)", "T_d(=N)",
+              "OR procs", "long arcs");
+  for (const std::size_t n : {2u, 4u, 8u, 16u, 32u, 64u, 128u, 256u, 512u}) {
+    const auto res = simulate_chain_broadcast(n);
+    std::printf("%6zu | %8" PRIu64 " %8" PRIu64 " | %10zu %10" PRIu64 "\n",
+                n, res.completion, t_broadcast(n), res.processors,
+                res.long_arcs);
+  }
+  std::printf(
+      "# paper: T_d(N) = N (Prop. 2); the long-arc count is the broadcast "
+      "hardware the serialisation of E8 replaces with dummy nodes.\n\n");
+}
+
+void bm_broadcast_schedule(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto res = simulate_chain_broadcast(n);
+    benchmark::DoNotOptimize(res.completion);
+  }
+}
+BENCHMARK(bm_broadcast_schedule)->Arg(64)->Arg(256)->Arg(512);
+
+void bm_chain_andor_eval(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  const auto dims = random_chain_dims(n, rng);
+  const auto chain = build_chain_andor(dims);
+  for (auto _ : state) {
+    auto v = chain.graph.evaluate();
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(bm_chain_andor_eval)->Arg(16)->Arg(64)->Arg(128);
+
+void bm_chain_table_dp(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  const auto dims = random_chain_dims(n, rng);
+  for (auto _ : state) {
+    auto res = matrix_chain_order(dims);
+    benchmark::DoNotOptimize(res.cost);
+  }
+}
+BENCHMARK(bm_chain_table_dp)->Arg(16)->Arg(64)->Arg(128);
+
+}  // namespace
+
+SYSDP_BENCH_MAIN(report)

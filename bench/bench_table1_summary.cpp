@@ -1,0 +1,90 @@
+// E10 — Table 1: one representative problem per formulation class, routed
+// through the architecture the paper recommends, with the published table
+// regenerated alongside the measured outcome of each route.
+#include <cinttypes>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/solver.hpp"
+#include "core/table1.hpp"
+#include "baseline/multistage_dp.hpp"
+#include "graph/generators.hpp"
+#include "nonserial/elimination.hpp"
+#include "nonserial/nonserial_generators.hpp"
+
+namespace {
+
+using namespace sysdp;
+
+void report() {
+  std::printf("# E10: Table 1 - formulation -> suitable method\n\n");
+  std::printf("%s\n", render_table1().c_str());
+
+  std::printf("one worked instance per class:\n");
+  // Monadic-serial: many quantised values per stage.
+  {
+    Rng rng(1);
+    const auto nv = traffic_control_instance(8, 16, rng);
+    const auto rep = solve_monadic_serial(nv);
+    std::printf("  monadic-serial    : %-60s cost=%" PRId64 " cycles=%" PRIu64
+                "\n",
+                rep.method.c_str(), rep.cost, rep.cycles);
+  }
+  // Polyadic-serial: many stages, few values.
+  {
+    Rng rng(2);
+    const auto g = random_multistage(64, 3, rng);
+    const auto rep = solve_polyadic_serial(g, 8);
+    std::printf("  polyadic-serial   : %-60s cost=%" PRId64 " T/T1=%" PRIu64
+                "\n",
+                rep.method.c_str(), rep.cost, rep.cycles);
+  }
+  // Monadic-nonserial: banded objective, variables eliminated one by one.
+  {
+    Rng rng(3);
+    const auto obj = random_banded_objective(7, 3, rng);
+    const auto rep = solve_objective(obj);
+    std::printf("  monadic-nonserial : %-60s cost=%" PRId64 " steps=%" PRIu64
+                "\n",
+                rep.method.c_str(), rep.cost, rep.work_steps);
+  }
+  // Polyadic-nonserial: optimal matrix-multiplication order.
+  {
+    Rng rng(4);
+    const auto dims = random_chain_dims(24, rng);
+    const auto rep = solve_chain_order(dims);
+    std::printf("  polyadic-nonserial: %-60s cost=%" PRId64 " cycles=%" PRIu64
+                "\n\n",
+                rep.method.c_str(), rep.cost, rep.cycles);
+  }
+}
+
+void bm_dispatch_serial_objective(benchmark::State& state) {
+  Rng rng(5);
+  NonserialObjective obj({4, 4, 4, 4, 4});
+  std::uniform_int_distribution<Cost> dist(0, 9);
+  for (std::size_t k = 0; k + 1 < 5; ++k) {
+    std::vector<Cost> t(16);
+    for (auto& c : t) c = dist(rng);
+    obj.add_term({k, k + 1}, t);
+  }
+  for (auto _ : state) {
+    auto rep = solve_objective(obj);
+    benchmark::DoNotOptimize(rep.cost);
+  }
+}
+BENCHMARK(bm_dispatch_serial_objective);
+
+void bm_dispatch_banded_objective(benchmark::State& state) {
+  Rng rng(6);
+  const auto obj = random_banded_objective(8, 3, rng);
+  for (auto _ : state) {
+    auto rep = solve_objective(obj);
+    benchmark::DoNotOptimize(rep.cost);
+  }
+}
+BENCHMARK(bm_dispatch_banded_objective);
+
+}  // namespace
+
+SYSDP_BENCH_MAIN(report)

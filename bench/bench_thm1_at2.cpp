@@ -1,0 +1,50 @@
+// E5 — Theorem 1: S(N) T^2(N) >= Theta(N log2 N) T_1^2 with equality at
+// S(N) = Theta(N / log2 N).  Sweeps S at several N and shows the minimum
+// of S*T^2 sits at the critical granularity.
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "dnc/metrics.hpp"
+
+namespace {
+
+using namespace sysdp;
+
+void report() {
+  std::printf("# E5: Theorem 1 - S*T^2 vs granularity S (lower-bound model)\n");
+  for (const double n : {4096.0, 65536.0, 1048576.0}) {
+    const double s_star = n / std::log2(n);
+    std::printf("N = %.0f (N/log2 N = %.0f, N log2 N = %.3e)\n", n, s_star,
+                n * std::log2(n));
+    std::printf("  %12s | %14s | %10s\n", "S", "S*T^2", "vs N*lgN");
+    for (const double factor : {1.0 / 64, 1.0 / 16, 1.0 / 4, 1.0, 4.0, 16.0,
+                                64.0}) {
+      const double s = s_star * factor;
+      if (s < 1 || s > n) continue;
+      const double v = st2_lower_bound(n, s);
+      std::printf("  %12.0f | %14.4e | %10.2f\n", s, v,
+                  v / (n * std::log2(n)));
+    }
+  }
+  std::printf(
+      "# paper: the S*T^2 / (N log2 N) column bottoms out near S = "
+      "N/log2(N) and grows in both directions (eqs. 27-28).\n\n");
+}
+
+void bm_st2_sweep(benchmark::State& state) {
+  const double n = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    double best = 1e300;
+    for (double s = 1; s <= n; s *= 1.1) {
+      best = std::min(best, st2_lower_bound(n, s));
+    }
+    benchmark::DoNotOptimize(best);
+  }
+}
+BENCHMARK(bm_st2_sweep)->Arg(4096)->Arg(1 << 20);
+
+}  // namespace
+
+SYSDP_BENCH_MAIN(report)

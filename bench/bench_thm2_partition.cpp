@@ -1,0 +1,85 @@
+// E6 — Theorem 2 / eq. (32): total nodes u(p) of the regular AND/OR-graph
+// for p-way partitioning; binary partitioning (p = 2) minimises u(p).
+// Counts are verified against explicitly constructed graphs.
+#include <cinttypes>
+#include <cstdio>
+
+#include "andor/regular_builder.hpp"
+#include "bench_util.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace sysdp;
+
+void report() {
+  std::printf("# E6: Theorem 2 - u(p) node counts (eq. 32)\n");
+  std::printf("%6s %4s | %14s %14s %14s\n", "N", "m", "u(2)", "u(4)",
+              "u(8)");
+  // N chosen as simultaneous powers of 2, 4 and 8: 64 = 2^6 = 4^3 = 8^2 and
+  // 4096 = 2^12 = 4^6 = 8^4, so every column is a legal partition.
+  for (const std::uint64_t n : {64u, 4096u}) {
+    for (const std::uint64_t m : {2u, 3u, 4u, 6u}) {
+      std::printf("%6" PRIu64 " %4" PRIu64 " | %14" PRIu64 " %14" PRIu64
+                  " %14" PRIu64 "\n",
+                  n, m, u_formula(n, 2, m), u_formula(n, 4, m),
+                  u_formula(n, 8, m));
+    }
+  }
+  std::printf(
+      "# paper: u(2) <= u(4) <= u(8) for every row (tie at m = 2 between "
+      "p = 2 and p = 4).\n");
+
+  // Cross-check formula vs explicit construction on buildable sizes.
+  std::printf("\nconstruction cross-check (graph nodes == eq. 32):\n");
+  Rng rng(1);
+  struct Case {
+    std::size_t p, q, m;
+  };
+  for (const auto& c :
+       {Case{2, 4, 2}, Case{2, 3, 3}, Case{4, 2, 2}, Case{3, 2, 3}}) {
+    std::size_t n_seg = 1;
+    for (std::size_t i = 0; i < c.q; ++i) n_seg *= c.p;
+    const auto g = random_multistage(n_seg + 1, c.m, rng);
+    const auto reg = build_regular_andor(g, c.p);
+    std::printf("  N=%zu p=%zu m=%zu: built %zu nodes, formula %" PRIu64
+                " -> %s\n",
+                n_seg, c.p, c.m, reg.graph.size(),
+                u_formula(n_seg, c.p, c.m),
+                reg.graph.size() == u_formula(n_seg, c.p, c.m) ? "match"
+                                                               : "MISMATCH");
+  }
+  std::printf("\n");
+}
+
+void bm_build_regular(benchmark::State& state) {
+  const auto p = static_cast<std::size_t>(state.range(0));
+  const auto q = static_cast<std::size_t>(state.range(1));
+  std::size_t n_seg = 1;
+  for (std::size_t i = 0; i < q; ++i) n_seg *= p;
+  Rng rng(2);
+  const auto g = random_multistage(n_seg + 1, 2, rng);
+  for (auto _ : state) {
+    auto reg = build_regular_andor(g, p);
+    benchmark::DoNotOptimize(reg.graph.size());
+  }
+}
+BENCHMARK(bm_build_regular)->Args({2, 6})->Args({4, 3})->Args({8, 2});
+
+void bm_evaluate_regular(benchmark::State& state) {
+  const auto p = static_cast<std::size_t>(state.range(0));
+  std::size_t n_seg = 1;
+  for (std::size_t i = 0; i < 4; ++i) n_seg *= 2;  // 16 segments
+  Rng rng(3);
+  const auto g = random_multistage(n_seg + 1, 3, rng);
+  const auto reg = build_regular_andor(g, p);
+  for (auto _ : state) {
+    auto v = reg.graph.evaluate();
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(bm_evaluate_regular)->Arg(2)->Arg(4);
+
+}  // namespace
+
+SYSDP_BENCH_MAIN(report)

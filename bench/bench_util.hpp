@@ -1,0 +1,22 @@
+// Shared harness glue: every experiment binary prints its paper-shaped
+// report first (the reproduction artefact EXPERIMENTS.md quotes), then runs
+// its google-benchmark timings.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+/// Define main() for a bench binary: print the report, then run benchmarks.
+#define SYSDP_BENCH_MAIN(report_fn)                                  \
+  int main(int argc, char** argv) {                                  \
+    report_fn();                                                     \
+    std::fflush(stdout);                                             \
+    ::benchmark::Initialize(&argc, argv);                            \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {      \
+      return 1;                                                      \
+    }                                                                \
+    ::benchmark::RunSpecifiedBenchmarks();                           \
+    ::benchmark::Shutdown();                                         \
+    return 0;                                                        \
+  }

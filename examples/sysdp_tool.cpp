@@ -1,0 +1,183 @@
+// Command-line driver for the library.
+//
+//   sysdp_tool gen multistage <stages> <width> <seed>   write instance to stdout
+//   sysdp_tool gen chain <matrices> <seed>
+//   sysdp_tool gen objective <vars> <domain> <seed>     (banded, eq. 36)
+//   sysdp_tool info <file>                              classify and describe
+//   sysdp_tool solve <file> [k]                         route per Table 1
+//
+// `solve` dispatches exactly as core/solver.hpp: multistage graphs to the
+// Design 1 systolic array (plus divide-and-conquer when k > 1 is given),
+// chains to the serialised AND/OR / GKT array, objectives to the
+// classification-driven route of Section 6.
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "andor/stage_reduction.hpp"
+#include "core/solver.hpp"
+#include "core/table1.hpp"
+#include "graph/generators.hpp"
+#include "io/problem_io.hpp"
+#include "nonserial/nonserial_generators.hpp"
+
+namespace {
+
+using namespace sysdp;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  sysdp_tool gen multistage <stages> <width> <seed>\n"
+               "  sysdp_tool gen chain <matrices> <seed>\n"
+               "  sysdp_tool gen objective <vars> <domain> <seed>\n"
+               "  sysdp_tool info <file>\n"
+               "  sysdp_tool solve <file> [k]\n"
+               "  sysdp_tool reduce <file>      stage-reduction plan "
+               "(multistage only)\n");
+  return 2;
+}
+
+void print_report(const SolveReport& rep) {
+  std::printf("class   : %s\n", to_string(rep.cls).c_str());
+  std::printf("method  : %s\n", rep.method.c_str());
+  std::printf("optimum : %s\n", cost_to_string(rep.cost).c_str());
+  if (!rep.assignment.empty()) {
+    std::printf("solution:");
+    for (std::size_t v : rep.assignment) std::printf(" %zu", v);
+    std::printf("\n");
+  }
+  if (rep.cycles > 0) {
+    std::printf("cycles  : %llu\n",
+                static_cast<unsigned long long>(rep.cycles));
+  }
+  std::printf("steps   : %llu\n",
+              static_cast<unsigned long long>(rep.work_steps));
+}
+
+int cmd_gen(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string kind = argv[0];
+  if (kind == "multistage" && argc == 4) {
+    Rng rng(std::stoull(argv[3]));
+    write_multistage(std::cout,
+                     random_multistage(std::stoul(argv[1]),
+                                       std::stoul(argv[2]), rng));
+    return 0;
+  }
+  if (kind == "chain" && argc == 3) {
+    Rng rng(std::stoull(argv[2]));
+    write_chain(std::cout, random_chain_dims(std::stoul(argv[1]), rng));
+    return 0;
+  }
+  if (kind == "objective" && argc == 4) {
+    Rng rng(std::stoull(argv[3]));
+    write_objective(std::cout,
+                    random_banded_objective(std::stoul(argv[1]),
+                                            std::stoul(argv[2]), rng));
+    return 0;
+  }
+  return usage();
+}
+
+int cmd_info(const std::string& path) {
+  const auto problem = load_problem(path);
+  std::visit(
+      [](const auto& p) {
+        using T = std::decay_t<decltype(p)>;
+        if constexpr (std::is_same_v<T, MultistageGraph>) {
+          std::printf("multistage graph: %zu stages, widths", p.num_stages());
+          for (std::size_t s : p.stage_sizes()) std::printf(" %zu", s);
+          std::printf(", %zu finite edges\n", p.num_finite_edges());
+          std::printf("recommended: %s\n",
+                      recommend({Recursion::kMonadic, Structure::kSerial})
+                          .suitable_method.c_str());
+        } else if constexpr (std::is_same_v<T, std::vector<Cost>>) {
+          std::printf("matrix chain: %zu matrices\n", p.size() - 1);
+          std::printf("recommended: %s\n",
+                      recommend({Recursion::kPolyadic, Structure::kNonserial})
+                          .suitable_method.c_str());
+        } else {
+          const auto cls = classify(p, Recursion::kMonadic);
+          std::printf("objective: %zu variables, %zu terms, %s\n",
+                      p.num_variables(), p.terms().size(),
+                      to_string(cls).c_str());
+          std::printf("recommended: %s\n",
+                      recommend(cls).suitable_method.c_str());
+        }
+      },
+      problem);
+  return 0;
+}
+
+int cmd_solve(const std::string& path, std::uint64_t k) {
+  const auto problem = load_problem(path);
+  std::visit(
+      [k](const auto& p) {
+        using T = std::decay_t<decltype(p)>;
+        if constexpr (std::is_same_v<T, MultistageGraph>) {
+          print_report(k > 1 ? solve_polyadic_serial(p, k)
+                             : solve_monadic_serial(p));
+        } else if constexpr (std::is_same_v<T, std::vector<Cost>>) {
+          print_report(solve_chain_order(p));
+        } else {
+          print_report(solve_objective(p));
+        }
+      },
+      problem);
+  return 0;
+}
+
+int cmd_reduce(const std::string& path) {
+  const auto problem = load_problem(path);
+  if (!std::holds_alternative<MultistageGraph>(problem)) {
+    std::fprintf(stderr, "error: reduce needs a multistage problem\n");
+    return 1;
+  }
+  const auto& g = std::get<MultistageGraph>(problem);
+  const auto plan = plan_stage_reduction(g.stage_sizes());
+  std::printf("stage sizes      :");
+  for (std::size_t s : g.stage_sizes()) std::printf(" %zu", s);
+  std::printf("\n");
+  std::printf("optimal binary   : %llu comparisons\n",
+              static_cast<unsigned long long>(plan.best_binary_comparisons));
+  std::printf("left-to-right    : %llu comparisons\n",
+              static_cast<unsigned long long>(plan.left_to_right_comparisons));
+  std::printf("single p-arc AND : %llu comparisons\n",
+              static_cast<unsigned long long>(plan.single_step_comparisons));
+  std::printf("eliminate stages :");
+  for (std::size_t s : plan.elimination_order) std::printf(" %zu", s);
+  std::printf("\n");
+  std::uint64_t actual = 0;
+  const auto reduced = reduce_stages(g, plan.elimination_order, &actual);
+  Cost best = kInfCost;
+  for (std::size_t i = 0; i < reduced.rows(); ++i) {
+    for (std::size_t j = 0; j < reduced.cols(); ++j) {
+      best = std::min(best, reduced(i, j));
+    }
+  }
+  std::printf("executed         : %llu comparisons, optimum %s\n",
+              static_cast<unsigned long long>(actual),
+              cost_to_string(best).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc < 2) return usage();
+    const std::string cmd = argv[1];
+    if (cmd == "gen") return cmd_gen(argc - 2, argv + 2);
+    if (cmd == "info" && argc == 3) return cmd_info(argv[2]);
+    if (cmd == "solve" && (argc == 3 || argc == 4)) {
+      return cmd_solve(argv[2], argc == 4 ? std::stoull(argv[3]) : 1);
+    }
+    if (cmd == "reduce" && argc == 3) return cmd_reduce(argv[2]);
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,115 @@
+#include "andor/andor_graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sysdp {
+
+std::size_t AndOrGraph::add_node(AndOrNode n) {
+  for (std::size_t c : n.children) {
+    if (c >= nodes_.size()) {
+      throw std::invalid_argument("AndOrGraph: children must precede parents");
+    }
+  }
+  nodes_.push_back(std::move(n));
+  return nodes_.size() - 1;
+}
+
+std::size_t AndOrGraph::add_leaf(Cost value, std::size_t level) {
+  AndOrNode n;
+  n.type = AndOrType::kLeaf;
+  n.leaf_value = value;
+  n.level = level;
+  return add_node(std::move(n));
+}
+
+std::size_t AndOrGraph::add_and(std::vector<std::size_t> children, Cost local,
+                                std::size_t level) {
+  if (children.empty()) throw std::invalid_argument("AND node needs children");
+  AndOrNode n;
+  n.type = AndOrType::kAnd;
+  n.children = std::move(children);
+  n.local = local;
+  n.level = level;
+  return add_node(std::move(n));
+}
+
+std::size_t AndOrGraph::add_or(std::vector<std::size_t> children,
+                               std::size_t level) {
+  if (children.empty()) throw std::invalid_argument("OR node needs children");
+  AndOrNode n;
+  n.type = AndOrType::kOr;
+  n.children = std::move(children);
+  n.level = level;
+  return add_node(std::move(n));
+}
+
+std::size_t AndOrGraph::add_dummy(std::size_t child, std::size_t level) {
+  AndOrNode n;
+  n.type = AndOrType::kDummy;
+  n.children = {child};
+  n.level = level;
+  return add_node(std::move(n));
+}
+
+std::size_t AndOrGraph::count(AndOrType t) const {
+  return static_cast<std::size_t>(
+      std::count_if(nodes_.begin(), nodes_.end(),
+                    [t](const AndOrNode& n) { return n.type == t; }));
+}
+
+std::size_t AndOrGraph::height() const {
+  std::size_t h = 0;
+  for (const auto& n : nodes_) h = std::max(h, n.level);
+  return h;
+}
+
+bool AndOrGraph::is_serial() const {
+  for (const auto& n : nodes_) {
+    for (std::size_t c : n.children) {
+      if (nodes_[c].level + 1 != n.level) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<Cost> AndOrGraph::evaluate(OpCount* ops) const {
+  std::vector<Cost> val(nodes_.size(), kInfCost);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const AndOrNode& n = nodes_[i];
+    switch (n.type) {
+      case AndOrType::kLeaf:
+        val[i] = n.leaf_value;
+        break;
+      case AndOrType::kDummy:
+        val[i] = val[n.children.front()];
+        break;
+      case AndOrType::kAnd: {
+        Cost sum = n.local;
+        for (std::size_t c : n.children) {
+          sum = sat_add(sum, val[c]);
+          if (ops) ++ops->mac;
+        }
+        val[i] = sum;
+        break;
+      }
+      case AndOrType::kOr: {
+        Cost best = kInfCost;
+        for (std::size_t c : n.children) {
+          best = std::min(best, val[c]);
+          if (ops) ++ops->mac;
+        }
+        val[i] = best;
+        break;
+      }
+    }
+  }
+  return val;
+}
+
+Cost AndOrGraph::value_of(std::size_t root, OpCount* ops) const {
+  if (root >= nodes_.size()) throw std::out_of_range("value_of");
+  return evaluate(ops)[root];
+}
+
+}  // namespace sysdp

@@ -1,0 +1,66 @@
+// AND/OR-graphs (Sections 5 and 6.2).
+//
+// A polyadic DP problem is the search for a minimum-cost solution tree in an
+// additive AND/OR-graph (Martelli-Montanari): AND-nodes combine subproblem
+// solutions (here: addition plus a local arc cost), OR-nodes choose the best
+// alternative (minimisation), leaves carry given values, and dummy nodes —
+// introduced by the serialisation transform of Figure 8 — forward a single
+// child unchanged.  Nodes are stored bottom-up (children strictly precede
+// parents), so evaluation is a single forward sweep.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "semiring/cost.hpp"
+#include "semiring/ops.hpp"
+
+namespace sysdp {
+
+enum class AndOrType : std::uint8_t { kLeaf, kAnd, kOr, kDummy };
+
+struct AndOrNode {
+  AndOrType type = AndOrType::kLeaf;
+  std::vector<std::size_t> children;
+  Cost local = 0;        ///< arc cost added by an AND-node
+  Cost leaf_value = 0;   ///< value of a leaf
+  std::size_t level = 0; ///< level in the layered drawing (leaves lowest)
+};
+
+class AndOrGraph {
+ public:
+  [[nodiscard]] std::size_t add_leaf(Cost value, std::size_t level = 0);
+  [[nodiscard]] std::size_t add_and(std::vector<std::size_t> children,
+                                    Cost local, std::size_t level);
+  [[nodiscard]] std::size_t add_or(std::vector<std::size_t> children,
+                                   std::size_t level);
+  [[nodiscard]] std::size_t add_dummy(std::size_t child, std::size_t level);
+
+  [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+  [[nodiscard]] const AndOrNode& node(std::size_t i) const {
+    return nodes_.at(i);
+  }
+
+  [[nodiscard]] std::size_t count(AndOrType t) const;
+
+  /// Largest level in the graph (the height of the layered drawing).
+  [[nodiscard]] std::size_t height() const;
+
+  /// True if every arc connects adjacent levels only — the structural
+  /// definition of a *serial* AND/OR-graph (Section 2.2).
+  [[nodiscard]] bool is_serial() const;
+
+  /// Bottom-up breadth-first evaluation (Section 6.2): returns the value of
+  /// every node; ops counts one step per AND-addition and per OR-comparison.
+  [[nodiscard]] std::vector<Cost> evaluate(OpCount* ops = nullptr) const;
+
+  /// Evaluate and return the value of a single node (typically the root).
+  [[nodiscard]] Cost value_of(std::size_t root, OpCount* ops = nullptr) const;
+
+ private:
+  std::size_t add_node(AndOrNode n);
+  std::vector<AndOrNode> nodes_;
+};
+
+}  // namespace sysdp

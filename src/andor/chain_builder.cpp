@@ -1,0 +1,36 @@
+#include "andor/chain_builder.hpp"
+
+#include <stdexcept>
+
+namespace sysdp {
+
+ChainAndOr build_chain_andor(const std::vector<Cost>& dims) {
+  if (dims.size() < 2) {
+    throw std::invalid_argument("build_chain_andor: need >= 1 matrix");
+  }
+  const std::size_t n = dims.size() - 1;
+  ChainAndOr out;
+  out.or_id = Matrix<std::size_t>(n, n, 0);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    out.or_id(i, i) = out.graph.add_leaf(0, 0);  // m_{i,i} = 0
+  }
+  for (std::size_t s = 2; s <= n; ++s) {
+    const std::size_t or_level = 2 * (s - 1);
+    for (std::size_t i = 0; i + s <= n; ++i) {
+      const std::size_t j = i + s - 1;
+      std::vector<std::size_t> alts;
+      alts.reserve(s - 1);
+      for (std::size_t k = i; k < j; ++k) {
+        const Cost arc = dims[i] * dims[k + 1] * dims[j + 1];
+        alts.push_back(out.graph.add_and(
+            {out.or_id(i, k), out.or_id(k + 1, j)}, arc, or_level - 1));
+      }
+      out.or_id(i, j) = out.graph.add_or(std::move(alts), or_level);
+    }
+  }
+  out.root = out.or_id(0, n - 1);
+  return out;
+}
+
+}  // namespace sysdp

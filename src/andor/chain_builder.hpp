@@ -1,0 +1,34 @@
+// AND/OR-graph for the optimal matrix-multiplication order (Figure 2).
+//
+// One OR-node per subchain [i, j] (comparison of alternative splits), one
+// AND-node per split k (the addition m_{i,k} + m_{k+1,j} + r_{i-1} r_k r_j
+// of eq. 6), and one leaf per single matrix.  Layered drawing: the OR-node
+// of a size-s subchain sits at level 2(s-1) with its AND-children one level
+// below, so any split other than (s-1, 1)/(1, s-1) creates an arc that
+// skips levels — which is exactly why the formulation is polyadic-
+// *nonserial* (Section 2.2) and why Figure 8 adds dummy nodes.
+#pragma once
+
+#include <vector>
+
+#include "andor/andor_graph.hpp"
+#include "semiring/matrix.hpp"
+
+namespace sysdp {
+
+struct ChainAndOr {
+  AndOrGraph graph;
+  /// or_id(i,j): node id of the OR (or leaf, when i == j) for subchain
+  /// [i, j], 0-based over matrices.
+  Matrix<std::size_t> or_id;
+  std::size_t root = 0;
+
+  [[nodiscard]] Cost solve(OpCount* ops = nullptr) const {
+    return graph.value_of(root, ops);
+  }
+};
+
+/// Build the Figure 2 graph for chain dimensions r_0..r_n.
+[[nodiscard]] ChainAndOr build_chain_andor(const std::vector<Cost>& dims);
+
+}  // namespace sysdp

@@ -1,0 +1,66 @@
+#include "andor/level_evaluate.hpp"
+
+#include <stdexcept>
+
+namespace sysdp {
+
+LevelEvalResult evaluate_by_levels(const AndOrGraph& g, std::uint64_t p) {
+  if (p == 0) throw std::invalid_argument("evaluate_by_levels: p == 0");
+  LevelEvalResult res;
+  res.values.assign(g.size(), kInfCost);
+
+  // Bucket nodes by level; leaves (and anything at level 0) are inputs.
+  std::size_t height = g.height();
+  std::vector<std::vector<std::size_t>> by_level(height + 1);
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    by_level[g.node(i).level].push_back(i);
+  }
+
+  for (std::size_t l = 0; l <= height; ++l) {
+    std::uint64_t evaluated = 0;
+    for (std::size_t id : by_level[l]) {
+      const AndOrNode& n = g.node(id);
+      switch (n.type) {
+        case AndOrType::kLeaf:
+          res.values[id] = n.leaf_value;
+          continue;  // inputs, not processor work
+        case AndOrType::kDummy:
+          res.values[id] = res.values[n.children.front()];
+          break;
+        case AndOrType::kAnd: {
+          Cost sum = n.local;
+          for (std::size_t c : n.children) {
+            if (g.node(c).level >= l) {
+              throw std::invalid_argument(
+                  "evaluate_by_levels: child not below its parent's level");
+            }
+            sum = sat_add(sum, res.values[c]);
+          }
+          res.values[id] = sum;
+          break;
+        }
+        case AndOrType::kOr: {
+          Cost best = kInfCost;
+          for (std::size_t c : n.children) {
+            if (g.node(c).level >= l) {
+              throw std::invalid_argument(
+                  "evaluate_by_levels: child not below its parent's level");
+            }
+            best = std::min(best, res.values[c]);
+          }
+          res.values[id] = best;
+          break;
+        }
+      }
+      ++evaluated;
+    }
+    if (evaluated > 0) {
+      ++res.levels;
+      res.node_ops += evaluated;
+      res.steps += (evaluated + p - 1) / p;  // ceil(nodes / p)
+    }
+  }
+  return res;
+}
+
+}  // namespace sysdp

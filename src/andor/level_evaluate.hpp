@@ -1,0 +1,36 @@
+// Level-synchronous parallel bottom-up evaluation (Section 6.2's
+// "breadth-first bottom-up fashion, which expands nodes by levels").
+//
+// With p processors, each level of the layered AND/OR-graph takes
+// ceil(nodes_at_level / p) steps (one node operation per processor per
+// step); levels are barriers because a node may depend on anything below.
+// This is the generic parallel evaluator for arbitrary AND/OR-graphs —
+// the systolic mappings of level_schedule.cpp specialise it for the chain
+// structure — and it quantifies the PU of the dedicated-processor
+// alternative the paper contrasts with dataflow machines.
+#pragma once
+
+#include <cstdint>
+
+#include "andor/andor_graph.hpp"
+
+namespace sysdp {
+
+struct LevelEvalResult {
+  std::vector<Cost> values;     ///< node values (== AndOrGraph::evaluate)
+  std::uint64_t steps = 0;      ///< parallel steps with p processors
+  std::uint64_t node_ops = 0;   ///< total node evaluations (levels > 0)
+  std::size_t levels = 0;       ///< number of non-leaf levels processed
+
+  [[nodiscard]] double utilization(std::uint64_t p) const noexcept {
+    if (steps == 0 || p == 0) return 1.0;
+    return static_cast<double>(node_ops) /
+           (static_cast<double>(p) * static_cast<double>(steps));
+  }
+};
+
+/// Evaluate `g` with `p` processors, level by level.
+[[nodiscard]] LevelEvalResult evaluate_by_levels(const AndOrGraph& g,
+                                                 std::uint64_t p);
+
+}  // namespace sysdp

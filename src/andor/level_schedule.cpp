@@ -1,0 +1,70 @@
+#include "andor/level_schedule.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace sysdp {
+
+namespace {
+
+ChainScheduleResult simulate_chain(std::size_t n, bool pipelined) {
+  if (n == 0) throw std::invalid_argument("simulate_chain: n == 0");
+  ChainScheduleResult out;
+  out.done = Matrix<sim::Cycle>(n, n, 0);
+  out.processors = n * (n - 1) / 2;
+
+  const sim::Cycle leaf_done = pipelined ? 2 : 1;
+  for (std::size_t i = 0; i < n; ++i) out.done(i, i) = leaf_done;
+
+  for (std::size_t s = 2; s <= n; ++s) {
+    for (std::size_t i = 0; i + s <= n; ++i) {
+      const std::size_t j = i + s - 1;
+      std::vector<sim::Cycle> arrivals;
+      arrivals.reserve(s - 1);
+      for (std::size_t k = i; k < j; ++k) {
+        const std::size_t c_left = k - i + 1;   // size of left child
+        const std::size_t c_right = j - k;      // size of right child
+        sim::Cycle left = out.done(i, k);
+        sim::Cycle right = out.done(k + 1, j);
+        if (pipelined) {
+          left += s - c_left;    // ripple up one level per cycle
+          right += s - c_right;
+        }
+        arrivals.push_back(std::max(left, right));
+        // A child more than one size-level below the target needs either a
+        // broadcast bus (direct mapping) or a dummy chain (serialised).
+        if (c_left + 1 != s) ++out.long_arcs;
+        if (c_right + 1 != s) ++out.long_arcs;
+      }
+      std::sort(arrivals.begin(), arrivals.end());
+      // Two additions and two comparisons per step: fold up to two
+      // candidates per time unit, never before their data has arrived.
+      sim::Cycle t = 0;
+      std::size_t idx = 0;
+      while (idx < arrivals.size()) {
+        t = std::max(t, arrivals[idx]) + 1;
+        std::size_t taken = 0;
+        while (idx < arrivals.size() && taken < 2 && arrivals[idx] <= t - 1) {
+          ++idx;
+          ++taken;
+        }
+      }
+      out.done(i, j) = t;
+    }
+  }
+  out.completion = out.done(0, n - 1);
+  return out;
+}
+
+}  // namespace
+
+ChainScheduleResult simulate_chain_broadcast(std::size_t n) {
+  return simulate_chain(n, /*pipelined=*/false);
+}
+
+ChainScheduleResult simulate_chain_pipelined(std::size_t n) {
+  return simulate_chain(n, /*pipelined=*/true);
+}
+
+}  // namespace sysdp

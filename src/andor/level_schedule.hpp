@@ -1,0 +1,41 @@
+// Parallel evaluation schedules for the chain AND/OR-graph
+// (Propositions 2 and 3).
+//
+// Both models map one processor to each OR-node together with its AND
+// children (Section 6.2); a processor performs two additions and two
+// comparisons per step, i.e. folds two split candidates per time unit.
+//  * Broadcast mapping (eq. 42): results reach every consumer instantly
+//    over dedicated broadcast buses, so candidate (i,k | k+1,j) is
+//    available the moment both children finish; T_d(N) = N.
+//  * Pipelined/serialised mapping (eq. 43, Figure 8): the graph is first
+//    made serial with dummy nodes, so a child's result ripples upward one
+//    level per cycle — a size-c result needs s - c cycles to reach the
+//    size-s processor; T_p(N) = 2N.  The doubling is the price of planar
+//    nearest-neighbour wiring, which is the trade-off Section 6.2 studies.
+#pragma once
+
+#include <cstdint>
+
+#include "semiring/matrix.hpp"
+#include "sim/module.hpp"
+
+namespace sysdp {
+
+struct ChainScheduleResult {
+  Matrix<sim::Cycle> done;     ///< completion time per subchain (i, j)
+  sim::Cycle completion = 0;   ///< done(0, n-1)
+  std::size_t processors = 0;  ///< OR-node processors: n(n-1)/2
+  /// Arcs that skip levels (each needs a broadcast bus in the direct
+  /// mapping; each becomes a dummy-node chain in the serialised mapping).
+  std::uint64_t long_arcs = 0;
+};
+
+/// Greedy two-candidates-per-step schedule with instant (broadcast) data
+/// movement.  simulate_chain_broadcast(n).completion == t_broadcast(n) == n.
+[[nodiscard]] ChainScheduleResult simulate_chain_broadcast(std::size_t n);
+
+/// Same schedule with one-level-per-cycle (pipelined) data movement.
+/// simulate_chain_pipelined(n).completion == t_pipelined(n) == 2n.
+[[nodiscard]] ChainScheduleResult simulate_chain_pipelined(std::size_t n);
+
+}  // namespace sysdp

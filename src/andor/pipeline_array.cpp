@@ -1,0 +1,132 @@
+#include "andor/pipeline_array.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sysdp {
+
+namespace {
+
+/// A candidate waiting at an OR processor: the cycle its operands finish
+/// climbing the dummy chains, and the split it represents.
+struct Pending {
+  sim::Cycle arrival;
+  std::size_t k;
+};
+
+}  // namespace
+
+SerializedChainArray::SerializedChainArray(std::vector<Cost> dims)
+    : dims_(std::move(dims)) {
+  if (dims_.size() < 2) {
+    throw std::invalid_argument("SerializedChainArray: need >= 1 matrix");
+  }
+  for (Cost d : dims_) {
+    if (d <= 0) {
+      throw std::invalid_argument("SerializedChainArray: dims must be > 0");
+    }
+  }
+}
+
+SerializedChainArray::Result SerializedChainArray::run() const {
+  const std::size_t n = num_matrices();
+  Result out{Matrix<Cost>(n, n, kInfCost), Matrix<sim::Cycle>(n, n, 0), {}};
+  out.stats.num_pes = n * (n + 1) / 2;
+  out.stats.input_scalars = dims_.size();
+
+  // Per-cell pending candidate queues (kept sorted by arrival) and
+  // remaining-candidate counters.
+  std::vector<std::vector<std::vector<Pending>>> pending(
+      n, std::vector<std::vector<Pending>>(n));
+  std::vector<std::vector<std::size_t>> remaining(
+      n, std::vector<std::size_t>(n, 0));
+  std::vector<std::vector<Cost>> best(n, std::vector<Cost>(n, kInfCost));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) remaining[i][j] = j - i;
+  }
+
+  // When cell (a, b) completes, announce the split candidates whose second
+  // operand is now also done.  A size-c value consumed at level s arrives
+  // after climbing s - c dummy/entry registers, one per cycle.
+  const auto announce = [&](std::size_t a, std::size_t b) {
+    const sim::Cycle done_ab = out.done(a, b);
+    // As left operand m_{a,b} of parents (a, j), split b, sibling (b+1, j).
+    for (std::size_t j = b + 1; j < n; ++j) {
+      const bool sibling_done = (out.done(b + 1, j) != 0);
+      if (!sibling_done) continue;
+      const std::size_t s = j - a + 1;
+      const sim::Cycle arr =
+          std::max(done_ab + (s - (b - a + 1)),
+                   out.done(b + 1, j) + (s - (j - b)));
+      pending[a][j].push_back(Pending{arr, b});
+    }
+    // As right operand m_{a,b} of parents (i, b), split a - 1, sibling
+    // (i, a - 1).
+    if (a > 0) {
+      for (std::size_t i = 0; i < a; ++i) {
+        const bool sibling_done = (out.done(i, a - 1) != 0);
+        if (!sibling_done) continue;
+        const std::size_t s = b - i + 1;
+        const sim::Cycle arr = std::max(out.done(i, a - 1) + (s - (a - i)),
+                                        done_ab + (s - (b - a + 1)));
+        pending[i][b].push_back(Pending{arr, a - 1});
+      }
+    }
+  };
+
+  // Leaves complete at cycle 2 (the T_p(1) = 2 start-up of Prop. 3).
+  // Completing (and announcing) them one at a time keeps the
+  // exactly-once candidate announcement invariant: the second operand of a
+  // pair to complete is the one that announces it.
+  for (std::size_t i = 0; i < n; ++i) {
+    out.cost(i, i) = 0;
+    out.done(i, i) = 2;
+    announce(i, i);
+  }
+
+  std::size_t open_cells = n * (n - 1) / 2;
+  sim::Cycle c = 2;
+  const sim::Cycle limit = 4 * static_cast<sim::Cycle>(n) + 16;
+  while (open_cells > 0 && c <= limit) {
+    ++c;
+    for (std::size_t d = 1; d < n; ++d) {
+      for (std::size_t i = 0; i + d < n; ++i) {
+        const std::size_t j = i + d;
+        if (out.done(i, j) != 0) continue;
+        auto& queue = pending[i][j];
+        if (queue.empty()) continue;
+        std::sort(queue.begin(), queue.end(),
+                  [](const Pending& x, const Pending& y) {
+                    return x.arrival < y.arrival;
+                  });
+        // The processor's two adders and two comparators fold up to two
+        // candidates whose operands arrived before this cycle.
+        std::size_t taken = 0;
+        while (!queue.empty() && taken < 2 && queue.front().arrival <= c - 1) {
+          const std::size_t k = queue.front().k;
+          queue.erase(queue.begin());
+          const Cost cand =
+              sat_add(sat_add(out.cost(i, k), out.cost(k + 1, j)),
+                      dims_[i] * dims_[k + 1] * dims_[j + 1]);
+          best[i][j] = std::min(best[i][j], cand);
+          ++out.stats.busy_steps;
+          ++taken;
+          --remaining[i][j];
+        }
+        if (taken > 0 && remaining[i][j] == 0) {
+          out.cost(i, j) = best[i][j];
+          out.done(i, j) = c;
+          --open_cells;
+          announce(i, j);
+        }
+      }
+    }
+  }
+  if (open_cells > 0) {
+    throw std::logic_error("SerializedChainArray: did not converge");
+  }
+  out.stats.cycles = out.completion();
+  return out;
+}
+
+}  // namespace sysdp

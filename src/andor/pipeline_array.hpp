@@ -1,0 +1,52 @@
+// Clocked execution of the serialised matrix-chain AND/OR-graph
+// (Section 6.2, Figure 8) — the hardware model behind Proposition 3.
+//
+// One processor per subchain [i, j] at level s = j - i + 1, each containing
+// the OR comparator and its AND adders (as the paper maps them); dummy
+// registers forward values upward one level per cycle.  Per cycle the model
+//  * moves every completed value one level up its dummy chains,
+//  * fires AND nodes whose two operands are present (one addition each),
+//  * lets every OR processor fold up to two arrived candidates (the
+//    two-adder/two-comparator PE of Section 6.2).
+// Unlike the closed-form schedule in level_schedule.cpp this is a
+// discrete-time machine carrying the actual m_{i,j} costs, so it validates
+// value and timing together: completion equals t_pipelined(n) = 2n and the
+// root value equals the eq. (6) table DP.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arrays/run_result.hpp"
+#include "semiring/cost.hpp"
+#include "semiring/matrix.hpp"
+
+namespace sysdp {
+
+class SerializedChainArray {
+ public:
+  /// Chain dimensions r_0..r_n as in eq. (6).
+  explicit SerializedChainArray(std::vector<Cost> dims);
+
+  struct Result {
+    Matrix<Cost> cost;            ///< completed m_{i,j} values
+    Matrix<sim::Cycle> done;      ///< completion cycle per subchain
+    RunResult<Cost> stats;
+
+    [[nodiscard]] Cost total() const { return cost(0, cost.cols() - 1); }
+    [[nodiscard]] sim::Cycle completion() const {
+      return done(0, done.cols() - 1);
+    }
+  };
+
+  [[nodiscard]] Result run() const;
+
+  [[nodiscard]] std::size_t num_matrices() const noexcept {
+    return dims_.size() - 1;
+  }
+
+ private:
+  std::vector<Cost> dims_;
+};
+
+}  // namespace sysdp

@@ -1,0 +1,111 @@
+#include "andor/regular_builder.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sysdp {
+
+namespace {
+
+/// N = p^Q exactly?  Returns Q or throws.
+std::size_t exact_log(std::size_t n, std::size_t p) {
+  std::size_t q = 0;
+  std::size_t acc = 1;
+  while (acc < n) {
+    acc *= p;
+    ++q;
+  }
+  if (acc != n) {
+    throw std::invalid_argument(
+        "build_regular_andor: segments must be a power of p");
+  }
+  return q;
+}
+
+std::uint64_t ipow(std::uint64_t b, std::uint64_t e) {
+  std::uint64_t r = 1;
+  while (e-- > 0) r *= b;
+  return r;
+}
+
+}  // namespace
+
+RegularAndOr build_regular_andor(const MultistageGraph& g, std::size_t p) {
+  if (p < 2) throw std::invalid_argument("build_regular_andor: p < 2");
+  if (!g.uniform_width()) {
+    throw std::invalid_argument("build_regular_andor: non-uniform width");
+  }
+  const std::size_t n_seg = g.num_stages() - 1;
+  const std::size_t m = g.stage_size(0);
+  const std::size_t q_rounds = exact_log(n_seg, p);
+
+  RegularAndOr out;
+  out.p = p;
+  out.rounds = q_rounds;
+
+  // seg[r] holds the m x m table of node ids for segment r of the current
+  // round (leaves for round 0: the raw edge costs).
+  std::vector<Matrix<std::size_t>> seg;
+  seg.reserve(n_seg);
+  for (std::size_t r = 0; r < n_seg; ++r) {
+    Matrix<std::size_t> ids(m, m, 0);
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < m; ++j) {
+        ids(i, j) = out.graph.add_leaf(g.edge(r, i, j), 0);
+      }
+    }
+    seg.push_back(std::move(ids));
+  }
+
+  for (std::size_t t = 1; t <= q_rounds; ++t) {
+    const std::size_t and_level = 2 * t - 1;
+    const std::size_t or_level = 2 * t;
+    std::vector<Matrix<std::size_t>> fused;
+    fused.reserve(seg.size() / p);
+    for (std::size_t r = 0; r + p <= seg.size(); r += p) {
+      Matrix<std::size_t> ids(m, m, 0);
+      for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j < m; ++j) {
+          // Enumerate the m^{p-1} choices of intermediate boundary nodes.
+          std::vector<std::size_t> alts;
+          std::vector<std::size_t> mid(p - 1, 0);
+          for (;;) {
+            std::vector<std::size_t> children;
+            children.reserve(p);
+            std::size_t prev = i;
+            for (std::size_t b = 0; b < p; ++b) {
+              const std::size_t next = (b + 1 == p) ? j : mid[b];
+              children.push_back(seg[r + b](prev, next));
+              prev = next;
+            }
+            alts.push_back(
+                out.graph.add_and(std::move(children), 0, and_level));
+            // Odometer increment over mid[].
+            std::size_t d = 0;
+            while (d < mid.size() && ++mid[d] == m) {
+              mid[d] = 0;
+              ++d;
+            }
+            if (d == mid.size()) break;
+          }
+          ids(i, j) = out.graph.add_or(std::move(alts), or_level);
+        }
+      }
+      fused.push_back(std::move(ids));
+    }
+    seg = std::move(fused);
+  }
+  out.top_id = seg.front();
+  return out;
+}
+
+std::uint64_t u_formula(std::uint64_t n_segments, std::uint64_t p,
+                        std::uint64_t m) {
+  const std::uint64_t and_nodes =
+      (n_segments - 1) / (p - 1) * ipow(m, p + 1);
+  const std::uint64_t or_and_leaf_nodes =
+      (n_segments * p - 1) / (p - 1) * (m * m);
+  return and_nodes + or_and_leaf_nodes;
+}
+
+}  // namespace sysdp

@@ -1,0 +1,40 @@
+// Regular AND/OR-graph for p-way partitioning of a multistage graph
+// (Figure 7, Theorem 2).
+//
+// An (N+1)-stage graph (N = p^Q segments of edges, m nodes per stage) is
+// reduced to a single stage by repeatedly fusing p consecutive segments:
+// each fused segment needs, per (entry, exit) node pair, one OR-node over
+// the m^{p-1} AND-nodes that enumerate the intermediate boundary nodes.
+// The resulting graph has height 2 log_p N and exactly
+//     u(p) = (N-1)/(p-1) m^{p+1} + (N p - 1)/(p-1) m^2
+// nodes (eq. 32) — the quantity Theorem 2 proves is minimised by p = 2.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "andor/andor_graph.hpp"
+#include "graph/multistage_graph.hpp"
+#include "semiring/matrix.hpp"
+
+namespace sysdp {
+
+struct RegularAndOr {
+  AndOrGraph graph;
+  /// Node ids of the top segment's m x m cost entries: top_id(i, j) is the
+  /// optimal stage-0-node-i to stage-N-node-j cost.
+  Matrix<std::size_t> top_id;
+  std::size_t p = 2;
+  std::size_t rounds = 0;  ///< Q = log_p N
+};
+
+/// Build the reduction graph for the given multistage graph, which must
+/// have N = p^Q edge segments and uniform width m.
+[[nodiscard]] RegularAndOr build_regular_andor(const MultistageGraph& g,
+                                               std::size_t p);
+
+/// Eq. (32): the closed-form node count u(p).
+[[nodiscard]] std::uint64_t u_formula(std::uint64_t n_segments,
+                                      std::uint64_t p, std::uint64_t m);
+
+}  // namespace sysdp

@@ -1,0 +1,87 @@
+#include "andor/search.hpp"
+
+#include <stdexcept>
+
+namespace sysdp {
+
+namespace {
+
+Cost visit(const AndOrGraph& g, std::size_t id, std::vector<Cost>& memo,
+           std::vector<bool>& seen, TopDownResult& out) {
+  if (seen[id]) return memo[id];
+  seen[id] = true;
+  ++out.visited;
+  const AndOrNode& n = g.node(id);
+  Cost v = kInfCost;
+  switch (n.type) {
+    case AndOrType::kLeaf:
+      v = n.leaf_value;
+      break;
+    case AndOrType::kDummy:
+      v = visit(g, n.children.front(), memo, seen, out);
+      break;
+    case AndOrType::kAnd: {
+      v = n.local;
+      for (std::size_t c : n.children) {
+        v = sat_add(v, visit(g, c, memo, seen, out));
+      }
+      break;
+    }
+    case AndOrType::kOr: {
+      for (std::size_t pos = 0; pos < n.children.size(); ++pos) {
+        const Cost cv = visit(g, n.children[pos], memo, seen, out);
+        if (cv < v) {
+          v = cv;
+          out.chosen[id] = pos;
+        }
+      }
+      break;
+    }
+  }
+  memo[id] = v;
+  return v;
+}
+
+void collect(const AndOrGraph& g, std::size_t id, const TopDownResult& r,
+             std::vector<bool>& in_tree, std::vector<std::size_t>& out) {
+  if (in_tree[id]) return;
+  in_tree[id] = true;
+  out.push_back(id);
+  const AndOrNode& n = g.node(id);
+  switch (n.type) {
+    case AndOrType::kLeaf:
+      break;
+    case AndOrType::kDummy:
+      collect(g, n.children.front(), r, in_tree, out);
+      break;
+    case AndOrType::kAnd:
+      for (std::size_t c : n.children) collect(g, c, r, in_tree, out);
+      break;
+    case AndOrType::kOr:
+      collect(g, n.children.at(r.chosen[id]), r, in_tree, out);
+      break;
+  }
+}
+
+}  // namespace
+
+TopDownResult solve_top_down(const AndOrGraph& g, std::size_t root) {
+  if (root >= g.size()) throw std::out_of_range("solve_top_down");
+  TopDownResult out;
+  out.chosen.assign(g.size(), 0);
+  std::vector<Cost> memo(g.size(), kInfCost);
+  std::vector<bool> seen(g.size(), false);
+  out.value = visit(g, root, memo, seen, out);
+  return out;
+}
+
+std::vector<std::size_t> extract_solution_tree(const AndOrGraph& g,
+                                               std::size_t root,
+                                               const TopDownResult& r) {
+  std::vector<bool> in_tree(g.size(), false);
+  std::vector<std::size_t> out;
+  collect(g, root, r, in_tree, out);
+  return out;
+}
+
+}  // namespace sysdp

@@ -1,0 +1,38 @@
+// Top-down search of additive AND/OR-graphs (Section 5).
+//
+// Martelli-Montanari showed polyadic DP equals finding a minimum-cost
+// solution tree in an additive AND/OR-graph, searchable top-down as well as
+// bottom-up (the AO*-style procedure Nilsson describes).  This module
+// provides the top-down counterpart to AndOrGraph::evaluate: a memoised
+// depth-first descent that visits only the subgraph reachable from the
+// root, records the chosen alternative at every OR-node, and can extract
+// the solution tree itself.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "andor/andor_graph.hpp"
+
+namespace sysdp {
+
+struct TopDownResult {
+  Cost value = kInfCost;
+  /// chosen[i]: for an OR-node i, the child index (position in children)
+  /// that achieves the minimum; unused otherwise.
+  std::vector<std::size_t> chosen;
+  /// Nodes actually visited (<= graph size; strictly fewer when the root
+  /// does not reach the whole graph).
+  std::uint64_t visited = 0;
+};
+
+/// Memoised top-down evaluation from `root`.
+[[nodiscard]] TopDownResult solve_top_down(const AndOrGraph& g,
+                                           std::size_t root);
+
+/// Node ids of the minimum-cost solution tree (root, the chosen OR branches
+/// and all AND children, transitively).
+[[nodiscard]] std::vector<std::size_t> extract_solution_tree(
+    const AndOrGraph& g, std::size_t root, const TopDownResult& r);
+
+}  // namespace sysdp

@@ -1,0 +1,58 @@
+#include "andor/serialize.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sysdp {
+
+SerializedAndOr serialize_andor(const AndOrGraph& g) {
+  SerializedAndOr out;
+  out.remap.reserve(g.size());
+  // One shared dummy chain per source node (Figure 8 draws a single dotted
+  // chain from each skipped node): chains[c][d-1] forwards c's value to
+  // level(c) + d.
+  std::vector<std::vector<std::size_t>> chains(g.size());
+
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    const AndOrNode& n = g.node(i);
+    std::vector<std::size_t> children;
+    children.reserve(n.children.size());
+    for (std::size_t c : n.children) {
+      const std::size_t child_level = g.node(c).level;
+      if (child_level >= n.level) {
+        throw std::invalid_argument(
+            "serialize_andor: child level must be below parent level");
+      }
+      const std::size_t gap = n.level - child_level - 1;
+      auto& chain = chains[c];
+      while (chain.size() < gap) {
+        const std::size_t below =
+            chain.empty() ? out.remap[c] : chain.back();
+        chain.push_back(
+            out.graph.add_dummy(below, child_level + chain.size() + 1));
+        ++out.dummies_added;
+      }
+      out.longest_chain = std::max<std::uint64_t>(out.longest_chain, gap);
+      children.push_back(gap == 0 ? out.remap[c] : chain[gap - 1]);
+    }
+    std::size_t id = 0;
+    switch (n.type) {
+      case AndOrType::kLeaf:
+        id = out.graph.add_leaf(n.leaf_value, n.level);
+        break;
+      case AndOrType::kAnd:
+        id = out.graph.add_and(std::move(children), n.local, n.level);
+        break;
+      case AndOrType::kOr:
+        id = out.graph.add_or(std::move(children), n.level);
+        break;
+      case AndOrType::kDummy:
+        id = out.graph.add_dummy(children.front(), n.level);
+        break;
+    }
+    out.remap.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace sysdp

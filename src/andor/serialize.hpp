@@ -1,0 +1,32 @@
+// Serialisation of a nonserial AND/OR-graph (Section 6.2, Figure 8).
+//
+// A nonserial AND/OR-graph has arcs that skip levels; a systolic (planar,
+// nearest-neighbour) implementation requires every arc to connect adjacent
+// levels.  The transform inserts chains of dummy nodes along every
+// level-skipping arc — "the additional connections represented as dotted
+// lines in Figure 8" — preserving all node values while making the graph
+// serial.  The dummy count is the "redundant hardware" and the longest
+// dummy chain the "additional delay" the paper says the transformation
+// introduces.
+#pragma once
+
+#include <cstdint>
+
+#include "andor/andor_graph.hpp"
+
+namespace sysdp {
+
+struct SerializedAndOr {
+  AndOrGraph graph;
+  /// new id of every original node (indexed by old id).
+  std::vector<std::size_t> remap;
+  std::uint64_t dummies_added = 0;
+  std::uint64_t longest_chain = 0;  ///< extra delay in levels on any arc
+};
+
+/// Insert dummy nodes so that every arc connects adjacent levels.  Node
+/// values (hence the DP solution) are unchanged; the result satisfies
+/// AndOrGraph::is_serial().
+[[nodiscard]] SerializedAndOr serialize_andor(const AndOrGraph& g);
+
+}  // namespace sysdp

@@ -1,0 +1,150 @@
+#include "andor/stage_reduction.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "baseline/matrix_chain.hpp"
+#include "semiring/ops.hpp"
+
+namespace sysdp {
+
+namespace {
+
+/// Post-order walk of the split tree: eliminating the boundary stage of the
+/// final merge last.
+void elimination_postorder(const Matrix<std::size_t>& split, std::size_t i,
+                           std::size_t j, std::vector<std::size_t>& out) {
+  if (i == j) return;
+  const std::size_t k = split(i, j);
+  elimination_postorder(split, i, k, out);
+  elimination_postorder(split, k + 1, j, out);
+  out.push_back(k + 1);  // matrix boundary k|k+1 is stage k+1
+}
+
+}  // namespace
+
+StageReductionPlan plan_stage_reduction(
+    const std::vector<std::size_t>& stage_sizes) {
+  if (stage_sizes.size() < 2) {
+    throw std::invalid_argument("plan_stage_reduction: need >= 2 stages");
+  }
+  StageReductionPlan plan;
+  std::vector<Cost> dims(stage_sizes.begin(), stage_sizes.end());
+  const auto chain = matrix_chain_order(dims);
+  plan.best_binary_comparisons =
+      static_cast<std::uint64_t>(chain.total());
+
+  // Naive left-to-right binary order: ((T_0 T_1) T_2) ...
+  std::uint64_t ltr = 0;
+  for (std::size_t j = 2; j + 1 <= stage_sizes.size(); ++j) {
+    ltr += static_cast<std::uint64_t>(stage_sizes[0]) * stage_sizes[j - 1] *
+           stage_sizes[j];
+  }
+  plan.left_to_right_comparisons = ltr;
+
+  // One (S-1)-arc AND node: enumerate every stage combination.
+  std::uint64_t single = 1;
+  for (std::size_t s : stage_sizes) single *= s;
+  plan.single_step_comparisons = single;
+
+  if (stage_sizes.size() > 2) {
+    elimination_postorder(chain.split, 0, stage_sizes.size() - 2,
+                          plan.elimination_order);
+  }
+  return plan;
+}
+
+Matrix<Cost> reduce_stages(const MultistageGraph& g,
+                           const std::vector<std::size_t>& order,
+                           std::uint64_t* comparisons) {
+  const std::size_t S = g.num_stages();
+  if (order.size() + 2 != S) {
+    throw std::invalid_argument(
+        "reduce_stages: order must name every intermediate stage once");
+  }
+  // remaining[i]: is stage i still present; table[l]: cost matrix from
+  // remaining stage l to the next remaining stage.
+  std::vector<bool> remaining(S, true);
+  std::vector<Matrix<Cost>> table(S - 1);
+  for (std::size_t k = 0; k + 1 < S; ++k) table[k] = g.costs(k);
+
+  OpCount ops;
+  for (std::size_t s : order) {
+    if (s == 0 || s + 1 >= S || !remaining[s]) {
+      throw std::invalid_argument("reduce_stages: bad elimination order");
+    }
+    std::size_t left = s;
+    do {
+      --left;
+    } while (!remaining[left]);
+    table[left] = mat_mul<MinPlus>(table[left], table[s], &ops);
+    remaining[s] = false;
+  }
+  if (comparisons != nullptr) *comparisons = ops.mac;
+  return table[0];
+}
+
+ReductionAndOr build_reduction_andor(const MultistageGraph& g,
+                                     const std::vector<std::size_t>& order) {
+  const std::size_t S = g.num_stages();
+  if (order.size() + 2 != S) {
+    throw std::invalid_argument(
+        "build_reduction_andor: order must name every intermediate stage");
+  }
+  ReductionAndOr out;
+  // Segment tables of node ids, keyed by their left stage; level grows by
+  // two (AND + OR) per merge, tracked per segment.
+  std::vector<bool> remaining(S, true);
+  std::vector<Matrix<std::size_t>> table(S - 1);
+  std::vector<std::size_t> level(S - 1, 0);
+  for (std::size_t k = 0; k + 1 < S; ++k) {
+    Matrix<std::size_t> ids(g.stage_size(k), g.stage_size(k + 1), 0);
+    for (std::size_t i = 0; i < ids.rows(); ++i) {
+      for (std::size_t j = 0; j < ids.cols(); ++j) {
+        ids(i, j) = out.graph.add_leaf(g.edge(k, i, j), 0);
+      }
+    }
+    table[k] = std::move(ids);
+  }
+
+  for (std::size_t s : order) {
+    if (s == 0 || s + 1 >= S || !remaining[s]) {
+      throw std::invalid_argument("build_reduction_andor: bad order");
+    }
+    std::size_t left = s;
+    do {
+      --left;
+    } while (!remaining[left]);
+    const auto& a = table[left];
+    const auto& b = table[s];
+    const std::size_t merge_level = std::max(level[left], level[s]);
+    Matrix<std::size_t> merged(a.rows(), b.cols(), 0);
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        std::vector<std::size_t> alts;
+        alts.reserve(a.cols());
+        for (std::size_t mid = 0; mid < a.cols(); ++mid) {
+          alts.push_back(out.graph.add_and({a(i, mid), b(mid, j)}, 0,
+                                           merge_level + 1));
+        }
+        merged(i, j) = out.graph.add_or(std::move(alts), merge_level + 2);
+      }
+    }
+    table[left] = std::move(merged);
+    level[left] = merge_level + 2;
+    remaining[s] = false;
+  }
+  out.top_id = table[0];
+  return out;
+}
+
+FourStageCosts four_stage_comparison(std::uint64_t m1, std::uint64_t m2,
+                                     std::uint64_t m3, std::uint64_t m4) {
+  FourStageCosts out;
+  out.three_arc = m1 * m2 * m3 * m4;
+  out.binary_mid_first = m1 * m3 * (m2 + m4);
+  out.binary_last_first = m2 * m4 * (m1 + m3);
+  return out;
+}
+
+}  // namespace sysdp

@@ -1,0 +1,77 @@
+// Stage reduction for *irregular* multistage graphs (Section 5, after
+// Theorem 2; Section 4's "secondary optimization problem").
+//
+// When stage sizes differ, the comparison count of reducing the graph
+// depends on the order in which intermediate stages are eliminated.
+// Eliminating stage k between stages i and j costs m_i * m_k * m_j
+// comparisons — structurally identical to eq. (6) with the stage sizes as
+// chain dimensions, so the optimal elimination order *is* a matrix-chain
+// parenthesisation (the paper: "finding the optimal order of multiplying a
+// string of matrices with different dimensions is itself a
+// polyadic-nonserial DP problem, the so-called secondary optimization
+// problem").  The paper's worked comparison of 3-arc versus 2-arc AND-nodes
+// for stages (m1, m2, m3, m4) falls out as a special case.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "andor/andor_graph.hpp"
+#include "graph/multistage_graph.hpp"
+#include "semiring/cost.hpp"
+#include "semiring/matrix.hpp"
+
+namespace sysdp {
+
+struct StageReductionPlan {
+  /// Comparisons needed by the best binary (2-arc AND) elimination order.
+  std::uint64_t best_binary_comparisons = 0;
+  /// Comparisons of the naive left-to-right binary order.
+  std::uint64_t left_to_right_comparisons = 0;
+  /// Comparisons of the single p-arc AND reduction that eliminates all
+  /// intermediate stages at once (the brute-force end of Theorem 2).
+  std::uint64_t single_step_comparisons = 0;
+  /// Elimination order: indices of the intermediate stages (1..S-2) in the
+  /// order they should be removed.
+  std::vector<std::size_t> elimination_order;
+};
+
+/// Plan the optimal reduction of a multistage graph with the given stage
+/// sizes to a single (first-stage x last-stage) cost table.
+[[nodiscard]] StageReductionPlan plan_stage_reduction(
+    const std::vector<std::size_t>& stage_sizes);
+
+/// Execute a binary elimination order on an actual graph, returning the
+/// all-pairs cost table between the first and last stages and counting the
+/// comparisons performed.  The result is order-independent (associativity);
+/// the work is not.
+[[nodiscard]] Matrix<Cost> reduce_stages(const MultistageGraph& g,
+                                         const std::vector<std::size_t>& order,
+                                         std::uint64_t* comparisons = nullptr);
+
+/// Build the binary AND/OR-graph realising a given elimination order on an
+/// irregular multistage graph: one OR-node (over m_i * m_j AND pairs) per
+/// entry of every merged segment table, leaves = raw edge costs.  The node
+/// count depends on the order — the irregular counterpart of Theorem 2's
+/// u(p) analysis — while the evaluated top table is order-independent.
+struct ReductionAndOr {
+  AndOrGraph graph;
+  Matrix<std::size_t> top_id;  ///< (first-stage x last-stage) entry nodes
+};
+[[nodiscard]] ReductionAndOr build_reduction_andor(
+    const MultistageGraph& g, const std::vector<std::size_t>& order);
+
+/// The paper's worked example: eliminating stages 2 and 3 of a 4-stage
+/// segment with one 3-arc AND costs m1 m2 m3 m4 comparisons, versus
+/// m1 m3 (m2 + m4) or m2 m4 (m1 + m3) for the two binary orders.
+struct FourStageCosts {
+  std::uint64_t three_arc = 0;
+  std::uint64_t binary_mid_first = 0;   ///< eliminate stage 2 first
+  std::uint64_t binary_last_first = 0;  ///< eliminate stage 3 first
+};
+[[nodiscard]] FourStageCosts four_stage_comparison(std::uint64_t m1,
+                                                   std::uint64_t m2,
+                                                   std::uint64_t m3,
+                                                   std::uint64_t m4);
+
+}  // namespace sysdp

@@ -1,0 +1,211 @@
+#include "arrays/design1_modular.hpp"
+
+#include <stdexcept>
+
+#include "sim/engine.hpp"
+#include "sim/module.hpp"
+#include "sim/register.hpp"
+#include "sim/stats.hpp"
+
+namespace sysdp {
+
+namespace {
+
+struct Token {
+  Design1Modular::V val{};
+  std::size_t idx = 0;
+  std::size_t q = 0;
+  bool valid = false;
+};
+
+}  // namespace
+
+/// Host-side I/O: feeds the initial vector into P_0 and harvests mode-B
+/// final results streaming out of P_{m-1}.  (The host legitimately sees the
+/// global cycle count; the PEs do not.)
+class Design1Modular::Host : public sim::Module {
+ public:
+  Host(const std::vector<V>& v, std::size_t m, std::size_t q_total,
+       std::size_t final_rows)
+      : Module("host"), v_(v), m_(m), q_total_(q_total),
+        final_rows_(final_rows), out_(final_rows, MinPlus::zero()) {}
+
+  void eval(sim::Cycle c) override {
+    input_ = Token{};
+    if (c < m_) input_ = Token{v_[c], static_cast<std::size_t>(c), 1, true};
+  }
+  void commit() override {}
+
+  /// Sample the tail PE's accumulator output after each clock edge.
+  void harvest(const Token& tail_acc) {
+    if (tail_acc.valid && tail_acc.q == q_total_ &&
+        tail_acc.idx < final_rows_) {
+      out_[tail_acc.idx] = tail_acc.val;
+    }
+  }
+
+  [[nodiscard]] const Token& input() const noexcept { return input_; }
+  [[nodiscard]] std::vector<V>& out() noexcept { return out_; }
+
+ private:
+  const std::vector<V>& v_;
+  std::size_t m_;
+  std::size_t q_total_;
+  std::size_t final_rows_;
+  Token input_;
+  std::vector<V> out_;
+};
+
+/// One PE with distributed control: a local iteration counter that starts
+/// on the first valid token, from which ODD/MOVE are derived.  Dual output
+/// rails (R and ACC) let the *receiver's* mode select the moving value, the
+/// registered equivalent of Figure 3(b)'s output multiplexer with its
+/// per-PE control delay.
+class Design1Modular::Pe : public sim::Module {
+ public:
+  Pe(std::size_t index, const std::vector<Matrix<V>>& mats, Host& host,
+     const Pe* left, const Pe* const& tail, sim::ActivityStats& stats,
+     std::size_t m)
+      : Module("pe" + std::to_string(index)),
+        index_(index),
+        mats_(mats),
+        host_(host),
+        left_(left),
+        tail_(tail),
+        stats_(stats),
+        m_(m) {}
+
+  void eval(sim::Cycle) override {
+    advance_ = false;
+    const std::size_t local = started_ ? local_ : 0;
+    const std::size_t q = local / m_ + 1;
+    const std::size_t j = local % m_;
+    if (q > mats_.size()) return;  // drained
+    const bool mode_a = (q % 2 == 1);
+    const Matrix<V>& mat = mats_[mats_.size() - q];
+
+    if (mode_a) {
+      Token in;
+      if (index_ == 0) {
+        in = (q == 1) ? host_.input() : tail_->acc_.read();
+        if (in.valid && q != 1 && in.q != q - 1) in.valid = false;
+      } else {
+        in = left_->r_.read();
+      }
+      if (!started_ && !in.valid) return;  // not my turn yet
+      advance_ = true;
+      r_.write(in);
+      if (in.valid && index_ < mat.rows()) {
+        const V base = (j == 0) ? MinPlus::zero() : acc_.read().val;
+        acc_.write(Token{
+            MinPlus::plus(base, MinPlus::times(mat(index_, in.idx), in.val)),
+            index_, q, true});
+        stats_.mark_busy(index_);
+      }
+    } else {
+      advance_ = true;
+      const Token stationary = (j == 0) ? acc_.read() : r_.read();
+      if (j == 0) r_.write(stationary);
+      Token partial;
+      if (index_ == 0) {
+        partial = (j < mat.rows()) ? Token{MinPlus::zero(), j, q, true}
+                                   : Token{};
+      } else {
+        partial = left_->acc_.read();
+        if (partial.valid && partial.q != q) partial.valid = false;
+      }
+      if (partial.valid) {
+        acc_.write(Token{MinPlus::plus(partial.val,
+                                       MinPlus::times(
+                                           mat(partial.idx, index_),
+                                           stationary.val)),
+                         partial.idx, q, true});
+        stats_.mark_busy(index_);
+      } else {
+        acc_.write(Token{});
+      }
+    }
+  }
+
+  void commit() override {
+    r_.commit();
+    acc_.commit();
+    if (advance_) {
+      if (!started_) {
+        started_ = true;
+        local_ = 1;
+      } else {
+        ++local_;
+      }
+    }
+  }
+
+  sim::Register<Token> r_;
+  sim::Register<Token> acc_;
+
+ private:
+  std::size_t index_;
+  const std::vector<Matrix<V>>& mats_;
+  Host& host_;
+  const Pe* left_;
+  const Pe* const& tail_;  // resolved after all PEs are constructed
+  sim::ActivityStats& stats_;
+  std::size_t m_;
+  bool started_ = false;
+  bool advance_ = false;
+  std::size_t local_ = 0;
+};
+
+Design1Modular::Design1Modular(std::vector<Matrix<V>> mats, std::vector<V> v)
+    : mats_(std::move(mats)), v_(std::move(v)), m_(v_.size()) {
+  if (mats_.empty()) throw std::invalid_argument("Design1Modular: no matrices");
+  if (m_ == 0) throw std::invalid_argument("Design1Modular: empty vector");
+  for (std::size_t i = 0; i < mats_.size(); ++i) {
+    if (mats_[i].cols() != m_ ||
+        (mats_[i].rows() != m_ && !(i == 0 && mats_[i].rows() <= m_))) {
+      throw std::invalid_argument("Design1Modular: bad matrix shape");
+    }
+  }
+}
+
+Design1Modular::~Design1Modular() = default;
+
+RunResult<Design1Modular::V> Design1Modular::run() {
+  const std::size_t Q = mats_.size();
+  const std::size_t r = mats_.front().rows();
+  sim::ActivityStats stats(m_);
+  sim::Engine engine;
+  host_ = std::make_unique<Host>(v_, m_, Q, r);
+  engine.add(*host_);
+  pes_.clear();
+  tail_ = nullptr;
+  for (std::size_t p = 0; p < m_; ++p) {
+    const Pe* left = p == 0 ? nullptr : pes_[p - 1].get();
+    pes_.push_back(
+        std::make_unique<Pe>(p, mats_, *host_, left, tail_, stats, m_));
+    engine.add(*pes_.back());
+  }
+  tail_ = pes_.back().get();
+
+  const bool final_mode_a = (Q % 2 == 1);
+  const sim::Cycle total = (Q - 1) * m_ + (m_ - 1) + (r - 1) + 1;
+  for (sim::Cycle c = 0; c < total; ++c) {
+    engine.step();
+    if (!final_mode_a) host_->harvest(pes_.back()->acc_.read());
+  }
+
+  RunResult<V> res;
+  res.num_pes = m_;
+  res.cycles = total;
+  res.busy_steps = stats.total_busy();
+  res.input_scalars = m_ + res.busy_steps;
+  if (final_mode_a) {
+    for (std::size_t p = 0; p < r; ++p) {
+      host_->out()[p] = pes_[p]->acc_.read().val;
+    }
+  }
+  res.values = host_->out();
+  return res;
+}
+
+}  // namespace sysdp

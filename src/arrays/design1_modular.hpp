@@ -1,0 +1,51 @@
+// Design 1 built from discrete hardware modules with *distributed* control.
+//
+// The monolithic Design1Pipeline derives each PE's phase from the global
+// cycle counter; real systolic arrays have no such global view.  Here every
+// PE runs its own iteration counter that starts when the first valid token
+// reaches it — which happens exactly one cycle after its left neighbour
+// started, reproducing Figure 3's "one-cycle delay between switching the
+// control signals in P_{i+1} and P_i" from purely local information.  The
+// ODD/MOVE decisions are then local functions of that counter.
+//
+// Tests assert cycle-exact equivalence with the monolithic model, which
+// demonstrates that the paper's skewed control scheme needs no global
+// wiring.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "arrays/run_result.hpp"
+#include "semiring/closed_semiring.hpp"
+#include "semiring/matrix.hpp"
+
+namespace sysdp {
+
+class Design1Modular {
+ public:
+  using V = MinPlus::value_type;
+
+  /// Same shape contract as Design1Pipeline (square m x m matrices applied
+  /// right to left; rectangular leftmost allowed).
+  Design1Modular(std::vector<Matrix<V>> mats, std::vector<V> v);
+  ~Design1Modular();
+
+  Design1Modular(const Design1Modular&) = delete;
+  Design1Modular& operator=(const Design1Modular&) = delete;
+
+  [[nodiscard]] RunResult<V> run();
+
+ private:
+  class Host;
+  class Pe;
+
+  std::vector<Matrix<V>> mats_;
+  std::vector<V> v_;
+  std::size_t m_;
+  std::unique_ptr<Host> host_;
+  std::vector<std::unique_ptr<Pe>> pes_;
+  const Pe* tail_ = nullptr;  ///< resolved after all PEs are constructed
+};
+
+}  // namespace sysdp

@@ -1,0 +1,235 @@
+// Design 1: the pipelined linear systolic array of Figure 3.
+//
+// Computes the right-associated string product
+//     M_0 (x) ( M_1 (x) ( ... ( M_{Q-1} (x) v ) ... ) )
+// over a closed semiring with m processing elements, where every matrix is
+// m x m except that the leftmost (final) matrix may have r <= m rows (the
+// degenerate row-vector of a single-source graph, Section 3.1).
+//
+// Operation (paper terminology in parentheses):
+//  * Multiplies alternate between two modes controlled by ODD_i:
+//    - mode A (ODD=1): the input vector shifts through the R registers while
+//      each PE p accumulates result element y_p in its accumulator A_p;
+//      PE p consumes matrix element M(p, j) when input element x_j passes.
+//    - mode B (ODD=0): inputs are stationary in R_p (moved there from A_p by
+//      the MOVE signal at the multiply boundary) and the partial results
+//      y_j shift through the accumulators, with PE p folding in
+//      M(j, p) (x) R_p.
+//  * The result stream leaving P_{m-1} in mode B re-enters P_0 as the
+//    shifting input of the following mode-A multiply with zero dead cycles,
+//    which is why successive matrices are fed back-to-back.
+//  * Control switches with a one-cycle delay per PE (PE p runs iteration j
+//    of multiply q at cycle (q-1)m + j + p), exactly the skew Figure 3
+//    notes between P_{i+1} and P_i.
+//
+// The model is cycle-accurate with two-phase (read-committed / write-next)
+// register semantics, so it is deterministic and free of evaluation-order
+// artefacts.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "arrays/run_result.hpp"
+#include "semiring/closed_semiring.hpp"
+#include "semiring/matrix.hpp"
+
+namespace sysdp {
+
+template <Semiring S>
+class Design1Pipeline {
+ public:
+  using V = typename S::value_type;
+
+  /// `mats` are applied right to left onto `v`; all must be m x m where
+  /// m = v.size(), except mats.front() which may have r <= m rows.
+  Design1Pipeline(std::vector<Matrix<V>> mats, std::vector<V> v)
+      : mats_(std::move(mats)), v_(std::move(v)), m_(v_.size()) {
+    if (mats_.empty()) throw std::invalid_argument("Design1: no matrices");
+    if (m_ == 0) throw std::invalid_argument("Design1: empty vector");
+    for (std::size_t i = 0; i < mats_.size(); ++i) {
+      if (mats_[i].cols() != m_) {
+        throw std::invalid_argument("Design1: matrix cols != m");
+      }
+      const bool leftmost = (i == 0);
+      if (mats_[i].rows() != m_ && !(leftmost && mats_[i].rows() <= m_)) {
+        throw std::invalid_argument(
+            "Design1: only the leftmost matrix may be rectangular");
+      }
+    }
+  }
+
+  /// Number of multiplies the array performs.
+  [[nodiscard]] std::size_t num_multiplies() const noexcept {
+    return mats_.size();
+  }
+
+  /// The paper's iteration count: m iterations per multiply (skew excluded).
+  [[nodiscard]] std::uint64_t iterations() const noexcept {
+    return static_cast<std::uint64_t>(mats_.size()) * m_;
+  }
+
+  /// Arg tables recorded during a run (one per multiply, leftmost matrix
+  /// first): args[q][i] is the column index that achieved result element i
+  /// of multiply Q-q.  This extends the path-register idea of Design 3
+  /// (Section 3.2) to the string-product arrays: each PE's comparator
+  /// already knows the winning index, so recording it costs one register
+  /// per result element.
+  using ArgTables = std::vector<std::vector<std::size_t>>;
+
+  /// Simulate to completion and return results plus measured statistics.
+  /// If `args` is non-null, the per-multiply winning indices are recorded
+  /// for path recovery.
+  [[nodiscard]] RunResult<V> run(ArgTables* args = nullptr) {
+    args_ = nullptr;
+    if (args != nullptr) {
+      args->clear();
+      args->resize(mats_.size());
+      for (std::size_t q = 1; q <= mats_.size(); ++q) {
+        (*args)[mats_.size() - q].assign(mats_[mats_.size() - q].rows(), 0);
+      }
+      args_ = args;
+    }
+    return run_impl();
+  }
+
+ private:
+  [[nodiscard]] RunResult<V> run_impl() {
+    const std::size_t Q = mats_.size();          // number of multiplies
+    const std::size_t r = mats_.front().rows();  // rows of final result
+    RunResult<V> res;
+    res.num_pes = m_;
+    res.input_scalars = m_;  // the initial vector v
+
+    std::vector<Token> r_cur(m_), r_next(m_);
+    std::vector<Token> a_cur(m_), a_next(m_);
+
+    // Mode-A finals complete in the accumulators of P_0..P_{r-1} (PE p's
+    // last iteration is cycle (Q-1)m + (m-1) + p); mode-B finals stream out
+    // of P_{m-1} (token j commits at cycle (Q-1)m + j + (m-1)).
+    const sim::Cycle last_cycle = (Q - 1) * m_ + (m_ - 1) + (r - 1);
+    std::vector<V> out(r, S::zero());
+
+    for (sim::Cycle c = 0; c <= last_cycle; ++c) {
+      // ---- eval phase: compute next state from committed state ----------
+      r_next = r_cur;
+      a_next = a_cur;
+      for (std::size_t p = 0; p < m_; ++p) {
+        if (c < p) continue;  // pipeline not yet filled at this PE
+        const std::uint64_t local = c - p;
+        const std::size_t q = static_cast<std::size_t>(local / m_) + 1;
+        const std::size_t j = static_cast<std::size_t>(local % m_);
+        if (q > Q) continue;  // this PE has drained
+        const Matrix<V>& M = mats_[Q - q];
+        if (mode_a(q)) {
+          eval_mode_a(res, r_cur, a_cur, r_next, a_next, p, q, j, M);
+        } else {
+          eval_mode_b(res, r_cur, a_cur, a_next, r_next, p, q, j, M);
+        }
+      }
+      // ---- commit phase (clock edge) -------------------------------------
+      r_cur.swap(r_next);
+      a_cur.swap(a_next);
+      // ---- harvest mode-B final results streaming out of P_{m-1} ---------
+      if (!final_mode_a(Q)) {
+        const Token& t = a_cur[m_ - 1];
+        if (t.valid && t.q == Q && t.idx < r) out[t.idx] = t.val;
+      }
+    }
+    if (final_mode_a(Q)) {
+      for (std::size_t p = 0; p < r; ++p) out[p] = a_cur[p].val;
+    }
+    res.values = std::move(out);
+    res.cycles = last_cycle + 1;
+    return res;
+  }
+
+  struct Token {
+    V val{};
+    std::size_t idx = 0;
+    std::size_t q = 0;  // multiply that produced/carries this token
+    std::size_t arg = 0;  // winning column index so far (path recovery)
+    bool valid = false;
+  };
+
+  /// Mode A shifts the input vector (first, third, ... multiply).
+  [[nodiscard]] static bool mode_a(std::size_t q) noexcept { return q % 2 == 1; }
+  [[nodiscard]] static bool final_mode_a(std::size_t Q) noexcept {
+    return mode_a(Q);
+  }
+
+  void eval_mode_a(RunResult<V>& res, const std::vector<Token>& r_cur,
+                   const std::vector<Token>& a_cur, std::vector<Token>& r_next,
+                   std::vector<Token>& a_next, std::size_t p, std::size_t q,
+                   std::size_t j, const Matrix<V>& M) {
+    // Incoming token: external vector element (first multiply), feedback of
+    // the previous multiply's result stream (later odd multiplies), or the
+    // right-neighbour output of the previous PE.
+    Token in;
+    if (p == 0) {
+      if (q == 1) {
+        in = Token{v_[j], j, q, 0, true};
+      } else {
+        in = a_cur[m_ - 1];  // y_j of multiply q-1, exiting P_{m-1}
+        if (in.valid && in.q != q - 1) in.valid = false;
+      }
+    } else {
+      in = r_cur[p - 1];
+    }
+    r_next[p] = in;  // shift the input vector along the R pipeline
+    if (in.valid && p < M.rows()) {
+      // Stationary accumulation of y_p; at the first local iteration the
+      // accumulator restarts from the semiring zero (implicit reset).
+      const V base = (j == 0) ? S::zero() : a_cur[p].val;
+      const V cand = S::times(M(p, in.idx), in.val);
+      std::size_t arg = (j == 0) ? in.idx : a_cur[p].arg;
+      if (j != 0 && S::improves(cand, base)) arg = in.idx;
+      a_next[p] = Token{S::plus(base, cand), p, q, arg, true};
+      ++res.busy_steps;
+      ++res.input_scalars;  // one matrix element consumed
+      if (args_ != nullptr && j + 1 == m_ && p < M.rows()) {
+        (*args_)[mats_.size() - q][p] = a_next[p].arg;
+      }
+    }
+  }
+
+  void eval_mode_b(RunResult<V>& res, const std::vector<Token>& r_cur,
+                   const std::vector<Token>& a_cur, std::vector<Token>& a_next,
+                   std::vector<Token>& r_next, std::size_t p, std::size_t q,
+                   std::size_t j, const Matrix<V>& M) {
+    // MOVE: at the local multiply boundary the previous mode-A result y_p
+    // becomes the stationary input x_p, copied from A_p into R_p.
+    const Token stationary = (j == 0) ? a_cur[p] : r_cur[p];
+    if (j == 0) r_next[p] = stationary;
+    // Moving partial result: created at P_0, or taken from the left
+    // neighbour's accumulator.
+    Token partial;
+    if (p == 0) {
+      partial = (j < M.rows()) ? Token{S::zero(), j, q, 0, true} : Token{};
+    } else {
+      partial = a_cur[p - 1];
+      if (partial.valid && partial.q != q) partial.valid = false;
+    }
+    if (partial.valid) {
+      const V cand = S::times(M(partial.idx, p), stationary.val);
+      std::size_t arg = (p == 0) ? p : partial.arg;
+      if (p != 0 && S::improves(cand, partial.val)) arg = p;
+      a_next[p] = Token{S::plus(partial.val, cand), partial.idx, q, arg, true};
+      ++res.busy_steps;
+      ++res.input_scalars;  // one matrix element consumed
+      if (args_ != nullptr && p + 1 == m_) {
+        (*args_)[mats_.size() - q][partial.idx] = a_next[p].arg;
+      }
+    } else {
+      a_next[p] = Token{};  // bubble
+    }
+  }
+
+  std::vector<Matrix<V>> mats_;
+  std::vector<V> v_;
+  std::size_t m_;
+  ArgTables* args_ = nullptr;
+};
+
+}  // namespace sysdp

@@ -1,0 +1,101 @@
+// Design 2: the linear systolic array with broadcasts of Figure 4.
+//
+// Same string product as Design 1, but every input matrix is fed in the
+// same format and the current input vector element is *broadcast* to all
+// PEs, so there is no pipeline skew:
+//  * iteration j of multiply q (global cycle (q-1)m + j): the bus carries
+//    x_j — the external vector element for the first multiply (FIRST=1) or
+//    the fed-back S_j register (FIRST=0) — and PE p folds in
+//    M(p, j) (x) x_j toward the stationary y_p.
+//  * at the end of a multiply the MOVE signal gates every accumulator into
+//    its S register, from which the feedback path broadcasts them as the
+//    next multiply's inputs.
+//
+// The broadcast bus removes the fill/drain skew of Design 1 at the price of
+// a global wire — the trade-off Section 3.2 discusses.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "arrays/run_result.hpp"
+#include "semiring/closed_semiring.hpp"
+#include "semiring/matrix.hpp"
+
+namespace sysdp {
+
+template <Semiring S>
+class Design2Broadcast {
+ public:
+  using V = typename S::value_type;
+
+  /// Same shape contract as Design 1: square m x m matrices applied right
+  /// to left onto `v`; the leftmost may have r <= m rows.
+  Design2Broadcast(std::vector<Matrix<V>> mats, std::vector<V> v)
+      : mats_(std::move(mats)), v_(std::move(v)), m_(v_.size()) {
+    if (mats_.empty()) throw std::invalid_argument("Design2: no matrices");
+    if (m_ == 0) throw std::invalid_argument("Design2: empty vector");
+    for (std::size_t i = 0; i < mats_.size(); ++i) {
+      if (mats_[i].cols() != m_) {
+        throw std::invalid_argument("Design2: matrix cols != m");
+      }
+      if (mats_[i].rows() != m_ && !(i == 0 && mats_[i].rows() <= m_)) {
+        throw std::invalid_argument(
+            "Design2: only the leftmost matrix may be rectangular");
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t num_multiplies() const noexcept {
+    return mats_.size();
+  }
+  [[nodiscard]] std::uint64_t iterations() const noexcept {
+    return static_cast<std::uint64_t>(mats_.size()) * m_;
+  }
+
+  /// Number of scalars moved over the broadcast bus during a full run
+  /// (available after run()).
+  [[nodiscard]] std::uint64_t bus_transactions() const noexcept {
+    return bus_txns_;
+  }
+
+  [[nodiscard]] RunResult<V> run() {
+    const std::size_t Q = mats_.size();
+    const std::size_t r = mats_.front().rows();
+    RunResult<V> res;
+    res.num_pes = m_;
+    res.input_scalars = m_;  // the initial vector
+    bus_txns_ = 0;
+
+    std::vector<V> acc(m_, S::zero());
+    std::vector<V> s(m_, S::zero());
+    for (std::size_t q = 1; q <= Q; ++q) {
+      const Matrix<V>& M = mats_[Q - q];
+      for (std::size_t j = 0; j < m_; ++j) {
+        // FIRST selects the external input; afterwards the S registers are
+        // broadcast round-robin by the feedback path.
+        const V x = (q == 1) ? v_[j] : s[j];
+        ++bus_txns_;
+        for (std::size_t p = 0; p < M.rows(); ++p) {
+          const V base = (j == 0) ? S::zero() : acc[p];
+          acc[p] = S::plus(base, S::times(M(p, j), x));
+          ++res.busy_steps;
+          ++res.input_scalars;  // matrix element fed to PE p this cycle
+        }
+      }
+      s = acc;  // MOVE: gate accumulators into the S registers
+    }
+    res.values.assign(s.begin(), s.begin() + static_cast<std::ptrdiff_t>(r));
+    res.cycles = static_cast<sim::Cycle>(Q) * m_;
+    return res;
+  }
+
+ private:
+  std::vector<Matrix<V>> mats_;
+  std::vector<V> v_;
+  std::size_t m_;
+  std::uint64_t bus_txns_ = 0;
+};
+
+}  // namespace sysdp

@@ -1,0 +1,137 @@
+#include "arrays/design2_modular.hpp"
+
+#include <stdexcept>
+
+namespace sysdp {
+
+namespace {
+
+/// Per-cycle control decode shared by the modules: multiply index (1-based)
+/// and local iteration j for global cycle c on an m-wide array.
+struct Phase {
+  std::size_t q;
+  std::size_t j;
+};
+
+Phase decode(sim::Cycle c, std::size_t m) {
+  return Phase{static_cast<std::size_t>(c) / m + 1,
+               static_cast<std::size_t>(c) % m};
+}
+
+}  // namespace
+
+/// Drives the broadcast bus: the external input vector during the first
+/// multiply (FIRST = 1), the fed-back S registers afterwards.
+class Design2Modular::FeedbackUnit : public sim::Module {
+ public:
+  FeedbackUnit(sim::Bus<V>& bus, const std::vector<V>& v, std::size_t m)
+      : Module("feedback"), bus_(bus), v_(v), m_(m) {}
+
+  void eval(sim::Cycle c) override {
+    const auto [q, j] = decode(c, m_);
+    bus_.drive(c, q == 1 ? v_[j] : s_snapshot_[j]);
+  }
+  void commit() override {}
+
+  /// The PEs publish their S registers here on MOVE (the feedback wiring).
+  std::vector<V> s_snapshot_;
+
+ private:
+  sim::Bus<V>& bus_;
+  const std::vector<V>& v_;
+  std::size_t m_;
+};
+
+/// One processing element of Figure 4(b): accumulator, S register, and the
+/// add/compare datapath fed from the broadcast bus.
+class Design2Modular::Pe : public sim::Module {
+ public:
+  Pe(std::size_t index, const std::vector<Matrix<V>>& mats,
+     sim::Bus<V>& bus, FeedbackUnit& feedback, sim::ActivityStats& stats,
+     std::size_t m)
+      : Module("pe" + std::to_string(index)),
+        index_(index),
+        mats_(mats),
+        bus_(bus),
+        feedback_(feedback),
+        stats_(stats),
+        m_(m) {}
+
+  void eval(sim::Cycle c) override {
+    const auto [q, j] = decode(c, m_);
+    if (q > mats_.size()) return;
+    const Matrix<V>& mat = mats_[mats_.size() - q];
+    if (index_ >= mat.rows()) return;
+    const auto x = bus_.sample(c);
+    if (!x.has_value()) throw std::logic_error("Design2Modular: dead bus");
+    const V base = (j == 0) ? MinPlus::zero() : acc_.read();
+    acc_.write(MinPlus::plus(base, MinPlus::times(mat(index_, j), *x)));
+    stats_.mark_busy(index_);
+    move_ = (j + 1 == m_);  // MOVE fires at the multiply boundary
+  }
+
+  void commit() override {
+    acc_.commit();
+    if (move_) {
+      s_.reset(acc_.read());
+      feedback_.s_snapshot_[index_] = s_.read();
+      move_ = false;
+    }
+  }
+
+  [[nodiscard]] V result() const { return s_.read(); }
+
+ private:
+  std::size_t index_;
+  const std::vector<Matrix<V>>& mats_;
+  sim::Bus<V>& bus_;
+  FeedbackUnit& feedback_;
+  sim::ActivityStats& stats_;
+  std::size_t m_;
+  sim::Register<V> acc_{MinPlus::zero()};
+  sim::Register<V> s_{MinPlus::zero()};
+  bool move_ = false;
+};
+
+Design2Modular::Design2Modular(std::vector<Matrix<V>> mats, std::vector<V> v)
+    : mats_(std::move(mats)), v_(std::move(v)), m_(v_.size()) {
+  if (mats_.empty()) throw std::invalid_argument("Design2Modular: no matrices");
+  if (m_ == 0) throw std::invalid_argument("Design2Modular: empty vector");
+  for (std::size_t i = 0; i < mats_.size(); ++i) {
+    if (mats_[i].cols() != m_ ||
+        (mats_[i].rows() != m_ && !(i == 0 && mats_[i].rows() <= m_))) {
+      throw std::invalid_argument("Design2Modular: bad matrix shape");
+    }
+  }
+}
+
+Design2Modular::~Design2Modular() = default;
+
+RunResult<Design2Modular::V> Design2Modular::run() {
+  sim::ActivityStats stats(m_);
+  sim::Engine engine;
+  feedback_ = std::make_unique<FeedbackUnit>(bus_, v_, m_);
+  feedback_->s_snapshot_.assign(m_, MinPlus::zero());
+  engine.add(*feedback_);  // bus driver first
+  pes_.clear();
+  for (std::size_t p = 0; p < m_; ++p) {
+    pes_.push_back(
+        std::make_unique<Pe>(p, mats_, bus_, *feedback_, stats, m_));
+    engine.add(*pes_.back());
+  }
+
+  const sim::Cycle total = static_cast<sim::Cycle>(mats_.size()) * m_;
+  engine.run(total);
+
+  RunResult<V> res;
+  res.num_pes = m_;
+  res.cycles = total;
+  res.busy_steps = stats.total_busy();
+  res.input_scalars = m_ + res.busy_steps;  // vector + one element per MAC
+  const std::size_t r = mats_.front().rows();
+  res.values.reserve(r);
+  for (std::size_t p = 0; p < r; ++p) res.values.push_back(pes_[p]->result());
+  return res;
+}
+
+}  // namespace sysdp

@@ -1,0 +1,61 @@
+// Design 2 built from discrete hardware modules on the simulation engine.
+//
+// The monolithic Design2Broadcast model steps all PEs inside one object;
+// this variant is the same Figure 4 architecture expressed structurally —
+// one Module per hardware block, connected exactly as the figure draws
+// them:
+//
+//   FeedbackUnit ──(broadcast Bus)──> PE_0 ... PE_{m-1}
+//        ^                              │ S registers
+//        └──────────────────────────────┘
+//
+// The FeedbackUnit drives the bus each cycle with either the external
+// vector element (FIRST = 1) or the fed-back S register contents; each PE
+// folds M(p, j) (x) bus into its accumulator and latches it into S on MOVE.
+// Engine ordering (bus driver first, listeners after) gives the
+// combinational broadcast semantics of the figure; registers give the
+// clocked state.  Tests assert cycle-exact equivalence with the monolithic
+// model — an ablation of modelling style, not of architecture.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "arrays/run_result.hpp"
+#include "semiring/closed_semiring.hpp"
+#include "semiring/matrix.hpp"
+#include "sim/bus.hpp"
+#include "sim/engine.hpp"
+#include "sim/module.hpp"
+#include "sim/register.hpp"
+#include "sim/stats.hpp"
+
+namespace sysdp {
+
+class Design2Modular {
+ public:
+  using V = MinPlus::value_type;
+
+  /// Same shape contract as Design2Broadcast.
+  Design2Modular(std::vector<Matrix<V>> mats, std::vector<V> v);
+  ~Design2Modular();
+
+  Design2Modular(const Design2Modular&) = delete;
+  Design2Modular& operator=(const Design2Modular&) = delete;
+
+  [[nodiscard]] RunResult<V> run();
+
+ private:
+  class FeedbackUnit;
+  class Pe;
+
+  std::vector<Matrix<V>> mats_;
+  std::vector<V> v_;
+  std::size_t m_;
+
+  sim::Bus<V> bus_;
+  std::unique_ptr<FeedbackUnit> feedback_;
+  std::vector<std::unique_ptr<Pe>> pes_;
+};
+
+}  // namespace sysdp

@@ -1,0 +1,115 @@
+#include "arrays/design3_feedback.hpp"
+
+#include <stdexcept>
+
+namespace sysdp {
+
+Design3Feedback::Design3Feedback(const NodeValueGraph& graph)
+    : graph_(graph),
+      m_(graph.stage_size(0)),
+      n_stages_(graph.num_stages()) {
+  if (!graph.uniform_width()) {
+    throw std::invalid_argument(
+        "Design3: needs a uniform number of quantised values per stage");
+  }
+}
+
+std::uint64_t Design3Feedback::iterations() const noexcept {
+  return static_cast<std::uint64_t>(n_stages_ + 1) * m_;
+}
+
+Design3Result Design3Feedback::run() {
+  const std::size_t N = n_stages_;
+  const std::size_t m = m_;
+
+  Design3Result out;
+  out.stats.num_pes = m;
+
+  std::vector<Token> r_cur(m), r_next(m);
+  std::vector<Feedback> k_h(m);  // K_p / H_p registers (combinational load)
+  Feedback in_flight;            // token travelling the feedback path
+  // Path registers in P_{m-1}: pred[k][i] = predecessor node (stage k-1,
+  // 0-based) of node i in stage k.
+  std::vector<std::vector<std::size_t>> pred(N,
+                                             std::vector<std::size_t>(m, 0));
+  Token collector_out;
+
+  const sim::Cycle total = static_cast<sim::Cycle>(N + 1) * m;
+  for (sim::Cycle c = 0; c < total; ++c) {
+    // Feedback delivery: the pair that left P_{m-1} last cycle lands in
+    // K_i/H_i of PE i this cycle and is usable immediately (single bus;
+    // the station is selected by a circulating token, Section 3.2).
+    if (in_flight.valid) {
+      const std::size_t dest = static_cast<std::size_t>(c) % m;
+      k_h[dest] = in_flight;
+      in_flight.valid = false;
+    }
+
+    r_next = r_cur;
+    for (std::size_t p = 0; p < m; ++p) {
+      Token in;
+      if (p == 0) {
+        if (c < static_cast<sim::Cycle>(N) * m) {
+          const std::size_t k = static_cast<std::size_t>(c) / m + 1;
+          const std::size_t i = static_cast<std::size_t>(c) % m;
+          in = Token{graph_.value(k - 1, i), k, i,
+                     k == 1 ? Cost{0} : kInfCost, 0, true};
+          ++out.stats.input_scalars;  // one node value enters the array
+        } else if (c == static_cast<sim::Cycle>(N) * m) {
+          in = Token{0, N + 1, 0, kInfCost, 0, true};  // collector, F = 0
+        }
+      } else {
+        in = r_cur[p - 1];
+      }
+      if (in.valid && in.stage >= 2) {
+        const Feedback& fb = k_h[p];
+        if (fb.valid && fb.stage + 1 == in.stage) {
+          // F computes the edge cost (zero for the collector pass), A adds
+          // the prefix cost, C compares against the token's running best.
+          // The F unit receives the token's stage as a control input, so
+          // stage-dependent cost functions (Section 3.2's sequentially
+          // controlled systems) need no extra hardware.
+          const Cost edge = in.stage <= N
+                                ? graph_.transition_cost(in.stage - 2, fb.x, in.x)
+                                : Cost{0};
+          const Cost cand = sat_add(fb.h, edge);
+          if (cand < in.h) {
+            in.h = cand;
+            in.arg = p;
+          }
+          ++out.stats.busy_steps;
+        }
+      }
+      r_next[p] = in;
+    }
+
+    // Commit: advance the pipeline and capture P_{m-1}'s output.
+    r_cur.swap(r_next);
+    const Token& tail = r_cur[m - 1];
+    if (tail.valid) {
+      if (tail.stage <= N) {
+        in_flight = Feedback{tail.x, tail.h, tail.stage, true};
+        if (tail.stage >= 2) pred[tail.stage - 1][tail.idx] = tail.arg;
+        if (trace_ != nullptr && tail.stage >= 2) {
+          trace_->record(c, "h_out", tail.h);
+        }
+      } else {
+        collector_out = tail;  // the final minimum leaves the array
+        if (trace_ != nullptr) trace_->record(c, "min_out", tail.h);
+      }
+    }
+  }
+
+  out.stats.cycles = total;
+  out.cost = collector_out.h;
+  if (!is_inf(out.cost)) {
+    out.path.assign(N, 0);
+    out.path[N - 1] = collector_out.arg;
+    for (std::size_t k = N - 1; k > 0; --k) {
+      out.path[k - 1] = pred[k][out.path[k]];
+    }
+  }
+  return out;
+}
+
+}  // namespace sysdp

@@ -1,0 +1,90 @@
+// Design 3: the feedback linear systolic array of Figure 5.
+//
+// Solves the node-value serial optimisation problem of eq. (4)
+//     min_X sum_k f(X_k, X_{k+1})
+// by eliminating variables stage by stage (eq. 12).  Each PE P_p contains
+//  * R_p  — the pipeline register node tokens travel through,
+//  * K_p, H_p — feedback registers holding a previous-stage node value and
+//    its optimal prefix cost h,
+//  * F, A, C — the edge-cost function unit, an adder, and a comparator.
+//
+// Schedule (0-based cycles; the paper's iteration t is cycle t-1):
+//  * node x_{k,i} (stage k in 1..N, node i in 0..m-1) enters P_0 at cycle
+//    (k-1)m + i carrying a partial cost register;
+//  * when a completed token (x_{k-1,i}, h(x_{k-1,i})) leaves P_{m-1}, the
+//    feedback controller routes it into K_i/H_i of PE i one cycle later
+//    (cycle (k-1)m + i), where an arriving token may use it the same cycle —
+//    exactly the paper's walkthrough of x_{2,1} meeting x_{1,1} in P_1;
+//  * passing PE p, a stage-k token folds in  H_p + f(K_p, x_{k,i})  and
+//    remembers the arg p that achieved the minimum;
+//  * after the N·m input cycles one *collector* token passes with F = 0,
+//    folding in min_p H_p — the final m-way comparison the paper performs by
+//    "circulating the values of h(x_{N,i}) through the pipeline".  It leaves
+//    P_{m-1} at cycle (N+1)m - 1, for the paper's total of (N+1)m iterations.
+//
+// Path recovery: P_{m-1} stores each completed token's arg into word i of
+// path register k (N path registers of m words, as in Section 3.2), and the
+// optimal assignment is traced from the collector's arg at completion.
+//
+// Only node values cross the array boundary (N·m scalars), not the
+// (N-1)·m^2 edge costs — the order-of-magnitude I/O reduction the paper
+// claims for this design.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arrays/run_result.hpp"
+#include "graph/node_value_graph.hpp"
+#include "semiring/cost.hpp"
+#include "sim/trace.hpp"
+
+namespace sysdp {
+
+/// Result of a Design 3 run: optimal cost, one optimal assignment (node
+/// index per stage), and the usual array statistics.
+struct Design3Result {
+  Cost cost = kInfCost;
+  StagePath path;
+  RunResult<Cost> stats;
+};
+
+class Design3Feedback {
+ public:
+  /// The graph must have uniform width m (one PE per quantised value).
+  explicit Design3Feedback(const NodeValueGraph& graph);
+
+  /// The paper's iteration count (N+1) * m.
+  [[nodiscard]] std::uint64_t iterations() const noexcept;
+
+  /// Attach a signal trace: records every completed h value leaving
+  /// P_{m-1} ("h_out") and the final minimum ("min_out").
+  void set_trace(sim::Trace* trace) noexcept { trace_ = trace; }
+
+  /// Simulate to completion.
+  [[nodiscard]] Design3Result run();
+
+ private:
+  struct Token {
+    Cost x = 0;            // node value (quantised value of the variable)
+    std::size_t stage = 0;  // 1..N; N+1 marks the collector
+    std::size_t idx = 0;    // node index within the stage
+    Cost h = kInfCost;      // partial optimal prefix cost
+    std::size_t arg = 0;    // PE index achieving the current minimum
+    bool valid = false;
+  };
+
+  struct Feedback {
+    Cost x = 0;
+    Cost h = kInfCost;
+    std::size_t stage = 0;  // stage the (x, h) pair belongs to
+    bool valid = false;
+  };
+
+  const NodeValueGraph& graph_;
+  std::size_t m_;
+  std::size_t n_stages_;
+  sim::Trace* trace_ = nullptr;
+};
+
+}  // namespace sysdp

@@ -1,0 +1,207 @@
+#include "arrays/design3_modular.hpp"
+
+#include <stdexcept>
+
+#include "sim/engine.hpp"
+#include "sim/module.hpp"
+#include "sim/register.hpp"
+#include "sim/stats.hpp"
+
+namespace sysdp {
+
+namespace {
+
+/// A node token travelling the R pipeline (Figure 5's data format: node
+/// value, stage tag, running h, winning station).
+struct Token {
+  Cost x = 0;
+  std::size_t stage = 0;  // 1..N; N+1 marks the collector
+  std::size_t idx = 0;
+  Cost h = kInfCost;
+  std::size_t arg = 0;
+  bool valid = false;
+};
+
+/// A completed (x, h) pair on the feedback path.
+struct Pair {
+  Cost x = 0;
+  Cost h = kInfCost;
+  std::size_t stage = 0;
+  bool valid = false;
+};
+
+}  // namespace
+
+/// Owns the feedback bus: latches P_{m-1}'s completed pair for one cycle
+/// and presents it to the selected station (round-robin), plus the host
+/// input feeder for P_0.  Also the home of the path registers and the
+/// collector capture (both physically live next to P_{m-1}; kept here so
+/// the PE stays a pure datapath).
+class Design3Modular::Controller : public sim::Module {
+ public:
+  Controller(const NodeValueGraph& graph, std::size_t m, std::size_t n)
+      : Module("controller"), graph_(graph), m_(m), n_(n),
+        pred_(n, std::vector<std::size_t>(m, 0)) {}
+
+  void eval(sim::Cycle c) override {
+    // Host input for P_0 this cycle.
+    input_ = Token{};
+    if (c < static_cast<sim::Cycle>(n_) * m_) {
+      const std::size_t k = static_cast<std::size_t>(c) / m_ + 1;
+      const std::size_t i = static_cast<std::size_t>(c) % m_;
+      input_ = Token{graph_.value(k - 1, i), k, i,
+                     k == 1 ? Cost{0} : kInfCost, 0, true};
+    } else if (c == static_cast<sim::Cycle>(n_) * m_) {
+      input_ = Token{0, n_ + 1, 0, kInfCost, 0, true};  // collector
+    }
+    // Feedback delivery: the pair captured last cycle goes to station
+    // c mod m (the circulating token selects the pick-up station).
+    delivery_ = in_flight_.read();
+    delivery_station_ = static_cast<std::size_t>(c) % m_;
+  }
+
+  void commit() override { in_flight_.commit(); }
+
+  /// Called by P_{m-1} during eval with its outgoing token (registered:
+  /// visible to stations only next cycle).
+  void capture(sim::Cycle c, const Token& t) {
+    if (!t.valid) {
+      in_flight_.write(Pair{});
+      return;
+    }
+    if (t.stage <= n_) {
+      in_flight_.write(Pair{t.x, t.h, t.stage, true});
+      if (t.stage >= 2) pred_[t.stage - 1][t.idx] = t.arg;
+    } else {
+      in_flight_.write(Pair{});
+      collector_ = t;
+      done_cycle_ = c;
+    }
+  }
+
+  [[nodiscard]] const Token& input() const noexcept { return input_; }
+  [[nodiscard]] const Pair& delivery() const noexcept { return delivery_; }
+  [[nodiscard]] std::size_t delivery_station() const noexcept {
+    return delivery_station_;
+  }
+  [[nodiscard]] const Token& collector() const noexcept { return collector_; }
+  [[nodiscard]] const std::vector<std::vector<std::size_t>>& pred() const {
+    return pred_;
+  }
+
+ private:
+  const NodeValueGraph& graph_;
+  std::size_t m_;
+  std::size_t n_;
+  sim::Register<Pair> in_flight_;
+  Token input_;
+  Pair delivery_;
+  std::size_t delivery_station_ = 0;
+  Token collector_;
+  sim::Cycle done_cycle_ = 0;
+  std::vector<std::vector<std::size_t>> pred_;
+};
+
+/// One PE of Figure 5(b): R register, K/H feedback registers, and the
+/// F (edge cost) / A (add) / C (compare) datapath.
+class Design3Modular::Pe : public sim::Module {
+ public:
+  Pe(std::size_t index, const NodeValueGraph& graph, Controller& ctrl,
+     const Pe* left, bool is_tail, sim::ActivityStats& stats, std::size_t n)
+      : Module("pe" + std::to_string(index)),
+        index_(index),
+        graph_(graph),
+        ctrl_(ctrl),
+        left_(left),
+        is_tail_(is_tail),
+        stats_(stats),
+        n_(n) {}
+
+  void eval(sim::Cycle c) override {
+    // Same-cycle feedback load (the paper's walkthrough: an arriving token
+    // meets the pair delivered this very iteration).
+    if (ctrl_.delivery().valid && ctrl_.delivery_station() == index_) {
+      k_h_.write(ctrl_.delivery());
+      k_h_.commit();  // combinational load into K/H before use
+    }
+    Token in = (index_ == 0) ? ctrl_.input() : left_->r_.read();
+    if (in.valid && in.stage >= 2) {
+      const Pair& fb = k_h_.read();
+      if (fb.valid && fb.stage + 1 == in.stage) {
+        const Cost edge =
+            in.stage <= n_
+                ? graph_.transition_cost(in.stage - 2, fb.x, in.x)
+                : Cost{0};
+        const Cost cand = sat_add(fb.h, edge);
+        if (cand < in.h) {
+          in.h = cand;
+          in.arg = index_;
+        }
+        stats_.mark_busy(index_);
+      }
+    }
+    r_.write(in);
+    if (is_tail_) ctrl_.capture(c, in);  // registered hand-off to feedback
+  }
+
+  void commit() override { r_.commit(); }
+
+  sim::Register<Token> r_;
+
+ private:
+  std::size_t index_;
+  const NodeValueGraph& graph_;
+  Controller& ctrl_;
+  const Pe* left_;
+  bool is_tail_;
+  sim::Register<Pair> k_h_;
+  sim::ActivityStats& stats_;
+  std::size_t n_;
+};
+
+Design3Modular::Design3Modular(const NodeValueGraph& graph)
+    : graph_(graph),
+      m_(graph.stage_size(0)),
+      n_stages_(graph.num_stages()) {
+  if (!graph.uniform_width()) {
+    throw std::invalid_argument("Design3Modular: non-uniform width");
+  }
+}
+
+Design3Modular::~Design3Modular() = default;
+
+Design3Result Design3Modular::run() {
+  sim::ActivityStats stats(m_);
+  sim::Engine engine;
+  controller_ = std::make_unique<Controller>(graph_, m_, n_stages_);
+  engine.add(*controller_);  // bus driver before the stations
+  pes_.clear();
+  for (std::size_t p = 0; p < m_; ++p) {
+    const Pe* left = p == 0 ? nullptr : pes_[p - 1].get();
+    pes_.push_back(std::make_unique<Pe>(p, graph_, *controller_, left,
+                                        p + 1 == m_, stats, n_stages_));
+    engine.add(*pes_.back());
+  }
+  const sim::Cycle total = static_cast<sim::Cycle>(n_stages_ + 1) * m_;
+  engine.run(total);
+
+  Design3Result out;
+  out.stats.num_pes = m_;
+  out.stats.cycles = total;
+  out.stats.busy_steps = stats.total_busy();
+  out.stats.input_scalars =
+      static_cast<std::uint64_t>(n_stages_) * m_;  // node values only
+  const Token& col = controller_->collector();
+  out.cost = col.h;
+  if (!is_inf(out.cost)) {
+    out.path.assign(n_stages_, 0);
+    out.path[n_stages_ - 1] = col.arg;
+    const auto& pred = controller_->pred();
+    for (std::size_t k = n_stages_ - 1; k > 0; --k) {
+      out.path[k - 1] = pred[k][out.path[k]];
+    }
+  }
+  return out;
+}
+
+}  // namespace sysdp

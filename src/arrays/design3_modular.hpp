@@ -1,0 +1,48 @@
+// Design 3 built from discrete hardware modules on the simulation engine.
+//
+// The structural counterpart of Design3Feedback, wired exactly as
+// Figure 5 draws the array:
+//
+//    host ──> PE_0 ──> PE_1 ──> ... ──> PE_{m-1} ──┐
+//      ^        ^K/H     ^K/H             ^K/H     │ completed (x, h)
+//      └──────── FeedbackController <───────────────┘
+//                 (single bus, round-robin station select)
+//
+// Each PE owns its R pipeline register, K/H feedback registers, and the
+// F/A/C datapath; the controller owns the one-cycle feedback delay and the
+// circulating-token station selector; P_{m-1} additionally owns the path
+// registers.  Tests assert cycle-exact equivalence (cost, path, timing,
+// busy work) with the monolithic model on randomized sweeps — the same
+// modelling-style ablation as Design2Modular, for the hardest design.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "arrays/design3_feedback.hpp"
+#include "graph/node_value_graph.hpp"
+
+namespace sysdp {
+
+class Design3Modular {
+ public:
+  explicit Design3Modular(const NodeValueGraph& graph);
+  ~Design3Modular();
+
+  Design3Modular(const Design3Modular&) = delete;
+  Design3Modular& operator=(const Design3Modular&) = delete;
+
+  [[nodiscard]] Design3Result run();
+
+ private:
+  class Controller;
+  class Pe;
+
+  const NodeValueGraph& graph_;
+  std::size_t m_;
+  std::size_t n_stages_;
+  std::unique_ptr<Controller> controller_;
+  std::vector<std::unique_ptr<Pe>> pes_;
+};
+
+}  // namespace sysdp

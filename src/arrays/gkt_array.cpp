@@ -1,0 +1,77 @@
+#include "arrays/gkt_array.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sysdp {
+
+GktArray::GktArray(std::vector<Cost> dims) : dims_(std::move(dims)) {
+  if (dims_.size() < 2) {
+    throw std::invalid_argument("GktArray: need at least one matrix");
+  }
+  for (Cost d : dims_) {
+    if (d <= 0) throw std::invalid_argument("GktArray: dims must be positive");
+  }
+}
+
+GktArray::Result GktArray::run() const {
+  const std::size_t n = num_matrices();
+  Result out{Matrix<Cost>(n, n, 0), Matrix<std::size_t>(n, n, 0),
+             Matrix<sim::Cycle>(n, n, 0), {}};
+  out.stats.num_pes = num_cells();
+  out.stats.input_scalars = dims_.size();
+
+  // Diagonal-order evaluation: every operand a cell consumes comes from a
+  // strictly smaller diagonal, so all arrival times are known by the time a
+  // cell is processed.
+  for (std::size_t d = 1; d < n; ++d) {
+    for (std::size_t i = 0; i + d < n; ++i) {
+      const std::size_t j = i + d;
+      // Arrival time of the operand pair for each split k.
+      std::vector<sim::Cycle> arrivals;
+      arrivals.reserve(d);
+      for (std::size_t k = i; k < j; ++k) {
+        const sim::Cycle left = out.ready(i, k) + (j - k);       // row hop
+        const sim::Cycle right = out.ready(k + 1, j) + (k + 1 - i);  // col hop
+        arrivals.push_back(std::max(left, right));
+      }
+      // The cell's comparator folds candidates in arrival order; like the
+      // Section 6.2 processors it performs two additions and two
+      // comparisons per step.
+      std::vector<std::size_t> order(d);
+      for (std::size_t t = 0; t < d; ++t) order[t] = i + t;
+      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return arrivals[a - i] < arrivals[b - i];
+      });
+      Cost best = kInfCost;
+      std::size_t best_k = i;
+      sim::Cycle t = 0;
+      std::size_t idx = 0;
+      while (idx < order.size()) {
+        t = std::max(t, arrivals[order[idx] - i]) + 1;
+        std::size_t taken = 0;
+        while (idx < order.size() && taken < 2 &&
+               arrivals[order[idx] - i] <= t - 1) {
+          const std::size_t k = order[idx];
+          const Cost cand =
+              sat_add(sat_add(out.cost(i, k), out.cost(k + 1, j)),
+                      dims_[i] * dims_[k + 1] * dims_[j + 1]);
+          ++out.stats.busy_steps;
+          if (cand < best) {
+            best = cand;
+            best_k = k;
+          }
+          ++idx;
+          ++taken;
+        }
+      }
+      out.cost(i, j) = best;
+      out.split(i, j) = best_k;
+      out.ready(i, j) = t;
+    }
+  }
+  out.stats.cycles = n == 1 ? 0 : out.ready(0, n - 1);
+  return out;
+}
+
+}  // namespace sysdp

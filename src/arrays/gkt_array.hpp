@@ -1,0 +1,61 @@
+// Triangular systolic array for optimal parenthesisation
+// (Guibas-Kung-Thompson, referenced by Sections 4 and 6.2).
+//
+// One cell per table entry m_{i,j} of eq. (6), placed on diagonal d = j - i.
+// Operand streams move through nearest-neighbour links at one hop per
+// cycle: a completed m_{i,k} travels rightward along row i and a completed
+// m_{k+1,j} travels up column j, so the pair for split k reaches cell (i,j)
+// at max(T(i,k) + (j-k), T(k+1,j) + (k+1-i)).  A cell's comparator folds
+// one candidate per cycle (OR-nodes are evaluated sequentially, as Theorem 2
+// prescribes for m-arc OR-nodes), so completion times follow the serialised
+// AND/OR recurrence of eq. (43) and the whole chain finishes in Theta(N)
+// cycles — the linear-time behaviour of Proposition 3, against the
+// brute-force broadcast mapping's T_d(N) = N with O(N) buses.
+//
+// The model is a discrete-time dataflow simulation: explicit hop latencies,
+// one operation per cell per cycle, no global shortcuts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arrays/run_result.hpp"
+#include "semiring/cost.hpp"
+#include "semiring/matrix.hpp"
+
+namespace sysdp {
+
+class GktArray {
+ public:
+  /// Chain dimensions r_0..r_n (matrix M_i is r_{i-1} x r_i, as in eq. 6).
+  explicit GktArray(std::vector<Cost> dims);
+
+  struct Result {
+    Matrix<Cost> cost;           ///< completed m_{i,j} table
+    Matrix<std::size_t> split;   ///< winning k per cell
+    Matrix<sim::Cycle> ready;    ///< completion cycle of each cell
+    RunResult<Cost> stats;
+
+    [[nodiscard]] Cost total() const { return cost(0, cost.cols() - 1); }
+    /// Cycle at which the topmost cell (the full chain) completes.
+    [[nodiscard]] sim::Cycle completion() const {
+      return ready(0, ready.cols() - 1);
+    }
+  };
+
+  [[nodiscard]] Result run() const;
+
+  [[nodiscard]] std::size_t num_matrices() const noexcept {
+    return dims_.size() - 1;
+  }
+  /// Cells in the triangular array: n(n+1)/2.
+  [[nodiscard]] std::size_t num_cells() const noexcept {
+    const std::size_t n = num_matrices();
+    return n * (n + 1) / 2;
+  }
+
+ private:
+  std::vector<Cost> dims_;
+};
+
+}  // namespace sysdp

@@ -1,0 +1,176 @@
+#include "arrays/gkt_rtl.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <stdexcept>
+
+namespace sysdp {
+
+namespace {
+
+/// A value in flight on a link: the m_{a,b} it carries, tagged by its
+/// origin so consumers can pair operands.
+struct Flit {
+  Cost val = 0;
+  std::size_t a = 0;  // origin cell (a, b)
+  std::size_t b = 0;
+};
+
+using Link = std::optional<Flit>;
+
+/// A candidate waiting at a cell once both operands have arrived.
+struct Ready {
+  sim::Cycle at;
+  std::size_t k;
+};
+
+}  // namespace
+
+GktRtlArray::GktRtlArray(std::vector<Cost> dims) : dims_(std::move(dims)) {
+  if (dims_.size() < 2) {
+    throw std::invalid_argument("GktRtlArray: need at least one matrix");
+  }
+  for (Cost d : dims_) {
+    if (d <= 0) throw std::invalid_argument("GktRtlArray: dims must be > 0");
+  }
+}
+
+GktRtlArray::Result GktRtlArray::run() const {
+  const std::size_t n = num_matrices();
+  Result out{Matrix<Cost>(n, n, kInfCost), Matrix<sim::Cycle>(n, n, 0), {},
+             0};
+  out.stats.num_pes = n * (n + 1) / 2;
+  out.stats.input_scalars = dims_.size();
+
+  // Link registers: row[i][j] is the value sitting at cell (i, j) on row
+  // i's rightward stream this cycle; col[i][j] likewise on column j's
+  // upward stream.
+  std::vector<std::vector<Link>> row(n, std::vector<Link>(n));
+  std::vector<std::vector<Link>> col(n, std::vector<Link>(n));
+  auto row_next = row;
+  auto col_next = col;
+
+  // Per-cell operand staging: arrived row values m_{i,k} (indexed k) and
+  // column values m_{k+1,j} (indexed k), plus the ready-candidate queue.
+  struct CellState {
+    std::vector<std::optional<Cost>> row_op;
+    std::vector<std::optional<Cost>> col_op;
+    std::vector<Ready> ready;
+    std::size_t remaining = 0;
+    Cost best = kInfCost;
+    std::size_t staged = 0;
+  };
+  std::vector<std::vector<CellState>> cell(n, std::vector<CellState>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      cell[i][j].row_op.assign(n, std::nullopt);
+      cell[i][j].col_op.assign(n, std::nullopt);
+      cell[i][j].remaining = j - i;
+    }
+  }
+
+  const auto place = [](Link& slot, const Flit& f) {
+    if (slot.has_value()) {
+      throw std::logic_error("GktRtlArray: link register conflict");
+    }
+    slot = f;
+  };
+
+  // A completed m_{a,b} launches rightward on row a (toward (a, b+1)) and
+  // upward on column b (toward (a-1, b)), one hop per cycle.
+  const auto launch = [&](std::size_t a, std::size_t b, Cost v) {
+    if (b + 1 < n) place(row_next[a][b + 1], Flit{v, a, b});
+    if (a > 0) place(col_next[a - 1][b], Flit{v, a, b});
+  };
+
+  // Leaves complete at cycle 0: their values are in flight from cycle 1.
+  for (std::size_t i = 0; i < n; ++i) {
+    out.cost(i, i) = 0;
+    out.done(i, i) = 0;
+    launch(i, i, 0);
+  }
+  row.swap(row_next);
+  col.swap(col_next);
+
+  std::size_t open_cells = n * (n - 1) / 2;
+  const sim::Cycle limit = 4 * static_cast<sim::Cycle>(n) + 16;
+  for (sim::Cycle c = 1; c <= limit && open_cells > 0; ++c) {
+    // ---- observe: every cell samples the streams passing it ------------
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        auto& st = cell[i][j];
+        if (row[i][j].has_value() && row[i][j]->a == i) {
+          const std::size_t k = row[i][j]->b;  // m_{i,k}
+          if (k >= i && k < j && !st.row_op[k].has_value()) {
+            st.row_op[k] = row[i][j]->val;
+            ++st.staged;
+            if (st.col_op[k].has_value()) st.ready.push_back(Ready{c, k});
+          }
+        }
+        if (col[i][j].has_value() && col[i][j]->b == j) {
+          const std::size_t a = col[i][j]->a;  // m_{a,j}, pairs with k=a-1
+          if (a > i && a <= j && !st.col_op[a - 1].has_value()) {
+            st.col_op[a - 1] = col[i][j]->val;
+            ++st.staged;
+            if (st.row_op[a - 1].has_value()) {
+              st.ready.push_back(Ready{c, a - 1});
+            }
+          }
+        }
+        out.peak_operand_buffer =
+            std::max<std::uint64_t>(out.peak_operand_buffer, st.staged);
+      }
+    }
+    // ---- shift the streams one hop --------------------------------------
+    for (auto& r : row_next) std::fill(r.begin(), r.end(), Link{});
+    for (auto& r : col_next) std::fill(r.begin(), r.end(), Link{});
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (row[i][j].has_value() && j + 1 < n) {
+          place(row_next[i][j + 1], *row[i][j]);
+        }
+        if (col[i][j].has_value() && i > 0) {
+          place(col_next[i - 1][j], *col[i][j]);
+        }
+      }
+    }
+    // ---- compute: fold up to two candidates that were ready before now --
+    for (std::size_t d = 1; d < n; ++d) {
+      for (std::size_t i = 0; i + d < n; ++i) {
+        const std::size_t j = i + d;
+        auto& st = cell[i][j];
+        if (out.done(i, j) != 0 || st.ready.empty()) continue;
+        std::sort(st.ready.begin(), st.ready.end(),
+                  [](const Ready& x, const Ready& y) { return x.at < y.at; });
+        std::size_t taken = 0;
+        while (!st.ready.empty() && taken < 2 && st.ready.front().at <= c - 1) {
+          const std::size_t k = st.ready.front().k;
+          st.ready.erase(st.ready.begin());
+          const Cost cand = sat_add(
+              sat_add(*st.row_op[k], *st.col_op[k]),
+              dims_[i] * dims_[k + 1] * dims_[j + 1]);
+          st.best = std::min(st.best, cand);
+          ++out.stats.busy_steps;
+          ++taken;
+          --st.remaining;
+          st.staged -= 2;  // operands retire with their candidate
+        }
+        if (taken > 0 && st.remaining == 0) {
+          out.cost(i, j) = st.best;
+          out.done(i, j) = c;
+          --open_cells;
+          launch(i, j, st.best);
+        }
+      }
+    }
+    row.swap(row_next);
+    col.swap(col_next);
+  }
+  if (open_cells > 0) {
+    throw std::logic_error("GktRtlArray: did not converge");
+  }
+  out.stats.cycles = out.completion();
+  return out;
+}
+
+}  // namespace sysdp

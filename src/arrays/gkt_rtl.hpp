@@ -1,0 +1,60 @@
+// Register-transfer-level model of the GKT triangular array.
+//
+// GktArray computes operand arrival times arithmetically; this model
+// instead *moves the data*: every cell (i, j) of the upper triangle owns a
+// rightward row register and an upward column register, each holding at
+// most one value per cycle.  When cell (i, k) completes m_{i,k} it launches
+// the value into its row stream; cell (k+1, j) launches m_{k+1,j} up its
+// column; values hop one register per cycle; a cell pairs the row value
+// tagged k with the column value tagged k and folds up to two candidates
+// per cycle.
+//
+// The point of the exercise is physical feasibility: single-value links are
+// a hard constraint a timing formula can silently violate.  The model
+// *asserts* that no two values ever contend for one register — which holds
+// because completed wavefronts advance two cycles per diagonal while data
+// moves one hop per cycle, keeping successive stream values spaced apart —
+// and reproduces GktArray's results cycle for cycle.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arrays/run_result.hpp"
+#include "semiring/cost.hpp"
+#include "semiring/matrix.hpp"
+
+namespace sysdp {
+
+class GktRtlArray {
+ public:
+  explicit GktRtlArray(std::vector<Cost> dims);
+
+  struct Result {
+    Matrix<Cost> cost;
+    Matrix<sim::Cycle> done;
+    RunResult<Cost> stats;
+    /// Largest number of operands any one cell ever had staged while
+    /// waiting for their partners — the per-cell buffer depth the design
+    /// needs (link registers themselves are asserted single-occupancy).
+    std::uint64_t peak_operand_buffer = 0;
+
+    [[nodiscard]] Cost total() const { return cost(0, cost.cols() - 1); }
+    [[nodiscard]] sim::Cycle completion() const {
+      return done(0, done.cols() - 1);
+    }
+  };
+
+  /// Simulate to completion.  Throws std::logic_error if two values ever
+  /// contend for one link register (which would falsify the design).
+  [[nodiscard]] Result run() const;
+
+  [[nodiscard]] std::size_t num_matrices() const noexcept {
+    return dims_.size() - 1;
+  }
+
+ private:
+  std::vector<Cost> dims_;
+};
+
+}  // namespace sysdp

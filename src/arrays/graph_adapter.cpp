@@ -1,0 +1,115 @@
+#include "arrays/graph_adapter.hpp"
+
+#include <stdexcept>
+
+namespace sysdp {
+
+MonadicStringProblem to_string_product(const MultistageGraph& g) {
+  const std::size_t S = g.num_stages();
+  const std::size_t last = S - 1;
+  MonadicStringProblem out;
+
+  // Intermediate stages must share width m (one PE per quantised value).
+  std::size_t m = 0;
+  for (std::size_t k = 1; k < last; ++k) {
+    if (m == 0) m = g.stage_size(k);
+    if (g.stage_size(k) != m) {
+      throw std::invalid_argument(
+          "to_string_product: intermediate stages must have equal width");
+    }
+  }
+  if (m == 0) m = g.stage_size(last);  // two-stage graph
+
+  if (g.stage_size(last) == 1 && S >= 3) {
+    // Single sink: the last cost matrix degenerates into the initial column
+    // vector D of eq. (8a).
+    out.v = g.costs(last - 1).col(0);
+    for (std::size_t k = 0; k + 1 < last; ++k) out.mats.push_back(g.costs(k));
+  } else {
+    if (g.stage_size(last) != m) {
+      throw std::invalid_argument(
+          "to_string_product: multi-sink final stage must match width m");
+    }
+    // Multi-sink: start from f(sink) = 0 (the semiring one).
+    out.v.assign(m, MinPlus::one());
+    for (std::size_t k = 0; k < last; ++k) out.mats.push_back(g.costs(k));
+  }
+  if (g.stage_size(0) > m) {
+    throw std::invalid_argument(
+        "to_string_product: first stage wider than intermediate stages");
+  }
+  return out;
+}
+
+RunResult<Cost> run_design1_shortest(const MultistageGraph& g) {
+  auto prob = to_string_product(g);
+  Design1Pipeline<MinPlus> array(std::move(prob.mats), std::move(prob.v));
+  return array.run();
+}
+
+Design1PathResult run_design1_shortest_with_path(const MultistageGraph& g) {
+  auto prob = to_string_product(g);
+  const bool folded_sink = prob.mats.size() + 2 == g.num_stages();
+  Design1Pipeline<MinPlus> array(std::move(prob.mats), std::move(prob.v));
+  Design1Pipeline<MinPlus>::ArgTables args;
+  Design1PathResult out;
+  out.stats = array.run(&args);
+
+  // Best source node, then follow the recorded winning columns forward.
+  std::size_t src = 0;
+  for (std::size_t i = 1; i < out.stats.values.size(); ++i) {
+    if (out.stats.values[i] < out.stats.values[src]) src = i;
+  }
+  out.cost = out.stats.values[src];
+  if (is_inf(out.cost)) return out;
+  out.path.push_back(src);
+  for (const auto& table : args) {
+    out.path.push_back(table[out.path.back()]);
+  }
+  if (folded_sink) out.path.push_back(0);  // the single sink
+  return out;
+}
+
+RunResult<Cost> run_design1_backward(const MultistageGraph& g) {
+  const std::size_t S = g.num_stages();
+  // Width checks mirror to_string_product with the roles of the first and
+  // last stages swapped.
+  std::size_t m = 0;
+  for (std::size_t k = 1; k + 1 < S; ++k) {
+    if (m == 0) m = g.stage_size(k);
+    if (g.stage_size(k) != m) {
+      throw std::invalid_argument(
+          "run_design1_backward: intermediate stages must have equal width");
+    }
+  }
+  if (m == 0) m = g.stage_size(0);
+
+  std::vector<Matrix<Cost>> mats;
+  std::vector<Cost> v;
+  if (g.stage_size(0) == 1 && S >= 3) {
+    // Single source: the first cost matrix degenerates into the vector.
+    v = g.costs(0).row(0);
+    for (std::size_t k = S - 1; k-- > 1;) {
+      mats.push_back(g.costs(k).transposed());
+    }
+  } else {
+    if (g.stage_size(0) != m) {
+      throw std::invalid_argument(
+          "run_design1_backward: multi-source first stage must match width");
+    }
+    v.assign(m, MinPlus::one());
+    for (std::size_t k = S - 1; k-- > 0;) {
+      mats.push_back(g.costs(k).transposed());
+    }
+  }
+  Design1Pipeline<MinPlus> array(std::move(mats), std::move(v));
+  return array.run();
+}
+
+RunResult<Cost> run_design2_shortest(const MultistageGraph& g) {
+  auto prob = to_string_product(g);
+  Design2Broadcast<MinPlus> array(std::move(prob.mats), std::move(prob.v));
+  return array.run();
+}
+
+}  // namespace sysdp

@@ -1,0 +1,55 @@
+// Adapters between multistage graphs and the string-product arrays.
+//
+// Equation (8) turns a multistage graph into a string of cost matrices; the
+// adapters below perform that conversion (folding a single-sink final stage
+// into the initial vector, exactly as D degenerates into a column vector in
+// the paper's example) and run Designs 1/2 end to end.
+#pragma once
+
+#include "arrays/design1_pipeline.hpp"
+#include "arrays/design2_broadcast.hpp"
+#include "arrays/run_result.hpp"
+#include "graph/multistage_graph.hpp"
+
+namespace sysdp {
+
+/// A monadic-serial problem in string-product form: compute
+/// mats[0] (x) (mats[1] (x) ( ... (x) v)).
+struct MonadicStringProblem {
+  std::vector<Matrix<Cost>> mats;
+  std::vector<Cost> v;
+};
+
+/// Convert a multistage graph to string-product form.  Requires all
+/// intermediate stages to have equal width m (the systolic arrays have one
+/// PE per quantised value); the first stage may be narrower (multi- or
+/// single-source) and a single-node final stage is folded into `v`.
+[[nodiscard]] MonadicStringProblem to_string_product(const MultistageGraph& g);
+
+/// Run Design 1 (pipelined array) on the graph; values[i] is the optimal
+/// cost from node i of stage 0 to the sink side.
+[[nodiscard]] RunResult<Cost> run_design1_shortest(const MultistageGraph& g);
+
+/// Run Design 2 (broadcast array) on the graph.
+[[nodiscard]] RunResult<Cost> run_design2_shortest(const MultistageGraph& g);
+
+/// Design 1 with the path-register extension: each PE records the winning
+/// column index of every result element (one extra register per element,
+/// the same mechanism as Design 3's path registers), and the host traces an
+/// optimal path at completion.
+struct Design1PathResult {
+  Cost cost = kInfCost;
+  StagePath path;
+  RunResult<Cost> stats;
+};
+[[nodiscard]] Design1PathResult run_design1_shortest_with_path(
+    const MultistageGraph& g);
+
+/// Backward monadic formulation (eq. 2): the optimal cost from the source
+/// side to every node of the *last* stage, computed on the same array by
+/// reversing the multiplication order and transposing each stage matrix —
+/// "the order of multiplications is reversed in backward monadic DP
+/// formulations" (Section 3.1).
+[[nodiscard]] RunResult<Cost> run_design1_backward(const MultistageGraph& g);
+
+}  // namespace sysdp

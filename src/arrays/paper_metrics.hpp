@@ -1,0 +1,53 @@
+// Closed-form performance expressions from the paper, kept in one place so
+// tests and benches compare simulation against the exact published formulas.
+#pragma once
+
+#include <cstdint>
+
+namespace sysdp {
+
+/// Eq. (9): PU of Designs 1/2 on an (N+1)-stage single-source/sink graph
+/// with m nodes per intermediate stage:
+/// ((N-2)m^2 + m) / (N m^2) = (N-2)/N + 1/(N m).
+[[nodiscard]] constexpr double analytic_pu_design12(std::uint64_t N,
+                                                    std::uint64_t m) noexcept {
+  const double n = static_cast<double>(N);
+  const double w = static_cast<double>(m);
+  return (n - 2.0) / n + 1.0 / (n * w);
+}
+
+/// Section 3.2: PU of Design 3 on an N-stage node-value graph with m values
+/// per stage: ((N-1)m^2 + m) / ((N+1) m^2).
+[[nodiscard]] constexpr double analytic_pu_design3(std::uint64_t N,
+                                                   std::uint64_t m) noexcept {
+  const double n = static_cast<double>(N);
+  const double w = static_cast<double>(m);
+  return ((n - 1.0) * w * w + w) / ((n + 1.0) * w * w);
+}
+
+/// Proposition 2 / eq. (42): broadcast-mapped AND/OR search time for a
+/// chain of k matrices, T_d(k) = T_d(ceil(k/2)) + floor(k/2), T_d(1) = 1.
+[[nodiscard]] constexpr std::uint64_t t_broadcast(std::uint64_t k) noexcept {
+  std::uint64_t t = 1;
+  while (k > 1) {
+    t += k / 2;
+    k = (k + 1) / 2;
+  }
+  return t;
+}
+
+/// Proposition 3 / eq. (43): serialised (pipelined) AND/OR search time,
+/// T_p(k) = T_p(ceil(k/2)) + 2 floor(k/2), T_p(1) = 2.
+[[nodiscard]] constexpr std::uint64_t t_pipelined(std::uint64_t k) noexcept {
+  std::uint64_t t = 2;
+  while (k > 1) {
+    t += 2 * (k / 2);
+    k = (k + 1) / 2;
+  }
+  return t;
+}
+
+static_assert(t_broadcast(1) == 1);
+static_assert(t_pipelined(1) == 2);
+
+}  // namespace sysdp

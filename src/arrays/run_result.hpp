@@ -1,0 +1,42 @@
+// Common result type for systolic-array simulations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/module.hpp"
+
+namespace sysdp {
+
+/// Outcome of running an array model to completion.
+template <typename V>
+struct RunResult {
+  /// Final result vector (length = rows of the leftmost matrix).
+  std::vector<V> values;
+  /// Wall-clock cycles from first input to last output.
+  sim::Cycle cycles = 0;
+  /// Total useful PE work steps (one multiply-accumulate each).
+  std::uint64_t busy_steps = 0;
+  /// Number of PEs in the array.
+  std::size_t num_pes = 0;
+  /// Scalars that crossed the array boundary inward (matrix/vector/node
+  /// values).  The I/O-bottleneck comparison of experiment E2 uses this.
+  std::uint64_t input_scalars = 0;
+
+  /// Measured processor utilisation against wall-clock time.
+  [[nodiscard]] double utilization_wall() const noexcept {
+    if (cycles == 0 || num_pes == 0) return 0.0;
+    return static_cast<double>(busy_steps) /
+           (static_cast<double>(cycles) * static_cast<double>(num_pes));
+  }
+
+  /// Utilisation against a caller-supplied iteration count (the paper's PU
+  /// uses parallel *iterations*, which exclude pipeline fill/drain skew).
+  [[nodiscard]] double utilization_iters(std::uint64_t iters) const noexcept {
+    if (iters == 0 || num_pes == 0) return 0.0;
+    return static_cast<double>(busy_steps) /
+           (static_cast<double>(iters) * static_cast<double>(num_pes));
+  }
+};
+
+}  // namespace sysdp

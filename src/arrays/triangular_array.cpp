@@ -1,0 +1,85 @@
+#include "arrays/triangular_array.hpp"
+
+#include <stdexcept>
+
+namespace sysdp {
+
+BstRule::BstRule(std::vector<Cost> freq) : freq_(std::move(freq)) {
+  if (freq_.empty()) throw std::invalid_argument("BstRule: no keys");
+  for (Cost f : freq_) {
+    if (f < 0) throw std::invalid_argument("BstRule: negative frequency");
+  }
+  prefix_.assign(freq_.size() + 1, 0);
+  for (std::size_t i = 0; i < freq_.size(); ++i) {
+    prefix_[i + 1] = prefix_[i] + freq_[i];
+  }
+}
+
+Cost BstRule::candidate(std::size_t i, std::size_t j, std::size_t t,
+                        Cost left, Cost right) const {
+  const std::size_t r = i + t;
+  const Cost l = r > i ? left : 0;   // empty left subtree
+  const Cost rr = r < j ? right : 0; // empty right subtree
+  const Cost weight = prefix_[j + 1] - prefix_[i];
+  return sat_add(sat_add(l, rr), weight);
+}
+
+std::pair<std::size_t, std::size_t> BstRule::left_interval(
+    std::size_t i, std::size_t j, std::size_t t) const {
+  (void)j;
+  const std::size_t r = i + t;
+  return r > i ? std::pair{i, r - 1} : std::pair{i, i};
+}
+
+std::pair<std::size_t, std::size_t> BstRule::right_interval(
+    std::size_t i, std::size_t j, std::size_t t) const {
+  const std::size_t r = i + t;
+  return r < j ? std::pair{r + 1, j} : std::pair{j, j};
+}
+
+TriangularArray<BstRule>::Result run_bst_array(const std::vector<Cost>& freq) {
+  BstRule rule(freq);
+  const std::size_t n = rule.num_keys();
+  return TriangularArray<BstRule>(std::move(rule), n).run();
+}
+
+PolygonRule::PolygonRule(std::vector<Cost> weights)
+    : weights_(std::move(weights)) {
+  if (weights_.size() < 2) {
+    throw std::invalid_argument("PolygonRule: need >= 2 vertices");
+  }
+  for (Cost w : weights_) {
+    if (w <= 0) throw std::invalid_argument("PolygonRule: weights must be > 0");
+  }
+}
+
+Cost PolygonRule::candidate(std::size_t i, std::size_t j, std::size_t t,
+                            Cost left, Cost right) const {
+  const std::size_t k = i + 1 + t;  // apex strictly between i and j
+  return sat_add(sat_add(left, right),
+                 weights_[i] * weights_[k] * weights_[j]);
+}
+
+std::pair<std::size_t, std::size_t> PolygonRule::left_interval(
+    std::size_t i, std::size_t j, std::size_t t) const {
+  (void)j;
+  const std::size_t k = i + 1 + t;
+  // The sub-polygon i..k; a bare edge (k == i + 1) contributes 0 and is
+  // represented by the adjacent diagonal cell.
+  return k > i + 1 ? std::pair{i, k} : std::pair{i, i};
+}
+
+std::pair<std::size_t, std::size_t> PolygonRule::right_interval(
+    std::size_t i, std::size_t j, std::size_t t) const {
+  const std::size_t k = i + 1 + t;
+  return j > k + 1 ? std::pair{k, j} : std::pair{j, j};
+}
+
+TriangularArray<PolygonRule>::Result run_polygon_array(
+    const std::vector<Cost>& weights) {
+  PolygonRule rule(weights);
+  const std::size_t n = rule.num_vertices();
+  return TriangularArray<PolygonRule>(std::move(rule), n).run();
+}
+
+}  // namespace sysdp

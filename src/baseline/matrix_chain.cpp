@@ -1,0 +1,112 @@
+#include "baseline/matrix_chain.hpp"
+
+#include <stdexcept>
+
+namespace sysdp {
+
+namespace {
+
+void render_parens(const Matrix<std::size_t>& split, std::size_t i,
+                   std::size_t j, std::string& out) {
+  if (i == j) {
+    out += "M" + std::to_string(i + 1);
+    return;
+  }
+  out += '(';
+  const std::size_t k = split(i, j);
+  render_parens(split, i, k, out);
+  out += ' ';
+  render_parens(split, k + 1, j, out);
+  out += ')';
+}
+
+Cost splits_cost(const std::vector<Cost>& dims,
+                 const Matrix<std::size_t>& split, std::size_t i,
+                 std::size_t j) {
+  if (i == j) return 0;
+  const std::size_t k = split(i, j);
+  return sat_add(sat_add(splits_cost(dims, split, i, k),
+                         splits_cost(dims, split, k + 1, j)),
+                 dims[i] * dims[k + 1] * dims[j + 1]);
+}
+
+}  // namespace
+
+std::string ChainResult::parenthesization() const {
+  std::string out;
+  if (cost.rows() == 0) return out;
+  render_parens(split, 0, cost.cols() - 1, out);
+  return out;
+}
+
+ChainResult matrix_chain_order(const std::vector<Cost>& dims) {
+  if (dims.size() < 2) {
+    throw std::invalid_argument("matrix_chain_order: need >= 1 matrix");
+  }
+  const std::size_t n = dims.size() - 1;  // number of matrices
+  ChainResult res{Matrix<Cost>(n, n, 0), Matrix<std::size_t>(n, n, 0), {}};
+  for (std::size_t len = 2; len <= n; ++len) {
+    for (std::size_t i = 0; i + len <= n; ++i) {
+      const std::size_t j = i + len - 1;
+      Cost best = kInfCost;
+      std::size_t best_k = i;
+      for (std::size_t k = i; k < j; ++k) {
+        const Cost cand =
+            sat_add(sat_add(res.cost(i, k), res.cost(k + 1, j)),
+                    dims[i] * dims[k + 1] * dims[j + 1]);
+        ++res.ops.mac;
+        if (cand < best) {
+          best = cand;
+          best_k = k;
+        }
+      }
+      res.cost(i, j) = best;
+      res.split(i, j) = best_k;
+    }
+  }
+  return res;
+}
+
+Cost chain_cost_of_splits(const std::vector<Cost>& dims,
+                          const Matrix<std::size_t>& split) {
+  if (dims.size() < 2) return 0;
+  return splits_cost(dims, split, 0, dims.size() - 2);
+}
+
+BstResult optimal_bst(const std::vector<Cost>& freq) {
+  if (freq.empty()) throw std::invalid_argument("optimal_bst: no keys");
+  const std::size_t n = freq.size();
+  BstResult res{Matrix<Cost>(n, n, 0), Matrix<std::size_t>(n, n, 0), {}};
+  // weight(i,j) = sum of freq[i..j]; prefix sums make it O(1).
+  std::vector<Cost> prefix(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) prefix[i + 1] = prefix[i] + freq[i];
+  const auto weight = [&](std::size_t i, std::size_t j) {
+    return prefix[j + 1] - prefix[i];
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    res.cost(i, i) = freq[i];
+    res.root(i, i) = i;
+  }
+  for (std::size_t len = 2; len <= n; ++len) {
+    for (std::size_t i = 0; i + len <= n; ++i) {
+      const std::size_t j = i + len - 1;
+      Cost best = kInfCost;
+      std::size_t best_r = i;
+      for (std::size_t r = i; r <= j; ++r) {
+        const Cost left = r > i ? res.cost(i, r - 1) : 0;
+        const Cost right = r < j ? res.cost(r + 1, j) : 0;
+        const Cost cand = sat_add(sat_add(left, right), weight(i, j));
+        ++res.ops.mac;
+        if (cand < best) {
+          best = cand;
+          best_r = r;
+        }
+      }
+      res.cost(i, j) = best;
+      res.root(i, j) = best_r;
+    }
+  }
+  return res;
+}
+
+}  // namespace sysdp

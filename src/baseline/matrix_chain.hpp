@@ -1,0 +1,59 @@
+// Sequential polyadic-nonserial references (Section 2.1 / eq. 6).
+//
+// Optimal matrix-chain parenthesisation and the optimal binary search tree
+// are the paper's two named examples of polyadic formulations.  Both are
+// solved here by the classic O(n^3) table DP; the AND/OR-graph searches and
+// the GKT systolic array are validated against these tables.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "semiring/cost.hpp"
+#include "semiring/matrix.hpp"
+#include "semiring/ops.hpp"
+
+namespace sysdp {
+
+/// Solution of the matrix-chain problem over dimensions r_0..r_n
+/// (M_i is r_{i-1} x r_i, 1-based as in the paper).
+struct ChainResult {
+  /// cost(i,j), 0-based over matrices [i..j]: minimum scalar-multiplication
+  /// cost of computing M_{i+1} x ... x M_{j+1} in the paper's numbering.
+  Matrix<Cost> cost;
+  /// split(i,j): the k (0-based, i <= k < j) achieving cost(i,j).
+  Matrix<std::size_t> split;
+  OpCount ops;
+
+  [[nodiscard]] Cost total() const { return cost(0, cost.cols() - 1); }
+
+  /// Fully parenthesised rendering, e.g. "((M1 M2)(M3 M4))".
+  [[nodiscard]] std::string parenthesization() const;
+};
+
+/// Eq. (6): m_{i,j} = 0 if i==j else min_k (m_{i,k} + m_{k+1,j} +
+/// r_{i-1} r_k r_j).
+[[nodiscard]] ChainResult matrix_chain_order(const std::vector<Cost>& dims);
+
+/// Cost of evaluating the chain with a *fixed* parenthesisation given by a
+/// split table (used to verify that recovered orders are consistent).
+[[nodiscard]] Cost chain_cost_of_splits(const std::vector<Cost>& dims,
+                                        const Matrix<std::size_t>& split);
+
+/// Optimal binary search tree over keys with access frequencies `freq`
+/// (successful searches only).  Returns the expected weighted depth table;
+/// root(i,j) gives the chosen root.  Structurally the same polyadic DP as
+/// eq. (6) with a different AND-node cost, which is why the same systolic
+/// structures apply.
+struct BstResult {
+  Matrix<Cost> cost;
+  Matrix<std::size_t> root;
+  OpCount ops;
+
+  [[nodiscard]] Cost total() const { return cost(0, cost.cols() - 1); }
+};
+
+[[nodiscard]] BstResult optimal_bst(const std::vector<Cost>& freq);
+
+}  // namespace sysdp

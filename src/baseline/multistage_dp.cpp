@@ -1,0 +1,95 @@
+#include "baseline/multistage_dp.hpp"
+
+#include <stdexcept>
+
+namespace sysdp {
+
+std::vector<Cost> forward_costs(const MultistageGraph& g, std::size_t k,
+                                OpCount* ops) {
+  const std::size_t last = g.num_stages() - 1;
+  if (k > last) throw std::out_of_range("forward_costs");
+  // f(last) = 0 for every final node (any sink is acceptable, Figure 1b).
+  std::vector<Cost> f(g.stage_size(last), 0);
+  for (std::size_t s = last; s-- > k;) {
+    f = mat_vec<MinPlus>(g.costs(s), f, ops);
+  }
+  return f;
+}
+
+std::vector<Cost> backward_costs(const MultistageGraph& g, std::size_t k,
+                                 OpCount* ops) {
+  if (k >= g.num_stages()) throw std::out_of_range("backward_costs");
+  std::vector<Cost> h(g.stage_size(0), 0);
+  for (std::size_t s = 0; s < k; ++s) {
+    h = vec_mat<MinPlus>(h, g.costs(s), ops);
+  }
+  return h;
+}
+
+ShortestPathResult solve_multistage(const MultistageGraph& g) {
+  ShortestPathResult res;
+  const std::size_t last = g.num_stages() - 1;
+  // Backward sweep keeping, for every node, the predecessor that achieved
+  // its h value, so one optimal path can be traced after the sweep.
+  std::vector<std::vector<std::size_t>> pred(g.num_stages());
+  std::vector<Cost> h(g.stage_size(0), 0);
+  for (std::size_t s = 0; s < last; ++s) {
+    std::vector<std::size_t> arg;
+    h = vec_mat<MinPlus>(h, g.costs(s), &res.ops, &arg);
+    pred[s + 1] = std::move(arg);
+  }
+  std::size_t best = 0;
+  res.cost = reduce<MinPlus>(h, &best);
+  res.ops.mac += h.size();  // the final m-way comparison
+  if (is_inf(res.cost)) return res;
+  res.path.assign(g.num_stages(), 0);
+  res.path[last] = best;
+  for (std::size_t s = last; s-- > 0;) {
+    res.path[s] = pred[s + 1][res.path[s + 1]];
+  }
+  return res;
+}
+
+ShortestPathResult solve_multistage_minimax(const MultistageGraph& g) {
+  ShortestPathResult res;
+  const std::size_t last = g.num_stages() - 1;
+  std::vector<std::vector<std::size_t>> pred(g.num_stages());
+  std::vector<Cost> h(g.stage_size(0), MinMax::one());
+  for (std::size_t s = 0; s < last; ++s) {
+    std::vector<std::size_t> arg;
+    h = vec_mat<MinMax>(h, g.costs(s), &res.ops, &arg);
+    pred[s + 1] = std::move(arg);
+  }
+  std::size_t best = 0;
+  res.cost = reduce<MinMax>(h, &best);
+  res.ops.mac += h.size();
+  if (is_inf(res.cost)) return res;
+  res.path.assign(g.num_stages(), 0);
+  res.path[last] = best;
+  for (std::size_t s = last; s-- > 0;) {
+    res.path[s] = pred[s + 1][res.path[s + 1]];
+  }
+  return res;
+}
+
+Matrix<Cost> stage_pair_costs(const MultistageGraph& g, std::size_t i,
+                              std::size_t j, OpCount* ops) {
+  if (i >= j || j >= g.num_stages()) {
+    throw std::invalid_argument("stage_pair_costs: need i < j < stages");
+  }
+  Matrix<Cost> acc = g.costs(i);
+  for (std::size_t s = i + 1; s < j; ++s) {
+    acc = mat_mul<MinPlus>(acc, g.costs(s), ops);
+  }
+  return acc;
+}
+
+std::uint64_t serial_steps_design12(std::uint64_t N, std::uint64_t m) {
+  return (N - 2) * m * m + m;
+}
+
+std::uint64_t serial_steps_design3(std::uint64_t N, std::uint64_t m) {
+  return (N - 1) * m * m + m;
+}
+
+}  // namespace sysdp

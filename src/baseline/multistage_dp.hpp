@@ -1,0 +1,64 @@
+// Sequential (single-processor) multistage-graph DP: the reference every
+// systolic design is validated against, and the numerator of every
+// processor-utilisation formula in the paper.
+//
+// forward  = eq. (1): f1(i) = min_j [ c_{i,j} + f1(j) ]   (cost to sink side)
+// backward = eq. (2)/(12): h(i) = min_j [ h(j) + c_{j,i} ] (cost from source)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/multistage_graph.hpp"
+#include "semiring/ops.hpp"
+
+namespace sysdp {
+
+/// Result of a sequential multistage shortest-path evaluation.
+struct ShortestPathResult {
+  Cost cost = kInfCost;      ///< optimal end-to-end cost
+  StagePath path;            ///< one optimal path (node index per stage)
+  OpCount ops;               ///< sequential multiply-accumulate steps
+};
+
+/// Best cost from every node of stage k to the best final-stage node
+/// (forward functional equation, evaluated right-to-left).
+[[nodiscard]] std::vector<Cost> forward_costs(const MultistageGraph& g,
+                                              std::size_t k,
+                                              OpCount* ops = nullptr);
+
+/// Best cost from the best stage-0 node to every node of stage k
+/// (backward functional equation, h(x_k) of eq. 12).
+[[nodiscard]] std::vector<Cost> backward_costs(const MultistageGraph& g,
+                                               std::size_t k,
+                                               OpCount* ops = nullptr);
+
+/// Full solve: optimal cost over all (source, sink) pairs plus one optimal
+/// path recovered by predecessor traceback.
+[[nodiscard]] ShortestPathResult solve_multistage(const MultistageGraph& g);
+
+/// Minimax variant over the (MIN, MAX) semiring: the cost of a path is its
+/// *largest* edge and the optimum minimises it — the multistage form of a
+/// Phi = max objective (eq. 5 with the maximum as the monotone combiner).
+[[nodiscard]] ShortestPathResult solve_multistage_minimax(
+    const MultistageGraph& g);
+
+/// All-pairs optimal costs between stage `i` and stage `j` nodes — the
+/// polyadic cost matrix f3(V_i, V_j) of eq. (15), computed as the product of
+/// the intervening stage matrices.
+[[nodiscard]] Matrix<Cost> stage_pair_costs(const MultistageGraph& g,
+                                            std::size_t i, std::size_t j,
+                                            OpCount* ops = nullptr);
+
+/// Closed-form sequential step count the paper uses for Designs 1/2
+/// (Section 3.2): (N-2)m^2 + m iterations for an (N+1)-stage graph with
+/// single source/sink and m nodes per intermediate stage.
+[[nodiscard]] std::uint64_t serial_steps_design12(std::uint64_t N,
+                                                  std::uint64_t m);
+
+/// Closed-form sequential step count for Design 3: (N-1)m^2 + m for an
+/// N-stage node-value graph with m values per stage.
+[[nodiscard]] std::uint64_t serial_steps_design3(std::uint64_t N,
+                                                 std::uint64_t m);
+
+}  // namespace sysdp

@@ -1,0 +1,22 @@
+#include "core/classification.hpp"
+
+namespace sysdp {
+
+std::string to_string(Recursion r) {
+  return r == Recursion::kMonadic ? "monadic" : "polyadic";
+}
+
+std::string to_string(Structure s) {
+  return s == Structure::kSerial ? "serial" : "nonserial";
+}
+
+std::string to_string(const DpClass& c) {
+  return to_string(c.recursion) + "-" + to_string(c.structure);
+}
+
+DpClass classify(const NonserialObjective& obj, Recursion intended) {
+  return DpClass{intended, obj.is_serial() ? Structure::kSerial
+                                           : Structure::kNonserial};
+}
+
+}  // namespace sysdp

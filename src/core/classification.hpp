@@ -1,0 +1,39 @@
+// DP-formulation classification (Section 2 of the paper).
+//
+// A DP formulation is monadic or polyadic by the number of recursive terms
+// in its cost function, and serial or nonserial by the structure of its
+// objective (equivalently: whether its AND/OR-graph has arcs between
+// adjacent levels only).  The four classes index Table 1, which maps each
+// to the architecture the paper recommends.
+#pragma once
+
+#include <string>
+
+#include "nonserial/objective.hpp"
+
+namespace sysdp {
+
+/// Number of recursive terms in the functional equation.
+enum class Recursion { kMonadic, kPolyadic };
+
+/// Structure of the objective / AND-OR-graph.
+enum class Structure { kSerial, kNonserial };
+
+struct DpClass {
+  Recursion recursion = Recursion::kMonadic;
+  Structure structure = Structure::kSerial;
+
+  friend bool operator==(const DpClass&, const DpClass&) = default;
+};
+
+[[nodiscard]] std::string to_string(Recursion r);
+[[nodiscard]] std::string to_string(Structure s);
+[[nodiscard]] std::string to_string(const DpClass& c);
+
+/// Classify an objective's structure from its interaction graph; the
+/// recursion kind is the caller's modelling choice (the same problem can be
+/// posed monadically or polyadically — Section 2.1).
+[[nodiscard]] DpClass classify(const NonserialObjective& obj,
+                               Recursion intended);
+
+}  // namespace sysdp

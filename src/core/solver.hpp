@@ -1,0 +1,55 @@
+// High-level solve() façade.
+//
+// Routes each DP class to the architecture Table 1 prescribes and reports
+// which path was taken, so applications can use one entry point per problem
+// shape without touching the array models directly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/classification.hpp"
+#include "graph/multistage_graph.hpp"
+#include "graph/node_value_graph.hpp"
+#include "nonserial/objective.hpp"
+#include "semiring/matrix.hpp"
+
+namespace sysdp {
+
+struct SolveReport {
+  Cost cost = kInfCost;
+  /// Optimal assignment: node per stage (graph problems) or value per
+  /// variable (objective problems); empty when the method reports only the
+  /// optimum (e.g. a matrix-string product of costs).
+  std::vector<std::size_t> assignment;
+  DpClass cls;
+  std::string method;            ///< human-readable route taken
+  std::uint64_t work_steps = 0;  ///< add-compare steps performed
+  std::uint64_t cycles = 0;      ///< systolic wall-clock, when applicable
+};
+
+/// Monadic-serial, edge-cost form: Design 1 (pipelined string of matrix
+/// multiplications).
+[[nodiscard]] SolveReport solve_monadic_serial(const MultistageGraph& g);
+
+/// Monadic-serial, node-value form: Design 3 (feedback array) with path
+/// recovery.
+[[nodiscard]] SolveReport solve_monadic_serial(const NodeValueGraph& g);
+
+/// Polyadic-serial: divide-and-conquer string product on `k` arrays
+/// (Section 4).  Returns the optimal source-to-sink cost.
+[[nodiscard]] SolveReport solve_polyadic_serial(const MultistageGraph& g,
+                                                std::uint64_t k);
+
+/// Polyadic-nonserial: optimal matrix-chain order via the serialised
+/// AND/OR-graph / GKT array (Section 6.2).
+[[nodiscard]] SolveReport solve_chain_order(const std::vector<Cost>& dims);
+
+/// Objective-function entry point: classifies the objective and dispatches —
+/// serial chains go to Design 3 via the multistage mapping; banded
+/// nonserial objectives are grouped into a serial problem (Section 6.1);
+/// anything else falls back to general variable elimination.
+[[nodiscard]] SolveReport solve_objective(const NonserialObjective& obj);
+
+}  // namespace sysdp

@@ -1,0 +1,55 @@
+#include "core/table1.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace sysdp {
+
+const std::vector<Table1Row>& table1() {
+  static const std::vector<Table1Row> rows = {
+      {{Recursion::kMonadic, Structure::kSerial},
+       "many states or quantized values in each stage",
+       "solve as string of matrix multiplications",
+       "systolic processing"},
+      {{Recursion::kPolyadic, Structure::kSerial},
+       "many stages",
+       "solve by divide-and-conquer algorithms, or search AND/OR-trees",
+       "loose coupling for fine grain; tight coupling for coarse grain"},
+      {{Recursion::kMonadic, Structure::kNonserial},
+       "variables can be eliminated one by one",
+       "transform into monadic-serial representation (by grouping variables)",
+       "systolic processing"},
+      {{Recursion::kPolyadic, Structure::kNonserial},
+       "unstructured problems",
+       "search AND/OR-graphs; transform into serial AND/OR-graphs",
+       "dataflow or systolic processing"},
+  };
+  return rows;
+}
+
+const Table1Row& recommend(const DpClass& cls) {
+  for (const auto& row : table1()) {
+    if (row.cls == cls) return row;
+  }
+  throw std::logic_error("recommend: unknown class");  // unreachable
+}
+
+std::string render_table1() {
+  std::ostringstream os;
+  os << "Formulation          | Problem characteristic                         "
+        "| Suitable method\n";
+  os << std::string(120, '-') << '\n';
+  for (const auto& row : table1()) {
+    std::string name = to_string(row.cls);
+    name.resize(20, ' ');
+    std::string characteristic = row.problem_characteristic;
+    characteristic.resize(46, ' ');
+    os << name << " | " << characteristic << " | " << row.suitable_method
+       << "\n                     |                                            "
+          "    |   requires: "
+       << row.functional_requirement << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace sysdp

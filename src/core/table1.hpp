@@ -1,0 +1,29 @@
+// Table 1 of the paper: formulation -> suitable method -> functional
+// requirement.  table1() regenerates the published rows; recommend() is the
+// lookup the solve() dispatcher uses.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/classification.hpp"
+
+namespace sysdp {
+
+struct Table1Row {
+  DpClass cls;
+  std::string problem_characteristic;
+  std::string suitable_method;
+  std::string functional_requirement;
+};
+
+/// The four rows of Table 1, in the paper's order.
+[[nodiscard]] const std::vector<Table1Row>& table1();
+
+/// The row for a given class.
+[[nodiscard]] const Table1Row& recommend(const DpClass& cls);
+
+/// Render the table as fixed-width text (used by bench_table1_summary).
+[[nodiscard]] std::string render_table1();
+
+}  // namespace sysdp

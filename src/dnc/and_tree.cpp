@@ -1,0 +1,36 @@
+#include "dnc/and_tree.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sysdp {
+
+AndTree::AndTree(std::size_t num_leaves) : leaves_(num_leaves) {
+  if (num_leaves == 0) throw std::invalid_argument("AndTree: no leaves");
+  nodes_.reserve(2 * num_leaves - 1);
+  root_ = build(0, num_leaves);
+  // Pre-order construction puts every parent before its children, so one
+  // forward pass assigns depths.
+  for (auto& n : nodes_) {
+    if (n.parent != AndTreeNode::kNone) n.depth = nodes_[n.parent].depth + 1;
+  }
+}
+
+std::size_t AndTree::build(std::size_t lo, std::size_t hi) {
+  const std::size_t idx = nodes_.size();
+  nodes_.push_back(AndTreeNode{lo, hi, AndTreeNode::kNone, AndTreeNode::kNone,
+                               AndTreeNode::kNone, 0, 0});
+  if (hi - lo > 1) {
+    const std::size_t mid = lo + (hi - lo + 1) / 2;  // left gets the ceiling
+    const std::size_t l = build(lo, mid);
+    const std::size_t r = build(mid, hi);
+    nodes_[idx].left = l;
+    nodes_[idx].right = r;
+    nodes_[l].parent = idx;
+    nodes_[r].parent = idx;
+    nodes_[idx].height = 1 + std::max(nodes_[l].height, nodes_[r].height);
+  }
+  return idx;
+}
+
+}  // namespace sysdp

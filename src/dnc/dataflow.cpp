@@ -1,0 +1,138 @@
+#include "dnc/dataflow.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace sysdp {
+
+namespace {
+
+struct Task {
+  std::size_t i = 0;
+  std::size_t j = 0;
+  std::uint64_t duration = 0;
+  std::size_t parent = kNone;
+  std::size_t missing = 0;       ///< children still incomplete
+  std::uint64_t blevel = 0;      ///< duration + path of ancestors to root
+
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+};
+
+/// Build the task tree for interval [i, j]; returns the task index or
+/// kNone for single matrices (no work).
+std::size_t build(const std::vector<Cost>& dims,
+                  const Matrix<std::size_t>& split, std::size_t i,
+                  std::size_t j, std::vector<Task>& tasks) {
+  if (i == j) return Task::kNone;
+  const std::size_t k = split(i, j);
+  if (k < i || k >= j) throw std::invalid_argument("dataflow: bad split");
+  const std::size_t idx = tasks.size();
+  tasks.push_back(Task{});
+  tasks[idx].i = i;
+  tasks[idx].j = j;
+  tasks[idx].duration = static_cast<std::uint64_t>(dims[i]) *
+                        static_cast<std::uint64_t>(dims[k + 1]) *
+                        static_cast<std::uint64_t>(dims[j + 1]);
+  const std::size_t l = build(dims, split, i, k, tasks);
+  const std::size_t r = build(dims, split, k + 1, j, tasks);
+  std::size_t missing = 0;
+  if (l != Task::kNone) {
+    tasks[l].parent = idx;
+    ++missing;
+  }
+  if (r != Task::kNone) {
+    tasks[r].parent = idx;
+    ++missing;
+  }
+  tasks[idx].missing = missing;
+  return idx;
+}
+
+}  // namespace
+
+DataflowResult execute_chain_dataflow(const std::vector<Cost>& dims,
+                                      const Matrix<std::size_t>& split,
+                                      std::uint64_t k) {
+  if (dims.size() < 2) throw std::invalid_argument("dataflow: empty chain");
+  if (k == 0) throw std::invalid_argument("dataflow: k == 0");
+  const std::size_t n = dims.size() - 1;
+  DataflowResult res;
+  if (n == 1) return res;
+
+  std::vector<Task> tasks;
+  tasks.reserve(n - 1);
+  const std::size_t root = build(dims, split, 0, n - 1, tasks);
+
+  // Bottom levels (parents precede children in `tasks`): blevel = own
+  // duration + blevel of the parent.
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    tasks[t].blevel = tasks[t].duration +
+                      (tasks[t].parent == Task::kNone
+                           ? 0
+                           : tasks[tasks[t].parent].blevel);
+    res.scalar_ops += tasks[t].duration;
+    res.critical_path = std::max(res.critical_path, tasks[t].blevel);
+  }
+  (void)root;
+
+  // Event-driven list schedule, critical-path (highest blevel) priority.
+  const auto by_blevel = [&](std::size_t a, std::size_t b) {
+    if (tasks[a].blevel != tasks[b].blevel) {
+      return tasks[a].blevel < tasks[b].blevel;  // max-heap
+    }
+    return a > b;
+  };
+  std::priority_queue<std::size_t, std::vector<std::size_t>,
+                      decltype(by_blevel)>
+      ready(by_blevel);
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    if (tasks[t].missing == 0) ready.push(t);
+  }
+  // Running tasks: (finish time, task id) min-heap.
+  using Running = std::pair<std::uint64_t, std::size_t>;
+  std::priority_queue<Running, std::vector<Running>, std::greater<>> running;
+  std::uint64_t now = 0;
+  std::size_t remaining = tasks.size();
+  while (remaining > 0) {
+    while (!ready.empty() && running.size() < k) {
+      const std::size_t t = ready.top();
+      ready.pop();
+      running.emplace(now + tasks[t].duration, t);
+    }
+    if (running.empty()) {
+      throw std::logic_error("dataflow: deadlock (malformed tree)");
+    }
+    const auto [finish, t] = running.top();
+    running.pop();
+    now = finish;
+    --remaining;
+    const std::size_t parent = tasks[t].parent;
+    if (parent != Task::kNone && --tasks[parent].missing == 0) {
+      ready.push(parent);
+    }
+  }
+  res.makespan = now;
+  return res;
+}
+
+Matrix<std::size_t> split_left_assoc(std::size_t n) {
+  Matrix<std::size_t> split(n, n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) split(i, j) = j - 1;
+  }
+  return split;
+}
+
+Matrix<std::size_t> split_balanced(std::size_t n) {
+  Matrix<std::size_t> split(n, n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const std::size_t len = j - i + 1;
+      split(i, j) = i + (len + 1) / 2 - 1;  // left half takes the ceiling
+    }
+  }
+  return split;
+}
+
+}  // namespace sysdp

@@ -1,0 +1,61 @@
+#include "dnc/metrics.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace sysdp {
+
+namespace {
+
+/// floor(log2(x)) for x >= 1.
+std::uint64_t floor_log2(std::uint64_t x) {
+  if (x == 0) throw std::invalid_argument("floor_log2(0)");
+  return static_cast<std::uint64_t>(std::bit_width(x) - 1);
+}
+
+}  // namespace
+
+std::uint64_t dnc_time_eq29(std::uint64_t n, std::uint64_t k) {
+  if (n < 2) return 0;
+  if (k == 0) throw std::invalid_argument("dnc_time_eq29: k == 0");
+  const std::uint64_t tc = (n - 1) / k;
+  const std::uint64_t residue = n + k - 1 - k * tc;
+  return tc + floor_log2(residue);
+}
+
+double dnc_time_eq30(double n, double k) {
+  return n / k - 1.0 + std::log2(k);
+}
+
+double dnc_time_lower_bound(double n, double s) {
+  return n / s - 1.0 + std::log2(s);
+}
+
+double kt2_eq29(std::uint64_t n, std::uint64_t k) {
+  const double t = static_cast<double>(dnc_time_eq29(n, k));
+  return static_cast<double>(k) * t * t;
+}
+
+double st2_lower_bound(double n, double s) {
+  const double t = dnc_time_lower_bound(n, s);
+  return s * t * t;
+}
+
+double pu_eq29(std::uint64_t n, std::uint64_t k) {
+  if (n < 2) return 1.0;
+  const double t = static_cast<double>(dnc_time_eq29(n, k));
+  return static_cast<double>(n - 1) / (static_cast<double>(k) * t);
+}
+
+double prop1_limit(double c_inf) { return 1.0 / (1.0 + c_inf); }
+
+Kt2Minimum minimize_kt2(std::uint64_t n, std::uint64_t k_max) {
+  Kt2Minimum best{1, kt2_eq29(n, 1)};
+  for (std::uint64_t k = 2; k <= k_max; ++k) {
+    const double v = kt2_eq29(n, k);
+    if (v < best.kt2) best = {k, v};
+  }
+  return best;
+}
+
+}  // namespace sysdp

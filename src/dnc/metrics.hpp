@@ -1,0 +1,43 @@
+// Closed-form models from Section 4: eq. (25), eq. (29), eq. (30),
+// Proposition 1, and the KT^2 / AT^2 figures of merit.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace sysdp {
+
+/// Eq. (29): exact time (in units of T_1) to multiply N m x m matrices with
+/// K arrays: T = floor((N-1)/K) + floor(log2(N + K - 1 - K floor((N-1)/K))).
+[[nodiscard]] std::uint64_t dnc_time_eq29(std::uint64_t n, std::uint64_t k);
+
+/// Eq. (30): the large-N approximation T ~ N/K - 1 + log2 K.
+[[nodiscard]] double dnc_time_eq30(double n, double k);
+
+/// Eq. (25): the lower bound T >= N/S - 1 + log2 S used in Theorem 1.
+[[nodiscard]] double dnc_time_lower_bound(double n, double s);
+
+/// K * T^2 with T from eq. (29).
+[[nodiscard]] double kt2_eq29(std::uint64_t n, std::uint64_t k);
+
+/// S * T^2 with T from the Theorem 1 lower bound (eq. 26 integrand).
+[[nodiscard]] double st2_lower_bound(double n, double s);
+
+/// PU(k, N) = (N - 1) / (k * T) with T from eq. (29) — the quantity whose
+/// asymptotics Proposition 1 characterises.
+[[nodiscard]] double pu_eq29(std::uint64_t n, std::uint64_t k);
+
+/// Proposition 1's limit: lim PU = 1 / (1 + c_inf) where
+/// c_inf = lim k(N) / (N / log2 N); returns the predicted limit for a
+/// finite c_inf (c_inf = 0 -> 1, c_inf -> inf handled by the caller).
+[[nodiscard]] double prop1_limit(double c_inf);
+
+/// Brute-force argmin over K in [1, k_max] of K * T^2(K) via eq. (29) —
+/// regenerates the minimum of Figure 6.
+struct Kt2Minimum {
+  std::uint64_t k = 1;
+  double kt2 = 0.0;
+};
+[[nodiscard]] Kt2Minimum minimize_kt2(std::uint64_t n, std::uint64_t k_max);
+
+}  // namespace sysdp

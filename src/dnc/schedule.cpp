@@ -1,0 +1,220 @@
+#include "dnc/schedule.hpp"
+
+#include "arrays/matmul_array.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+#include <stdexcept>
+
+namespace sysdp {
+
+namespace {
+
+/// Ready queue ordered by Hu's level (distance to the root) descending;
+/// ties by node index for determinism.  For in-trees this priority is the
+/// classic optimal list schedule.
+struct ByLevel {
+  const AndTree* tree;
+  bool operator()(std::size_t a, std::size_t b) const {
+    const auto da = tree->node(a).depth;
+    const auto db = tree->node(b).depth;
+    if (da != db) return da < db;  // max-heap on depth
+    return a > b;
+  }
+};
+
+/// Policy-polymorphic ready set over the AND-tree.  Hu levels (depths) are
+/// tiny (<= log2 N), so per-level FIFO buckets give O(1) amortised
+/// selection for every policy; within one level, insertion order is
+/// preserved.
+class ReadySet {
+ public:
+  ReadySet(const AndTree& tree, SchedulePolicy policy)
+      : tree_(tree),
+        policy_(policy),
+        buckets_(tree.height() + 1) {}
+
+  void push(std::size_t id) {
+    buckets_[tree_.node(id).depth].push_back(id);
+    ++size_;
+    if (policy_ == SchedulePolicy::kFifo) fifo_.push_back(id);
+  }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  std::size_t pop() {
+    --size_;
+    if (policy_ == SchedulePolicy::kFifo) {
+      const std::size_t id = fifo_.front();
+      fifo_.pop_front();
+      auto& bucket = buckets_[tree_.node(id).depth];
+      bucket.pop_front();  // same order as fifo_ within a height
+      return id;
+    }
+    if (policy_ == SchedulePolicy::kHighestLevelFirst) {
+      for (std::size_t h = buckets_.size(); h-- > 0;) {
+        if (!buckets_[h].empty()) {
+          const std::size_t id = buckets_[h].front();
+          buckets_[h].pop_front();
+          return id;
+        }
+      }
+    } else {
+      for (auto& bucket : buckets_) {
+        if (!bucket.empty()) {
+          const std::size_t id = bucket.front();
+          bucket.pop_front();
+          return id;
+        }
+      }
+    }
+    throw std::logic_error("ReadySet::pop on empty set");
+  }
+
+ private:
+  const AndTree& tree_;
+  SchedulePolicy policy_;
+  std::vector<std::deque<std::size_t>> buckets_;
+  std::deque<std::size_t> fifo_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace
+
+ScheduleResult schedule_and_tree(std::size_t num_leaves, std::uint64_t k,
+                                 SchedulePolicy policy) {
+  if (k == 0) throw std::invalid_argument("schedule_and_tree: k == 0");
+  AndTree tree(num_leaves);
+  ScheduleResult res;
+  if (num_leaves <= 1) return res;
+
+  std::vector<std::size_t> missing(tree.size(), 0);
+  ReadySet ready(tree, policy);
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    const auto& n = tree.node(i);
+    if (n.is_leaf()) continue;
+    missing[i] = (tree.node(n.left).is_leaf() ? 0u : 1u) +
+                 (tree.node(n.right).is_leaf() ? 0u : 1u);
+    if (missing[i] == 0) ready.push(i);
+  }
+
+  while (!ready.empty()) {
+    std::vector<std::size_t> batch;
+    for (std::uint64_t s = 0; s < k && !ready.empty(); ++s) {
+      batch.push_back(ready.pop());
+    }
+    res.busy_per_step.push_back(batch.size());
+    ++res.makespan;
+    if (batch.size() == k) {
+      ++res.computation;
+    } else {
+      ++res.wind_down;
+    }
+    res.tasks += batch.size();
+    for (std::size_t done : batch) {
+      const std::size_t parent = tree.node(done).parent;
+      if (parent != AndTreeNode::kNone && --missing[parent] == 0) {
+        ready.push(parent);
+      }
+    }
+  }
+  return res;
+}
+
+Matrix<Cost> execute_dnc(const std::vector<Matrix<Cost>>& mats,
+                         std::uint64_t k, OpCount* ops,
+                         std::uint64_t* steps_out) {
+  if (mats.empty()) throw std::invalid_argument("execute_dnc: empty string");
+  if (k == 0) throw std::invalid_argument("execute_dnc: k == 0");
+  AndTree tree(mats.size());
+  std::vector<Matrix<Cost>> value(tree.size());
+  std::vector<std::size_t> missing(tree.size(), 0);
+  std::priority_queue<std::size_t, std::vector<std::size_t>, ByLevel> ready(
+      ByLevel{&tree});
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    const auto& n = tree.node(i);
+    if (n.is_leaf()) {
+      value[i] = mats[n.lo];
+      continue;
+    }
+    missing[i] = (tree.node(n.left).is_leaf() ? 0u : 1u) +
+                 (tree.node(n.right).is_leaf() ? 0u : 1u);
+    if (missing[i] == 0) ready.push(i);
+  }
+  std::uint64_t steps = 0;
+  while (!ready.empty()) {
+    std::vector<std::size_t> batch;
+    for (std::uint64_t s = 0; s < k && !ready.empty(); ++s) {
+      batch.push_back(ready.top());
+      ready.pop();
+    }
+    ++steps;
+    for (std::size_t i : batch) {
+      const auto& n = tree.node(i);
+      value[i] = mat_mul<MinPlus>(value[n.left], value[n.right], ops);
+      // Free children eagerly: peak memory tracks the frontier, as a real
+      // K-array system would hold only in-flight operands.
+      value[n.left] = Matrix<Cost>();
+      value[n.right] = Matrix<Cost>();
+      if (n.parent != AndTreeNode::kNone && --missing[n.parent] == 0) {
+        ready.push(n.parent);
+      }
+    }
+  }
+  if (steps_out) *steps_out = steps;
+  return std::move(value[tree.root()]);
+}
+
+TimedDncResult execute_dnc_timed(const std::vector<Matrix<Cost>>& mats,
+                                 std::uint64_t k, SchedulePolicy policy) {
+  if (mats.empty()) {
+    throw std::invalid_argument("execute_dnc_timed: empty string");
+  }
+  if (k == 0) throw std::invalid_argument("execute_dnc_timed: k == 0");
+  const std::size_t m = mats.front().rows();
+  for (const auto& mat : mats) {
+    if (mat.rows() != m || mat.cols() != m) {
+      throw std::invalid_argument("execute_dnc_timed: need square m x m");
+    }
+  }
+  AndTree tree(mats.size());
+  std::vector<Matrix<Cost>> value(tree.size());
+  std::vector<std::size_t> missing(tree.size(), 0);
+  ReadySet ready(tree, policy);
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    const auto& n = tree.node(i);
+    if (n.is_leaf()) {
+      value[i] = mats[n.lo];
+      continue;
+    }
+    missing[i] = (tree.node(n.left).is_leaf() ? 0u : 1u) +
+                 (tree.node(n.right).is_leaf() ? 0u : 1u);
+    if (missing[i] == 0) ready.push(i);
+  }
+  TimedDncResult res;
+  res.t1_cycles = MatmulArray<MinPlus>::completion_cycles(m);
+  while (!ready.empty()) {
+    std::vector<std::size_t> batch;
+    for (std::uint64_t s = 0; s < k && !ready.empty(); ++s) {
+      batch.push_back(ready.pop());
+    }
+    ++res.makespan;
+    for (std::size_t i : batch) {
+      const auto& n = tree.node(i);
+      MatmulArray<MinPlus> mesh(value[n.left], value[n.right]);
+      auto product = mesh.run();
+      res.mesh_macs += product.stats.busy_steps;
+      value[i] = std::move(product.c);
+      value[n.left] = Matrix<Cost>();
+      value[n.right] = Matrix<Cost>();
+      if (n.parent != AndTreeNode::kNone && --missing[n.parent] == 0) {
+        ready.push(n.parent);
+      }
+    }
+  }
+  res.total_cycles = res.makespan * res.t1_cycles;
+  res.product = std::move(value[tree.root()]);
+  return res;
+}
+
+}  // namespace sysdp

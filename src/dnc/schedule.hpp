@@ -1,0 +1,81 @@
+// List scheduling of the AND-tree on K systolic arrays (Section 4).
+//
+// Each internal node is one matrix product taking T_1 = 1 time unit on any
+// of the K identical arrays.  The scheduler is highest-level-first (critical
+// path): at every step the K arrays take the ready products whose subtree is
+// deepest.  The run is split into the paper's two phases — the computation
+// phase, while at least K products are in flight, and the wind-down phase,
+// when data dependences leave some arrays idle.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dnc/and_tree.hpp"
+#include "semiring/matrix.hpp"
+#include "semiring/ops.hpp"
+
+namespace sysdp {
+
+/// Ready-task selection policy — an ablation of the scheduler design.
+/// Highest-level-first (critical path) is the natural choice for AND-trees;
+/// FIFO models a naive work queue; lowest-level-first is the adversarial
+/// baseline that starves the critical path.
+enum class SchedulePolicy {
+  kHighestLevelFirst,
+  kFifo,
+  kLowestLevelFirst,
+};
+
+struct ScheduleResult {
+  std::uint64_t makespan = 0;       ///< total steps (units of T_1)
+  std::uint64_t computation = 0;    ///< steps with all K arrays busy
+  std::uint64_t wind_down = 0;      ///< steps with at least one idle array
+  std::uint64_t tasks = 0;          ///< products executed (= N - 1)
+  std::vector<std::uint64_t> busy_per_step;  ///< arrays busy at each step
+
+  /// PU(k, N): tasks / (K * makespan), the paper's utilisation of k arrays.
+  [[nodiscard]] double utilization(std::uint64_t k) const noexcept {
+    if (makespan == 0 || k == 0) return 1.0;
+    return static_cast<double>(tasks) /
+           (static_cast<double>(k) * static_cast<double>(makespan));
+  }
+  /// K * T^2 in units of T_1^2.
+  [[nodiscard]] double kt2(std::uint64_t k) const noexcept {
+    const double t = static_cast<double>(makespan);
+    return static_cast<double>(k) * t * t;
+  }
+};
+
+/// Simulate list scheduling of the AND-tree for `num_leaves` matrices on
+/// `k` arrays under the given policy (default: highest-level-first).  Also
+/// records, per step, how many arrays were busy, so benches can plot the
+/// phase structure.
+[[nodiscard]] ScheduleResult schedule_and_tree(
+    std::size_t num_leaves, std::uint64_t k,
+    SchedulePolicy policy = SchedulePolicy::kHighestLevelFirst);
+
+/// Execute the schedule functionally: multiply the actual matrix string in
+/// schedule order with `k` workers and return the product (equals the
+/// sequential string product by associativity).  `steps_out`, if non-null,
+/// receives the makespan for cross-checking against schedule_and_tree.
+[[nodiscard]] Matrix<Cost> execute_dnc(const std::vector<Matrix<Cost>>& mats,
+                                       std::uint64_t k, OpCount* ops = nullptr,
+                                       std::uint64_t* steps_out = nullptr);
+
+/// Cycle-grounded execution: every product in the schedule is evaluated on
+/// the 2-D systolic mesh of arrays/matmul_array.hpp (3m - 2 cycles per
+/// m x m product), so the abstract time unit T_1 of Section 4 becomes a
+/// concrete cycle count and the end-to-end latency is makespan * T_1.
+struct TimedDncResult {
+  Matrix<Cost> product;
+  std::uint64_t makespan = 0;      ///< steps, as in schedule_and_tree
+  std::uint64_t t1_cycles = 0;     ///< cycles per product on the mesh
+  std::uint64_t total_cycles = 0;  ///< makespan * t1_cycles
+  std::uint64_t mesh_macs = 0;     ///< multiply-accumulates on the meshes
+};
+[[nodiscard]] TimedDncResult execute_dnc_timed(
+    const std::vector<Matrix<Cost>>& mats, std::uint64_t k,
+    SchedulePolicy policy = SchedulePolicy::kHighestLevelFirst);
+
+}  // namespace sysdp

@@ -1,0 +1,217 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace sysdp {
+
+namespace {
+
+/// Random stage-value table for node-value instances: `width` distinct-ish
+/// values per stage drawn from [0, vmax].
+std::vector<std::vector<Cost>> random_values(std::size_t stages,
+                                             std::size_t width, Rng& rng,
+                                             Cost vmax) {
+  std::uniform_int_distribution<Cost> dist(0, vmax);
+  std::vector<std::vector<Cost>> values(stages);
+  for (auto& stage : values) {
+    stage.resize(width);
+    for (auto& v : stage) v = dist(rng);
+    std::sort(stage.begin(), stage.end());
+  }
+  return values;
+}
+
+}  // namespace
+
+MultistageGraph random_multistage(std::size_t stages, std::size_t width,
+                                  Rng& rng, Cost lo, Cost hi) {
+  return random_multistage(std::vector<std::size_t>(stages, width), rng, lo,
+                           hi);
+}
+
+MultistageGraph random_multistage(const std::vector<std::size_t>& stage_sizes,
+                                  Rng& rng, Cost lo, Cost hi) {
+  MultistageGraph g(stage_sizes);
+  std::uniform_int_distribution<Cost> dist(lo, hi);
+  for (std::size_t k = 0; k + 1 < g.num_stages(); ++k) {
+    for (std::size_t i = 0; i < g.stage_size(k); ++i) {
+      for (std::size_t j = 0; j < g.stage_size(k + 1); ++j) {
+        g.set_edge(k, i, j, dist(rng));
+      }
+    }
+  }
+  return g;
+}
+
+MultistageGraph random_sparse_multistage(std::size_t stages, std::size_t width,
+                                         Rng& rng, unsigned drop_permille) {
+  MultistageGraph g = random_multistage(stages, width, rng);
+  std::uniform_int_distribution<unsigned> coin(0, 999);
+  std::uniform_int_distribution<std::size_t> pick(0, width - 1);
+  // Spine path that is never dropped, keeping the instance feasible.
+  StagePath spine(stages);
+  for (auto& node : spine) node = pick(rng);
+  for (std::size_t k = 0; k + 1 < stages; ++k) {
+    for (std::size_t i = 0; i < width; ++i) {
+      for (std::size_t j = 0; j < width; ++j) {
+        const bool on_spine = (i == spine[k] && j == spine[k + 1]);
+        if (!on_spine && coin(rng) < drop_permille) {
+          g.set_edge(k, i, j, kInfCost);
+        }
+      }
+    }
+  }
+  return g;
+}
+
+MultistageGraph with_single_source_sink(const MultistageGraph& g) {
+  std::vector<std::size_t> sizes;
+  sizes.reserve(g.num_stages() + 2);
+  sizes.push_back(1);
+  for (std::size_t s : g.stage_sizes()) sizes.push_back(s);
+  sizes.push_back(1);
+  MultistageGraph out(sizes);
+  for (std::size_t j = 0; j < g.stage_size(0); ++j) out.set_edge(0, 0, j, 0);
+  for (std::size_t k = 0; k + 1 < g.num_stages(); ++k) {
+    out.costs(k + 1) = g.costs(k);
+  }
+  const std::size_t last = g.num_stages() - 1;
+  for (std::size_t i = 0; i < g.stage_size(last); ++i) {
+    out.set_edge(last + 1, i, 0, 0);
+  }
+  return out;
+}
+
+NodeValueGraph traffic_control_instance(std::size_t stages, std::size_t width,
+                                        Rng& rng, Cost horizon) {
+  return NodeValueGraph(random_values(stages, width, rng, horizon),
+                        [](Cost u, Cost v) { return std::abs(u - v); });
+}
+
+NodeValueGraph circuit_design_instance(std::size_t stages, std::size_t width,
+                                       Rng& rng, Cost vmax) {
+  return NodeValueGraph(random_values(stages, width, rng, vmax),
+                        [](Cost u, Cost v) {
+                          const Cost swing = u - v;
+                          return swing * swing;  // dissipation ~ swing^2
+                        });
+}
+
+NodeValueGraph fluid_flow_instance(std::size_t stages, std::size_t width,
+                                   Rng& rng, Cost pmax) {
+  return NodeValueGraph(
+      random_values(stages, width, rng, pmax), [](Cost u, Cost v) {
+        // A drop in pressure chokes the flow (heavy penalty); a rise costs
+        // pumping energy proportional to the jump.
+        return v < u ? 5 * (u - v) : (v - u);
+      });
+}
+
+NodeValueGraph scheduling_instance(std::size_t stages, std::size_t width,
+                                   Rng& rng, Cost tmax) {
+  return NodeValueGraph(
+      random_values(stages, width, rng, tmax), [](Cost u, Cost v) {
+        return std::max<Cost>(0, u - v) + v;  // queueing delay + service time
+      });
+}
+
+NodeValueGraph inventory_instance(std::size_t periods, std::size_t levels,
+                                  Rng& rng, Cost capacity, Cost max_demand) {
+  std::uniform_int_distribution<Cost> demand_dist(1, max_demand);
+  std::vector<Cost> demand(periods);  // demand[k]: met during k -> k+1
+  for (auto& d : demand) d = demand_dist(rng);
+  auto values = random_values(periods, levels, rng, capacity);
+  // Period 0 starts empty so the first transition must produce.
+  for (auto& v : values.front()) v = 0;
+  return NodeValueGraph(
+      std::move(values),
+      [demand](std::size_t k, Cost u, Cost v) -> Cost {
+        const Cost production = v - u + demand[k];
+        if (production < 0) return kInfCost;  // cannot consume stock twice
+        const Cost setup = production > 0 ? 12 : 0;
+        return 3 * production + 1 * v + setup;  // unit + holding + setup
+      });
+}
+
+NodeValueGraph tracking_instance(std::size_t steps, std::size_t levels,
+                                 Rng& rng, Cost span) {
+  std::uniform_int_distribution<Cost> ref_dist(0, span);
+  std::vector<Cost> reference(steps);
+  for (auto& r : reference) r = ref_dist(rng);
+  auto values = random_values(steps, levels, rng, span);
+  return NodeValueGraph(
+      std::move(values),
+      [reference](std::size_t k, Cost u, Cost v) -> Cost {
+        const Cost deviation = v - reference[k + 1 < reference.size()
+                                                 ? k + 1
+                                                 : reference.size() - 1];
+        const Cost control = v - u;
+        return deviation * deviation + control * control;
+      });
+}
+
+NodeValueGraph production_instance(std::size_t periods, std::size_t levels,
+                                   Rng& rng, Cost max_rate) {
+  std::uniform_int_distribution<Cost> price_dist(1, 9);
+  std::vector<Cost> unit_price(periods);
+  for (auto& p : unit_price) p = price_dist(rng);
+  auto values = random_values(periods, levels, rng, max_rate);
+  return NodeValueGraph(std::move(values),
+                        [unit_price](std::size_t k, Cost u, Cost v) -> Cost {
+                          const Cost retool = std::abs(v - u);
+                          return unit_price[k] * v + 2 * retool;
+                        });
+}
+
+MultistageGraph resource_allocation_instance(std::size_t activities,
+                                              std::size_t budget, Rng& rng,
+                                              Cost max_marginal) {
+  // Stage 0 is the single "nothing spent yet" node; stages 1..A track the
+  // cumulative spend, so stage A's node index is the total consumed.
+  std::vector<std::size_t> sizes(activities + 1, budget + 1);
+  sizes.front() = 1;
+  MultistageGraph g(sizes, kNegInfCost);
+  std::uniform_int_distribution<Cost> marginal(0, max_marginal);
+  for (std::size_t k = 0; k + 1 <= activities; ++k) {
+    // Concave profit table for activity k: decreasing random marginals.
+    std::vector<Cost> profit(budget + 1, 0);
+    Cost gain = marginal(rng) + max_marginal;
+    for (std::size_t a = 1; a <= budget; ++a) {
+      profit[a] = profit[a - 1] + gain;
+      gain = std::max<Cost>(0, gain - marginal(rng) / 2);
+    }
+    for (std::size_t u = 0; u < g.stage_size(k); ++u) {
+      for (std::size_t v2 = u; v2 <= budget; ++v2) {
+        g.set_edge(k, u, v2, profit[v2 - u]);
+      }
+    }
+  }
+  return g;
+}
+
+std::vector<Cost> random_chain_dims(std::size_t n, Rng& rng, Cost lo,
+                                    Cost hi) {
+  std::uniform_int_distribution<Cost> dist(lo, hi);
+  std::vector<Cost> dims(n + 1);
+  for (auto& d : dims) d = dist(rng);
+  return dims;
+}
+
+std::vector<Matrix<Cost>> random_matrix_string(std::size_t count,
+                                               std::size_t m, Rng& rng,
+                                               Cost lo, Cost hi) {
+  std::uniform_int_distribution<Cost> dist(lo, hi);
+  std::vector<Matrix<Cost>> mats;
+  mats.reserve(count);
+  for (std::size_t t = 0; t < count; ++t) {
+    Matrix<Cost> M(m, m);
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < m; ++j) M(i, j) = dist(rng);
+    }
+    mats.push_back(std::move(M));
+  }
+  return mats;
+}
+
+}  // namespace sysdp

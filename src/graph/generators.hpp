@@ -1,0 +1,123 @@
+// Workload generators.
+//
+// The paper motivates Design 3 with four sequential-decision applications
+// (Section 2.2): traffic-light control, circuit design, fluid flow, and
+// task scheduling.  The authors' concrete instances are not published, so we
+// generate synthetic instances with the structural properties the paper
+// names — N stages, m quantised values per stage, stage-independent cost
+// functions — which is all the architectures are sensitive to (see
+// DESIGN.md, substitutions table).
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "graph/multistage_graph.hpp"
+#include "graph/node_value_graph.hpp"
+
+namespace sysdp {
+
+/// Deterministic RNG for reproducible workloads.
+using Rng = std::mt19937_64;
+
+/// Uniformly random edge costs in [lo, hi]; every edge present.
+[[nodiscard]] MultistageGraph random_multistage(std::size_t stages,
+                                                std::size_t width, Rng& rng,
+                                                Cost lo = 0, Cost hi = 99);
+
+/// Random graph with per-stage widths.
+[[nodiscard]] MultistageGraph random_multistage(
+    const std::vector<std::size_t>& stage_sizes, Rng& rng, Cost lo = 0,
+    Cost hi = 99);
+
+/// Like random_multistage but each edge is removed (set to kInfCost) with
+/// probability `drop_permille`/1000, while a random "spine" path is kept so
+/// the instance always stays feasible.
+[[nodiscard]] MultistageGraph random_sparse_multistage(std::size_t stages,
+                                                       std::size_t width,
+                                                       Rng& rng,
+                                                       unsigned drop_permille);
+
+/// Single-source, single-sink wrapper: prepends/appends width-1 stages
+/// connected with zero-cost edges (Figure 1a shape).
+[[nodiscard]] MultistageGraph with_single_source_sink(
+    const MultistageGraph& g);
+
+/// Traffic-control styled instance (node-value form): node values are
+/// candidate signal-change times; the edge cost is the timing difference
+/// |u - v| (the paper: "the cost on an edge ... is the difference in
+/// timings").
+[[nodiscard]] NodeValueGraph traffic_control_instance(std::size_t stages,
+                                                      std::size_t width,
+                                                      Rng& rng,
+                                                      Cost horizon = 120);
+
+/// Circuit-design styled instance: node values are candidate voltages (in
+/// millivolt steps); edge cost models power dissipation, quadratic in the
+/// voltage swing ("the cost of an edge ... may be the corresponding power
+/// dissipation").
+[[nodiscard]] NodeValueGraph circuit_design_instance(std::size_t stages,
+                                                     std::size_t width,
+                                                     Rng& rng,
+                                                     Cost vmax = 50);
+
+/// Fluid-flow styled instance: node values are pump pressures; edge cost
+/// penalises pressure drops (flow constraint) and large pressure jumps.
+[[nodiscard]] NodeValueGraph fluid_flow_instance(std::size_t stages,
+                                                 std::size_t width, Rng& rng,
+                                                 Cost pmax = 200);
+
+/// Scheduling styled instance: node values are candidate service times for
+/// each task; edge cost is the queueing delay max(0, u - v) plus the service
+/// time itself.
+[[nodiscard]] NodeValueGraph scheduling_instance(std::size_t stages,
+                                                 std::size_t width, Rng& rng,
+                                                 Cost tmax = 60);
+
+/// Inventory-control instance (Section 3.2's "inventory systems"): stage k
+/// is period k, node values are candidate end-of-period inventory levels,
+/// and the stage-dependent transition cost prices the production
+/// v - u + d_k needed to meet the period's demand d_k, plus holding cost
+/// and a fixed setup charge (infeasible negative production costs +inf).
+[[nodiscard]] NodeValueGraph inventory_instance(std::size_t periods,
+                                                std::size_t levels, Rng& rng,
+                                                Cost capacity = 40,
+                                                Cost max_demand = 15);
+
+/// Quantised trajectory-tracking instance (Section 3.2's "Kalman
+/// filtering" flavour): node values are candidate state estimates; the
+/// stage-dependent cost is the squared deviation from a reference
+/// trajectory plus a quadratic control effort for the state change.
+[[nodiscard]] NodeValueGraph tracking_instance(std::size_t steps,
+                                               std::size_t levels, Rng& rng,
+                                               Cost span = 60);
+
+/// Multistage production process: node values are production rates; the
+/// stage-dependent cost combines a per-period unit cost (fluctuating
+/// input prices) with a rate-change penalty (retooling).
+[[nodiscard]] NodeValueGraph production_instance(std::size_t periods,
+                                                 std::size_t levels, Rng& rng,
+                                                 Cost max_rate = 30);
+
+/// Resource-allocation instance (a classic "industrial engineering" DP the
+/// paper's introduction gestures at): distribute a budget of `budget` units
+/// over `activities` activities; stage k's nodes are cumulative units spent
+/// after activity k, and the edge from u to u' >= u carries the *profit*
+/// of giving activity k the difference (concave random profit tables).
+/// Profits are encoded for the (MAX,+) semiring: impossible transitions
+/// (u' < u) carry kNegInfCost.
+[[nodiscard]] MultistageGraph resource_allocation_instance(
+    std::size_t activities, std::size_t budget, Rng& rng,
+    Cost max_marginal = 25);
+
+/// Random matrix-chain dimensions r_0..r_n for the optimal-parenthesisation
+/// problem (eq. 6): n matrices, M_i is r_{i-1} x r_i.
+[[nodiscard]] std::vector<Cost> random_chain_dims(std::size_t n, Rng& rng,
+                                                  Cost lo = 1, Cost hi = 40);
+
+/// Random string of `count` square cost matrices of size m (for the
+/// divide-and-conquer experiments of Section 4).
+[[nodiscard]] std::vector<Matrix<Cost>> random_matrix_string(
+    std::size_t count, std::size_t m, Rng& rng, Cost lo = 0, Cost hi = 99);
+
+}  // namespace sysdp

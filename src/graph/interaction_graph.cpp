@@ -1,0 +1,164 @@
+#include "graph/interaction_graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sysdp {
+
+InteractionGraph::InteractionGraph(std::size_t num_variables)
+    : n_(num_variables), adj_(n_, std::vector<bool>(n_, false)) {}
+
+void InteractionGraph::add_term(const TermScope& scope) {
+  for (std::size_t v : scope) {
+    if (v >= n_) throw std::out_of_range("InteractionGraph::add_term");
+  }
+  ++num_terms_;
+  max_arity_ = std::max(max_arity_, scope.size());
+  for (std::size_t a = 0; a < scope.size(); ++a) {
+    for (std::size_t b = a + 1; b < scope.size(); ++b) {
+      if (scope[a] != scope[b]) {
+        adj_[scope[a]][scope[b]] = true;
+        adj_[scope[b]][scope[a]] = true;
+      }
+    }
+  }
+}
+
+bool InteractionGraph::adjacent(std::size_t u, std::size_t v) const {
+  return adj_.at(u).at(v);
+}
+
+std::size_t InteractionGraph::degree(std::size_t v) const {
+  const auto& row = adj_.at(v);
+  return static_cast<std::size_t>(std::count(row.begin(), row.end(), true));
+}
+
+std::vector<std::size_t> InteractionGraph::neighbors(std::size_t v) const {
+  std::vector<std::size_t> out;
+  for (std::size_t u = 0; u < n_; ++u) {
+    if (adj_.at(v)[u]) out.push_back(u);
+  }
+  return out;
+}
+
+bool InteractionGraph::is_simple_path() const {
+  // A simple path on k >= 2 vertices has exactly two degree-1 endpoints,
+  // all other non-isolated vertices of degree 2, and is connected (among
+  // non-isolated vertices).
+  std::size_t endpoints = 0;
+  std::size_t active = 0;
+  for (std::size_t v = 0; v < n_; ++v) {
+    const std::size_t d = degree(v);
+    if (d == 0) continue;
+    ++active;
+    if (d == 1) {
+      ++endpoints;
+    } else if (d != 2) {
+      return false;
+    }
+  }
+  if (active == 0) return true;  // no interactions at all: trivially serial
+  if (endpoints != 2) return false;
+  // Connectivity among active vertices: a degree-<=2 graph with exactly two
+  // endpoints is a single path iff it has one component.
+  std::vector<bool> seen(n_, false);
+  std::vector<std::size_t> stack;
+  for (std::size_t v = 0; v < n_; ++v) {
+    if (degree(v) > 0) {
+      stack.push_back(v);
+      seen[v] = true;
+      break;
+    }
+  }
+  std::size_t visited = 0;
+  while (!stack.empty()) {
+    const std::size_t v = stack.back();
+    stack.pop_back();
+    ++visited;
+    for (std::size_t u : neighbors(v)) {
+      if (!seen[u]) {
+        seen[u] = true;
+        stack.push_back(u);
+      }
+    }
+  }
+  return visited == active;
+}
+
+bool InteractionGraph::is_serial() const {
+  return max_arity_ <= 2 && is_simple_path();
+}
+
+std::vector<std::size_t> InteractionGraph::path_order() const {
+  if (!is_simple_path()) return {};
+  std::vector<std::size_t> order;
+  // Start from a degree-1 endpoint (or any vertex if all isolated).
+  std::size_t start = n_;
+  for (std::size_t v = 0; v < n_; ++v) {
+    if (degree(v) == 1) {
+      start = v;
+      break;
+    }
+  }
+  if (start == n_) {  // no edges: identity order
+    order.resize(n_);
+    for (std::size_t v = 0; v < n_; ++v) order[v] = v;
+    return order;
+  }
+  std::vector<bool> seen(n_, false);
+  std::size_t cur = start;
+  seen[cur] = true;
+  order.push_back(cur);
+  for (;;) {
+    std::size_t next = n_;
+    for (std::size_t u : neighbors(cur)) {
+      if (!seen[u]) {
+        next = u;
+        break;
+      }
+    }
+    if (next == n_) break;
+    seen[next] = true;
+    order.push_back(next);
+    cur = next;
+  }
+  // Append isolated vertices so the order is a permutation of all variables.
+  for (std::size_t v = 0; v < n_; ++v) {
+    if (!seen[v]) order.push_back(v);
+  }
+  return order;
+}
+
+std::size_t InteractionGraph::bandwidth() const {
+  std::size_t bw = 0;
+  for (std::size_t u = 0; u < n_; ++u) {
+    for (std::size_t v = u + 1; v < n_; ++v) {
+      if (adj_[u][v]) bw = std::max(bw, v - u);
+    }
+  }
+  return bw;
+}
+
+std::size_t InteractionGraph::num_components() const {
+  std::vector<bool> seen(n_, false);
+  std::size_t components = 0;
+  for (std::size_t v = 0; v < n_; ++v) {
+    if (seen[v]) continue;
+    ++components;
+    std::vector<std::size_t> stack{v};
+    seen[v] = true;
+    while (!stack.empty()) {
+      const std::size_t w = stack.back();
+      stack.pop_back();
+      for (std::size_t u : neighbors(w)) {
+        if (!seen[u]) {
+          seen[u] = true;
+          stack.push_back(u);
+        }
+      }
+    }
+  }
+  return components;
+}
+
+}  // namespace sysdp

@@ -1,0 +1,65 @@
+// Interaction graphs (Section 2.2 of the paper).
+//
+// For an objective f(X) = sum_i g_i(X^i) over discrete variables, the
+// interaction graph has one vertex per variable and an edge between two
+// variables iff they appear together in some functional term.  A problem is
+// *serial* exactly when each term shares one variable with its predecessor
+// and one with its successor — i.e. the terms are binary and the interaction
+// graph is a simple path.  This classification picks the architecture row in
+// Table 1 and drives the nonserial-to-serial transformations of Section 6.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sysdp {
+
+/// A functional term: the (sorted, deduplicated) set of variable indices it
+/// mentions.
+using TermScope = std::vector<std::size_t>;
+
+class InteractionGraph {
+ public:
+  explicit InteractionGraph(std::size_t num_variables);
+
+  /// Declare that the variables in `scope` appear in one functional term.
+  void add_term(const TermScope& scope);
+
+  [[nodiscard]] std::size_t num_variables() const noexcept { return n_; }
+  [[nodiscard]] std::size_t num_terms() const noexcept { return num_terms_; }
+
+  /// Largest number of variables in any single term.
+  [[nodiscard]] std::size_t max_arity() const noexcept { return max_arity_; }
+
+  [[nodiscard]] bool adjacent(std::size_t u, std::size_t v) const;
+  [[nodiscard]] std::size_t degree(std::size_t v) const;
+  [[nodiscard]] std::vector<std::size_t> neighbors(std::size_t v) const;
+
+  /// True if the graph (ignoring isolated vertices) is one simple path —
+  /// the structural signature of a serial objective.
+  [[nodiscard]] bool is_simple_path() const;
+
+  /// True if the objective is serial in the paper's sense: all terms binary
+  /// (or unary) and the interaction graph a simple path.
+  [[nodiscard]] bool is_serial() const;
+
+  /// A variable ordering along the path if is_simple_path(); empty
+  /// otherwise.  This is the stage order a multistage-graph mapping uses.
+  [[nodiscard]] std::vector<std::size_t> path_order() const;
+
+  /// Bandwidth of the graph under the identity ordering: max |u - v| over
+  /// edges.  Banded objectives (eq. 36 has bandwidth 2) admit the grouping
+  /// transform of Section 6.1.
+  [[nodiscard]] std::size_t bandwidth() const;
+
+  /// Number of connected components, counting isolated vertices.
+  [[nodiscard]] std::size_t num_components() const;
+
+ private:
+  std::size_t n_;
+  std::size_t num_terms_ = 0;
+  std::size_t max_arity_ = 0;
+  std::vector<std::vector<bool>> adj_;
+};
+
+}  // namespace sysdp

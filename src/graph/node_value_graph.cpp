@@ -1,0 +1,74 @@
+#include "graph/node_value_graph.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace sysdp {
+
+namespace {
+
+void validate_values(const std::vector<std::vector<Cost>>& values) {
+  if (values.size() < 2) {
+    throw std::invalid_argument("NodeValueGraph: need at least 2 stages");
+  }
+  for (const auto& stage : values) {
+    if (stage.empty()) {
+      throw std::invalid_argument("NodeValueGraph: empty stage");
+    }
+  }
+}
+
+}  // namespace
+
+NodeValueGraph::NodeValueGraph(std::vector<std::vector<Cost>> values,
+                               EdgeCostFn f)
+    : values_(std::move(values)), f_(std::move(f)) {
+  validate_values(values_);
+  if (!f_) throw std::invalid_argument("NodeValueGraph: null cost function");
+  sf_ = [g = f_](std::size_t, Cost u, Cost v) { return g(u, v); };
+}
+
+NodeValueGraph::NodeValueGraph(std::vector<std::vector<Cost>> values,
+                               StageEdgeCostFn f)
+    : values_(std::move(values)), sf_(std::move(f)) {
+  validate_values(values_);
+  if (!sf_) throw std::invalid_argument("NodeValueGraph: null cost function");
+}
+
+bool NodeValueGraph::uniform_width() const noexcept {
+  for (const auto& s : values_) {
+    if (s.size() != values_.front().size()) return false;
+  }
+  return true;
+}
+
+MultistageGraph NodeValueGraph::materialize() const {
+  std::vector<std::size_t> sizes;
+  sizes.reserve(values_.size());
+  for (const auto& s : values_) sizes.push_back(s.size());
+  MultistageGraph g(sizes);
+  for (std::size_t k = 0; k + 1 < values_.size(); ++k) {
+    for (std::size_t i = 0; i < values_[k].size(); ++i) {
+      for (std::size_t j = 0; j < values_[k + 1].size(); ++j) {
+        g.set_edge(k, i, j, sf_(k, values_[k][i], values_[k + 1][j]));
+      }
+    }
+  }
+  return g;
+}
+
+std::size_t NodeValueGraph::input_scalars() const {
+  std::size_t n = 0;
+  for (const auto& s : values_) n += s.size();
+  return n;
+}
+
+std::size_t NodeValueGraph::edge_scalars() const {
+  std::size_t n = 0;
+  for (std::size_t k = 0; k + 1 < values_.size(); ++k) {
+    n += values_[k].size() * values_[k + 1].size();
+  }
+  return n;
+}
+
+}  // namespace sysdp

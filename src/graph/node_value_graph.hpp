@@ -1,0 +1,93 @@
+// Node-value multistage problems (eq. 4 of the paper).
+//
+// In the serial optimisation form min_X sum_i g(X_i, X_{i+1}) each stage is
+// a discrete variable and each node one of its m quantised values.  Edge
+// costs are *computed* from the two node values by a stage-independent
+// function f, so only O(m) values per stage cross the array boundary instead
+// of O(m^2) edge costs — the order-of-magnitude input-bandwidth reduction
+// the paper credits Design 3 with (Section 3.2).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "graph/multistage_graph.hpp"
+#include "semiring/cost.hpp"
+
+namespace sysdp {
+
+/// Stage-independent edge-cost function f(u, v): cost of moving from a node
+/// with quantised value u to a node with quantised value v in the next
+/// stage.
+using EdgeCostFn = std::function<Cost(Cost u, Cost v)>;
+
+/// Stage-dependent variant f_k(u, v) for the "sequentially controlled
+/// systems" of Section 3.2 (Kalman filtering, inventory systems, multistage
+/// production processes), where the transition cost depends on the period:
+/// demands, tracking targets, etc.  The paper drops the stage subscript
+/// "for simplicity"; Design 3 supports the general form because each token
+/// carries its stage index, which the F unit receives as a control input.
+using StageEdgeCostFn = std::function<Cost(std::size_t stage, Cost u, Cost v)>;
+
+class NodeValueGraph {
+ public:
+  /// `values[k][j]` is the quantised value of node j in stage k; `f`
+  /// computes edge costs from adjacent-stage values.
+  NodeValueGraph(std::vector<std::vector<Cost>> values, EdgeCostFn f);
+
+  /// Stage-dependent costs: `f(k, u, v)` prices the transition from stage k
+  /// to stage k+1.
+  NodeValueGraph(std::vector<std::vector<Cost>> values, StageEdgeCostFn f);
+
+  [[nodiscard]] std::size_t num_stages() const noexcept {
+    return values_.size();
+  }
+  [[nodiscard]] std::size_t stage_size(std::size_t k) const {
+    return values_.at(k).size();
+  }
+  [[nodiscard]] bool uniform_width() const noexcept;
+
+  [[nodiscard]] Cost value(std::size_t stage, std::size_t node) const {
+    return values_.at(stage).at(node);
+  }
+  [[nodiscard]] const std::vector<Cost>& stage_values(std::size_t k) const {
+    return values_.at(k);
+  }
+
+  [[nodiscard]] Cost edge_cost(std::size_t stage, std::size_t from,
+                               std::size_t to) const {
+    return sf_(stage, value(stage, from), value(stage + 1, to));
+  }
+
+  /// Transition cost directly from quantised values (what Design 3's F
+  /// unit computes).
+  [[nodiscard]] Cost transition_cost(std::size_t stage, Cost u,
+                                     Cost v) const {
+    return sf_(stage, u, v);
+  }
+
+  /// The stage-independent cost function, if the graph was built with one
+  /// (empty for stage-dependent graphs).
+  [[nodiscard]] const EdgeCostFn& cost_fn() const noexcept { return f_; }
+
+  /// Materialise every edge cost into an explicit multistage graph
+  /// (the edge-cost representation Designs 1 and 2 consume).
+  [[nodiscard]] MultistageGraph materialize() const;
+
+  /// Number of scalars that must enter an array using this representation:
+  /// one node value per node.
+  [[nodiscard]] std::size_t input_scalars() const;
+
+  /// Number of scalars the explicit edge-cost representation needs:
+  /// one cost per edge.  The ratio against input_scalars() is the I/O
+  /// saving quantified in experiment E2.
+  [[nodiscard]] std::size_t edge_scalars() const;
+
+ private:
+  std::vector<std::vector<Cost>> values_;
+  EdgeCostFn f_;        // stage-independent form, when available
+  StageEdgeCostFn sf_;  // always valid; wraps f_ when stage-independent
+};
+
+}  // namespace sysdp

@@ -1,0 +1,211 @@
+#include "nonserial/elimination.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+
+namespace sysdp {
+
+namespace {
+
+/// Mixed-radix odometer over the domains of `scope`; returns false after
+/// the last combination.
+bool advance(std::vector<std::size_t>& values, const TermScope& scope,
+             const std::vector<std::size_t>& domains) {
+  for (std::size_t d = scope.size(); d-- > 0;) {
+    if (++values[d] < domains[scope[d]]) return true;
+    values[d] = 0;
+  }
+  return false;
+}
+
+/// Row-major index of `assignment` restricted to `scope`.
+std::size_t scope_index(const TermScope& scope,
+                        const std::vector<std::size_t>& assignment,
+                        const std::vector<std::size_t>& domains) {
+  std::size_t idx = 0;
+  for (std::size_t v : scope) idx = idx * domains[v] + assignment[v];
+  return idx;
+}
+
+/// Arg table recorded when a variable is eliminated: the best value of the
+/// variable for every joint assignment of its neighbours at that time.
+struct ArgRecord {
+  std::size_t var = 0;
+  TermScope neighbors;
+  std::vector<std::size_t> best;  ///< indexed like the h table
+};
+
+}  // namespace
+
+EliminationResult solve_by_elimination(const NonserialObjective& obj,
+                                       const std::vector<std::size_t>& order) {
+  const std::size_t n = obj.num_variables();
+  if (order.size() != n) {
+    throw std::invalid_argument("solve_by_elimination: order size");
+  }
+  {
+    std::vector<bool> seen(n, false);
+    for (std::size_t v : order) {
+      if (v >= n || seen[v]) {
+        throw std::invalid_argument("solve_by_elimination: not a permutation");
+      }
+      seen[v] = true;
+    }
+  }
+  const auto& domains = obj.domains();
+  std::vector<Term> pool = obj.terms();
+  EliminationResult res;
+  res.steps = 0;
+  Cost constant = obj.fold_identity();
+  std::vector<ArgRecord> args;
+  args.reserve(n);
+
+  std::vector<std::size_t> scratch(n, 0);
+  for (std::size_t v : order) {
+    // Pull every term whose scope mentions v.
+    std::vector<Term> pulled;
+    std::vector<Term> rest;
+    for (auto& t : pool) {
+      const bool has_v =
+          std::binary_search(t.scope.begin(), t.scope.end(), v);
+      (has_v ? pulled : rest).push_back(std::move(t));
+    }
+    pool = std::move(rest);
+
+    // Neighbours: all other variables in the pulled scopes.
+    std::set<std::size_t> nb_set;
+    for (const auto& t : pulled) {
+      for (std::size_t u : t.scope) {
+        if (u != v) nb_set.insert(u);
+      }
+    }
+    TermScope neighbors(nb_set.begin(), nb_set.end());
+
+    std::size_t table_size = 1;
+    for (std::size_t u : neighbors) table_size *= domains[u];
+    std::vector<Cost> h(table_size, kInfCost);
+    std::vector<std::size_t> best(table_size, 0);
+
+    std::vector<std::size_t> nb_vals(neighbors.size(), 0);
+    std::size_t out_idx = 0;
+    do {
+      for (std::size_t d = 0; d < neighbors.size(); ++d) {
+        scratch[neighbors[d]] = nb_vals[d];
+      }
+      for (std::size_t val = 0; val < domains[v]; ++val) {
+        scratch[v] = val;
+        Cost sum = obj.fold_identity();
+        for (const auto& t : pulled) {
+          sum = obj.fold(sum, t.table[scope_index(t.scope, scratch, domains)]);
+        }
+        ++res.steps;  // one f-evaluation, one addition, one comparison
+        if (sum < h[out_idx]) {
+          h[out_idx] = sum;
+          best[out_idx] = val;
+        }
+      }
+      ++out_idx;
+    } while (advance(nb_vals, neighbors, domains));
+
+    res.largest_table =
+        std::max<std::uint64_t>(res.largest_table, table_size * domains[v]);
+    args.push_back(ArgRecord{v, neighbors, std::move(best)});
+    if (neighbors.empty()) {
+      constant = obj.fold(constant, h[0]);
+      res.final_comparisons += domains[v];
+      res.steps -= domains[v];  // the final compare is counted separately
+    } else {
+      Term ht;
+      ht.scope = std::move(neighbors);
+      ht.table = std::move(h);
+      pool.push_back(std::move(ht));
+    }
+  }
+  res.cost = constant;
+
+  // Back-substitution: each variable's best value depends only on variables
+  // eliminated after it, which are already assigned when walking in reverse.
+  res.assignment.assign(n, 0);
+  for (auto it = args.rbegin(); it != args.rend(); ++it) {
+    for (std::size_t d = 0; d < it->neighbors.size(); ++d) {
+      scratch[it->neighbors[d]] = res.assignment[it->neighbors[d]];
+    }
+    res.assignment[it->var] =
+        it->best[scope_index(it->neighbors, scratch, domains)];
+  }
+  return res;
+}
+
+EliminationResult solve_by_elimination(const NonserialObjective& obj) {
+  std::vector<std::size_t> order(obj.num_variables());
+  std::iota(order.begin(), order.end(), 0);
+  return solve_by_elimination(obj, order);
+}
+
+EliminationResult solve_brute_force(const NonserialObjective& obj) {
+  const std::size_t n = obj.num_variables();
+  TermScope all(n);
+  std::iota(all.begin(), all.end(), 0);
+  EliminationResult res;
+  std::vector<std::size_t> values(n, 0);
+  do {
+    const Cost c = obj.evaluate(values);
+    ++res.steps;
+    if (c < res.cost) {
+      res.cost = c;
+      res.assignment = values;
+    }
+  } while (advance(values, all, obj.domains()));
+  return res;
+}
+
+std::vector<std::size_t> min_degree_order(const NonserialObjective& obj) {
+  const std::size_t n = obj.num_variables();
+  std::vector<std::set<std::size_t>> adj(n);
+  for (const Term& t : obj.terms()) {
+    for (std::size_t a : t.scope) {
+      for (std::size_t b : t.scope) {
+        if (a != b) adj[a].insert(b);
+      }
+    }
+  }
+  std::vector<bool> done(n, false);
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  for (std::size_t round = 0; round < n; ++round) {
+    std::size_t best = n;
+    std::size_t best_deg = static_cast<std::size_t>(-1);
+    for (std::size_t v = 0; v < n; ++v) {
+      if (done[v]) continue;
+      if (adj[v].size() < best_deg) {
+        best_deg = adj[v].size();
+        best = v;
+      }
+    }
+    done[best] = true;
+    order.push_back(best);
+    // Eliminating `best` joins its remaining neighbours into a clique.
+    for (std::size_t u : adj[best]) {
+      adj[u].erase(best);
+      for (std::size_t w : adj[best]) {
+        if (u != w) adj[u].insert(w);
+      }
+    }
+    adj[best].clear();
+  }
+  return order;
+}
+
+std::uint64_t eq40_steps(const std::vector<std::size_t>& m) {
+  if (m.size() < 3) throw std::invalid_argument("eq40_steps: need >= 3 vars");
+  std::uint64_t total = 0;
+  for (std::size_t k = 0; k + 2 < m.size(); ++k) {
+    total += static_cast<std::uint64_t>(m[k]) * m[k + 1] * m[k + 2];
+  }
+  total += static_cast<std::uint64_t>(m[m.size() - 2]) * m[m.size() - 1];
+  return total;
+}
+
+}  // namespace sysdp

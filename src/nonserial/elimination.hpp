@@ -1,0 +1,53 @@
+// Variable elimination for nonserial DP (Section 6.1, eqs. 34-40).
+//
+// The monadic multistage optimisation procedure eliminates variables one by
+// one: eliminating V_k folds every term mentioning V_k into a new term
+// h_opt over V_k's neighbours (eq. 35).  One *step* is the paper's unit —
+// one cost-function evaluation, one addition, one comparison — so
+// eliminating V_k costs prod(domain of V_k and its current neighbours)
+// steps, and for the banded objective of eq. (36) the total matches
+// eq. (40).  Arg tables recorded per elimination give the optimal
+// assignment by back-substitution.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nonserial/objective.hpp"
+
+namespace sysdp {
+
+struct EliminationResult {
+  Cost cost = kInfCost;
+  std::vector<std::size_t> assignment;  ///< one optimal value per variable
+  std::uint64_t steps = 0;              ///< paper-unit steps, cf. eq. (40)
+  std::uint64_t final_comparisons = 0;  ///< last variable's m-way compare
+  std::uint64_t largest_table = 0;      ///< max intermediate table size
+};
+
+/// Eliminate all variables in the given order (a permutation of all
+/// variable indices) and reconstruct an optimal assignment.
+[[nodiscard]] EliminationResult solve_by_elimination(
+    const NonserialObjective& obj, const std::vector<std::size_t>& order);
+
+/// Natural order 0, 1, ..., n-1 — the paper's order for banded problems.
+[[nodiscard]] EliminationResult solve_by_elimination(
+    const NonserialObjective& obj);
+
+/// Exhaustive minimisation over all joint assignments (the correctness
+/// oracle; exponential).
+[[nodiscard]] EliminationResult solve_brute_force(
+    const NonserialObjective& obj);
+
+/// Minimum-degree elimination ordering heuristic (the "favorable pattern of
+/// term interactions" of Section 6 exploited automatically; an extension
+/// beyond the paper's fixed orders).
+[[nodiscard]] std::vector<std::size_t> min_degree_order(
+    const NonserialObjective& obj);
+
+/// Eq. (40): step count for the bandwidth-2 objective of eq. (36) with
+/// domain sizes m_1..m_N (0-based here):
+/// sum_{k=0}^{N-3} m_k m_{k+1} m_{k+2} + m_{N-2} m_{N-1}.
+[[nodiscard]] std::uint64_t eq40_steps(const std::vector<std::size_t>& m);
+
+}  // namespace sysdp

@@ -1,0 +1,78 @@
+#include "nonserial/grouping.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sysdp {
+
+namespace {
+
+/// Stage sizes of the compound chain: |V'_s| = m_s * m_{s+1}.
+std::vector<std::size_t> compound_sizes(const std::vector<std::size_t>& m) {
+  std::vector<std::size_t> sizes;
+  sizes.reserve(m.size() - 1);
+  for (std::size_t s = 0; s + 1 < m.size(); ++s) {
+    sizes.push_back(m[s] * m[s + 1]);
+  }
+  return sizes;
+}
+
+}  // namespace
+
+std::vector<std::size_t> GroupedSerialProblem::decode(
+    const StagePath& path) const {
+  const std::size_t n = domains.size();
+  std::vector<std::size_t> assignment(n, 0);
+  for (std::size_t s = 0; s + 1 < n; ++s) {
+    assignment[s] = path.at(s) / domains[s + 1];  // the (a, b) pair's a
+  }
+  assignment[n - 1] = path.at(n - 2) % domains[n - 1];
+  return assignment;
+}
+
+GroupedSerialProblem group_banded_to_serial(const NonserialObjective& obj) {
+  const std::size_t n = obj.num_variables();
+  if (n < 3) {
+    throw std::invalid_argument("group_banded_to_serial: need >= 3 variables");
+  }
+  const auto& m = obj.domains();
+  // Every term must fit in a window {s, s+1, s+2}.
+  std::vector<std::vector<const Term*>> window(n - 2);
+  for (const Term& t : obj.terms()) {
+    const std::size_t lo = t.scope.front();
+    const std::size_t hi = t.scope.back();
+    if (hi - lo > 2) {
+      throw std::invalid_argument(
+          "group_banded_to_serial: term spans more than three consecutive "
+          "variables");
+    }
+    window[std::min(lo, n - 3)].push_back(&t);
+  }
+
+  GroupedSerialProblem out{MultistageGraph(compound_sizes(m)), m,
+                           obj.combine()};
+  std::vector<std::size_t> scratch(n, 0);
+  for (std::size_t s = 0; s + 3 <= n; ++s) {
+    for (std::size_t a = 0; a < m[s]; ++a) {
+      for (std::size_t b = 0; b < m[s + 1]; ++b) {
+        for (std::size_t c = 0; c < m[s + 2]; ++c) {
+          scratch[s] = a;
+          scratch[s + 1] = b;
+          scratch[s + 2] = c;
+          Cost cost = obj.fold_identity();
+          for (const Term* t : window[s]) {
+            std::size_t idx = 0;
+            for (std::size_t v : t->scope) idx = idx * m[v] + scratch[v];
+            cost = obj.fold(cost, t->table[idx]);
+          }
+          // Compound edge: (a, b) in stage s -> (b, c) in stage s+1; pairs
+          // with mismatching overlap keep the +inf "no edge" default.
+          out.graph.set_edge(s, a * m[s + 1] + b, b * m[s + 2] + c, cost);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace sysdp

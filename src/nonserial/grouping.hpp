@@ -1,0 +1,40 @@
+// Grouping transform: monadic-nonserial to monadic-serial (Section 6.1,
+// eqs. 36-41).
+//
+// A banded nonserial objective (every term spans at most three consecutive
+// variables, as in eq. 36) becomes a *serial* multistage problem by fusing
+// consecutive variable pairs into compound stage variables
+// V'_s = (V_s, V_{s+1}) (eq. 41).  Stage s then has m_s * m_{s+1} states;
+// an edge from state (a, b) to state (b', c) costs the window terms'
+// g(a, b, c) when b == b' and +inf otherwise (the overlap constraint that
+// makes the compound chain consistent).  The resulting graph is exactly the
+// kind Designs 1-3 consume — "with additional control, the linear systolic
+// array presented earlier can be applied" — at the price of the larger
+// state space the paper notes.
+#pragma once
+
+#include <vector>
+
+#include "graph/multistage_graph.hpp"
+#include "nonserial/objective.hpp"
+
+namespace sysdp {
+
+struct GroupedSerialProblem {
+  MultistageGraph graph;  ///< stages 0..n-2, stage s holds (V_s, V_{s+1})
+  std::vector<std::size_t> domains;  ///< original variable domain sizes
+  /// The objective's Phi: kSum problems are solved over (MIN,+), kMax
+  /// problems over (MIN,MAX) — the same graph, a different semiring.
+  Combine combine = Combine::kSum;
+
+  /// Recover the original variable assignment from a stage path.
+  [[nodiscard]] std::vector<std::size_t> decode(const StagePath& path) const;
+};
+
+/// Transform a bandwidth-<=2 objective over n >= 3 variables.  Throws if a
+/// term spans more than three consecutive variables (no banded structure to
+/// exploit — the unrestricted case is NP-hard, Section 6).
+[[nodiscard]] GroupedSerialProblem group_banded_to_serial(
+    const NonserialObjective& obj);
+
+}  // namespace sysdp

@@ -1,0 +1,59 @@
+#include "nonserial/nonserial_generators.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace sysdp {
+
+namespace {
+
+std::vector<Cost> random_table(std::size_t size, Rng& rng, Cost lo, Cost hi) {
+  std::uniform_int_distribution<Cost> dist(lo, hi);
+  std::vector<Cost> table(size);
+  for (auto& c : table) c = dist(rng);
+  return table;
+}
+
+}  // namespace
+
+NonserialObjective random_banded_objective(const std::vector<std::size_t>& m,
+                                           Rng& rng, Cost lo, Cost hi) {
+  NonserialObjective obj(m);
+  for (std::size_t k = 0; k + 2 < m.size(); ++k) {
+    obj.add_term({k, k + 1, k + 2},
+                 random_table(m[k] * m[k + 1] * m[k + 2], rng, lo, hi));
+  }
+  return obj;
+}
+
+NonserialObjective random_banded_objective(std::size_t n_vars, std::size_t m,
+                                           Rng& rng) {
+  return random_banded_objective(std::vector<std::size_t>(n_vars, m), rng);
+}
+
+NonserialObjective paper_example_objective(std::size_t m, Rng& rng) {
+  NonserialObjective obj(std::vector<std::size_t>(5, m));
+  obj.add_term({0, 1, 3}, random_table(m * m * m, rng, 0, 99));
+  obj.add_term({2, 3}, random_table(m * m, rng, 0, 99));
+  obj.add_term({1, 4}, random_table(m * m, rng, 0, 99));
+  return obj;
+}
+
+NonserialObjective random_sparse_objective(std::size_t n_vars, std::size_t m,
+                                           std::size_t n_terms, Rng& rng) {
+  NonserialObjective obj(std::vector<std::size_t>(n_vars, m));
+  std::uniform_int_distribution<std::size_t> arity_dist(1, 3);
+  std::uniform_int_distribution<std::size_t> var_dist(0, n_vars - 1);
+  for (std::size_t t = 0; t < n_terms; ++t) {
+    std::set<std::size_t> scope_set;
+    const std::size_t arity = std::min(arity_dist(rng), n_vars);
+    while (scope_set.size() < arity) scope_set.insert(var_dist(rng));
+    TermScope scope(scope_set.begin(), scope_set.end());
+    std::size_t size = 1;
+    for (std::size_t v : scope) size *= obj.domain(v);
+    obj.add_term(std::move(scope), random_table(size, rng, 0, 99));
+  }
+  return obj;
+}
+
+}  // namespace sysdp

@@ -1,0 +1,30 @@
+// Generators for nonserial workloads.
+#pragma once
+
+#include "graph/generators.hpp"
+#include "nonserial/objective.hpp"
+
+namespace sysdp {
+
+/// The banded objective of eq. (36): terms g_k(V_k, V_{k+1}, V_{k+2}) with
+/// uniformly random cost tables.  `m` gives each variable's domain size.
+[[nodiscard]] NonserialObjective random_banded_objective(
+    const std::vector<std::size_t>& m, Rng& rng, Cost lo = 0, Cost hi = 99);
+
+/// Uniform-domain convenience overload.
+[[nodiscard]] NonserialObjective random_banded_objective(std::size_t n_vars,
+                                                         std::size_t m,
+                                                         Rng& rng);
+
+/// The worked nonserial example of Section 2.2:
+/// g1(X_1, X_2, X_4) + g2(X_3, X_4) + g3(X_2, X_5), with random tables over
+/// 5 variables of domain size `m` (0-based scopes {0,1,3}, {2,3}, {1,4}).
+[[nodiscard]] NonserialObjective paper_example_objective(std::size_t m,
+                                                         Rng& rng);
+
+/// A random nonserial objective: `n_terms` terms of random arity <= 3 over
+/// random scopes (used to exercise general elimination orders).
+[[nodiscard]] NonserialObjective random_sparse_objective(
+    std::size_t n_vars, std::size_t m, std::size_t n_terms, Rng& rng);
+
+}  // namespace sysdp

@@ -1,0 +1,86 @@
+// Nonserial objective functions (eq. 5 of the paper).
+//
+// f(X) = sum_i g_i(X^i) over discrete variables X_k with m_k quantised
+// values each, where each term's scope X^i is an arbitrary variable subset.
+// Terms are stored as dense cost tables in mixed-radix row-major order over
+// their (sorted) scopes.  This is the input language for the
+// nonserial-to-serial transformations of Section 6.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include <algorithm>
+
+#include "graph/interaction_graph.hpp"
+#include "semiring/cost.hpp"
+
+namespace sysdp {
+
+/// The monotone function (+) of eq. (5) relating the terms: the paper only
+/// requires monotonicity for the Principle of Optimality, so besides the
+/// usual sum we support the maximum (minimax objectives: minimise the worst
+/// term — makespan/bottleneck-style problems).
+enum class Combine { kSum, kMax };
+
+/// One functional term g(X^i).
+struct Term {
+  TermScope scope;          ///< sorted variable indices
+  std::vector<Cost> table;  ///< row-major over scope (last var fastest)
+
+  /// Table value for a full assignment of all problem variables.
+  [[nodiscard]] Cost lookup(const std::vector<std::size_t>& assignment,
+                            const std::vector<std::size_t>& domains) const;
+};
+
+class NonserialObjective {
+ public:
+  explicit NonserialObjective(std::vector<std::size_t> domain_sizes,
+                              Combine combine = Combine::kSum);
+
+  /// Add a term; `table` must have prod(domains of scope) entries, row-major
+  /// with the last scope variable varying fastest.
+  void add_term(TermScope scope, std::vector<Cost> table);
+
+  [[nodiscard]] std::size_t num_variables() const noexcept {
+    return domains_.size();
+  }
+  [[nodiscard]] std::size_t domain(std::size_t v) const {
+    return domains_.at(v);
+  }
+  [[nodiscard]] const std::vector<std::size_t>& domains() const noexcept {
+    return domains_;
+  }
+  [[nodiscard]] const std::vector<Term>& terms() const noexcept {
+    return terms_;
+  }
+
+  [[nodiscard]] Combine combine() const noexcept { return combine_; }
+
+  /// Fold two partial objective values with the Phi of eq. (5).
+  [[nodiscard]] Cost fold(Cost a, Cost b) const noexcept {
+    return combine_ == Combine::kSum ? sat_add(a, b) : std::max(a, b);
+  }
+  /// Identity of the fold (0 for sum, -inf for max).
+  [[nodiscard]] Cost fold_identity() const noexcept {
+    return combine_ == Combine::kSum ? Cost{0} : kNegInfCost;
+  }
+
+  /// Total objective value of a full assignment.
+  [[nodiscard]] Cost evaluate(const std::vector<std::size_t>& assignment) const;
+
+  /// The interaction graph of Section 2.2 (vertices = variables, edges =
+  /// co-occurrence in a term).
+  [[nodiscard]] InteractionGraph interaction() const;
+
+  /// True if the objective is serial (binary terms forming a chain).
+  [[nodiscard]] bool is_serial() const { return interaction().is_serial(); }
+
+ private:
+  std::vector<std::size_t> domains_;
+  std::vector<Term> terms_;
+  Combine combine_ = Combine::kSum;
+};
+
+}  // namespace sysdp

@@ -1,0 +1,87 @@
+#include "nonserial/serial_chain.hpp"
+
+#include <stdexcept>
+
+namespace sysdp {
+
+std::vector<std::size_t> SerialChainProblem::decode(
+    const StagePath& path) const {
+  std::vector<std::size_t> assignment(var_order.size(), 0);
+  for (std::size_t s = 0; s < var_order.size(); ++s) {
+    assignment[var_order[s]] = path.at(s);
+  }
+  return assignment;
+}
+
+SerialChainProblem serial_to_multistage(const NonserialObjective& obj) {
+  if (obj.combine() != Combine::kSum) {
+    // Edge costs telescope additively along the chain; a Phi = max
+    // objective needs the elimination route instead.
+    throw std::invalid_argument("serial_to_multistage: requires Phi = sum");
+  }
+  const InteractionGraph ig = obj.interaction();
+  if (!ig.is_serial()) {
+    throw std::invalid_argument("serial_to_multistage: objective not serial");
+  }
+  std::vector<std::size_t> order = ig.path_order();
+  const std::size_t n = order.size();
+  if (n < 2) {
+    throw std::invalid_argument("serial_to_multistage: need >= 2 variables");
+  }
+  // Position of each variable along the chain.
+  std::vector<std::size_t> pos(n, 0);
+  for (std::size_t s = 0; s < n; ++s) pos[order[s]] = s;
+
+  std::vector<std::size_t> sizes(n);
+  for (std::size_t s = 0; s < n; ++s) sizes[s] = obj.domain(order[s]);
+  MultistageGraph g(sizes, 0);  // start from all-zero edges and accumulate
+
+  const auto& domains = obj.domains();
+  for (const Term& t : obj.terms()) {
+    if (t.scope.size() == 2) {
+      const std::size_t pa = pos[t.scope[0]];
+      const std::size_t pb = pos[t.scope[1]];
+      const std::size_t s = std::min(pa, pb);
+      if (std::max(pa, pb) != s + 1) {
+        throw std::logic_error("serial_to_multistage: non-adjacent term");
+      }
+      // Orient the table: scope is sorted by variable id, which may be
+      // either chain direction.
+      const bool fwd = pos[t.scope[0]] < pos[t.scope[1]];
+      const std::size_t da = domains[t.scope[0]];
+      const std::size_t db = domains[t.scope[1]];
+      for (std::size_t a = 0; a < da; ++a) {
+        for (std::size_t b = 0; b < db; ++b) {
+          const Cost c = t.table[a * db + b];
+          if (fwd) {
+            g.set_edge(s, a, b, sat_add(g.edge(s, a, b), c));
+          } else {
+            g.set_edge(s, b, a, sat_add(g.edge(s, b, a), c));
+          }
+        }
+      }
+    } else if (t.scope.size() == 1) {
+      // Unary term: fold into the outgoing transition (incoming for the
+      // last stage).
+      const std::size_t p = pos[t.scope[0]];
+      const std::size_t d = domains[t.scope[0]];
+      for (std::size_t a = 0; a < d; ++a) {
+        const Cost c = t.table[a];
+        if (p + 1 < n) {
+          for (std::size_t b = 0; b < g.stage_size(p + 1); ++b) {
+            g.set_edge(p, a, b, sat_add(g.edge(p, a, b), c));
+          }
+        } else {
+          for (std::size_t b = 0; b < g.stage_size(p - 1); ++b) {
+            g.set_edge(p - 1, b, a, sat_add(g.edge(p - 1, b, a), c));
+          }
+        }
+      }
+    } else {
+      throw std::logic_error("serial_to_multistage: term arity > 2");
+    }
+  }
+  return SerialChainProblem{std::move(g), std::move(order)};
+}
+
+}  // namespace sysdp

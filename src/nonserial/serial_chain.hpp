@@ -1,0 +1,33 @@
+// Conversion of a *serial* objective into a multistage graph.
+//
+// Section 2.2: a serial objective's interaction graph is a simple path, so
+// ordering the variables along that path gives stages, each variable's
+// quantised values give the stage's nodes, and each binary term becomes the
+// edge costs of one stage transition (unary terms fold into an adjacent
+// transition).  This is the bridge from the objective-function view (eq. 4)
+// to the multistage-graph view (Figure 1b) that the systolic designs of
+// Section 3 consume.
+#pragma once
+
+#include <vector>
+
+#include "graph/multistage_graph.hpp"
+#include "nonserial/objective.hpp"
+
+namespace sysdp {
+
+struct SerialChainProblem {
+  MultistageGraph graph;
+  /// var_order[s] = original variable index placed at stage s.
+  std::vector<std::size_t> var_order;
+
+  /// Map a stage path back to an assignment of the original variables.
+  [[nodiscard]] std::vector<std::size_t> decode(const StagePath& path) const;
+};
+
+/// Throws if the objective is not serial (use group_banded_to_serial or
+/// solve_by_elimination for those).
+[[nodiscard]] SerialChainProblem serial_to_multistage(
+    const NonserialObjective& obj);
+
+}  // namespace sysdp

@@ -1,0 +1,145 @@
+// Closed-semiring abstraction (Section 3.1 of the paper).
+//
+// A monadic-serial DP problem is evaluated as a string of matrix products
+// over a closed semiring (R, plus, times, zero, one) where `plus` is the
+// comparison operator of the functional equation (MIN for shortest paths)
+// and `times` combines a partial solution with an edge cost (+ for additive
+// costs).  All array designs in src/arrays are templated on one of these
+// semirings so the same hardware model solves shortest path, longest path,
+// bottleneck path, and reachability problems.
+#pragma once
+
+#include <algorithm>
+#include <concepts>
+#include <cstdint>
+
+#include "semiring/cost.hpp"
+
+namespace sysdp {
+
+/// A closed semiring: `plus` selects among alternatives (idempotent for
+/// optimisation semirings), `times` extends a solution, `zero()` is the
+/// identity of `plus` and absorbing for `times`, `one()` the identity of
+/// `times`.
+template <typename S>
+concept Semiring = requires(typename S::value_type a, typename S::value_type b) {
+  { S::zero() } -> std::same_as<typename S::value_type>;
+  { S::one() } -> std::same_as<typename S::value_type>;
+  { S::plus(a, b) } -> std::same_as<typename S::value_type>;
+  { S::times(a, b) } -> std::same_as<typename S::value_type>;
+};
+
+/// (MIN, +, +inf, 0): shortest paths; the semiring of eq. (8).
+struct MinPlus {
+  using value_type = Cost;
+  static constexpr Cost zero() noexcept { return kInfCost; }
+  static constexpr Cost one() noexcept { return 0; }
+  static constexpr Cost plus(Cost a, Cost b) noexcept { return std::min(a, b); }
+  static constexpr Cost times(Cost a, Cost b) noexcept { return sat_add(a, b); }
+  /// True if `a` strictly improves on `b` (used for arg tracking).
+  static constexpr bool improves(Cost a, Cost b) noexcept { return a < b; }
+};
+
+/// (MAX, +, -inf, 0): longest paths / maximum-profit sequential decisions.
+struct MaxPlus {
+  using value_type = Cost;
+  static constexpr Cost zero() noexcept { return kNegInfCost; }
+  static constexpr Cost one() noexcept { return 0; }
+  static constexpr Cost plus(Cost a, Cost b) noexcept { return std::max(a, b); }
+  static constexpr Cost times(Cost a, Cost b) noexcept { return sat_add(a, b); }
+  static constexpr bool improves(Cost a, Cost b) noexcept { return a > b; }
+};
+
+/// (MIN, MAX, +inf, -inf): minimax / bottleneck paths.  The "cost" of a path
+/// is its widest edge; the optimum is the narrowest such path.
+struct MinMax {
+  using value_type = Cost;
+  static constexpr Cost zero() noexcept { return kInfCost; }
+  static constexpr Cost one() noexcept { return kNegInfCost; }
+  static constexpr Cost plus(Cost a, Cost b) noexcept { return std::min(a, b); }
+  static constexpr Cost times(Cost a, Cost b) noexcept { return std::max(a, b); }
+  static constexpr bool improves(Cost a, Cost b) noexcept { return a < b; }
+};
+
+/// (MAX, MIN, -inf, +inf): maximin / widest ("capacity") paths.
+struct MaxMin {
+  using value_type = Cost;
+  static constexpr Cost zero() noexcept { return kNegInfCost; }
+  static constexpr Cost one() noexcept { return kInfCost; }
+  static constexpr Cost plus(Cost a, Cost b) noexcept { return std::max(a, b); }
+  static constexpr Cost times(Cost a, Cost b) noexcept { return std::min(a, b); }
+  static constexpr bool improves(Cost a, Cost b) noexcept { return a > b; }
+};
+
+/// (OR, AND, false, true): reachability through a multistage graph.
+struct BoolOrAnd {
+  using value_type = bool;
+  static constexpr bool zero() noexcept { return false; }
+  static constexpr bool one() noexcept { return true; }
+  static constexpr bool plus(bool a, bool b) noexcept { return a || b; }
+  static constexpr bool times(bool a, bool b) noexcept { return a && b; }
+  static constexpr bool improves(bool a, bool b) noexcept { return a && !b; }
+};
+
+/// (+, *, 0, 1) over unsigned counters: number of distinct source-sink paths.
+/// Not an optimisation semiring (plus is not idempotent) but still closed,
+/// and useful to validate that array data movement visits every combination
+/// exactly once.
+struct CountPaths {
+  using value_type = std::uint64_t;
+  static constexpr std::uint64_t zero() noexcept { return 0; }
+  static constexpr std::uint64_t one() noexcept { return 1; }
+  static constexpr std::uint64_t plus(std::uint64_t a, std::uint64_t b) noexcept {
+    return a + b;
+  }
+  static constexpr std::uint64_t times(std::uint64_t a, std::uint64_t b) noexcept {
+    return a * b;
+  }
+  static constexpr bool improves(std::uint64_t, std::uint64_t) noexcept {
+    return false;  // no notion of "better": arg tracking is meaningless here
+  }
+};
+
+/// Value of the shortest-path-counting semiring: the optimal cost together
+/// with the number of distinct optimal solutions.
+struct CostCount {
+  Cost cost = kInfCost;
+  std::uint64_t count = 0;
+
+  friend bool operator==(const CostCount&, const CostCount&) = default;
+};
+
+/// (MIN,+) lifted to count ties: plus keeps the better cost and merges
+/// counts on equality; times adds costs and multiplies counts.  A closed
+/// commutative semiring (the classic shortest-path-counting construction),
+/// so every array design counts optimal solutions with zero hardware
+/// changes beyond widening the data path.
+struct MinPlusCount {
+  using value_type = CostCount;
+  static constexpr CostCount zero() noexcept { return {kInfCost, 0}; }
+  static constexpr CostCount one() noexcept { return {0, 1}; }
+  static constexpr CostCount plus(const CostCount& a,
+                                  const CostCount& b) noexcept {
+    if (a.cost < b.cost) return a;
+    if (b.cost < a.cost) return b;
+    return {a.cost, a.count + b.count};
+  }
+  static constexpr CostCount times(const CostCount& a,
+                                   const CostCount& b) noexcept {
+    return {sat_add(a.cost, b.cost), a.count * b.count};
+  }
+  static constexpr bool improves(const CostCount& a,
+                                 const CostCount& b) noexcept {
+    return a.cost < b.cost;
+  }
+};
+
+static_assert(Semiring<MinPlus>);
+static_assert(Semiring<MaxPlus>);
+static_assert(Semiring<MinMax>);
+static_assert(Semiring<MaxMin>);
+static_assert(Semiring<BoolOrAnd>);
+static_assert(Semiring<CountPaths>);
+static_assert(Semiring<MinPlusCount>);
+
+}  // namespace sysdp

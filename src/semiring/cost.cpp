@@ -1,0 +1,11 @@
+#include "semiring/cost.hpp"
+
+namespace sysdp {
+
+std::string cost_to_string(Cost c) {
+  if (is_inf(c)) return "inf";
+  if (is_neg_inf(c)) return "-inf";
+  return std::to_string(c);
+}
+
+}  // namespace sysdp

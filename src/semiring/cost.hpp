@@ -1,0 +1,51 @@
+// Saturating cost arithmetic used throughout the library.
+//
+// The paper (Section 3.1) defines dynamic programming over the closed
+// semiring (R, MIN, +, +inf, 0).  A faithful software model needs an
+// "infinity" that is absorbing under the semiring multiplication (+): the
+// cost of a non-existent edge plus anything must remain non-existent.  We
+// use a sentinel near the top of the integer range and saturate additions so
+// that inf + x == inf without signed overflow (which would be UB).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace sysdp {
+
+/// Edge/path cost.  Integer costs keep every systolic simulation exactly
+/// comparable with its sequential baseline (no floating-point ties).
+using Cost = std::int64_t;
+
+/// Additive identity of MIN / absorbing element of +: "no path".
+/// Chosen at a quarter of the representable range so that sums of a few
+/// finite costs can never collide with it.
+inline constexpr Cost kInfCost = std::numeric_limits<Cost>::max() / 4;
+
+/// Negative infinity, used by the (MAX,+) semiring.
+inline constexpr Cost kNegInfCost = -kInfCost;
+
+/// True if `c` represents "no path" in a (MIN,+) setting.
+[[nodiscard]] constexpr bool is_inf(Cost c) noexcept { return c >= kInfCost; }
+
+/// True if `c` represents "no path" in a (MAX,+) setting.
+[[nodiscard]] constexpr bool is_neg_inf(Cost c) noexcept {
+  return c <= kNegInfCost;
+}
+
+/// Saturating addition: infinities are absorbing in both directions and the
+/// result is clamped into [kNegInfCost, kInfCost].
+[[nodiscard]] constexpr Cost sat_add(Cost a, Cost b) noexcept {
+  if (a >= kInfCost || b >= kInfCost) return kInfCost;
+  if (a <= kNegInfCost || b <= kNegInfCost) return kNegInfCost;
+  const Cost sum = a + b;  // |a|,|b| < max/4 so this cannot overflow.
+  if (sum >= kInfCost) return kInfCost;
+  if (sum <= kNegInfCost) return kNegInfCost;
+  return sum;
+}
+
+/// Render a cost for reports: "inf"/"-inf" for the sentinels.
+[[nodiscard]] std::string cost_to_string(Cost c);
+
+}  // namespace sysdp

@@ -1,0 +1,158 @@
+// Semiring matrix operations and string products (Section 3.1).
+//
+// Equation (8) reduces a backward monadic-serial DP evaluation to
+// f(A) = A . (B . (C . D)): a right-to-left string of matrix-vector
+// products over (MIN,+).  These routines are the functional reference that
+// every systolic design in src/arrays is validated against, and they count
+// scalar semiring operations so processor-utilisation formulas (eq. 9) can
+// be computed from first principles.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "semiring/closed_semiring.hpp"
+#include "semiring/matrix.hpp"
+
+namespace sysdp {
+
+/// Count of scalar semiring operations performed by a routine.  One "step"
+/// in the paper's iteration accounting is one times() followed by one
+/// plus() (a multiply-accumulate), so `mac` is the comparable unit.
+struct OpCount {
+  std::uint64_t mac = 0;
+
+  OpCount& operator+=(const OpCount& o) {
+    mac += o.mac;
+    return *this;
+  }
+};
+
+/// y = M (x) over S:  y_i = plus_j times(M(i,j), x_j).
+/// Optionally reports the arg that achieved each y_i (for path recovery).
+template <Semiring S>
+std::vector<typename S::value_type> mat_vec(
+    const Matrix<typename S::value_type>& M,
+    const std::vector<typename S::value_type>& x, OpCount* ops = nullptr,
+    std::vector<std::size_t>* arg = nullptr) {
+  using V = typename S::value_type;
+  if (M.cols() != x.size()) throw std::invalid_argument("mat_vec: shape");
+  std::vector<V> y(M.rows(), S::zero());
+  if (arg) arg->assign(M.rows(), 0);
+  for (std::size_t i = 0; i < M.rows(); ++i) {
+    for (std::size_t j = 0; j < M.cols(); ++j) {
+      const V cand = S::times(M(i, j), x[j]);
+      if (arg && S::improves(cand, y[i])) (*arg)[i] = j;
+      y[i] = S::plus(y[i], cand);
+      if (ops) ++ops->mac;
+    }
+  }
+  return y;
+}
+
+/// y = (x) M over S:  y_j = plus_i times(x_i, M(i,j)).
+template <Semiring S>
+std::vector<typename S::value_type> vec_mat(
+    const std::vector<typename S::value_type>& x,
+    const Matrix<typename S::value_type>& M, OpCount* ops = nullptr,
+    std::vector<std::size_t>* arg = nullptr) {
+  using V = typename S::value_type;
+  if (M.rows() != x.size()) throw std::invalid_argument("vec_mat: shape");
+  std::vector<V> y(M.cols(), S::zero());
+  if (arg) arg->assign(M.cols(), 0);
+  for (std::size_t j = 0; j < M.cols(); ++j) {
+    for (std::size_t i = 0; i < M.rows(); ++i) {
+      const V cand = S::times(x[i], M(i, j));
+      if (arg && S::improves(cand, y[j])) (*arg)[j] = i;
+      y[j] = S::plus(y[j], cand);
+      if (ops) ++ops->mac;
+    }
+  }
+  return y;
+}
+
+/// C = A (x) B over S:  C(i,j) = plus_k times(A(i,k), B(k,j)).
+template <Semiring S>
+Matrix<typename S::value_type> mat_mul(const Matrix<typename S::value_type>& A,
+                                       const Matrix<typename S::value_type>& B,
+                                       OpCount* ops = nullptr) {
+  using V = typename S::value_type;
+  if (A.cols() != B.rows()) throw std::invalid_argument("mat_mul: shape");
+  Matrix<V> C(A.rows(), B.cols(), S::zero());
+  for (std::size_t i = 0; i < A.rows(); ++i) {
+    for (std::size_t k = 0; k < A.cols(); ++k) {
+      const V a = A(i, k);
+      for (std::size_t j = 0; j < B.cols(); ++j) {
+        C(i, j) = S::plus(C(i, j), S::times(a, B(k, j)));
+        if (ops) ++ops->mac;
+      }
+    }
+  }
+  return C;
+}
+
+/// Right-associated string product applied to a final vector:
+/// M_0 (x) (M_1 (x) (... (M_{n-1} (x) v))).  This is exactly the order a
+/// backward monadic-serial evaluation uses (eq. 8c) and the order Designs 1
+/// and 2 implement in hardware.
+template <Semiring S>
+std::vector<typename S::value_type> string_mat_vec(
+    const std::vector<Matrix<typename S::value_type>>& mats,
+    std::vector<typename S::value_type> v, OpCount* ops = nullptr) {
+  for (auto it = mats.rbegin(); it != mats.rend(); ++it) {
+    v = mat_vec<S>(*it, v, ops);
+  }
+  return v;
+}
+
+/// Left-associated full product of a matrix string: ((M_0 M_1) M_2) ...
+/// Used by the divide-and-conquer reference (Section 4) and by tests of the
+/// polyadic formulation (eq. 15), where intermediate products are matrices.
+template <Semiring S>
+Matrix<typename S::value_type> string_mat_mul(
+    const std::vector<Matrix<typename S::value_type>>& mats,
+    OpCount* ops = nullptr) {
+  if (mats.empty()) throw std::invalid_argument("string_mat_mul: empty");
+  Matrix<typename S::value_type> acc = mats.front();
+  for (std::size_t i = 1; i < mats.size(); ++i) {
+    acc = mat_mul<S>(acc, mats[i], ops);
+  }
+  return acc;
+}
+
+/// Balanced (divide-and-conquer) product of a matrix string: the complete
+/// binary AND-tree of Section 4.  Result equals string_mat_mul by
+/// associativity; the tree shape is what the granularity analysis studies.
+template <Semiring S>
+Matrix<typename S::value_type> balanced_string_mat_mul(
+    const std::vector<Matrix<typename S::value_type>>& mats, std::size_t lo,
+    std::size_t hi, OpCount* ops = nullptr) {
+  if (lo + 1 == hi) return mats[lo];
+  const std::size_t mid = lo + (hi - lo + 1) / 2;  // left half gets the ceil
+  return mat_mul<S>(balanced_string_mat_mul<S>(mats, lo, mid, ops),
+                    balanced_string_mat_mul<S>(mats, mid, hi, ops), ops);
+}
+
+template <Semiring S>
+Matrix<typename S::value_type> balanced_string_mat_mul(
+    const std::vector<Matrix<typename S::value_type>>& mats,
+    OpCount* ops = nullptr) {
+  if (mats.empty()) throw std::invalid_argument("balanced_string_mat_mul: empty");
+  return balanced_string_mat_mul<S>(mats, 0, mats.size(), ops);
+}
+
+/// plus-reduction of a vector (the final comparison of h(X_N) in Section 3.2).
+template <Semiring S>
+typename S::value_type reduce(const std::vector<typename S::value_type>& v,
+                              std::size_t* arg = nullptr) {
+  typename S::value_type best = S::zero();
+  if (arg) *arg = 0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (arg && S::improves(v[i], best)) *arg = i;
+    best = S::plus(best, v[i]);
+  }
+  return best;
+}
+
+}  // namespace sysdp

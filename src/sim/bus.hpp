@@ -1,0 +1,49 @@
+// Broadcast bus model (Design 2, Figure 4; Section 6.2 broadcast mapping).
+//
+// A bus is combinational: the value driven in cycle t is visible to every
+// listener in the same cycle.  To keep the simulation deterministic the
+// driver must be evaluated before the listeners; the engine evaluates
+// modules in registration order, so designs register bus drivers first.
+// The bus checks the single-driver-per-cycle invariant that real tri-state
+// or multiplexed buses must obey.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+
+#include "sim/module.hpp"
+
+namespace sysdp::sim {
+
+template <typename T>
+class Bus {
+ public:
+  /// Drive the bus for the current cycle.  Throws if two drivers collide.
+  void drive(Cycle t, T v) {
+    if (cycle_ == t && value_.has_value()) {
+      throw std::logic_error("Bus: two drivers in one cycle");
+    }
+    cycle_ = t;
+    value_ = std::move(v);
+    ++drive_count_;
+  }
+
+  /// Value on the bus in cycle `t`, if any driver spoke this cycle.
+  [[nodiscard]] std::optional<T> sample(Cycle t) const {
+    if (cycle_ == t) return value_;
+    return std::nullopt;
+  }
+
+  /// Number of bus transactions so far (one scalar moved per drive), used
+  /// for the I/O-bandwidth experiments (E2).
+  [[nodiscard]] std::uint64_t drive_count() const noexcept {
+    return drive_count_;
+  }
+
+ private:
+  Cycle cycle_ = static_cast<Cycle>(-1);
+  std::optional<T> value_;
+  std::uint64_t drive_count_ = 0;
+};
+
+}  // namespace sysdp::sim

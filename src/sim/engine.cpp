@@ -1,0 +1,23 @@
+#include "sim/engine.hpp"
+
+namespace sysdp::sim {
+
+void Engine::step() {
+  for (Module* m : modules_) m->eval(now_);
+  for (Module* m : modules_) m->commit();
+  ++now_;
+}
+
+void Engine::run(Cycle n) {
+  for (Cycle i = 0; i < n; ++i) step();
+}
+
+bool Engine::run_until(const std::function<bool()>& done, Cycle max_cycles) {
+  for (Cycle i = 0; i < max_cycles; ++i) {
+    if (done()) return true;
+    step();
+  }
+  return done();
+}
+
+}  // namespace sysdp::sim

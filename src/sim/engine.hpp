@@ -1,0 +1,44 @@
+// Clocked simulation engine.
+//
+// Runs a set of modules through eval/commit phases.  Modules are evaluated
+// in registration order (drivers of combinational buses first); registers
+// make all PE-to-PE links sequential, so ordering only matters for bus
+// designs.  The engine never owns modules: array models own their PEs and
+// register them for stepping.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "sim/module.hpp"
+
+namespace sysdp::sim {
+
+class Engine {
+ public:
+  /// Register a module.  Order matters for combinational bus visibility:
+  /// drivers first, listeners after.
+  void add(Module& m) { modules_.push_back(&m); }
+
+  /// Advance one clock cycle.
+  void step();
+
+  /// Advance `n` cycles.
+  void run(Cycle n);
+
+  /// Step until `done()` returns true, up to `max_cycles`.  Returns true if
+  /// the predicate fired (checked after each full cycle).
+  bool run_until(const std::function<bool()>& done, Cycle max_cycles);
+
+  [[nodiscard]] Cycle now() const noexcept { return now_; }
+  [[nodiscard]] std::size_t num_modules() const noexcept {
+    return modules_.size();
+  }
+
+ private:
+  std::vector<Module*> modules_;
+  Cycle now_ = 0;
+};
+
+}  // namespace sysdp::sim

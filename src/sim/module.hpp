@@ -1,0 +1,36 @@
+// Module base class for clocked hardware models.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace sysdp::sim {
+
+/// Clock cycle index.
+using Cycle = std::uint64_t;
+
+/// A clocked hardware block.  Each cycle the engine calls eval() on every
+/// module (combinational phase: read registers/buses, stage register
+/// writes), then commit() on every module (clock edge: latch registers).
+class Module {
+ public:
+  explicit Module(std::string name) : name_(std::move(name)) {}
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// Combinational phase for cycle `t`.
+  virtual void eval(Cycle t) = 0;
+
+  /// Clock edge: latch all registers staged during eval().
+  virtual void commit() = 0;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+ private:
+  std::string name_;
+};
+
+}  // namespace sysdp::sim

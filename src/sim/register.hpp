@@ -1,0 +1,54 @@
+// Two-phase (master-slave) register model.
+//
+// Systolic arrays are synchronous: every PE reads its neighbours' outputs
+// *as they were at the previous clock edge* and presents new outputs at the
+// next edge.  Register<T> gives exactly that semantics: read() returns the
+// committed value, write() stages the next value, and the engine calls
+// commit() on all registers only after every module has evaluated.  The
+// result is a deterministic simulation independent of module ordering (for
+// purely registered designs).
+#pragma once
+
+#include <utility>
+
+namespace sysdp::sim {
+
+template <typename T>
+class Register {
+ public:
+  Register() = default;
+  explicit Register(T initial) : current_(initial), next_(initial) {}
+
+  /// Committed value, as of the last clock edge.
+  [[nodiscard]] const T& read() const noexcept { return current_; }
+
+  /// Stage a value for the next clock edge.  The last write in a cycle wins
+  /// (matching a multiplexed register input).
+  void write(T v) noexcept {
+    next_ = std::move(v);
+    written_ = true;
+  }
+
+  /// Latch the staged value.  If nothing was written this cycle the
+  /// register holds (like a register with a clock-enable).
+  void commit() noexcept {
+    if (written_) {
+      current_ = next_;
+      written_ = false;
+    }
+  }
+
+  /// Immediate (non-staged) load, for initialisation before time starts.
+  void reset(T v) noexcept {
+    current_ = v;
+    next_ = v;
+    written_ = false;
+  }
+
+ private:
+  T current_{};
+  T next_{};
+  bool written_ = false;
+};
+
+}  // namespace sysdp::sim

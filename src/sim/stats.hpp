@@ -1,0 +1,50 @@
+// Activity statistics for measured processor utilisation.
+//
+// The paper's PU formulas (eq. 9 and Proposition 1) are analytic; the
+// simulator additionally *measures* PU by counting, per PE, the cycles in
+// which useful work (a multiply-accumulate / add-compare step) was done.
+// Measured PU = busy-PE-cycles / (elapsed cycles * number of PEs), which is
+// exactly the paper's "ratio of serial iterations to (parallel iterations *
+// processors)" when one iteration does one unit of work.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/module.hpp"
+
+namespace sysdp::sim {
+
+class ActivityStats {
+ public:
+  explicit ActivityStats(std::size_t num_pes) : busy_(num_pes, 0) {}
+
+  /// Record that PE `pe` did one unit of useful work this cycle.
+  void mark_busy(std::size_t pe) { ++busy_.at(pe); }
+
+  [[nodiscard]] std::size_t num_pes() const noexcept { return busy_.size(); }
+  [[nodiscard]] std::uint64_t busy_cycles(std::size_t pe) const {
+    return busy_.at(pe);
+  }
+  [[nodiscard]] std::uint64_t total_busy() const noexcept {
+    std::uint64_t t = 0;
+    for (auto b : busy_) t += b;
+    return t;
+  }
+
+  /// Measured processor utilisation over `elapsed` cycles.
+  [[nodiscard]] double utilization(Cycle elapsed) const noexcept {
+    if (elapsed == 0 || busy_.empty()) return 0.0;
+    return static_cast<double>(total_busy()) /
+           (static_cast<double>(elapsed) * static_cast<double>(busy_.size()));
+  }
+
+  void reset() {
+    for (auto& b : busy_) b = 0;
+  }
+
+ private:
+  std::vector<std::uint64_t> busy_;
+};
+
+}  // namespace sysdp::sim

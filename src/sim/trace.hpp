@@ -1,0 +1,59 @@
+// Bounded signal trace for debugging and for the worked examples.
+//
+// Records (cycle, signal, value) tuples up to a capacity; renders as CSV.
+// Array models expose an optional Trace* so unit tests and examples can
+// inspect the data movement that the paper's figures illustrate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/module.hpp"
+
+namespace sysdp::sim {
+
+class Trace {
+ public:
+  explicit Trace(std::size_t capacity = 1 << 16) : capacity_(capacity) {}
+
+  void record(Cycle t, std::string signal, std::int64_t value) {
+    if (events_.size() >= capacity_) {
+      dropped_ = true;
+      return;
+    }
+    events_.push_back(Event{t, std::move(signal), value});
+  }
+
+  struct Event {
+    Cycle cycle;
+    std::string signal;
+    std::int64_t value;
+  };
+
+  [[nodiscard]] const std::vector<Event>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] bool dropped() const noexcept { return dropped_; }
+
+  /// CSV rendering: "cycle,signal,value" lines.
+  [[nodiscard]] std::string to_csv() const {
+    std::string out = "cycle,signal,value\n";
+    for (const auto& e : events_) {
+      out += std::to_string(e.cycle);
+      out += ',';
+      out += e.signal;
+      out += ',';
+      out += std::to_string(e.value);
+      out += '\n';
+    }
+    return out;
+  }
+
+ private:
+  std::size_t capacity_;
+  bool dropped_ = false;
+  std::vector<Event> events_;
+};
+
+}  // namespace sysdp::sim

@@ -1,0 +1,94 @@
+#include "vlsi/area_model.hpp"
+
+#include <vector>
+
+#include "andor/chain_builder.hpp"
+#include "andor/serialize.hpp"
+#include "semiring/cost.hpp"
+
+namespace sysdp {
+
+double at2(const AreaBill& bill, std::uint64_t cycles, const AreaUnits& u) {
+  const double t = static_cast<double>(cycles);
+  return static_cast<double>(bill.total(u)) * t * t;
+}
+
+AreaBill area_design1(std::uint64_t m) {
+  AreaBill b;
+  b.pes = m;
+  b.registers = 2 * m;        // R_i and A_i per PE
+  b.links = m - 1;            // nearest-neighbour pipeline
+  b.bus_hops = m;             // the P_{m-1} -> P_0 feedback return wire
+  return b;
+}
+
+AreaBill area_design2(std::uint64_t m) {
+  AreaBill b;
+  b.pes = m;
+  b.registers = 2 * m;        // ACC_i and S_i per PE
+  b.links = 0;                // no neighbour chain: everything is on the bus
+  b.bus_hops = 2 * m;         // broadcast span + feedback return span
+  return b;
+}
+
+AreaBill area_design3(std::uint64_t m, std::uint64_t n_stages,
+                      bool path_registers) {
+  AreaBill b;
+  b.pes = m;
+  b.registers = 3 * m;        // R_i, K_i, H_i
+  b.links = m - 1;
+  b.bus_hops = m;             // single feedback bus (Section 3.2)
+  if (path_registers) b.registers += n_stages * m;  // N registers of m words
+  return b;
+}
+
+AreaBill area_matmul_mesh(std::uint64_t m) {
+  AreaBill b;
+  b.pes = m * m;
+  b.registers = 3 * m * m;    // two moving operands + stationary C per cell
+  b.links = 2 * m * (m - 1);  // horizontal + vertical mesh wires
+  return b;
+}
+
+namespace {
+
+/// Structure-only chain graph: the wiring bill depends on n alone.
+ChainAndOr structural_chain(std::uint64_t n) {
+  std::vector<Cost> dims(n + 1, 2);
+  return build_chain_andor(dims);
+}
+
+}  // namespace
+
+AreaBill area_chain_broadcast(std::uint64_t n) {
+  const auto chain = structural_chain(n);
+  AreaBill b;
+  b.pes = chain.graph.count(AndOrType::kOr);
+  b.registers = b.pes + n;  // one result register per processor + leaf inputs
+  for (std::size_t i = 0; i < chain.graph.size(); ++i) {
+    const auto& node = chain.graph.node(i);
+    for (std::size_t c : node.children) {
+      const std::size_t gap = node.level - chain.graph.node(c).level;
+      if (gap == 1) {
+        ++b.links;
+      } else {
+        b.bus_hops += gap;  // a broadcast wire spanning `gap` levels
+      }
+    }
+  }
+  return b;
+}
+
+AreaBill area_chain_serialized(std::uint64_t n) {
+  const auto chain = structural_chain(n);
+  const auto ser = serialize_andor(chain.graph);
+  AreaBill b;
+  b.pes = ser.graph.count(AndOrType::kOr);
+  b.registers = b.pes + n + ser.dummies_added;  // dummies are registers
+  for (std::size_t i = 0; i < ser.graph.size(); ++i) {
+    b.links += ser.graph.node(i).children.size();  // all arcs are local now
+  }
+  return b;
+}
+
+}  // namespace sysdp

@@ -1,0 +1,70 @@
+// VLSI area and AT^2 accounting (Section 4's A, K, T criteria).
+//
+// The paper evaluates architectures by processor count K, time T, and the
+// VLSI complexity measures K T^2 and A T^2, where A is silicon area.  This
+// model makes A concrete per architecture: every design is costed in
+// abstract layout units per component — processing elements (function unit
+// + adder + comparator), registers, nearest-neighbour links, broadcast
+// wires (length-proportional, the VLSI-theory convention that makes
+// broadcast expensive), and dummy/forwarding cells.  The absolute units are
+// arbitrary; the *ratios* between architectures are what Section 4 and
+// Section 6.2 argue about — e.g. the broadcast AND/OR mapping buys T = N
+// with Theta(n^2) bus wiring that the serialised design trades for
+// Theta(n^3) dummy registers and T = 2N.
+#pragma once
+
+#include <cstdint>
+
+namespace sysdp {
+
+/// Unit areas per component, in abstract layout units.
+struct AreaUnits {
+  std::uint64_t pe = 12;        ///< function unit + adder + comparator
+  std::uint64_t reg = 1;        ///< one word of storage
+  std::uint64_t link = 1;       ///< nearest-neighbour wire segment
+  std::uint64_t bus_per_hop = 1;  ///< broadcast wire, per PE spanned
+};
+
+/// Area inventory of one architecture instance.
+struct AreaBill {
+  std::uint64_t pes = 0;
+  std::uint64_t registers = 0;
+  std::uint64_t links = 0;
+  std::uint64_t bus_hops = 0;
+
+  [[nodiscard]] std::uint64_t total(const AreaUnits& u = {}) const noexcept {
+    return pes * u.pe + registers * u.reg + links * u.link +
+           bus_hops * u.bus_per_hop;
+  }
+};
+
+/// A T^2 figure of merit for a design instance that finishes in `cycles`.
+[[nodiscard]] double at2(const AreaBill& bill, std::uint64_t cycles,
+                         const AreaUnits& u = {});
+
+/// Design 1 (Figure 3): m PEs, R + A registers each, chain links, no bus.
+[[nodiscard]] AreaBill area_design1(std::uint64_t m);
+
+/// Design 2 (Figure 4): m PEs, ACC + S registers, a broadcast bus spanning
+/// all m PEs plus the feedback return wire.
+[[nodiscard]] AreaBill area_design2(std::uint64_t m);
+
+/// Design 3 (Figure 5): m PEs with R/K/H registers, chain links, the
+/// feedback bus, and (for path recovery) N path registers of m words.
+[[nodiscard]] AreaBill area_design3(std::uint64_t m, std::uint64_t n_stages,
+                                    bool path_registers = true);
+
+/// The 2-D matmul mesh: m^2 PEs, two moving-operand registers each, mesh
+/// links.
+[[nodiscard]] AreaBill area_matmul_mesh(std::uint64_t m);
+
+/// Direct broadcast mapping of the chain AND/OR-graph (Section 6.2):
+/// n(n-1)/2 OR processors and one broadcast bus per level-skipping arc,
+/// each spanning the levels it crosses.
+[[nodiscard]] AreaBill area_chain_broadcast(std::uint64_t n);
+
+/// Serialised (Figure 8) mapping: the same processors plus shared dummy
+/// chains (one register per dummy) and only nearest-neighbour links.
+[[nodiscard]] AreaBill area_chain_serialized(std::uint64_t n);
+
+}  // namespace sysdp

@@ -1,0 +1,349 @@
+// Tests for the AND/OR-graph subsystem (Sections 5, 6.2): structure,
+// evaluation, builders for Figures 2 and 7, Theorem 2 node counts,
+// Propositions 2/3 schedules, serialisation, and top-down search.
+#include <gtest/gtest.h>
+
+#include "andor/andor_graph.hpp"
+#include "andor/chain_builder.hpp"
+#include "andor/level_schedule.hpp"
+#include "andor/regular_builder.hpp"
+#include "andor/search.hpp"
+#include "andor/serialize.hpp"
+#include "arrays/paper_metrics.hpp"
+#include "baseline/matrix_chain.hpp"
+#include "baseline/multistage_dp.hpp"
+#include "graph/generators.hpp"
+
+namespace sysdp {
+namespace {
+
+// --------------------------------------------------------- basic graph ----
+
+TEST(AndOrGraph, HandBuiltEvaluation) {
+  AndOrGraph g;
+  const auto l1 = g.add_leaf(3, 0);
+  const auto l2 = g.add_leaf(5, 0);
+  const auto a = g.add_and({l1, l2}, 10, 1);  // 3 + 5 + 10 = 18
+  const auto b = g.add_and({l1}, 1, 1);       // 3 + 1 = 4
+  const auto o = g.add_or({a, b}, 2);
+  EXPECT_EQ(g.value_of(o), 4);
+  EXPECT_EQ(g.count(AndOrType::kAnd), 2u);
+  EXPECT_EQ(g.count(AndOrType::kOr), 1u);
+  EXPECT_EQ(g.height(), 2u);
+  EXPECT_TRUE(g.is_serial());
+}
+
+TEST(AndOrGraph, DummyForwards) {
+  AndOrGraph g;
+  const auto l = g.add_leaf(7, 0);
+  const auto d = g.add_dummy(l, 1);
+  const auto o = g.add_or({d}, 2);
+  EXPECT_EQ(g.value_of(o), 7);
+}
+
+TEST(AndOrGraph, ChildrenMustPrecedeParents) {
+  AndOrGraph g;
+  EXPECT_THROW((void)g.add_and({5}, 0, 1), std::invalid_argument);
+  EXPECT_THROW((void)g.add_or({}, 1), std::invalid_argument);
+}
+
+TEST(AndOrGraph, LevelSkippingArcDetected) {
+  AndOrGraph g;
+  const auto l = g.add_leaf(0, 0);
+  const auto o = g.add_or({l}, 2);  // skips level 1
+  (void)o;
+  EXPECT_FALSE(g.is_serial());
+}
+
+TEST(AndOrGraph, OpCountMatchesNodeFanin) {
+  AndOrGraph g;
+  const auto a = g.add_leaf(1, 0);
+  const auto b = g.add_leaf(2, 0);
+  const auto n = g.add_and({a, b}, 0, 1);
+  const auto o = g.add_or({n}, 2);
+  (void)o;
+  OpCount ops;
+  (void)g.evaluate(&ops);
+  EXPECT_EQ(ops.mac, 3u);  // 2 AND additions + 1 OR comparison
+}
+
+// -------------------------------------- chain graph (Figure 2 / eq. 6) ----
+
+TEST(ChainAndOr, Figure2ShapeForFourMatrices) {
+  Rng rng(1);
+  const auto dims = random_chain_dims(4, rng);
+  const auto chain = build_chain_andor(dims);
+  // 4 leaves; OR nodes for the 6 proper subchains; AND nodes: one per
+  // (i,j,k) split = 1+1+2+1+2+3 = 10.
+  EXPECT_EQ(chain.graph.count(AndOrType::kLeaf), 4u);
+  EXPECT_EQ(chain.graph.count(AndOrType::kOr), 6u);
+  EXPECT_EQ(chain.graph.count(AndOrType::kAnd), 10u);
+  // The graph cannot be drawn with adjacent-level arcs only (Section 2.2).
+  EXPECT_FALSE(chain.graph.is_serial());
+}
+
+TEST(ChainAndOr, MatchesTableDpAcrossSizes) {
+  Rng rng(2);
+  for (std::size_t n : {1u, 2u, 3u, 5u, 9u, 14u}) {
+    const auto dims = random_chain_dims(n, rng);
+    const auto chain = build_chain_andor(dims);
+    EXPECT_EQ(chain.solve(), matrix_chain_order(dims).total()) << "n=" << n;
+  }
+}
+
+TEST(ChainAndOr, SingleMatrixIsFree) {
+  const auto chain = build_chain_andor({3, 7});
+  EXPECT_EQ(chain.solve(), 0);
+}
+
+// --------------------------------- regular graph (Figure 7 / Theorem 2) ---
+
+TEST(RegularAndOr, NodeCountMatchesEq32) {
+  Rng rng(3);
+  struct Case {
+    std::size_t p, q, m;
+  };
+  for (const auto& c : {Case{2, 1, 2}, Case{2, 2, 2}, Case{2, 3, 2},
+                        Case{2, 2, 3}, Case{3, 1, 2}, Case{3, 2, 2},
+                        Case{4, 1, 2}, Case{2, 2, 4}, Case{5, 1, 2}}) {
+    std::size_t n_seg = 1;
+    for (std::size_t i = 0; i < c.q; ++i) n_seg *= c.p;
+    const auto g = random_multistage(n_seg + 1, c.m, rng);
+    const auto reg = build_regular_andor(g, c.p);
+    EXPECT_EQ(reg.graph.size(), u_formula(n_seg, c.p, c.m))
+        << "p=" << c.p << " q=" << c.q << " m=" << c.m;
+    EXPECT_EQ(reg.rounds, c.q);
+    // Height 2 log_p N, as in Section 5.
+    EXPECT_EQ(reg.graph.height(), 2 * c.q);
+  }
+}
+
+TEST(RegularAndOr, EvaluatesToAllPairsStageCosts) {
+  Rng rng(4);
+  for (const std::size_t p : {2u, 3u}) {
+    const std::size_t n_seg = p * p;
+    const auto g = random_multistage(n_seg + 1, 3, rng);
+    const auto reg = build_regular_andor(g, p);
+    const auto values = reg.graph.evaluate();
+    const auto expect = stage_pair_costs(g, 0, n_seg);
+    for (std::size_t i = 0; i < 3; ++i) {
+      for (std::size_t j = 0; j < 3; ++j) {
+        EXPECT_EQ(values[reg.top_id(i, j)], expect(i, j))
+            << "p=" << p << " (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+TEST(RegularAndOr, RejectsBadShape) {
+  Rng rng(5);
+  const auto g = random_multistage(7, 2, rng);  // 6 segments, not a power of 2
+  EXPECT_THROW((void)build_regular_andor(g, 2), std::invalid_argument);
+  const auto g4 = random_multistage(5, 2, rng);
+  EXPECT_THROW((void)build_regular_andor(g4, 1), std::invalid_argument);
+}
+
+TEST(Theorem2, BinaryPartitionMinimizesNodeCount) {
+  // Theorem 2's derivative condition is strict for (p >= 2, m >= 3) or
+  // (p >= 3, m >= 2); for m = 2 the counts at p = 2 and p = 4 tie exactly
+  // (u = 1012 at N = 64), which the paper's hypothesis anticipates.
+  for (const std::uint64_t m : {3u, 4u, 5u}) {
+    const auto u2 = u_formula(64, 2, m);
+    const auto u4 = u_formula(64, 4, m);
+    const auto u8 = u_formula(64, 8, m);
+    EXPECT_LT(u2, u4) << "m=" << m;
+    EXPECT_LT(u4, u8) << "m=" << m;
+  }
+  EXPECT_EQ(u_formula(64, 2, 2), u_formula(64, 4, 2));  // the m = 2 tie
+  EXPECT_LT(u_formula(64, 4, 2), u_formula(64, 8, 2));
+}
+
+// ----------------------------------- schedules (Propositions 2 and 3) -----
+
+TEST(Prop2, BroadcastScheduleMatchesRecurrence) {
+  for (std::size_t n = 1; n <= 160; ++n) {
+    EXPECT_EQ(simulate_chain_broadcast(n).completion, t_broadcast(n))
+        << "n=" << n;
+  }
+}
+
+TEST(Prop2, ClosedFormIsN) {
+  for (std::uint64_t n : {1u, 2u, 7u, 64u, 333u, 1024u}) {
+    EXPECT_EQ(t_broadcast(n), n);
+  }
+}
+
+TEST(Prop3, PipelinedScheduleMatchesRecurrence) {
+  for (std::size_t n = 1; n <= 160; ++n) {
+    EXPECT_EQ(simulate_chain_pipelined(n).completion, t_pipelined(n))
+        << "n=" << n;
+  }
+}
+
+TEST(Prop3, ClosedFormIsTwoN) {
+  for (std::uint64_t n : {1u, 2u, 7u, 64u, 333u, 1024u}) {
+    EXPECT_EQ(t_pipelined(n), 2 * n);
+  }
+}
+
+TEST(Schedules, SerializationCostsExactlyTwofold) {
+  for (std::size_t n : {4u, 16u, 100u}) {
+    EXPECT_EQ(simulate_chain_pipelined(n).completion,
+              2 * simulate_chain_broadcast(n).completion);
+  }
+}
+
+TEST(Schedules, ProcessorsAndBuses) {
+  const auto res = simulate_chain_broadcast(4);
+  EXPECT_EQ(res.processors, 6u);  // "mapped directly into six processors"
+  EXPECT_GT(res.long_arcs, 0u);   // some arcs need broadcast buses
+}
+
+// ------------------------------------------- serialisation (Figure 8) -----
+
+TEST(Serialize, ChainGraphBecomesSerial) {
+  Rng rng(6);
+  const auto dims = random_chain_dims(6, rng);
+  const auto chain = build_chain_andor(dims);
+  ASSERT_FALSE(chain.graph.is_serial());
+  const auto ser = serialize_andor(chain.graph);
+  EXPECT_TRUE(ser.graph.is_serial());
+  EXPECT_GT(ser.dummies_added, 0u);
+  // Values are preserved through the dummy chains.
+  EXPECT_EQ(ser.graph.value_of(ser.remap[chain.root]),
+            matrix_chain_order(dims).total());
+}
+
+TEST(Serialize, AlreadySerialGraphUnchanged) {
+  AndOrGraph g;
+  const auto l1 = g.add_leaf(1, 0);
+  const auto l2 = g.add_leaf(2, 0);
+  const auto a = g.add_and({l1, l2}, 0, 1);
+  const auto o = g.add_or({a}, 2);
+  (void)o;
+  const auto ser = serialize_andor(g);
+  EXPECT_EQ(ser.dummies_added, 0u);
+  EXPECT_EQ(ser.graph.size(), g.size());
+}
+
+TEST(Serialize, DummyChainsSharedPerSource) {
+  // Two parents at level 3 consuming the same level-0 leaf share one chain
+  // of two dummies.
+  AndOrGraph g;
+  const auto l = g.add_leaf(4, 0);
+  const auto a1 = g.add_and({l}, 0, 3);
+  const auto a2 = g.add_and({l}, 1, 3);
+  const auto o = g.add_or({a1, a2}, 4);
+  (void)o;
+  const auto ser = serialize_andor(g);
+  EXPECT_EQ(ser.dummies_added, 2u);
+  EXPECT_EQ(ser.longest_chain, 2u);
+  EXPECT_TRUE(ser.graph.is_serial());
+  EXPECT_EQ(ser.graph.value_of(ser.remap[o]), 4);
+}
+
+TEST(Serialize, DelayGrowsWithChainLength) {
+  Rng rng(7);
+  const auto small = serialize_andor(build_chain_andor(random_chain_dims(4, rng)).graph);
+  const auto large = serialize_andor(build_chain_andor(random_chain_dims(12, rng)).graph);
+  EXPECT_GT(large.longest_chain, small.longest_chain);
+  EXPECT_GT(large.dummies_added, small.dummies_added);
+}
+
+// ------------------------------------------------------ top-down search ---
+
+TEST(TopDown, AgreesWithBottomUpOnChainGraphs) {
+  Rng rng(8);
+  for (std::size_t n : {2u, 4u, 8u, 12u}) {
+    const auto dims = random_chain_dims(n, rng);
+    const auto chain = build_chain_andor(dims);
+    const auto td = solve_top_down(chain.graph, chain.root);
+    EXPECT_EQ(td.value, chain.solve()) << "n=" << n;
+    EXPECT_LE(td.visited, chain.graph.size());
+  }
+}
+
+TEST(TopDown, SolutionTreeIsConsistentAndOptimal) {
+  Rng rng(9);
+  const auto dims = random_chain_dims(7, rng);
+  const auto chain = build_chain_andor(dims);
+  const auto td = solve_top_down(chain.graph, chain.root);
+  const auto tree = extract_solution_tree(chain.graph, chain.root, td);
+  // Recompute the tree's cost independently: sum of AND local costs plus
+  // leaf values of tree members.
+  Cost total = 0;
+  for (std::size_t id : tree) {
+    const auto& n = chain.graph.node(id);
+    if (n.type == AndOrType::kAnd) total = sat_add(total, n.local);
+    if (n.type == AndOrType::kLeaf) total = sat_add(total, n.leaf_value);
+  }
+  EXPECT_EQ(total, td.value);
+}
+
+TEST(TopDown, VisitsOnlyReachableSubgraph) {
+  AndOrGraph g;
+  const auto l1 = g.add_leaf(1, 0);
+  const auto l2 = g.add_leaf(2, 0);  // unreachable from the root below
+  (void)l2;
+  const auto o = g.add_or({l1}, 1);
+  const auto td = solve_top_down(g, o);
+  EXPECT_EQ(td.visited, 2u);
+  EXPECT_EQ(td.value, 1);
+}
+
+}  // namespace
+}  // namespace sysdp
+
+// Level-parallel bottom-up evaluation (Section 6.2's breadth-first
+// expansion by levels).
+#include "andor/level_evaluate.hpp"
+
+namespace sysdp {
+namespace {
+
+TEST(LevelEvaluate, MatchesSequentialEvaluation) {
+  Rng rng(61);
+  const auto g = random_multistage(9, 3, rng);
+  const auto reg = build_regular_andor(g, 2);
+  const auto seq = reg.graph.evaluate();
+  for (const std::uint64_t p : {1u, 2u, 7u, 1000u}) {
+    EXPECT_EQ(evaluate_by_levels(reg.graph, p).values, seq) << "p=" << p;
+  }
+}
+
+TEST(LevelEvaluate, StepAccounting) {
+  Rng rng(62);
+  const auto chain = build_chain_andor(random_chain_dims(6, rng));
+  const auto one = evaluate_by_levels(chain.graph, 1);
+  // p = 1: one step per non-leaf node.
+  EXPECT_EQ(one.steps, one.node_ops);
+  // Unbounded p: one step per populated non-leaf level.
+  const auto inf = evaluate_by_levels(chain.graph, 1u << 30);
+  EXPECT_EQ(inf.steps, static_cast<std::uint64_t>(inf.levels));
+  // Utilisation degrades with p on a fixed graph.
+  EXPECT_GE(evaluate_by_levels(chain.graph, 2).utilization(2) + 1e-12,
+            evaluate_by_levels(chain.graph, 8).utilization(8));
+}
+
+TEST(LevelEvaluate, MoreProcessorsNeverSlower) {
+  Rng rng(63);
+  const auto reg = build_regular_andor(random_multistage(17, 2, rng), 2);
+  std::uint64_t prev = static_cast<std::uint64_t>(-1);
+  for (const std::uint64_t p : {1u, 2u, 4u, 16u, 256u}) {
+    const auto res = evaluate_by_levels(reg.graph, p);
+    EXPECT_LE(res.steps, prev) << "p=" << p;
+    prev = res.steps;
+  }
+}
+
+TEST(LevelEvaluate, RejectsZeroProcessorsAndBadLevels) {
+  AndOrGraph g;
+  const auto l = g.add_leaf(1, 2);  // leaf *above* its parent's level
+  const auto o = g.add_or({l}, 1);
+  (void)o;
+  EXPECT_THROW((void)evaluate_by_levels(g, 0), std::invalid_argument);
+  EXPECT_THROW((void)evaluate_by_levels(g, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sysdp

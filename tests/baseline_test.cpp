@@ -1,0 +1,127 @@
+// Tests for the sequential reference solvers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baseline/matrix_chain.hpp"
+#include "baseline/multistage_dp.hpp"
+#include "graph/generators.hpp"
+
+namespace sysdp {
+namespace {
+
+TEST(MultistageDp, ForwardBackwardSymmetry) {
+  // The overall optimum is reachable from both sweeps: min over sources of
+  // forward costs equals min over sinks of backward costs.
+  Rng rng(1);
+  const auto g = random_multistage(7, 5, rng);
+  const auto fwd = forward_costs(g, 0);
+  const auto bwd = backward_costs(g, g.num_stages() - 1);
+  EXPECT_EQ(*std::min_element(fwd.begin(), fwd.end()),
+            *std::min_element(bwd.begin(), bwd.end()));
+}
+
+TEST(MultistageDp, SolveReturnsConsistentPath) {
+  Rng rng(2);
+  for (int seed = 0; seed < 10; ++seed) {
+    Rng r2(static_cast<std::uint64_t>(seed));
+    const auto g = random_sparse_multistage(6, 4, r2, 500);
+    const auto res = solve_multistage(g);
+    EXPECT_EQ(g.path_cost(res.path), res.cost) << "seed=" << seed;
+  }
+}
+
+TEST(MultistageDp, PathIsGloballyOptimalOnTinyInstance) {
+  // Exhaustive cross-check on a 3-stage, width-2 instance: 8 paths.
+  Rng rng(3);
+  const auto g = random_multistage(3, 2, rng);
+  Cost best = kInfCost;
+  for (std::size_t a = 0; a < 2; ++a)
+    for (std::size_t b = 0; b < 2; ++b)
+      for (std::size_t c = 0; c < 2; ++c)
+        best = std::min(best, g.path_cost({a, b, c}));
+  EXPECT_EQ(solve_multistage(g).cost, best);
+}
+
+TEST(MultistageDp, OpCountMatchesClosedForm) {
+  // Backward sweep on a uniform graph: (S-1) transitions of m^2 MACs plus
+  // the final m comparison.
+  Rng rng(4);
+  const std::size_t S = 6, m = 4;
+  const auto g = random_multistage(S, m, rng);
+  const auto res = solve_multistage(g);
+  EXPECT_EQ(res.ops.mac, (S - 1) * m * m + m);
+}
+
+TEST(MultistageDp, SerialStepFormulas) {
+  EXPECT_EQ(serial_steps_design12(10, 4), 8u * 16 + 4);
+  EXPECT_EQ(serial_steps_design3(10, 4), 9u * 16 + 4);
+}
+
+TEST(MultistageDp, InfeasibleGraphReportsInf) {
+  MultistageGraph g(3, 2);  // fully disconnected
+  const auto res = solve_multistage(g);
+  EXPECT_TRUE(is_inf(res.cost));
+  EXPECT_TRUE(res.path.empty());
+}
+
+TEST(MultistageDp, StagePairCostsComposes) {
+  Rng rng(5);
+  const auto g = random_multistage(6, 3, rng);
+  const auto a = stage_pair_costs(g, 0, 3);
+  const auto b = stage_pair_costs(g, 3, 5);
+  const auto whole = stage_pair_costs(g, 0, 5);
+  EXPECT_TRUE(mat_mul<MinPlus>(a, b) == whole);  // eq. (15)
+  EXPECT_THROW((void)stage_pair_costs(g, 3, 3), std::invalid_argument);
+}
+
+TEST(MatrixChain, ClrsTextbookInstance) {
+  // Classic dimensions 30x35, 35x15, 15x5, 5x10, 10x20, 20x25 -> 15125.
+  const std::vector<Cost> dims{30, 35, 15, 5, 10, 20, 25};
+  const auto res = matrix_chain_order(dims);
+  EXPECT_EQ(res.total(), 15125);
+  EXPECT_EQ(res.parenthesization(), "((M1 (M2 M3)) ((M4 M5) M6))");
+}
+
+TEST(MatrixChain, SplitsReproduceCost) {
+  Rng rng(6);
+  for (std::size_t n : {2u, 5u, 11u}) {
+    const auto dims = random_chain_dims(n, rng);
+    const auto res = matrix_chain_order(dims);
+    EXPECT_EQ(chain_cost_of_splits(dims, res.split), res.total()) << n;
+  }
+}
+
+TEST(MatrixChain, SingleMatrixCostsNothing) {
+  const auto res = matrix_chain_order({4, 9});
+  EXPECT_EQ(res.total(), 0);
+  EXPECT_EQ(res.parenthesization(), "M1");
+}
+
+TEST(MatrixChain, OpCountIsCubicSum) {
+  // Number of min-candidates: sum over lengths len of (n-len+1)(len-1).
+  const auto res = matrix_chain_order({2, 3, 4, 5, 6});  // n = 4
+  EXPECT_EQ(res.ops.mac, 3u + 2 * 2 + 1 * 3);  // len2:3, len3:4, len4:3 -> 10
+}
+
+TEST(OptimalBst, KnownSmallInstance) {
+  // Keys with frequencies 34, 8, 50: best tree roots at the heavy key.
+  const auto res = optimal_bst({34, 8, 50});
+  // cost = 34*2 + 8*3 + 50*1 = 142 (root 2, left chain 0 <- 1).
+  EXPECT_EQ(res.total(), 142);
+  EXPECT_EQ(res.root(0, 2), 2u);
+}
+
+TEST(OptimalBst, SingleKey) {
+  const auto res = optimal_bst({7});
+  EXPECT_EQ(res.total(), 7);
+}
+
+TEST(OptimalBst, UniformFrequenciesGiveBalancedCost) {
+  const auto res = optimal_bst({1, 1, 1, 1, 1, 1, 1});
+  // Perfectly balanced 7-node tree: 1 + 2*2 + 4*3 = 17.
+  EXPECT_EQ(res.total(), 17);
+}
+
+}  // namespace
+}  // namespace sysdp

@@ -1,0 +1,145 @@
+// Tests for the core façade: classification, Table 1, and the solve()
+// dispatcher.
+#include <gtest/gtest.h>
+
+#include "core/classification.hpp"
+#include "core/solver.hpp"
+#include "core/table1.hpp"
+#include "graph/generators.hpp"
+#include "baseline/matrix_chain.hpp"
+#include "baseline/multistage_dp.hpp"
+#include "nonserial/elimination.hpp"
+#include "nonserial/nonserial_generators.hpp"
+
+namespace sysdp {
+namespace {
+
+TEST(Classification, Names) {
+  EXPECT_EQ(to_string(DpClass{Recursion::kMonadic, Structure::kSerial}),
+            "monadic-serial");
+  EXPECT_EQ(to_string(DpClass{Recursion::kPolyadic, Structure::kNonserial}),
+            "polyadic-nonserial");
+}
+
+TEST(Classification, FromObjectiveStructure) {
+  NonserialObjective serial({2, 2});
+  serial.add_term({0, 1}, std::vector<Cost>(4, 0));
+  EXPECT_EQ(classify(serial, Recursion::kMonadic).structure,
+            Structure::kSerial);
+  Rng rng(1);
+  EXPECT_EQ(classify(paper_example_objective(2, rng), Recursion::kMonadic)
+                .structure,
+            Structure::kNonserial);
+}
+
+TEST(Table1, HasAllFourClassesWithPaperText) {
+  EXPECT_EQ(table1().size(), 4u);
+  const auto& ms = recommend({Recursion::kMonadic, Structure::kSerial});
+  EXPECT_NE(ms.suitable_method.find("matrix multiplications"),
+            std::string::npos);
+  const auto& ps = recommend({Recursion::kPolyadic, Structure::kSerial});
+  EXPECT_NE(ps.suitable_method.find("divide-and-conquer"), std::string::npos);
+  const auto& mn = recommend({Recursion::kMonadic, Structure::kNonserial});
+  EXPECT_NE(mn.suitable_method.find("grouping variables"), std::string::npos);
+  const auto& pn = recommend({Recursion::kPolyadic, Structure::kNonserial});
+  EXPECT_NE(pn.functional_requirement.find("dataflow"), std::string::npos);
+}
+
+TEST(Table1, RendersEveryRow) {
+  const auto text = render_table1();
+  for (const auto& row : table1()) {
+    EXPECT_NE(text.find(row.suitable_method), std::string::npos);
+  }
+}
+
+TEST(Solver, MonadicSerialEdgeForm) {
+  Rng rng(2);
+  const auto g = random_multistage(6, 4, rng);
+  const auto rep = solve_monadic_serial(g);
+  const auto ref = solve_multistage(g);
+  EXPECT_EQ(rep.cost, ref.cost);
+  EXPECT_EQ(g.path_cost(rep.assignment), ref.cost);
+  EXPECT_EQ(rep.cls, (DpClass{Recursion::kMonadic, Structure::kSerial}));
+  EXPECT_GT(rep.cycles, 0u);
+}
+
+TEST(Solver, MonadicSerialNodeForm) {
+  Rng rng(3);
+  const auto nv = scheduling_instance(5, 3, rng);
+  const auto rep = solve_monadic_serial(nv);
+  EXPECT_EQ(rep.cost, solve_multistage(nv.materialize()).cost);
+  EXPECT_EQ(nv.materialize().path_cost(rep.assignment), rep.cost);
+  EXPECT_NE(rep.method.find("Design 3"), std::string::npos);
+}
+
+TEST(Solver, PolyadicSerialAgreesWithMonadic) {
+  Rng rng(4);
+  const auto g = random_multistage(9, 3, rng);
+  const auto mono = solve_monadic_serial(g);
+  for (std::uint64_t k : {1u, 2u, 4u}) {
+    const auto poly = solve_polyadic_serial(g, k);
+    EXPECT_EQ(poly.cost, mono.cost) << "k=" << k;
+  }
+}
+
+TEST(Solver, ChainOrderMatchesBaseline) {
+  Rng rng(5);
+  const auto dims = random_chain_dims(9, rng);
+  const auto rep = solve_chain_order(dims);
+  const auto base = matrix_chain_order(dims);
+  EXPECT_EQ(rep.cost, base.total());
+  ASSERT_EQ(rep.assignment.size(), 1u);
+  EXPECT_EQ(rep.assignment[0], base.split(0, 8));
+}
+
+TEST(Solver, ObjectiveDispatchSerial) {
+  NonserialObjective obj({3, 3, 3});
+  Rng rng(6);
+  std::uniform_int_distribution<Cost> dist(0, 9);
+  std::vector<Cost> t(9);
+  for (auto& c : t) c = dist(rng);
+  obj.add_term({0, 1}, t);
+  for (auto& c : t) c = dist(rng);
+  obj.add_term({1, 2}, t);
+  const auto rep = solve_objective(obj);
+  EXPECT_NE(rep.method.find("Design 1"), std::string::npos);
+  EXPECT_EQ(rep.cost, solve_brute_force(obj).cost);
+  EXPECT_EQ(obj.evaluate(rep.assignment), rep.cost);
+}
+
+TEST(Solver, ObjectiveDispatchBanded) {
+  Rng rng(7);
+  const auto obj = random_banded_objective(5, 2, rng);
+  const auto rep = solve_objective(obj);
+  EXPECT_NE(rep.method.find("grouping transform"), std::string::npos);
+  EXPECT_EQ(rep.cost, solve_brute_force(obj).cost);
+  EXPECT_EQ(obj.evaluate(rep.assignment), rep.cost);
+}
+
+TEST(Solver, ObjectiveDispatchGeneralNonserial) {
+  Rng rng(8);
+  const auto obj = paper_example_objective(2, rng);
+  const auto rep = solve_objective(obj);
+  EXPECT_NE(rep.method.find("elimination"), std::string::npos);
+  EXPECT_EQ(rep.cost, solve_brute_force(obj).cost);
+  EXPECT_EQ(obj.evaluate(rep.assignment), rep.cost);
+}
+
+TEST(Solver, AllRoutesAgreeOnOneSharedInstance) {
+  // A single serial problem solved through four different routes (Designs
+  // 1/3 via the façade, D&C, and the sequential sweep) must agree —
+  // the cross-architecture integration check.
+  Rng rng(9);
+  const auto nv = traffic_control_instance(8, 4, rng);
+  const auto g = nv.materialize();
+  const Cost a = solve_monadic_serial(g).cost;
+  const Cost b = solve_monadic_serial(nv).cost;
+  const Cost c = solve_polyadic_serial(g, 3).cost;
+  const Cost d = solve_multistage(g).cost;
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b, c);
+  EXPECT_EQ(c, d);
+}
+
+}  // namespace
+}  // namespace sysdp

@@ -1,0 +1,138 @@
+// Tests for Design 3 (feedback array with path registers, Figure 5).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <tuple>
+
+#include "arrays/design3_feedback.hpp"
+#include "arrays/paper_metrics.hpp"
+#include "baseline/multistage_dp.hpp"
+#include "graph/generators.hpp"
+
+namespace sysdp {
+namespace {
+
+TEST(Design3, PaperFigure1bTiming) {
+  // The paper's walkthrough: a 4-stage graph with m = 3 quantised values
+  // completes in 15 iterations ((N+1)m with N=4, m=3).
+  Rng rng(1);
+  const auto nv = traffic_control_instance(4, 3, rng);
+  Design3Feedback arr(nv);
+  EXPECT_EQ(arr.iterations(), 15u);
+  const auto res = arr.run();
+  EXPECT_EQ(res.stats.cycles, 15u);
+  EXPECT_EQ(res.cost, solve_multistage(nv.materialize()).cost);
+}
+
+TEST(Design3, RejectsNonUniformWidth) {
+  NodeValueGraph nv({{1, 2}, {3}}, [](Cost, Cost) { return 0; });
+  EXPECT_THROW(Design3Feedback{nv}, std::invalid_argument);
+}
+
+TEST(Design3, SingleValuePerStage) {
+  // m = 1: the path is forced; cost is the sum of the forced edges.
+  NodeValueGraph nv({{3}, {8}, {2}}, [](Cost u, Cost v) { return u + v; });
+  Design3Feedback arr(nv);
+  const auto res = arr.run();
+  EXPECT_EQ(res.cost, (3 + 8) + (8 + 2));
+  EXPECT_EQ(res.path, (StagePath{0, 0, 0}));
+  EXPECT_EQ(res.stats.cycles, 4u);  // (N+1)m = 4
+}
+
+TEST(Design3, TwoStages) {
+  NodeValueGraph nv({{0, 10}, {5, 1}}, [](Cost u, Cost v) { return u + v; });
+  Design3Feedback arr(nv);
+  const auto res = arr.run();
+  EXPECT_EQ(res.cost, 1);  // 0 + 1
+  EXPECT_EQ(res.path, (StagePath{0, 1}));
+}
+
+// Property sweep across all four application generators and a (N, m, seed)
+// grid: value optimality, path validity, path optimality, timing, PU, I/O.
+class Design3Sweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {
+ protected:
+  NodeValueGraph make(int kind, std::size_t stages, std::size_t width,
+                      Rng& rng) {
+    switch (kind) {
+      case 0: return traffic_control_instance(stages, width, rng);
+      case 1: return circuit_design_instance(stages, width, rng);
+      case 2: return fluid_flow_instance(stages, width, rng);
+      default: return scheduling_instance(stages, width, rng);
+    }
+  }
+};
+
+TEST_P(Design3Sweep, MatchesSequentialDpExactly) {
+  const auto [kind, stages, width, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 31 + static_cast<std::uint64_t>(kind));
+  const auto nv = make(kind, static_cast<std::size_t>(stages),
+                       static_cast<std::size_t>(width), rng);
+  const auto g = nv.materialize();
+  const auto expect = solve_multistage(g);
+
+  Design3Feedback arr(nv);
+  const auto res = arr.run();
+  // (i) functional: optimal value and a genuinely optimal path.
+  EXPECT_EQ(res.cost, expect.cost);
+  EXPECT_EQ(g.path_cost(res.path), res.cost);
+  // (ii) temporal: exactly (N+1)m iterations.
+  EXPECT_EQ(res.stats.cycles,
+            static_cast<sim::Cycle>((stages + 1) * width));
+  // (iii) utilisation: busy steps equal the sequential step count
+  // (N-1)m^2 + m, so measured PU equals the paper's formula.
+  EXPECT_EQ(res.stats.busy_steps,
+            serial_steps_design3(static_cast<std::uint64_t>(stages),
+                                 static_cast<std::uint64_t>(width)));
+  EXPECT_NEAR(res.stats.utilization_wall(),
+              analytic_pu_design3(static_cast<std::uint64_t>(stages),
+                                  static_cast<std::uint64_t>(width)),
+              1e-12);
+  // (iv) I/O: only the N*m node values enter the array.
+  EXPECT_EQ(res.stats.input_scalars,
+            static_cast<std::uint64_t>(stages) * static_cast<std::uint64_t>(width));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, Design3Sweep,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(2, 3, 5, 9),
+                       ::testing::Values(1, 3, 6),
+                       ::testing::Values(1, 2)));
+
+TEST(Design3, IoReductionIsOrderOfMagnitude) {
+  // Section 3.2: feeding node values instead of edge costs reduces input
+  // bandwidth by a factor of ~m.
+  Rng rng(77);
+  const auto nv = traffic_control_instance(16, 12, rng);
+  Design3Feedback arr(nv);
+  const auto res = arr.run();
+  EXPECT_EQ(res.stats.input_scalars, nv.input_scalars());
+  EXPECT_GT(nv.edge_scalars(), 10 * nv.input_scalars());
+}
+
+TEST(Design3, PathTracebackOnHandCraftedInstance) {
+  // Force a zig-zag optimum to exercise the path registers: values chosen
+  // so the cheapest chain is 0 -> 9 -> 1 -> 10 with |u - v| costs.
+  NodeValueGraph nv({{0, 9}, {1, 9}, {2, 9}, {3, 10}},
+                    [](Cost u, Cost v) { return std::abs(u - v); });
+  Design3Feedback arr(nv);
+  const auto res = arr.run();
+  // Best: 9 -> 9 -> 9 -> 10 with cost 0 + 0 + 1 = 1.
+  EXPECT_EQ(res.cost, 1);
+  EXPECT_EQ(res.path, (StagePath{1, 1, 1, 1}));
+}
+
+TEST(Design3, TiesBrokenConsistentlyWithBaseline) {
+  // All-equal values create massive ties; the array must still return an
+  // optimal (zero-cost) path.
+  NodeValueGraph nv({{5, 5, 5}, {5, 5, 5}, {5, 5, 5}},
+                    [](Cost u, Cost v) { return std::abs(u - v); });
+  Design3Feedback arr(nv);
+  const auto res = arr.run();
+  EXPECT_EQ(res.cost, 0);
+  EXPECT_EQ(nv.materialize().path_cost(res.path), 0);
+}
+
+}  // namespace
+}  // namespace sysdp

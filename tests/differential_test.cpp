@@ -1,0 +1,204 @@
+// Randomised differential testing: every route through the library is run
+// on the same seeded instances and all answers must coincide.  These are
+// the widest-net invariants — any disagreement anywhere in the stack
+// (semiring ops, array timing, schedules, transforms) surfaces here even if
+// the focused suites missed it.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "andor/chain_builder.hpp"
+#include "andor/pipeline_array.hpp"
+#include "andor/regular_builder.hpp"
+#include "andor/search.hpp"
+#include "andor/stage_reduction.hpp"
+#include "arrays/design2_modular.hpp"
+#include "arrays/design3_feedback.hpp"
+#include "arrays/gkt_array.hpp"
+#include "arrays/graph_adapter.hpp"
+#include "baseline/matrix_chain.hpp"
+#include "baseline/multistage_dp.hpp"
+#include "core/solver.hpp"
+#include "dnc/dataflow.hpp"
+#include "dnc/schedule.hpp"
+#include "graph/generators.hpp"
+#include "nonserial/elimination.hpp"
+#include "nonserial/grouping.hpp"
+#include "nonserial/nonserial_generators.hpp"
+
+namespace sysdp {
+namespace {
+
+class MultistageDifferential : public ::testing::TestWithParam<int> {};
+
+TEST_P(MultistageDifferential, SevenRoutesOneOptimum) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 2654435761u);
+  std::uniform_int_distribution<std::size_t> stage_dist(3, 9);
+  std::uniform_int_distribution<std::size_t> width_dist(2, 6);
+  const std::size_t stages = stage_dist(rng);
+  const std::size_t width = width_dist(rng);
+  const auto g = random_sparse_multistage(stages, width, rng, 300);
+
+  const Cost baseline = solve_multistage(g).cost;
+
+  // 1. Design 1 pipelined array.
+  const auto d1 = run_design1_shortest(g);
+  EXPECT_EQ(*std::min_element(d1.values.begin(), d1.values.end()), baseline);
+  // 2. Design 1 with path registers: path reproduces the optimum.
+  const auto d1p = run_design1_shortest_with_path(g);
+  EXPECT_EQ(d1p.cost, baseline);
+  EXPECT_EQ(g.path_cost(d1p.path), baseline);
+  // 3. Design 2 broadcast array.
+  const auto d2 = run_design2_shortest(g);
+  EXPECT_EQ(*std::min_element(d2.values.begin(), d2.values.end()), baseline);
+  // 4. Modular Design 2 on the simulation engine.
+  {
+    auto prob = to_string_product(g);
+    Design2Modular modular(prob.mats, prob.v);
+    const auto res = modular.run();
+    EXPECT_EQ(*std::min_element(res.values.begin(), res.values.end()),
+              baseline);
+  }
+  // 5. Backward formulation.
+  const auto bwd = run_design1_backward(g);
+  EXPECT_EQ(*std::min_element(bwd.values.begin(), bwd.values.end()),
+            baseline);
+  // 6. Divide-and-conquer string product on several array counts.
+  for (const std::uint64_t k : {1u, 3u}) {
+    OpCount ops;
+    const auto all = execute_dnc(g.matrix_string(), k, &ops);
+    Cost best = kInfCost;
+    for (std::size_t i = 0; i < all.rows(); ++i) {
+      for (std::size_t j = 0; j < all.cols(); ++j) {
+        best = std::min(best, all(i, j));
+      }
+    }
+    EXPECT_EQ(best, baseline) << "k=" << k;
+  }
+  // 7. Optimal stage reduction (secondary optimisation order).
+  {
+    const auto plan = plan_stage_reduction(g.stage_sizes());
+    const auto reduced = reduce_stages(g, plan.elimination_order);
+    Cost best = kInfCost;
+    for (std::size_t i = 0; i < reduced.rows(); ++i) {
+      for (std::size_t j = 0; j < reduced.cols(); ++j) {
+        best = std::min(best, reduced(i, j));
+      }
+    }
+    EXPECT_EQ(best, baseline);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MultistageDifferential,
+                         ::testing::Range(1, 21));
+
+class ChainDifferential : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChainDifferential, SixRoutesOneOptimum) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 40503u + 7);
+  std::uniform_int_distribution<std::size_t> n_dist(2, 14);
+  const std::size_t n = n_dist(rng);
+  const auto dims = random_chain_dims(n, rng);
+
+  const Cost baseline = matrix_chain_order(dims).total();
+
+  // 1. Bottom-up AND/OR-graph evaluation (Figure 2).
+  const auto chain = build_chain_andor(dims);
+  EXPECT_EQ(chain.solve(), baseline);
+  // 2. Top-down memoised search with solution-tree extraction.
+  const auto td = solve_top_down(chain.graph, chain.root);
+  EXPECT_EQ(td.value, baseline);
+  // 3. GKT triangular array.
+  EXPECT_EQ(GktArray(dims).run().total(), baseline);
+  // 4. Clocked serialised array (Proposition 3 machine).
+  EXPECT_EQ(SerializedChainArray(dims).run().total(), baseline);
+  // 5. The façade.
+  EXPECT_EQ(solve_chain_order(dims).cost, baseline);
+  // 6. Dataflow execution of the optimal order performs exactly `baseline`
+  //    scalar operations.
+  const auto flow =
+      execute_chain_dataflow(dims, matrix_chain_order(dims).split, 2);
+  EXPECT_EQ(flow.scalar_ops, static_cast<std::uint64_t>(baseline));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChainDifferential, ::testing::Range(1, 21));
+
+class ObjectiveDifferential : public ::testing::TestWithParam<int> {};
+
+TEST_P(ObjectiveDifferential, BandedObjectiveFourRoutes) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 11939u + 3);
+  std::uniform_int_distribution<std::size_t> n_dist(3, 6);
+  std::uniform_int_distribution<std::size_t> m_dist(2, 4);
+  const auto obj = random_banded_objective(n_dist(rng), m_dist(rng), rng);
+
+  const Cost baseline = solve_brute_force(obj).cost;
+  EXPECT_EQ(solve_by_elimination(obj).cost, baseline);
+  EXPECT_EQ(solve_by_elimination(obj, min_degree_order(obj)).cost, baseline);
+  const auto grouped = group_banded_to_serial(obj);
+  EXPECT_EQ(solve_multistage(grouped.graph).cost, baseline);
+  const auto rep = solve_objective(obj);
+  EXPECT_EQ(rep.cost, baseline);
+  EXPECT_EQ(obj.evaluate(rep.assignment), baseline);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ObjectiveDifferential,
+                         ::testing::Range(1, 16));
+
+class RegularAndOrDifferential : public ::testing::TestWithParam<int> {};
+
+TEST_P(RegularAndOrDifferential, ReductionGraphMatchesMatrixProducts) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7933u);
+  std::uniform_int_distribution<int> p_dist(2, 3);
+  const std::size_t p = static_cast<std::size_t>(p_dist(rng));
+  const std::size_t n_seg = p * p;
+  const auto g = random_multistage(n_seg + 1, 2, rng);
+  const auto reg = build_regular_andor(g, p);
+  const auto values = reg.graph.evaluate();
+  const auto expect = stage_pair_costs(g, 0, n_seg);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      EXPECT_EQ(values[reg.top_id(i, j)], expect(i, j));
+    }
+  }
+  // Top-down search over the same graph agrees per entry.
+  const auto td = solve_top_down(reg.graph, reg.top_id(0, 0));
+  EXPECT_EQ(td.value, expect(0, 0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegularAndOrDifferential,
+                         ::testing::Range(1, 11));
+
+class SequentialControlDifferential : public ::testing::TestWithParam<int> {};
+
+TEST_P(SequentialControlDifferential, Design3AgreesWithMaterializedSweep) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104537u);
+  std::uniform_int_distribution<std::size_t> n_dist(3, 10);
+  std::uniform_int_distribution<std::size_t> m_dist(2, 6);
+  std::uniform_int_distribution<int> kind(0, 6);
+  const std::size_t n = n_dist(rng);
+  const std::size_t m = m_dist(rng);
+  NodeValueGraph nv = [&]() {
+    switch (kind(rng)) {
+      case 0: return traffic_control_instance(n, m, rng);
+      case 1: return circuit_design_instance(n, m, rng);
+      case 2: return fluid_flow_instance(n, m, rng);
+      case 3: return scheduling_instance(n, m, rng);
+      case 4: return inventory_instance(n, m, rng);
+      case 5: return tracking_instance(n, m, rng);
+      default: return production_instance(n, m, rng);
+    }
+  }();
+  Design3Feedback arr(nv);
+  const auto res = arr.run();
+  const auto g = nv.materialize();
+  EXPECT_EQ(res.cost, solve_multistage(g).cost);
+  if (!is_inf(res.cost)) {
+    EXPECT_EQ(g.path_cost(res.path), res.cost);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SequentialControlDifferential,
+                         ::testing::Range(1, 26));
+
+}  // namespace
+}  // namespace sysdp

@@ -1,0 +1,396 @@
+// Tests for the extension features: Design 1 path recovery, the modular
+// (Module/Engine/Bus) Design 2, stage-dependent cost functions and the
+// sequential-control workloads of Section 3.2, scheduling-policy ablation,
+// and the clocked serialised AND/OR array.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "andor/pipeline_array.hpp"
+#include "arrays/design2_broadcast.hpp"
+#include "arrays/design2_modular.hpp"
+#include "arrays/design3_feedback.hpp"
+#include "arrays/graph_adapter.hpp"
+#include "arrays/paper_metrics.hpp"
+#include "baseline/matrix_chain.hpp"
+#include "baseline/multistage_dp.hpp"
+#include "dnc/schedule.hpp"
+#include "graph/generators.hpp"
+
+namespace sysdp {
+namespace {
+
+// ------------------------------------------- Design 1 path registers ------
+
+class Design1PathSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(Design1PathSweep, RecoversAnOptimalPath) {
+  const auto [stages, width, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 6367);
+  const auto g = random_multistage(static_cast<std::size_t>(stages),
+                                   static_cast<std::size_t>(width), rng);
+  const auto res = run_design1_shortest_with_path(g);
+  const auto ref = solve_multistage(g);
+  EXPECT_EQ(res.cost, ref.cost);
+  EXPECT_EQ(res.path.size(), g.num_stages());
+  EXPECT_EQ(g.path_cost(res.path), ref.cost);  // the path is itself optimal
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, Design1PathSweep,
+                         ::testing::Combine(::testing::Values(3, 5, 8, 13),
+                                            ::testing::Values(2, 4, 7),
+                                            ::testing::Values(1, 2, 3)));
+
+TEST(Design1Path, SingleSourceSinkGraph) {
+  Rng rng(17);
+  const auto g = with_single_source_sink(random_multistage(5, 4, rng));
+  const auto res = run_design1_shortest_with_path(g);
+  EXPECT_EQ(res.path.size(), g.num_stages());
+  EXPECT_EQ(res.path.front(), 0u);
+  EXPECT_EQ(res.path.back(), 0u);
+  EXPECT_EQ(g.path_cost(res.path), solve_multistage(g).cost);
+}
+
+TEST(Design1Path, SparseGraphAvoidsMissingEdges) {
+  for (int seed = 0; seed < 8; ++seed) {
+    Rng rng(static_cast<std::uint64_t>(seed));
+    const auto g = random_sparse_multistage(6, 4, rng, 600);
+    const auto res = run_design1_shortest_with_path(g);
+    EXPECT_EQ(g.path_cost(res.path), solve_multistage(g).cost)
+        << "seed=" << seed;
+  }
+}
+
+TEST(Design1Path, ArgTablesHaveMultiplyShapes) {
+  Rng rng(18);
+  const auto mats = random_matrix_string(4, 3, rng);
+  std::vector<Cost> v{1, 2, 3};
+  Design1Pipeline<MinPlus> arr(mats, v);
+  Design1Pipeline<MinPlus>::ArgTables args;
+  (void)arr.run(&args);
+  ASSERT_EQ(args.size(), 4u);
+  for (const auto& table : args) EXPECT_EQ(table.size(), 3u);
+}
+
+// ------------------------------------------------- modular Design 2 -------
+
+class ModularSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(ModularSweep, CycleExactlyEquivalentToMonolithicModel) {
+  const auto [stages, width, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 51407);
+  const auto g = random_multistage(static_cast<std::size_t>(stages),
+                                   static_cast<std::size_t>(width), rng);
+  auto prob = to_string_product(g);
+  Design2Broadcast<MinPlus> mono(prob.mats, prob.v);
+  Design2Modular modular(prob.mats, prob.v);
+  const auto a = mono.run();
+  const auto b = modular.run();
+  EXPECT_EQ(a.values, b.values);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.busy_steps, b.busy_steps);
+  EXPECT_EQ(a.input_scalars, b.input_scalars);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ModularSweep,
+                         ::testing::Combine(::testing::Values(3, 4, 7, 10),
+                                            ::testing::Values(1, 3, 6),
+                                            ::testing::Values(1, 2)));
+
+TEST(Design2Modular, RectangularFinalMatrix) {
+  Rng rng(19);
+  const auto g = with_single_source_sink(random_multistage(4, 3, rng));
+  auto prob = to_string_product(g);
+  Design2Modular modular(prob.mats, prob.v);
+  const auto res = modular.run();
+  ASSERT_EQ(res.values.size(), 1u);
+  EXPECT_EQ(res.values[0], solve_multistage(g).cost);
+}
+
+TEST(Design2Modular, RejectsBadShapes) {
+  std::vector<Cost> v(3, 0);
+  EXPECT_THROW(Design2Modular({}, v), std::invalid_argument);
+  EXPECT_THROW(Design2Modular({Matrix<Cost>(3, 2, 0)}, v),
+               std::invalid_argument);
+}
+
+// --------------------------------- stage-dependent sequential control -----
+
+TEST(StageDependent, MaterializeUsesPerStageCosts) {
+  NodeValueGraph nv({{0, 1}, {0, 1}, {0, 1}},
+                    [](std::size_t k, Cost u, Cost v) {
+                      return static_cast<Cost>(k) * 100 + u * 10 + v;
+                    });
+  const auto g = nv.materialize();
+  EXPECT_EQ(g.edge(0, 1, 0), 10);
+  EXPECT_EQ(g.edge(1, 1, 1), 111);
+  EXPECT_FALSE(static_cast<bool>(nv.cost_fn()));  // no stage-free form
+}
+
+class SequentialControlSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {
+ protected:
+  NodeValueGraph make(int kind, std::size_t n, std::size_t m, Rng& rng) {
+    switch (kind) {
+      case 0: return inventory_instance(n, m, rng);
+      case 1: return tracking_instance(n, m, rng);
+      default: return production_instance(n, m, rng);
+    }
+  }
+};
+
+TEST_P(SequentialControlSweep, Design3SolvesStageDependentProblems) {
+  const auto [kind, stages, width, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 7 + static_cast<std::uint64_t>(kind));
+  const auto nv = make(kind, static_cast<std::size_t>(stages),
+                       static_cast<std::size_t>(width), rng);
+  Design3Feedback arr(nv);
+  const auto res = arr.run();
+  const auto g = nv.materialize();
+  const auto ref = solve_multistage(g);
+  EXPECT_EQ(res.cost, ref.cost);
+  if (!is_inf(res.cost)) {
+    EXPECT_EQ(g.path_cost(res.path), res.cost);
+  }
+  EXPECT_EQ(res.stats.cycles,
+            static_cast<sim::Cycle>((stages + 1) * width));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SequentialControlSweep,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values(3, 5, 9), ::testing::Values(2, 5),
+                       ::testing::Values(1, 2)));
+
+TEST(Inventory, ProductionIsAlwaysFeasibleOnOptimalPlan) {
+  Rng rng(23);
+  const auto nv = inventory_instance(8, 5, rng);
+  Design3Feedback arr(nv);
+  const auto res = arr.run();
+  ASSERT_FALSE(is_inf(res.cost));  // keeping enough stock is always possible
+  // Check the plan respects nonnegative production along the chosen path.
+  for (std::size_t k = 0; k + 1 < 8; ++k) {
+    EXPECT_FALSE(is_inf(
+        nv.edge_cost(k, res.path[k], res.path[k + 1])));
+  }
+}
+
+TEST(Tracking, PerfectTrackingCostsOnlyControl) {
+  // If every stage offers exactly the reference value, deviation is zero
+  // and the optimum is the control effort alone.
+  NodeValueGraph nv({{5}, {5}, {5}}, [](std::size_t, Cost u, Cost v) {
+    return (v - u) * (v - u);
+  });
+  Design3Feedback arr(nv);
+  EXPECT_EQ(arr.run().cost, 0);
+}
+
+// ----------------------------------------- scheduling-policy ablation -----
+
+TEST(PolicyAblation, HlfNeverLosesToOtherPolicies) {
+  for (const std::size_t n : {64u, 256u, 1000u, 4096u}) {
+    for (const std::uint64_t k : {2u, 8u, 50u, 341u}) {
+      const auto hlf =
+          schedule_and_tree(n, k, SchedulePolicy::kHighestLevelFirst);
+      const auto fifo = schedule_and_tree(n, k, SchedulePolicy::kFifo);
+      const auto llf =
+          schedule_and_tree(n, k, SchedulePolicy::kLowestLevelFirst);
+      EXPECT_LE(hlf.makespan, fifo.makespan) << n << " " << k;
+      EXPECT_LE(hlf.makespan, llf.makespan) << n << " " << k;
+      // All policies perform the same N-1 products.
+      EXPECT_EQ(fifo.tasks, n - 1);
+      EXPECT_EQ(llf.tasks, n - 1);
+    }
+  }
+}
+
+TEST(PolicyAblation, AllPoliciesMatchWhenSerialOrUnbounded) {
+  // k = 1: any order takes N - 1 steps; k >= N/2: level-synchronous, all
+  // equal to the tree height... any greedy policy is optimal at both ends.
+  for (const auto policy :
+       {SchedulePolicy::kHighestLevelFirst, SchedulePolicy::kFifo,
+        SchedulePolicy::kLowestLevelFirst}) {
+    EXPECT_EQ(schedule_and_tree(128, 1, policy).makespan, 127u);
+    EXPECT_EQ(schedule_and_tree(128, 4096, policy).makespan, 7u);
+  }
+}
+
+// -------------------------------------- clocked serialised AND/OR array ---
+
+class SerializedArraySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SerializedArraySweep, ValueAndTimingMatchProposition3) {
+  const auto n = static_cast<std::size_t>(GetParam());
+  Rng rng(static_cast<std::uint64_t>(n));
+  const auto dims = random_chain_dims(n, rng);
+  SerializedChainArray arr(dims);
+  const auto res = arr.run();
+  EXPECT_EQ(res.total(), matrix_chain_order(dims).total());
+  EXPECT_EQ(res.completion(), t_pipelined(n));  // exactly 2N
+  EXPECT_EQ(res.stats.num_pes, n * (n + 1) / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SerializedArraySweep,
+                         ::testing::Values(1, 2, 3, 4, 6, 9, 16, 33, 64));
+
+TEST(SerializedArray, DoneTimesAreMonotoneUpTheTriangle) {
+  Rng rng(29);
+  const auto dims = random_chain_dims(12, rng);
+  const auto res = SerializedChainArray(dims).run();
+  for (std::size_t d = 1; d < 12; ++d) {
+    for (std::size_t i = 0; i + d < 12; ++i) {
+      EXPECT_GT(res.done(i, i + d), res.done(i, i + d - 1));
+      EXPECT_GT(res.done(i, i + d), res.done(i + 1, i + d));
+    }
+  }
+}
+
+TEST(SerializedArray, BusyStepsCountEveryCandidateOnce) {
+  const auto res = SerializedChainArray({2, 3, 4, 5, 6}).run();  // n = 4
+  EXPECT_EQ(res.stats.busy_steps, 10u);  // 3 + 2*2 + 3 candidates
+}
+
+TEST(SerializedArray, RejectsBadDims) {
+  EXPECT_THROW(SerializedChainArray({7}), std::invalid_argument);
+  EXPECT_THROW(SerializedChainArray({7, 0}), std::invalid_argument);
+}
+
+// ----------------------------------------- CountPaths data-movement -------
+
+TEST(CountPaths, Design1VisitsEveryCombinationExactlyOnce) {
+  // Over the counting semiring, an all-ones instance computes the number of
+  // paths: m^Q per source.  Any duplicated or skipped multiply-accumulate
+  // in the pipeline would corrupt the count.
+  for (const std::size_t q : {1u, 2u, 3u, 5u}) {
+    for (const std::size_t m : {2u, 3u, 4u}) {
+      std::vector<Matrix<std::uint64_t>> mats(
+          q, Matrix<std::uint64_t>(m, m, 1));
+      std::vector<std::uint64_t> v(m, 1);
+      Design1Pipeline<CountPaths> arr(mats, v);
+      const auto res = arr.run();
+      std::uint64_t expect = 1;
+      for (std::size_t t = 0; t < q; ++t) expect *= m;
+      for (std::uint64_t val : res.values) EXPECT_EQ(val, expect)
+          << "q=" << q << " m=" << m;
+    }
+  }
+}
+
+TEST(CountPaths, Design2AgreesWithDesign1) {
+  std::vector<Matrix<std::uint64_t>> mats(3, Matrix<std::uint64_t>(4, 4, 1));
+  std::vector<std::uint64_t> v(4, 1);
+  Design1Pipeline<CountPaths> d1(mats, v);
+  Design2Broadcast<CountPaths> d2(mats, v);
+  EXPECT_EQ(d1.run().values, d2.run().values);
+}
+
+}  // namespace
+}  // namespace sysdp
+
+// Re-opened for the second wave of extensions: backward formulation,
+// the generic triangular array (optimal BST), and Design 3 tracing.
+#include "arrays/triangular_array.hpp"
+#include "sim/trace.hpp"
+
+namespace sysdp {
+namespace {
+
+TEST(Backward, MatchesForwardOptimum) {
+  // Forward f1 and backward f2 sweeps reach the same end-to-end optimum
+  // (eqs. 1-2): min over sources of forward costs == min over sinks of
+  // backward costs.
+  for (int seed = 0; seed < 6; ++seed) {
+    Rng rng(static_cast<std::uint64_t>(seed) * 13);
+    const auto g = random_multistage(7, 4, rng);
+    const auto fwd = run_design1_shortest(g);
+    const auto bwd = run_design1_backward(g);
+    EXPECT_EQ(*std::min_element(fwd.values.begin(), fwd.values.end()),
+              *std::min_element(bwd.values.begin(), bwd.values.end()))
+        << "seed=" << seed;
+    // And the backward array reproduces the sequential backward sweep.
+    EXPECT_EQ(bwd.values, backward_costs(g, g.num_stages() - 1));
+  }
+}
+
+TEST(Backward, SingleSourceGraph) {
+  Rng rng(31);
+  const auto g = with_single_source_sink(random_multistage(4, 3, rng));
+  const auto bwd = run_design1_backward(g);
+  ASSERT_EQ(bwd.values.size(), 1u);
+  EXPECT_EQ(bwd.values[0], solve_multistage(g).cost);
+}
+
+class BstArraySweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(BstArraySweep, MatchesTableDp) {
+  const auto [n, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 997);
+  std::uniform_int_distribution<Cost> dist(1, 50);
+  std::vector<Cost> freq(static_cast<std::size_t>(n));
+  for (auto& f : freq) f = dist(rng);
+  const auto res = run_bst_array(freq);
+  const auto base = optimal_bst(freq);
+  EXPECT_EQ(res.total(), base.total());
+  // The chosen roots reproduce an optimal tree: the winning candidate t of
+  // cell (i, j) corresponds to root i + t.
+  EXPECT_EQ(res.split(0, freq.size() - 1) + 0,
+            res.split(0, freq.size() - 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, BstArraySweep,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 5, 9,
+                                                              16),
+                                            ::testing::Values(1, 2, 3)));
+
+TEST(BstArray, KnownInstanceAndLinearCompletion) {
+  const auto res = run_bst_array({34, 8, 50});
+  EXPECT_EQ(res.total(), 142);
+  // Completion grows linearly with the key count (same wavefront timing as
+  // the matrix-chain array).
+  std::uniform_int_distribution<Cost> dist(1, 9);
+  Rng rng(5);
+  std::vector<Cost> f16(16), f32(32);
+  for (auto& f : f16) f = dist(rng);
+  for (auto& f : f32) f = dist(rng);
+  const auto a = run_bst_array(f16);
+  const auto b = run_bst_array(f32);
+  const double ratio = static_cast<double>(b.completion()) /
+                       static_cast<double>(a.completion());
+  EXPECT_GT(ratio, 1.5);
+  EXPECT_LT(ratio, 2.6);
+}
+
+TEST(BstArray, RejectsBadFrequencies) {
+  EXPECT_THROW(run_bst_array({}), std::invalid_argument);
+  EXPECT_THROW(run_bst_array({3, -1}), std::invalid_argument);
+}
+
+TEST(Design3Trace, RecordsEveryCompletedValue) {
+  Rng rng(41);
+  const auto nv = traffic_control_instance(5, 3, rng);
+  Design3Feedback arr(nv);
+  sim::Trace trace;
+  arr.set_trace(&trace);
+  const auto res = arr.run();
+  // One h_out per stage-2..N token ((N-1)*m events) plus one min_out.
+  std::size_t h_out = 0, min_out = 0;
+  for (const auto& e : trace.events()) {
+    if (e.signal == "h_out") ++h_out;
+    if (e.signal == "min_out") {
+      ++min_out;
+      EXPECT_EQ(e.value, res.cost);
+    }
+  }
+  EXPECT_EQ(h_out, (5u - 1) * 3u);
+  EXPECT_EQ(min_out, 1u);
+  // Events appear in non-decreasing cycle order.
+  for (std::size_t i = 1; i < trace.events().size(); ++i) {
+    EXPECT_GE(trace.events()[i].cycle, trace.events()[i - 1].cycle);
+  }
+}
+
+}  // namespace
+}  // namespace sysdp

@@ -1,0 +1,158 @@
+// Metamorphic properties: transformations of the input with a known effect
+// on the output.  These catch systematic biases (off-by-one stage indexing,
+// dropped edges, misrouted tokens) that agreement-with-baseline tests can
+// miss when baseline and implementation share a blind spot.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "arrays/design3_feedback.hpp"
+#include "arrays/graph_adapter.hpp"
+#include "baseline/matrix_chain.hpp"
+#include "baseline/multistage_dp.hpp"
+#include "graph/generators.hpp"
+
+namespace sysdp {
+namespace {
+
+Cost best_of(const std::vector<Cost>& v) {
+  return *std::min_element(v.begin(), v.end());
+}
+
+TEST(Metamorphic, UniformShiftOfOneTransitionShiftsOptimumExactly) {
+  // Every source-sink path uses exactly one edge of each transition, so
+  // adding c to all of transition k's edges adds exactly c to the optimum.
+  for (int seed = 0; seed < 6; ++seed) {
+    Rng rng(static_cast<std::uint64_t>(seed) * 71);
+    auto g = random_multistage(6, 4, rng);
+    const Cost before = best_of(run_design1_shortest(g).values);
+    const Cost shift = 37;
+    for (std::size_t i = 0; i < 4; ++i) {
+      for (std::size_t j = 0; j < 4; ++j) {
+        g.set_edge(2, i, j, g.edge(2, i, j) + shift);
+      }
+    }
+    EXPECT_EQ(best_of(run_design1_shortest(g).values), before + shift)
+        << "seed=" << seed;
+    EXPECT_EQ(best_of(run_design2_shortest(g).values), before + shift);
+  }
+}
+
+TEST(Metamorphic, ScalingAllEdgesScalesTheOptimum) {
+  for (int seed = 0; seed < 6; ++seed) {
+    Rng rng(static_cast<std::uint64_t>(seed) * 73);
+    auto g = random_multistage(5, 3, rng);
+    const Cost before = solve_multistage(g).cost;
+    for (std::size_t k = 0; k + 1 < g.num_stages(); ++k) {
+      for (std::size_t i = 0; i < 3; ++i) {
+        for (std::size_t j = 0; j < 3; ++j) {
+          g.set_edge(k, i, j, 5 * g.edge(k, i, j));
+        }
+      }
+    }
+    EXPECT_EQ(best_of(run_design1_shortest(g).values), 5 * before);
+  }
+}
+
+TEST(Metamorphic, PermutingAStagePermutesNothingObservable) {
+  // Relabeling the nodes of an internal stage (rows of one matrix and the
+  // columns of the previous) leaves every source-to-sink cost unchanged.
+  Rng rng(75);
+  auto g = random_multistage(5, 4, rng);
+  const auto before = run_design1_shortest(g).values;
+  // Swap nodes 1 and 3 of stage 2: swap columns of costs(1), rows of
+  // costs(2).
+  for (std::size_t i = 0; i < 4; ++i) {
+    std::swap(g.costs(1)(i, 1), g.costs(1)(i, 3));
+  }
+  for (std::size_t j = 0; j < 4; ++j) {
+    std::swap(g.costs(2)(1, j), g.costs(2)(3, j));
+  }
+  EXPECT_EQ(run_design1_shortest(g).values, before);
+  EXPECT_EQ(run_design2_shortest(g).values, before);
+}
+
+TEST(Metamorphic, ReversingTheGraphPreservesTheOptimum) {
+  // The reversed graph (transposed matrices in reverse order) has the same
+  // optimal source-sink cost.
+  for (int seed = 0; seed < 6; ++seed) {
+    Rng rng(static_cast<std::uint64_t>(seed) * 77);
+    const auto g = random_multistage(6, 3, rng);
+    std::vector<std::size_t> sizes(g.stage_sizes().rbegin(),
+                                   g.stage_sizes().rend());
+    MultistageGraph rev(sizes);
+    for (std::size_t k = 0; k + 1 < g.num_stages(); ++k) {
+      rev.costs(g.num_stages() - 2 - k) = g.costs(k).transposed();
+    }
+    EXPECT_EQ(solve_multistage(rev).cost, solve_multistage(g).cost);
+    EXPECT_EQ(best_of(run_design1_shortest(rev).values),
+              best_of(run_design1_shortest(g).values));
+  }
+}
+
+TEST(Metamorphic, RemovingTheOptimalEdgeRaisesTheCost) {
+  for (int seed = 0; seed < 6; ++seed) {
+    Rng rng(static_cast<std::uint64_t>(seed) * 79 + 1);
+    auto g = random_multistage(5, 3, rng);
+    const auto ref = solve_multistage(g);
+    // Knock out the first edge of one optimal path.
+    g.set_edge(0, ref.path[0], ref.path[1], kInfCost);
+    const auto after = solve_multistage(g);
+    EXPECT_GE(after.cost, ref.cost) << "seed=" << seed;
+    EXPECT_EQ(best_of(run_design1_shortest(g).values), after.cost);
+  }
+}
+
+TEST(Metamorphic, Design3InvariantToNodeValueTranslation) {
+  // Translating every node value by a constant leaves |u - v| costs — and
+  // hence the whole traffic-control solution — unchanged.
+  Rng rng(81);
+  const auto nv = traffic_control_instance(5, 4, rng);
+  std::vector<std::vector<Cost>> shifted;
+  for (std::size_t s = 0; s < nv.num_stages(); ++s) {
+    shifted.push_back(nv.stage_values(s));
+    for (auto& x : shifted.back()) x += 1000;
+  }
+  NodeValueGraph nv2(shifted, [](Cost u, Cost v) { return std::abs(u - v); });
+  Design3Feedback a(nv), b(nv2);
+  const auto ra = a.run();
+  const auto rb = b.run();
+  EXPECT_EQ(ra.cost, rb.cost);
+  EXPECT_EQ(ra.path, rb.path);
+}
+
+TEST(Metamorphic, ChainReversalPreservesParenthesisationCost) {
+  // Reversing the dimension vector reverses the chain; the optimal cost is
+  // symmetric.
+  Rng rng(83);
+  for (int seed = 0; seed < 8; ++seed) {
+    auto dims = random_chain_dims(9, rng);
+    const Cost fwd = matrix_chain_order(dims).total();
+    std::reverse(dims.begin(), dims.end());
+    EXPECT_EQ(matrix_chain_order(dims).total(), fwd) << "seed=" << seed;
+  }
+}
+
+TEST(Metamorphic, DuplicatingAStageWithZeroEdgesIsFree) {
+  // Splicing in an identity stage (zero-cost diagonal, +inf elsewhere)
+  // cannot change the optimum.
+  Rng rng(85);
+  const auto g = random_multistage(4, 3, rng);
+  std::vector<std::size_t> sizes{3, 3, 3, 3, 3};
+  MultistageGraph spliced(sizes);
+  spliced.costs(0) = g.costs(0);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      spliced.set_edge(1, i, j, i == j ? 0 : kInfCost);
+    }
+  }
+  spliced.costs(2) = g.costs(1);
+  spliced.costs(3) = g.costs(2);
+  EXPECT_EQ(solve_multistage(spliced).cost, solve_multistage(g).cost);
+  EXPECT_EQ(best_of(run_design1_shortest(spliced).values),
+            solve_multistage(g).cost);
+}
+
+}  // namespace
+}  // namespace sysdp

@@ -1,0 +1,233 @@
+// Tests for irregular stage reduction (the secondary optimisation problem)
+// and the cycle-grounded divide-and-conquer execution.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <tuple>
+
+#include "andor/regular_builder.hpp"
+#include "andor/stage_reduction.hpp"
+#include "arrays/matmul_array.hpp"
+#include "baseline/multistage_dp.hpp"
+#include "dnc/schedule.hpp"
+#include "graph/generators.hpp"
+
+namespace sysdp {
+namespace {
+
+// -------------------------------------------------- stage reduction -------
+
+TEST(StageReduction, PaperFourStageExample) {
+  // Section 5: with all m_i >= 2, the 3-arc AND always needs at least as
+  // many comparisons as the better binary order.
+  for (std::uint64_t m1 : {2u, 3u, 5u}) {
+    for (std::uint64_t m2 : {2u, 4u}) {
+      for (std::uint64_t m3 : {2u, 3u}) {
+        for (std::uint64_t m4 : {2u, 6u}) {
+          const auto c = four_stage_comparison(m1, m2, m3, m4);
+          EXPECT_GE(c.three_arc, std::min(c.binary_mid_first,
+                                          c.binary_last_first))
+              << m1 << " " << m2 << " " << m3 << " " << m4;
+        }
+      }
+    }
+  }
+  // Concrete numbers: (3, 4, 2, 5) -> 120 vs 3*2*(4+5) = 54 vs 4*5*(3+2)=100.
+  const auto c = four_stage_comparison(3, 4, 2, 5);
+  EXPECT_EQ(c.three_arc, 120u);
+  EXPECT_EQ(c.binary_mid_first, 54u);
+  EXPECT_EQ(c.binary_last_first, 100u);
+}
+
+TEST(StageReduction, PlanBeatsNaiveOrders) {
+  const std::vector<std::size_t> sizes{3, 9, 2, 8, 4, 7};
+  const auto plan = plan_stage_reduction(sizes);
+  EXPECT_LE(plan.best_binary_comparisons, plan.left_to_right_comparisons);
+  EXPECT_LE(plan.best_binary_comparisons, plan.single_step_comparisons);
+  EXPECT_EQ(plan.elimination_order.size(), sizes.size() - 2);
+}
+
+TEST(StageReduction, ExecutedPlanMatchesPlannedCostAndValue) {
+  Rng rng(3);
+  const std::vector<std::size_t> sizes{2, 7, 3, 6, 2, 5, 4};
+  const auto g = random_multistage(sizes, rng);
+  const auto plan = plan_stage_reduction(sizes);
+
+  std::uint64_t comparisons = 0;
+  const auto reduced = reduce_stages(g, plan.elimination_order, &comparisons);
+  EXPECT_EQ(comparisons, plan.best_binary_comparisons);
+  // The reduced table equals the direct left-to-right product.
+  EXPECT_TRUE(reduced == stage_pair_costs(g, 0, sizes.size() - 1));
+}
+
+TEST(StageReduction, AnyValidOrderGivesSameTableDifferentWork) {
+  Rng rng(4);
+  const std::vector<std::size_t> sizes{2, 6, 2, 6, 2};
+  const auto g = random_multistage(sizes, rng);
+  const auto expect = stage_pair_costs(g, 0, 4);
+
+  std::uint64_t w1 = 0, w2 = 0;
+  EXPECT_TRUE(reduce_stages(g, {1, 2, 3}, &w1) == expect);
+  EXPECT_TRUE(reduce_stages(g, {2, 1, 3}, &w2) == expect);
+  EXPECT_NE(w1, w2);  // (2,6,...) is irregular enough to split the orders
+}
+
+TEST(StageReduction, UniformSizesMatchBalancedCount) {
+  // For uniform m the optimal binary order costs (S-2) m^3: every
+  // elimination is m * m * m regardless of order.
+  const auto plan = plan_stage_reduction({4, 4, 4, 4, 4, 4});
+  EXPECT_EQ(plan.best_binary_comparisons, 4u * 64);
+  EXPECT_EQ(plan.left_to_right_comparisons, 4u * 64);
+}
+
+TEST(StageReduction, Validation) {
+  Rng rng(5);
+  const auto g = random_multistage(4, 3, rng);
+  EXPECT_THROW((void)plan_stage_reduction({3}), std::invalid_argument);
+  EXPECT_THROW((void)reduce_stages(g, {1}, nullptr), std::invalid_argument);
+  EXPECT_THROW((void)reduce_stages(g, {1, 1}, nullptr),
+               std::invalid_argument);
+  EXPECT_THROW((void)reduce_stages(g, {0, 1}, nullptr),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------- timed D&C execution -------
+
+class TimedDncSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(TimedDncSweep, GroundsT1InMeshCycles) {
+  const auto [n, m, k] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n * 100 + m));
+  const auto mats = random_matrix_string(static_cast<std::size_t>(n),
+                                         static_cast<std::size_t>(m), rng);
+  const auto timed = execute_dnc_timed(mats, static_cast<std::uint64_t>(k));
+  // Functional equality with the untimed executor and the sequential
+  // product.
+  EXPECT_TRUE(timed.product == string_mat_mul<MinPlus>(mats));
+  // Makespan equals the abstract schedule; latency is makespan * (3m - 2).
+  EXPECT_EQ(timed.makespan,
+            schedule_and_tree(static_cast<std::size_t>(n),
+                              static_cast<std::uint64_t>(k))
+                .makespan);
+  EXPECT_EQ(timed.t1_cycles, MatmulArray<MinPlus>::completion_cycles(
+                                 static_cast<std::size_t>(m)));
+  EXPECT_EQ(timed.total_cycles, timed.makespan * timed.t1_cycles);
+  // Every product does m^3 MACs on the mesh: (n - 1) m^3 total.
+  EXPECT_EQ(timed.mesh_macs,
+            static_cast<std::uint64_t>(n - 1) *
+                static_cast<std::uint64_t>(m) * static_cast<std::uint64_t>(m) *
+                static_cast<std::uint64_t>(m));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, TimedDncSweep,
+                         ::testing::Combine(::testing::Values(2, 5, 9, 16),
+                                            ::testing::Values(2, 4),
+                                            ::testing::Values(1, 3, 8)));
+
+TEST(TimedDnc, SingleMatrixNeedsNoTime) {
+  Rng rng(6);
+  const auto mats = random_matrix_string(1, 3, rng);
+  const auto timed = execute_dnc_timed(mats, 4);
+  EXPECT_EQ(timed.makespan, 0u);
+  EXPECT_TRUE(timed.product == mats[0]);
+}
+
+TEST(TimedDnc, RejectsNonSquare) {
+  std::vector<Matrix<Cost>> mats{Matrix<Cost>(2, 3, 0)};
+  EXPECT_THROW((void)execute_dnc_timed(mats, 1), std::invalid_argument);
+  EXPECT_THROW((void)execute_dnc_timed({}, 1), std::invalid_argument);
+  Rng rng(7);
+  EXPECT_THROW((void)execute_dnc_timed(random_matrix_string(2, 3, rng), 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sysdp
+
+// Wave-3 additions: the irregular-reduction AND/OR-graph builder and the
+// modular Design 3.
+#include "arrays/design3_modular.hpp"
+
+namespace sysdp {
+namespace {
+
+TEST(ReductionAndOr, EvaluatesToAllPairsForAnyOrder) {
+  Rng rng(11);
+  const std::vector<std::size_t> sizes{2, 5, 3, 4, 2};
+  const auto g = random_multistage(sizes, rng);
+  const auto expect = stage_pair_costs(g, 0, 4);
+  for (const std::vector<std::size_t>& order :
+       {std::vector<std::size_t>{1, 2, 3}, {3, 2, 1}, {2, 1, 3}}) {
+    const auto red = build_reduction_andor(g, order);
+    const auto values = red.graph.evaluate();
+    for (std::size_t i = 0; i < 2; ++i) {
+      for (std::size_t j = 0; j < 2; ++j) {
+        EXPECT_EQ(values[red.top_id(i, j)], expect(i, j));
+      }
+    }
+  }
+}
+
+TEST(ReductionAndOr, NodeCountDependsOnOrderAndPlanMinimises) {
+  Rng rng(12);
+  const std::vector<std::size_t> sizes{2, 7, 2, 7, 2};
+  const auto g = random_multistage(sizes, rng);
+  const auto plan = plan_stage_reduction(sizes);
+  const auto best = build_reduction_andor(g, plan.elimination_order);
+  // Comparisons = OR fan-in sum = AND-node count; the planned order's
+  // AND count must be minimal among all 3! elimination orders.
+  const auto and_count = [&](const std::vector<std::size_t>& order) {
+    return build_reduction_andor(g, order).graph.count(AndOrType::kAnd);
+  };
+  const auto best_count = best.graph.count(AndOrType::kAnd);
+  for (const std::vector<std::size_t>& order :
+       {std::vector<std::size_t>{1, 2, 3}, {1, 3, 2}, {2, 1, 3},
+        {2, 3, 1}, {3, 1, 2}, {3, 2, 1}}) {
+    EXPECT_LE(best_count, and_count(order));
+  }
+  // AND count equals the planned comparison count.
+  EXPECT_EQ(best_count, plan.best_binary_comparisons);
+}
+
+TEST(ReductionAndOr, UniformCaseMatchesRegularTheorem2Count) {
+  // For uniform width and a power-of-two stage count, the binary reduction
+  // graph has exactly u(2) nodes regardless of order flavour.
+  Rng rng(13);
+  const auto g = random_multistage(5, 3, rng);  // 4 segments, m = 3
+  const auto plan = plan_stage_reduction(g.stage_sizes());
+  const auto red = build_reduction_andor(g, plan.elimination_order);
+  EXPECT_EQ(red.graph.size(), u_formula(4, 2, 3));
+}
+
+class Design3ModularSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(Design3ModularSweep, CycleExactlyEquivalentToMonolithic) {
+  const auto [stages, width, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 7717);
+  const auto nv = inventory_instance(static_cast<std::size_t>(stages),
+                                     static_cast<std::size_t>(width), rng);
+  Design3Feedback mono(nv);
+  Design3Modular modular(nv);
+  const auto a = mono.run();
+  const auto b = modular.run();
+  EXPECT_EQ(a.cost, b.cost);
+  EXPECT_EQ(a.path, b.path);
+  EXPECT_EQ(a.stats.cycles, b.stats.cycles);
+  EXPECT_EQ(a.stats.busy_steps, b.stats.busy_steps);
+  EXPECT_EQ(a.stats.input_scalars, b.stats.input_scalars);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, Design3ModularSweep,
+                         ::testing::Combine(::testing::Values(2, 4, 8),
+                                            ::testing::Values(1, 3, 5),
+                                            ::testing::Values(1, 2, 3)));
+
+TEST(Design3Modular, RejectsNonUniform) {
+  NodeValueGraph nv({{1, 2}, {3}}, [](Cost, Cost) { return 0; });
+  EXPECT_THROW(Design3Modular{nv}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sysdp

@@ -1,0 +1,186 @@
+// Tests for the VLSI area model (Section 4's A/T^2 accounting) and the
+// dataflow execution of fixed parenthesisations.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "andor/chain_builder.hpp"
+#include "andor/level_schedule.hpp"
+#include "andor/serialize.hpp"
+#include "arrays/paper_metrics.hpp"
+#include "baseline/matrix_chain.hpp"
+#include "dnc/dataflow.hpp"
+#include "graph/generators.hpp"
+#include "vlsi/area_model.hpp"
+
+namespace sysdp {
+namespace {
+
+// ------------------------------------------------------- area model -------
+
+TEST(AreaModel, LinearDesignsScaleLinearly) {
+  for (const std::uint64_t m : {4u, 8u, 16u}) {
+    EXPECT_EQ(area_design1(2 * m).total(), 2 * area_design1(m).total() + 1);
+    // (the +1: the chain has 2m-1 links, not exactly double m-1)
+    EXPECT_EQ(area_design2(2 * m).total(), 2 * area_design2(m).total());
+  }
+}
+
+TEST(AreaModel, Design3PathRegistersDominateForLongProblems) {
+  const auto with = area_design3(8, 1000, true);
+  const auto without = area_design3(8, 1000, false);
+  EXPECT_EQ(with.registers - without.registers, 8000u);
+  EXPECT_GT(with.total(), 2 * without.total());
+}
+
+TEST(AreaModel, MeshIsQuadratic) {
+  EXPECT_EQ(area_matmul_mesh(8).pes, 64u);
+  EXPECT_GT(area_matmul_mesh(16).total(), 3 * area_matmul_mesh(8).total());
+}
+
+TEST(AreaModel, BroadcastChainWiringGrowsFasterThanSerialized) {
+  // The broadcast mapping needs Theta(n^4) total bus length; the serialised
+  // design replaces it with Theta(n^3) dummy registers.  At growing n the
+  // broadcast bill must overtake, and its growth exponent is visibly higher.
+  const auto b16 = area_chain_broadcast(16);
+  const auto b32 = area_chain_broadcast(32);
+  const auto s16 = area_chain_serialized(16);
+  const auto s32 = area_chain_serialized(32);
+  const double b_growth = static_cast<double>(b32.total()) /
+                          static_cast<double>(b16.total());
+  const double s_growth = static_cast<double>(s32.total()) /
+                          static_cast<double>(s16.total());
+  EXPECT_GT(b_growth, s_growth);
+  EXPECT_GT(b32.bus_hops, 8 * b16.bus_hops);   // ~n^4 wiring
+  EXPECT_EQ(s32.bus_hops, 0u);                 // fully nearest-neighbour
+}
+
+TEST(AreaModel, SerializedRegistersMatchSerializeTransform) {
+  const std::uint64_t n = 12;
+  std::vector<Cost> dims(n + 1, 2);
+  const auto ser = serialize_andor(build_chain_andor(dims).graph);
+  const auto bill = area_chain_serialized(n);
+  EXPECT_EQ(bill.registers, bill.pes + n + ser.dummies_added);
+}
+
+TEST(AreaModel, At2TradeoffBetweenMappings) {
+  // AT^2: broadcast finishes in N, serialised in 2N.  The 4x time penalty
+  // of serialisation must be weighed against its smaller area; at large n
+  // the broadcast wiring dominates and serialisation wins the AT^2 race.
+  const std::uint64_t n = 64;
+  const double broadcast =
+      at2(area_chain_broadcast(n), t_broadcast(n));
+  const double serialized =
+      at2(area_chain_serialized(n), t_pipelined(n));
+  EXPECT_LT(serialized, broadcast);
+  // At small n the cheap wiring keeps broadcast competitive.
+  const double b4 = at2(area_chain_broadcast(4), t_broadcast(4));
+  const double s4 = at2(area_chain_serialized(4), t_pipelined(4));
+  EXPECT_LT(b4, s4);
+}
+
+TEST(AreaModel, CustomUnitsRespected) {
+  AreaUnits u;
+  u.pe = 100;
+  u.reg = 0;
+  u.link = 0;
+  u.bus_per_hop = 0;
+  EXPECT_EQ(area_design1(5).total(u), 500u);
+}
+
+// ---------------------------------------------------------- dataflow ------
+
+TEST(Dataflow, ScalarOpsEqualChainCost) {
+  Rng rng(1);
+  for (std::size_t n : {2u, 5u, 10u}) {
+    const auto dims = random_chain_dims(n, rng);
+    const auto chain = matrix_chain_order(dims);
+    const auto res = execute_chain_dataflow(dims, chain.split, 4);
+    EXPECT_EQ(res.scalar_ops, static_cast<std::uint64_t>(chain.total()))
+        << "n=" << n;
+  }
+}
+
+TEST(Dataflow, OneWorkerIsSequential) {
+  Rng rng(2);
+  const auto dims = random_chain_dims(9, rng);
+  const auto chain = matrix_chain_order(dims);
+  const auto res = execute_chain_dataflow(dims, chain.split, 1);
+  EXPECT_EQ(res.makespan, res.scalar_ops);
+  EXPECT_DOUBLE_EQ(res.utilization(1), 1.0);
+}
+
+TEST(Dataflow, ManyWorkersReachCriticalPath) {
+  Rng rng(3);
+  const auto dims = random_chain_dims(16, rng);
+  const auto chain = matrix_chain_order(dims);
+  const auto res = execute_chain_dataflow(dims, chain.split, 1024);
+  EXPECT_EQ(res.makespan, res.critical_path);
+}
+
+TEST(Dataflow, MakespanMonotoneInWorkers) {
+  Rng rng(4);
+  const auto dims = random_chain_dims(20, rng);
+  const auto chain = matrix_chain_order(dims);
+  std::uint64_t prev = static_cast<std::uint64_t>(-1);
+  for (const std::uint64_t k : {1u, 2u, 4u, 8u, 64u}) {
+    const auto res = execute_chain_dataflow(dims, chain.split, k);
+    EXPECT_LE(res.makespan, prev) << "k=" << k;
+    EXPECT_GE(res.makespan, res.critical_path);
+    EXPECT_GE(res.makespan, res.scalar_ops / k);  // area bound
+    prev = res.makespan;
+  }
+}
+
+TEST(Dataflow, SecondaryOptimizationReducesSequentialWork) {
+  // The optimal order's scalar_ops never exceed the naive orders' — that is
+  // exactly what eq. (6) optimises.
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto dims = random_chain_dims(12, rng);
+    const auto opt = matrix_chain_order(dims);
+    const auto a = execute_chain_dataflow(dims, opt.split, 1);
+    const auto b = execute_chain_dataflow(dims, split_left_assoc(12), 1);
+    const auto c = execute_chain_dataflow(dims, split_balanced(12), 1);
+    EXPECT_LE(a.scalar_ops, b.scalar_ops) << trial;
+    EXPECT_LE(a.scalar_ops, c.scalar_ops) << trial;
+  }
+}
+
+TEST(Dataflow, BalancedTreeCanBeatOptimalOrderInParallel) {
+  // With many workers the *shape* matters: a left-associated chain has no
+  // parallelism at all (critical path = total work), while the balanced
+  // tree overlaps products.  This is the granularity tension Section 4
+  // discusses: minimum operations (the secondary optimum) is not the same
+  // objective as minimum parallel time.
+  Rng rng(6);
+  const auto dims = random_chain_dims(32, rng);
+  const auto left = execute_chain_dataflow(dims, split_left_assoc(32), 1024);
+  const auto bal = execute_chain_dataflow(dims, split_balanced(32), 1024);
+  EXPECT_EQ(left.makespan, left.scalar_ops);  // a pure chain of products
+  EXPECT_LT(bal.critical_path, left.critical_path);
+}
+
+TEST(Dataflow, Validation) {
+  EXPECT_THROW((void)execute_chain_dataflow({3}, Matrix<std::size_t>(0, 0),
+                                            1),
+               std::invalid_argument);
+  Rng rng(7);
+  const auto dims = random_chain_dims(4, rng);
+  EXPECT_THROW(
+      (void)execute_chain_dataflow(dims, split_balanced(4), 0),
+      std::invalid_argument);
+  Matrix<std::size_t> bad(4, 4, 9);  // split out of range
+  EXPECT_THROW((void)execute_chain_dataflow(dims, bad, 2),
+               std::invalid_argument);
+}
+
+TEST(Dataflow, SingleMatrixIsFree) {
+  const auto res =
+      execute_chain_dataflow({3, 7}, Matrix<std::size_t>(1, 1, 0), 3);
+  EXPECT_EQ(res.makespan, 0u);
+  EXPECT_EQ(res.scalar_ops, 0u);
+}
+
+}  // namespace
+}  // namespace sysdp
