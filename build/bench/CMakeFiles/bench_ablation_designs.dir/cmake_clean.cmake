@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_designs.dir/bench_ablation_designs.cpp.o"
+  "CMakeFiles/bench_ablation_designs.dir/bench_ablation_designs.cpp.o.d"
+  "bench_ablation_designs"
+  "bench_ablation_designs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_designs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

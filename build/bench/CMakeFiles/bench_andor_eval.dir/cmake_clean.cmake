@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_andor_eval.dir/bench_andor_eval.cpp.o"
+  "CMakeFiles/bench_andor_eval.dir/bench_andor_eval.cpp.o.d"
+  "bench_andor_eval"
+  "bench_andor_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_andor_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dataflow_orders.dir/bench_dataflow_orders.cpp.o"
+  "CMakeFiles/bench_dataflow_orders.dir/bench_dataflow_orders.cpp.o.d"
+  "bench_dataflow_orders"
+  "bench_dataflow_orders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dataflow_orders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_design12_pu.dir/bench_design12_pu.cpp.o"
+  "CMakeFiles/bench_design12_pu.dir/bench_design12_pu.cpp.o.d"
+  "bench_design12_pu"
+  "bench_design12_pu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_design12_pu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

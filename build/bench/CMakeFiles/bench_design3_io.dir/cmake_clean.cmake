@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_design3_io.dir/bench_design3_io.cpp.o"
+  "CMakeFiles/bench_design3_io.dir/bench_design3_io.cpp.o.d"
+  "bench_design3_io"
+  "bench_design3_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_design3_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

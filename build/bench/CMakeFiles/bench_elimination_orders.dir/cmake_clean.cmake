@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_elimination_orders.dir/bench_elimination_orders.cpp.o"
+  "CMakeFiles/bench_elimination_orders.dir/bench_elimination_orders.cpp.o.d"
+  "bench_elimination_orders"
+  "bench_elimination_orders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_elimination_orders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

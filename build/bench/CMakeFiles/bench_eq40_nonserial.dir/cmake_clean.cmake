@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_eq40_nonserial.dir/bench_eq40_nonserial.cpp.o"
+  "CMakeFiles/bench_eq40_nonserial.dir/bench_eq40_nonserial.cpp.o.d"
+  "bench_eq40_nonserial"
+  "bench_eq40_nonserial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eq40_nonserial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_matrix_string.dir/bench_matrix_string.cpp.o"
+  "CMakeFiles/bench_matrix_string.dir/bench_matrix_string.cpp.o.d"
+  "bench_matrix_string"
+  "bench_matrix_string.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_matrix_string.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

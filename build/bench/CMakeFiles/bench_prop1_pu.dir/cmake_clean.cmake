@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prop1_pu.dir/bench_prop1_pu.cpp.o"
+  "CMakeFiles/bench_prop1_pu.dir/bench_prop1_pu.cpp.o.d"
+  "bench_prop1_pu"
+  "bench_prop1_pu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prop1_pu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

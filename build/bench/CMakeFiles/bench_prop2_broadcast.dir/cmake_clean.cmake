@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prop2_broadcast.dir/bench_prop2_broadcast.cpp.o"
+  "CMakeFiles/bench_prop2_broadcast.dir/bench_prop2_broadcast.cpp.o.d"
+  "bench_prop2_broadcast"
+  "bench_prop2_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prop2_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

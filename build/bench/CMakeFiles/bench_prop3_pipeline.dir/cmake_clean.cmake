@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prop3_pipeline.dir/bench_prop3_pipeline.cpp.o"
+  "CMakeFiles/bench_prop3_pipeline.dir/bench_prop3_pipeline.cpp.o.d"
+  "bench_prop3_pipeline"
+  "bench_prop3_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prop3_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

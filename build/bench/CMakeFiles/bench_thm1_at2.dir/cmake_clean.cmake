@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm1_at2.dir/bench_thm1_at2.cpp.o"
+  "CMakeFiles/bench_thm1_at2.dir/bench_thm1_at2.cpp.o.d"
+  "bench_thm1_at2"
+  "bench_thm1_at2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm1_at2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

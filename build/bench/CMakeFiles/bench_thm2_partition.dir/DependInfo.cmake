@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_thm2_partition.cpp" "bench/CMakeFiles/bench_thm2_partition.dir/bench_thm2_partition.cpp.o" "gcc" "bench/CMakeFiles/bench_thm2_partition.dir/bench_thm2_partition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vlsi/CMakeFiles/sysdp_vlsi.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/sysdp_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sysdp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/arrays/CMakeFiles/sysdp_arrays.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnc/CMakeFiles/sysdp_dnc.dir/DependInfo.cmake"
+  "/root/repo/build/src/andor/CMakeFiles/sysdp_andor.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sysdp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/sysdp_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/nonserial/CMakeFiles/sysdp_nonserial.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sysdp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/semiring/CMakeFiles/sysdp_semiring.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circuit_nonserial.dir/circuit_nonserial.cpp.o"
+  "CMakeFiles/circuit_nonserial.dir/circuit_nonserial.cpp.o.d"
+  "circuit_nonserial"
+  "circuit_nonserial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circuit_nonserial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

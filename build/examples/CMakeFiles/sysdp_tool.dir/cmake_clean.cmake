@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sysdp_tool.dir/sysdp_tool.cpp.o"
+  "CMakeFiles/sysdp_tool.dir/sysdp_tool.cpp.o.d"
+  "sysdp_tool"
+  "sysdp_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sysdp_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_control.dir/traffic_control.cpp.o"
+  "CMakeFiles/traffic_control.dir/traffic_control.cpp.o.d"
+  "traffic_control"
+  "traffic_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

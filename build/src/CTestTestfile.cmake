@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("semiring")
+subdirs("graph")
+subdirs("sim")
+subdirs("baseline")
+subdirs("arrays")
+subdirs("dnc")
+subdirs("andor")
+subdirs("nonserial")
+subdirs("vlsi")
+subdirs("io")
+subdirs("core")

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/andor/andor_graph.cpp" "src/andor/CMakeFiles/sysdp_andor.dir/andor_graph.cpp.o" "gcc" "src/andor/CMakeFiles/sysdp_andor.dir/andor_graph.cpp.o.d"
+  "/root/repo/src/andor/chain_builder.cpp" "src/andor/CMakeFiles/sysdp_andor.dir/chain_builder.cpp.o" "gcc" "src/andor/CMakeFiles/sysdp_andor.dir/chain_builder.cpp.o.d"
+  "/root/repo/src/andor/level_evaluate.cpp" "src/andor/CMakeFiles/sysdp_andor.dir/level_evaluate.cpp.o" "gcc" "src/andor/CMakeFiles/sysdp_andor.dir/level_evaluate.cpp.o.d"
+  "/root/repo/src/andor/level_schedule.cpp" "src/andor/CMakeFiles/sysdp_andor.dir/level_schedule.cpp.o" "gcc" "src/andor/CMakeFiles/sysdp_andor.dir/level_schedule.cpp.o.d"
+  "/root/repo/src/andor/pipeline_array.cpp" "src/andor/CMakeFiles/sysdp_andor.dir/pipeline_array.cpp.o" "gcc" "src/andor/CMakeFiles/sysdp_andor.dir/pipeline_array.cpp.o.d"
+  "/root/repo/src/andor/regular_builder.cpp" "src/andor/CMakeFiles/sysdp_andor.dir/regular_builder.cpp.o" "gcc" "src/andor/CMakeFiles/sysdp_andor.dir/regular_builder.cpp.o.d"
+  "/root/repo/src/andor/search.cpp" "src/andor/CMakeFiles/sysdp_andor.dir/search.cpp.o" "gcc" "src/andor/CMakeFiles/sysdp_andor.dir/search.cpp.o.d"
+  "/root/repo/src/andor/serialize.cpp" "src/andor/CMakeFiles/sysdp_andor.dir/serialize.cpp.o" "gcc" "src/andor/CMakeFiles/sysdp_andor.dir/serialize.cpp.o.d"
+  "/root/repo/src/andor/stage_reduction.cpp" "src/andor/CMakeFiles/sysdp_andor.dir/stage_reduction.cpp.o" "gcc" "src/andor/CMakeFiles/sysdp_andor.dir/stage_reduction.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/semiring/CMakeFiles/sysdp_semiring.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sysdp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sysdp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/sysdp_baseline.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sysdp_andor.dir/andor_graph.cpp.o"
+  "CMakeFiles/sysdp_andor.dir/andor_graph.cpp.o.d"
+  "CMakeFiles/sysdp_andor.dir/chain_builder.cpp.o"
+  "CMakeFiles/sysdp_andor.dir/chain_builder.cpp.o.d"
+  "CMakeFiles/sysdp_andor.dir/level_evaluate.cpp.o"
+  "CMakeFiles/sysdp_andor.dir/level_evaluate.cpp.o.d"
+  "CMakeFiles/sysdp_andor.dir/level_schedule.cpp.o"
+  "CMakeFiles/sysdp_andor.dir/level_schedule.cpp.o.d"
+  "CMakeFiles/sysdp_andor.dir/pipeline_array.cpp.o"
+  "CMakeFiles/sysdp_andor.dir/pipeline_array.cpp.o.d"
+  "CMakeFiles/sysdp_andor.dir/regular_builder.cpp.o"
+  "CMakeFiles/sysdp_andor.dir/regular_builder.cpp.o.d"
+  "CMakeFiles/sysdp_andor.dir/search.cpp.o"
+  "CMakeFiles/sysdp_andor.dir/search.cpp.o.d"
+  "CMakeFiles/sysdp_andor.dir/serialize.cpp.o"
+  "CMakeFiles/sysdp_andor.dir/serialize.cpp.o.d"
+  "CMakeFiles/sysdp_andor.dir/stage_reduction.cpp.o"
+  "CMakeFiles/sysdp_andor.dir/stage_reduction.cpp.o.d"
+  "libsysdp_andor.a"
+  "libsysdp_andor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sysdp_andor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sysdp_andor.
+# This may be replaced when dependencies are built.

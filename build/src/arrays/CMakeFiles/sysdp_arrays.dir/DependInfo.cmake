@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arrays/design1_modular.cpp" "src/arrays/CMakeFiles/sysdp_arrays.dir/design1_modular.cpp.o" "gcc" "src/arrays/CMakeFiles/sysdp_arrays.dir/design1_modular.cpp.o.d"
+  "/root/repo/src/arrays/design2_modular.cpp" "src/arrays/CMakeFiles/sysdp_arrays.dir/design2_modular.cpp.o" "gcc" "src/arrays/CMakeFiles/sysdp_arrays.dir/design2_modular.cpp.o.d"
+  "/root/repo/src/arrays/design3_feedback.cpp" "src/arrays/CMakeFiles/sysdp_arrays.dir/design3_feedback.cpp.o" "gcc" "src/arrays/CMakeFiles/sysdp_arrays.dir/design3_feedback.cpp.o.d"
+  "/root/repo/src/arrays/design3_modular.cpp" "src/arrays/CMakeFiles/sysdp_arrays.dir/design3_modular.cpp.o" "gcc" "src/arrays/CMakeFiles/sysdp_arrays.dir/design3_modular.cpp.o.d"
+  "/root/repo/src/arrays/gkt_array.cpp" "src/arrays/CMakeFiles/sysdp_arrays.dir/gkt_array.cpp.o" "gcc" "src/arrays/CMakeFiles/sysdp_arrays.dir/gkt_array.cpp.o.d"
+  "/root/repo/src/arrays/gkt_rtl.cpp" "src/arrays/CMakeFiles/sysdp_arrays.dir/gkt_rtl.cpp.o" "gcc" "src/arrays/CMakeFiles/sysdp_arrays.dir/gkt_rtl.cpp.o.d"
+  "/root/repo/src/arrays/graph_adapter.cpp" "src/arrays/CMakeFiles/sysdp_arrays.dir/graph_adapter.cpp.o" "gcc" "src/arrays/CMakeFiles/sysdp_arrays.dir/graph_adapter.cpp.o.d"
+  "/root/repo/src/arrays/triangular_array.cpp" "src/arrays/CMakeFiles/sysdp_arrays.dir/triangular_array.cpp.o" "gcc" "src/arrays/CMakeFiles/sysdp_arrays.dir/triangular_array.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/semiring/CMakeFiles/sysdp_semiring.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sysdp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sysdp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

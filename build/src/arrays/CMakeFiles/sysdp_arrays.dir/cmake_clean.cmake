@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sysdp_arrays.dir/design1_modular.cpp.o"
+  "CMakeFiles/sysdp_arrays.dir/design1_modular.cpp.o.d"
+  "CMakeFiles/sysdp_arrays.dir/design2_modular.cpp.o"
+  "CMakeFiles/sysdp_arrays.dir/design2_modular.cpp.o.d"
+  "CMakeFiles/sysdp_arrays.dir/design3_feedback.cpp.o"
+  "CMakeFiles/sysdp_arrays.dir/design3_feedback.cpp.o.d"
+  "CMakeFiles/sysdp_arrays.dir/design3_modular.cpp.o"
+  "CMakeFiles/sysdp_arrays.dir/design3_modular.cpp.o.d"
+  "CMakeFiles/sysdp_arrays.dir/gkt_array.cpp.o"
+  "CMakeFiles/sysdp_arrays.dir/gkt_array.cpp.o.d"
+  "CMakeFiles/sysdp_arrays.dir/gkt_rtl.cpp.o"
+  "CMakeFiles/sysdp_arrays.dir/gkt_rtl.cpp.o.d"
+  "CMakeFiles/sysdp_arrays.dir/graph_adapter.cpp.o"
+  "CMakeFiles/sysdp_arrays.dir/graph_adapter.cpp.o.d"
+  "CMakeFiles/sysdp_arrays.dir/triangular_array.cpp.o"
+  "CMakeFiles/sysdp_arrays.dir/triangular_array.cpp.o.d"
+  "libsysdp_arrays.a"
+  "libsysdp_arrays.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sysdp_arrays.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

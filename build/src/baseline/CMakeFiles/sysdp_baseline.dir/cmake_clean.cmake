@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sysdp_baseline.dir/matrix_chain.cpp.o"
+  "CMakeFiles/sysdp_baseline.dir/matrix_chain.cpp.o.d"
+  "CMakeFiles/sysdp_baseline.dir/multistage_dp.cpp.o"
+  "CMakeFiles/sysdp_baseline.dir/multistage_dp.cpp.o.d"
+  "libsysdp_baseline.a"
+  "libsysdp_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sysdp_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sysdp_core.dir/classification.cpp.o"
+  "CMakeFiles/sysdp_core.dir/classification.cpp.o.d"
+  "CMakeFiles/sysdp_core.dir/solver.cpp.o"
+  "CMakeFiles/sysdp_core.dir/solver.cpp.o.d"
+  "CMakeFiles/sysdp_core.dir/table1.cpp.o"
+  "CMakeFiles/sysdp_core.dir/table1.cpp.o.d"
+  "libsysdp_core.a"
+  "libsysdp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sysdp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

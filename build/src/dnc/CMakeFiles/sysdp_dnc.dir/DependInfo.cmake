@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dnc/and_tree.cpp" "src/dnc/CMakeFiles/sysdp_dnc.dir/and_tree.cpp.o" "gcc" "src/dnc/CMakeFiles/sysdp_dnc.dir/and_tree.cpp.o.d"
+  "/root/repo/src/dnc/dataflow.cpp" "src/dnc/CMakeFiles/sysdp_dnc.dir/dataflow.cpp.o" "gcc" "src/dnc/CMakeFiles/sysdp_dnc.dir/dataflow.cpp.o.d"
+  "/root/repo/src/dnc/metrics.cpp" "src/dnc/CMakeFiles/sysdp_dnc.dir/metrics.cpp.o" "gcc" "src/dnc/CMakeFiles/sysdp_dnc.dir/metrics.cpp.o.d"
+  "/root/repo/src/dnc/schedule.cpp" "src/dnc/CMakeFiles/sysdp_dnc.dir/schedule.cpp.o" "gcc" "src/dnc/CMakeFiles/sysdp_dnc.dir/schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/semiring/CMakeFiles/sysdp_semiring.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sysdp_dnc.dir/and_tree.cpp.o"
+  "CMakeFiles/sysdp_dnc.dir/and_tree.cpp.o.d"
+  "CMakeFiles/sysdp_dnc.dir/dataflow.cpp.o"
+  "CMakeFiles/sysdp_dnc.dir/dataflow.cpp.o.d"
+  "CMakeFiles/sysdp_dnc.dir/metrics.cpp.o"
+  "CMakeFiles/sysdp_dnc.dir/metrics.cpp.o.d"
+  "CMakeFiles/sysdp_dnc.dir/schedule.cpp.o"
+  "CMakeFiles/sysdp_dnc.dir/schedule.cpp.o.d"
+  "libsysdp_dnc.a"
+  "libsysdp_dnc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sysdp_dnc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/generators.cpp" "src/graph/CMakeFiles/sysdp_graph.dir/generators.cpp.o" "gcc" "src/graph/CMakeFiles/sysdp_graph.dir/generators.cpp.o.d"
+  "/root/repo/src/graph/interaction_graph.cpp" "src/graph/CMakeFiles/sysdp_graph.dir/interaction_graph.cpp.o" "gcc" "src/graph/CMakeFiles/sysdp_graph.dir/interaction_graph.cpp.o.d"
+  "/root/repo/src/graph/multistage_graph.cpp" "src/graph/CMakeFiles/sysdp_graph.dir/multistage_graph.cpp.o" "gcc" "src/graph/CMakeFiles/sysdp_graph.dir/multistage_graph.cpp.o.d"
+  "/root/repo/src/graph/node_value_graph.cpp" "src/graph/CMakeFiles/sysdp_graph.dir/node_value_graph.cpp.o" "gcc" "src/graph/CMakeFiles/sysdp_graph.dir/node_value_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/semiring/CMakeFiles/sysdp_semiring.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sysdp_graph.dir/generators.cpp.o"
+  "CMakeFiles/sysdp_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/sysdp_graph.dir/interaction_graph.cpp.o"
+  "CMakeFiles/sysdp_graph.dir/interaction_graph.cpp.o.d"
+  "CMakeFiles/sysdp_graph.dir/multistage_graph.cpp.o"
+  "CMakeFiles/sysdp_graph.dir/multistage_graph.cpp.o.d"
+  "CMakeFiles/sysdp_graph.dir/node_value_graph.cpp.o"
+  "CMakeFiles/sysdp_graph.dir/node_value_graph.cpp.o.d"
+  "libsysdp_graph.a"
+  "libsysdp_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sysdp_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sysdp_io.dir/problem_io.cpp.o"
+  "CMakeFiles/sysdp_io.dir/problem_io.cpp.o.d"
+  "libsysdp_io.a"
+  "libsysdp_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sysdp_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

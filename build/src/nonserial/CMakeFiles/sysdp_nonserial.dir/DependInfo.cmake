@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nonserial/elimination.cpp" "src/nonserial/CMakeFiles/sysdp_nonserial.dir/elimination.cpp.o" "gcc" "src/nonserial/CMakeFiles/sysdp_nonserial.dir/elimination.cpp.o.d"
+  "/root/repo/src/nonserial/grouping.cpp" "src/nonserial/CMakeFiles/sysdp_nonserial.dir/grouping.cpp.o" "gcc" "src/nonserial/CMakeFiles/sysdp_nonserial.dir/grouping.cpp.o.d"
+  "/root/repo/src/nonserial/nonserial_generators.cpp" "src/nonserial/CMakeFiles/sysdp_nonserial.dir/nonserial_generators.cpp.o" "gcc" "src/nonserial/CMakeFiles/sysdp_nonserial.dir/nonserial_generators.cpp.o.d"
+  "/root/repo/src/nonserial/objective.cpp" "src/nonserial/CMakeFiles/sysdp_nonserial.dir/objective.cpp.o" "gcc" "src/nonserial/CMakeFiles/sysdp_nonserial.dir/objective.cpp.o.d"
+  "/root/repo/src/nonserial/serial_chain.cpp" "src/nonserial/CMakeFiles/sysdp_nonserial.dir/serial_chain.cpp.o" "gcc" "src/nonserial/CMakeFiles/sysdp_nonserial.dir/serial_chain.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/semiring/CMakeFiles/sysdp_semiring.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sysdp_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sysdp_nonserial.dir/elimination.cpp.o"
+  "CMakeFiles/sysdp_nonserial.dir/elimination.cpp.o.d"
+  "CMakeFiles/sysdp_nonserial.dir/grouping.cpp.o"
+  "CMakeFiles/sysdp_nonserial.dir/grouping.cpp.o.d"
+  "CMakeFiles/sysdp_nonserial.dir/nonserial_generators.cpp.o"
+  "CMakeFiles/sysdp_nonserial.dir/nonserial_generators.cpp.o.d"
+  "CMakeFiles/sysdp_nonserial.dir/objective.cpp.o"
+  "CMakeFiles/sysdp_nonserial.dir/objective.cpp.o.d"
+  "CMakeFiles/sysdp_nonserial.dir/serial_chain.cpp.o"
+  "CMakeFiles/sysdp_nonserial.dir/serial_chain.cpp.o.d"
+  "libsysdp_nonserial.a"
+  "libsysdp_nonserial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sysdp_nonserial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

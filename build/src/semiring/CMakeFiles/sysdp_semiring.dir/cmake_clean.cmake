@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sysdp_semiring.dir/cost.cpp.o"
+  "CMakeFiles/sysdp_semiring.dir/cost.cpp.o.d"
+  "libsysdp_semiring.a"
+  "libsysdp_semiring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sysdp_semiring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sysdp_sim.dir/engine.cpp.o"
+  "CMakeFiles/sysdp_sim.dir/engine.cpp.o.d"
+  "libsysdp_sim.a"
+  "libsysdp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sysdp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

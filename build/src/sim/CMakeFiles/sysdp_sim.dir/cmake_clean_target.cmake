@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsysdp_sim.a"
+)

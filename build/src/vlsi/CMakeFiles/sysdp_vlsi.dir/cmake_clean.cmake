@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sysdp_vlsi.dir/area_model.cpp.o"
+  "CMakeFiles/sysdp_vlsi.dir/area_model.cpp.o.d"
+  "libsysdp_vlsi.a"
+  "libsysdp_vlsi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sysdp_vlsi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

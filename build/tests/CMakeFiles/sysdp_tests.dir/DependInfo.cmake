@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/andor_test.cpp" "tests/CMakeFiles/sysdp_tests.dir/andor_test.cpp.o" "gcc" "tests/CMakeFiles/sysdp_tests.dir/andor_test.cpp.o.d"
+  "/root/repo/tests/arrays_misc_test.cpp" "tests/CMakeFiles/sysdp_tests.dir/arrays_misc_test.cpp.o" "gcc" "tests/CMakeFiles/sysdp_tests.dir/arrays_misc_test.cpp.o.d"
+  "/root/repo/tests/baseline_test.cpp" "tests/CMakeFiles/sysdp_tests.dir/baseline_test.cpp.o" "gcc" "tests/CMakeFiles/sysdp_tests.dir/baseline_test.cpp.o.d"
+  "/root/repo/tests/core_test.cpp" "tests/CMakeFiles/sysdp_tests.dir/core_test.cpp.o" "gcc" "tests/CMakeFiles/sysdp_tests.dir/core_test.cpp.o.d"
+  "/root/repo/tests/design12_test.cpp" "tests/CMakeFiles/sysdp_tests.dir/design12_test.cpp.o" "gcc" "tests/CMakeFiles/sysdp_tests.dir/design12_test.cpp.o.d"
+  "/root/repo/tests/design3_test.cpp" "tests/CMakeFiles/sysdp_tests.dir/design3_test.cpp.o" "gcc" "tests/CMakeFiles/sysdp_tests.dir/design3_test.cpp.o.d"
+  "/root/repo/tests/differential_test.cpp" "tests/CMakeFiles/sysdp_tests.dir/differential_test.cpp.o" "gcc" "tests/CMakeFiles/sysdp_tests.dir/differential_test.cpp.o.d"
+  "/root/repo/tests/dnc_test.cpp" "tests/CMakeFiles/sysdp_tests.dir/dnc_test.cpp.o" "gcc" "tests/CMakeFiles/sysdp_tests.dir/dnc_test.cpp.o.d"
+  "/root/repo/tests/extensions_test.cpp" "tests/CMakeFiles/sysdp_tests.dir/extensions_test.cpp.o" "gcc" "tests/CMakeFiles/sysdp_tests.dir/extensions_test.cpp.o.d"
+  "/root/repo/tests/figures_test.cpp" "tests/CMakeFiles/sysdp_tests.dir/figures_test.cpp.o" "gcc" "tests/CMakeFiles/sysdp_tests.dir/figures_test.cpp.o.d"
+  "/root/repo/tests/graph_test.cpp" "tests/CMakeFiles/sysdp_tests.dir/graph_test.cpp.o" "gcc" "tests/CMakeFiles/sysdp_tests.dir/graph_test.cpp.o.d"
+  "/root/repo/tests/io_test.cpp" "tests/CMakeFiles/sysdp_tests.dir/io_test.cpp.o" "gcc" "tests/CMakeFiles/sysdp_tests.dir/io_test.cpp.o.d"
+  "/root/repo/tests/metamorphic_test.cpp" "tests/CMakeFiles/sysdp_tests.dir/metamorphic_test.cpp.o" "gcc" "tests/CMakeFiles/sysdp_tests.dir/metamorphic_test.cpp.o.d"
+  "/root/repo/tests/modular_test.cpp" "tests/CMakeFiles/sysdp_tests.dir/modular_test.cpp.o" "gcc" "tests/CMakeFiles/sysdp_tests.dir/modular_test.cpp.o.d"
+  "/root/repo/tests/nonserial_test.cpp" "tests/CMakeFiles/sysdp_tests.dir/nonserial_test.cpp.o" "gcc" "tests/CMakeFiles/sysdp_tests.dir/nonserial_test.cpp.o.d"
+  "/root/repo/tests/reduction_test.cpp" "tests/CMakeFiles/sysdp_tests.dir/reduction_test.cpp.o" "gcc" "tests/CMakeFiles/sysdp_tests.dir/reduction_test.cpp.o.d"
+  "/root/repo/tests/scale_test.cpp" "tests/CMakeFiles/sysdp_tests.dir/scale_test.cpp.o" "gcc" "tests/CMakeFiles/sysdp_tests.dir/scale_test.cpp.o.d"
+  "/root/repo/tests/semiring_test.cpp" "tests/CMakeFiles/sysdp_tests.dir/semiring_test.cpp.o" "gcc" "tests/CMakeFiles/sysdp_tests.dir/semiring_test.cpp.o.d"
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/sysdp_tests.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/sysdp_tests.dir/sim_test.cpp.o.d"
+  "/root/repo/tests/vlsi_dataflow_test.cpp" "tests/CMakeFiles/sysdp_tests.dir/vlsi_dataflow_test.cpp.o" "gcc" "tests/CMakeFiles/sysdp_tests.dir/vlsi_dataflow_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vlsi/CMakeFiles/sysdp_vlsi.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/sysdp_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sysdp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/arrays/CMakeFiles/sysdp_arrays.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnc/CMakeFiles/sysdp_dnc.dir/DependInfo.cmake"
+  "/root/repo/build/src/andor/CMakeFiles/sysdp_andor.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sysdp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/sysdp_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/nonserial/CMakeFiles/sysdp_nonserial.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sysdp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/semiring/CMakeFiles/sysdp_semiring.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
