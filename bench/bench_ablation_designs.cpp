@@ -4,12 +4,19 @@
 // skew vs a global broadcast wire vs node-value feedback).
 #include <cinttypes>
 #include <cstdio>
+#include <iterator>
+#include <optional>
 
+#include "arrays/design1_modular.hpp"
+#include "arrays/design2_modular.hpp"
 #include "arrays/design3_feedback.hpp"
+#include "arrays/design3_modular.hpp"
 #include "arrays/graph_adapter.hpp"
 #include "bench_util.hpp"
 #include "baseline/multistage_dp.hpp"
 #include "graph/generators.hpp"
+#include "sim/batch.hpp"
+#include "sim/thread_pool.hpp"
 
 namespace {
 
@@ -71,6 +78,43 @@ void bm_designs_same_instance(benchmark::State& state) {
   }
 }
 BENCHMARK(bm_designs_same_instance)->Arg(0)->Arg(1)->Arg(2);
+
+// The A2 grid as one batch: every (N, m) point runs all three modular
+// designs end to end on its own engine.  Arg(0) = serial loop baseline;
+// Arg(k) = k pool workers + the caller.
+void bm_ablation_grid_batch(benchmark::State& state) {
+  const auto workers = static_cast<std::size_t>(state.range(0));
+  const std::size_t ns[] = {8, 16, 32};
+  const std::size_t ms[] = {4, 8, 16};
+  const std::size_t jobs = std::size(ns) * std::size(ms);
+  const auto job = [&](std::size_t i) -> std::uint64_t {
+    const std::size_t n = ns[i / std::size(ms)];
+    const std::size_t m = ms[i % std::size(ms)];
+    Rng rng(n * 37 + m);
+    const auto nv = traffic_control_instance(n, m, rng);
+    const auto g = nv.materialize();
+    auto prob = to_string_product(g);
+    Design1Modular d1(prob.mats, prob.v);
+    Design2Modular d2(prob.mats, prob.v);
+    Design3Modular d3(nv);
+    return d1.run().busy_steps + d2.run().busy_steps +
+           d3.run().stats.busy_steps;
+  };
+  std::optional<sysdp::sim::ThreadPool> pool;
+  if (workers > 0) pool.emplace(workers);
+  sysdp::sim::BatchRunner runner(pool ? &*pool : nullptr);
+  for (auto _ : state) {
+    auto results = runner.run(jobs, job);
+    benchmark::DoNotOptimize(results);
+  }
+  state.counters["jobs"] = static_cast<double>(jobs);
+  state.counters["lanes"] = static_cast<double>(runner.lanes());
+}
+BENCHMARK(bm_ablation_grid_batch)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(3)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -1,0 +1,314 @@
+// bench_all — the perf-trajectory driver for the simulation backend.
+//
+// Runs the batched sweep workloads (the triangular family, the E1 design
+// grid and the design ablation grid) through google-benchmark with a JSON
+// reporter (the programmatic equivalent of --benchmark_format=json), then
+// re-times each sweep directly — serial loop versus the batch runner, in
+// the same process and the same run — and aggregates everything into
+// BENCH_SIM.json at the path given by --out= (default: ./BENCH_SIM.json).
+// Future PRs append to the trajectory by re-running this binary and
+// diffing the JSON.
+//
+//   build/bench/bench_all --out=BENCH_SIM.json [--workers=N] [gbench flags]
+//
+// Speedup expectations scale with the host: on a >= 4-core machine the
+// sweeps are embarrassingly parallel and the batch runner delivers >= 2x;
+// the host block records hardware_concurrency so a 1-core container's
+// ~1x is distinguishable from a regression.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <iterator>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "andor/pipeline_array.hpp"
+#include "arrays/design1_modular.hpp"
+#include "arrays/design2_modular.hpp"
+#include "arrays/design3_modular.hpp"
+#include "arrays/gkt_array.hpp"
+#include "arrays/graph_adapter.hpp"
+#include "arrays/triangular_array.hpp"
+#include "graph/generators.hpp"
+#include "sim/batch.hpp"
+#include "sim/stats.hpp"
+#include "sim/thread_pool.hpp"
+
+namespace {
+
+using namespace sysdp;
+
+// ------------------------------------------------------------ sweeps ------
+// Each sweep is a named list of independent simulation jobs; the job result
+// is a checksum (busy steps) so the compiler cannot elide the run and the
+// serial/batch passes can be cross-checked.
+
+struct Sweep {
+  const char* name;
+  std::size_t jobs;
+  std::function<std::uint64_t(std::size_t)> job;
+};
+
+Sweep triangular_family_sweep() {
+  static const std::size_t sizes[] = {16, 24, 32, 48, 64, 96, 128};
+  constexpr std::size_t kKinds = 3;
+  return {"triangular_family", std::size(sizes) * kKinds,
+          [](std::size_t i) -> std::uint64_t {
+            const std::size_t n = sizes[i / kKinds];
+            Rng rng(i);
+            switch (i % kKinds) {
+              case 0: {
+                GktArray arr(random_chain_dims(n, rng));
+                return arr.run().stats.busy_steps;
+              }
+              case 1: {
+                SerializedChainArray arr(random_chain_dims(n, rng));
+                return arr.run().stats.busy_steps;
+              }
+              default: {
+                std::uniform_int_distribution<Cost> freq(1, 40);
+                std::vector<Cost> f(n);
+                for (auto& x : f) x = freq(rng);
+                return run_bst_array(f).stats.busy_steps;
+              }
+            }
+          }};
+}
+
+Sweep e1_grid_sweep() {
+  static const std::size_t ns[] = {4, 8, 16, 32, 64};
+  static const std::size_t ms[] = {4, 8, 16};
+  return {"design12_e1_grid", std::size(ns) * std::size(ms),
+          [](std::size_t i) -> std::uint64_t {
+            const std::size_t n = ns[i / std::size(ms)];
+            const std::size_t m = ms[i % std::size(ms)];
+            Rng rng(n * 100 + m);
+            const auto g =
+                with_single_source_sink(random_multistage(n - 1, m, rng));
+            auto prob = to_string_product(g);
+            Design1Modular d1(prob.mats, prob.v);
+            Design2Modular d2(prob.mats, prob.v);
+            return d1.run().busy_steps + d2.run().busy_steps;
+          }};
+}
+
+Sweep ablation_grid_sweep() {
+  static const std::size_t ns[] = {8, 16, 32};
+  static const std::size_t ms[] = {4, 8, 16};
+  return {"ablation_designs_grid", std::size(ns) * std::size(ms),
+          [](std::size_t i) -> std::uint64_t {
+            const std::size_t n = ns[i / std::size(ms)];
+            const std::size_t m = ms[i % std::size(ms)];
+            Rng rng(n * 37 + m);
+            const auto nv = traffic_control_instance(n, m, rng);
+            const auto g = nv.materialize();
+            auto prob = to_string_product(g);
+            Design1Modular d1(prob.mats, prob.v);
+            Design2Modular d2(prob.mats, prob.v);
+            Design3Modular d3(nv);
+            return d1.run().busy_steps + d2.run().busy_steps +
+                   d3.run().stats.busy_steps;
+          }};
+}
+
+std::vector<Sweep> all_sweeps() {
+  std::vector<Sweep> s;
+  s.push_back(triangular_family_sweep());
+  s.push_back(e1_grid_sweep());
+  s.push_back(ablation_grid_sweep());
+  return s;
+}
+
+std::size_t g_workers = 0;  // resolved in main()
+
+// Register each sweep as a pair of google-benchmark entries so the JSON
+// report carries the same workloads the aggregate section summarises.
+void register_gbench_sweeps() {
+  for (auto& sweep : all_sweeps()) {
+    for (const bool batched : {false, true}) {
+      const std::string name =
+          std::string("bm_sweep_") + sweep.name + (batched ? "/batch" : "/serial");
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [sweep, batched](benchmark::State& state) {
+            std::optional<sim::ThreadPool> pool;
+            if (batched) pool.emplace(g_workers);
+            sim::BatchRunner runner(pool ? &*pool : nullptr);
+            for (auto _ : state) {
+              auto r = runner.run(sweep.jobs, sweep.job);
+              benchmark::DoNotOptimize(r);
+            }
+            state.counters["jobs"] = static_cast<double>(sweep.jobs);
+            state.counters["lanes"] = static_cast<double>(runner.lanes());
+          })
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+// ----------------------------------------------------------- output -------
+
+[[nodiscard]] bool write_json(
+    const std::string& path,
+    const std::vector<std::pair<Sweep, sim::BatchSpeedup>>& sweeps,
+    const sim::ThroughputStats& engine_serial,
+    const sim::ThroughputStats& engine_parallel,
+    const std::string& gbench_json) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "bench_all: cannot write %s\n", path.c_str());
+    return false;
+  }
+  char buf[256];
+  out << "{\n";
+  out << "  \"schema\": \"sysdp-bench-sim-v1\",\n";
+  out << "  \"host\": {\n";
+  out << "    \"hardware_concurrency\": "
+      << std::thread::hardware_concurrency() << ",\n";
+  out << "    \"pool_workers\": " << g_workers << ",\n";
+  out << "    \"pool_lanes\": " << (g_workers + 1) << "\n  },\n";
+
+  out << "  \"batch_sweeps\": [\n";
+  for (std::size_t i = 0; i < sweeps.size(); ++i) {
+    const auto& [sweep, s] = sweeps[i];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"name\": \"%s\", \"jobs\": %zu, \"lanes\": %zu, "
+                  "\"serial_seconds\": %.6f, \"batch_seconds\": %.6f, "
+                  "\"speedup\": %.3f}%s\n",
+                  sweep.name, s.jobs, s.lanes, s.serial_seconds,
+                  s.batch_seconds, s.speedup(),
+                  i + 1 < sweeps.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ],\n";
+
+  const auto engine_entry = [&](const char* name,
+                                const sim::ThroughputStats& t,
+                                const char* trailer) {
+    std::snprintf(buf, sizeof buf,
+                  "    {\"name\": \"%s\", \"cycles\": %llu, "
+                  "\"module_evals\": %llu, \"wall_seconds\": %.6f, "
+                  "\"evals_per_sec\": %.0f}%s\n",
+                  name, static_cast<unsigned long long>(t.cycles),
+                  static_cast<unsigned long long>(t.module_evals),
+                  t.wall_seconds, t.evals_per_sec(), trailer);
+    out << buf;
+  };
+  out << "  \"engine_throughput\": [\n";
+  engine_entry("design1_modular_serial", engine_serial, ",");
+  engine_entry("design1_modular_parallel", engine_parallel, "");
+  out << "  ],\n";
+
+  // Raw google-benchmark report (--benchmark_format=json equivalent),
+  // spliced in verbatim: it is already a JSON object.
+  out << "  \"google_benchmark\": "
+      << (gbench_json.empty() ? std::string("null") : gbench_json) << "\n";
+  out << "}\n";
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "bench_all: write to %s failed\n", path.c_str());
+    return false;
+  }
+  std::printf("bench_all: wrote %s\n", path.c_str());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_SIM.json";
+  g_workers = std::max<std::size_t>(sim::ThreadPool::default_workers(), 1);
+
+  // Strip our own flags before handing argv to google-benchmark.
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else if (std::strncmp(argv[i], "--workers=", 10) == 0) {
+      g_workers = static_cast<std::size_t>(std::strtoul(argv[i] + 10, nullptr, 10));
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  int pass_argc = static_cast<int>(passthrough.size());
+
+  register_gbench_sweeps();
+  benchmark::Initialize(&pass_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pass_argc, passthrough.data())) {
+    return 1;
+  }
+
+  std::printf("# bench_all: google-benchmark pass (JSON captured)\n");
+  std::ostringstream gbench_json;
+  std::ostringstream gbench_err;
+  benchmark::JSONReporter json_reporter;
+  json_reporter.SetOutputStream(&gbench_json);
+  json_reporter.SetErrorStream(&gbench_err);
+  benchmark::RunSpecifiedBenchmarks(&json_reporter);
+  benchmark::Shutdown();
+
+  // Direct serial-vs-batch timing, same process, same run: the headline
+  // speedup numbers.  The batched pass's results are cross-checked against
+  // the serial pass so a racy backend fails loudly here, not just in CI.
+  std::printf("# bench_all: aggregate pass (%zu workers + caller)\n",
+              g_workers);
+  sim::ThreadPool pool(g_workers);
+  std::vector<std::pair<Sweep, sim::BatchSpeedup>> measured;
+  for (auto& sweep : all_sweeps()) {
+    sim::BatchRunner serial(nullptr);
+    sim::WallTimer t1;
+    const auto base = serial.run(sweep.jobs, sweep.job);
+    sim::BatchSpeedup s;
+    s.jobs = sweep.jobs;
+    s.lanes = pool.num_lanes();
+    s.serial_seconds = t1.seconds();
+    sim::BatchRunner batched(&pool);
+    sim::WallTimer t2;
+    const auto par = batched.run(sweep.jobs, sweep.job);
+    s.batch_seconds = t2.seconds();
+    if (base != par) {
+      std::fprintf(stderr, "bench_all: batch results diverge on %s\n",
+                   sweep.name);
+      return 1;
+    }
+    std::printf("  %-24s jobs=%3zu serial=%8.3fms batch=%8.3fms speedup=%.2fx\n",
+                sweep.name, s.jobs, s.serial_seconds * 1e3,
+                s.batch_seconds * 1e3, s.speedup());
+    measured.emplace_back(std::move(sweep), s);
+  }
+
+  // Engine-level throughput on one wide array (96 PEs): cycles simulated
+  // and module-evals/sec, serial engine versus threaded eval/commit.
+  Rng rng(42);
+  const auto g = with_single_source_sink(random_multistage(7, 96, rng));
+  auto prob = to_string_product(g);
+  const auto engine_run = [&](sim::ThreadPool* p) {
+    sim::ThroughputStats t;
+    sim::WallTimer timer;
+    Design1Modular arr(prob.mats, prob.v);
+    const auto res = arr.run(p);
+    t.wall_seconds = timer.seconds();
+    t.cycles = res.cycles;
+    t.module_evals = res.cycles * (res.num_pes + 1);  // PEs + host feed
+    return t;
+  };
+  const auto eng_serial = engine_run(nullptr);
+  const auto eng_parallel = engine_run(&pool);
+  std::printf("  engine 96-PE design1: serial %.0f evals/s, parallel %.0f evals/s\n",
+              eng_serial.evals_per_sec(), eng_parallel.evals_per_sec());
+
+  if (!write_json(out_path, measured, eng_serial, eng_parallel,
+                  gbench_json.str())) {
+    return 1;
+  }
+  return 0;
+}

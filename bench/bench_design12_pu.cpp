@@ -5,12 +5,18 @@
 // utilisation PU = (N-2)/N + 1/(N m) -> 1.
 #include <cinttypes>
 #include <cstdio>
+#include <iterator>
+#include <optional>
 
+#include "arrays/design1_modular.hpp"
+#include "arrays/design2_modular.hpp"
 #include "arrays/graph_adapter.hpp"
 #include "arrays/paper_metrics.hpp"
 #include "baseline/multistage_dp.hpp"
 #include "bench_util.hpp"
 #include "graph/generators.hpp"
+#include "sim/batch.hpp"
+#include "sim/thread_pool.hpp"
 
 namespace {
 
@@ -82,6 +88,61 @@ void bm_sequential(benchmark::State& state) {
   }
 }
 BENCHMARK(bm_sequential)->Args({16, 8})->Args({64, 8})->Args({64, 16});
+
+// The whole E1 grid as one batch: every (N, m) point runs both modular
+// designs on its own engine, so sweep points fan out across the pool.
+// Arg(0) = serial loop; Arg(k) = k workers + caller.
+void bm_e1_grid_batch(benchmark::State& state) {
+  const auto workers = static_cast<std::size_t>(state.range(0));
+  const std::size_t ns[] = {4, 8, 16, 32, 64};
+  const std::size_t ms[] = {4, 8, 16};
+  const std::size_t jobs = std::size(ns) * std::size(ms);
+  const auto job = [&](std::size_t i) -> std::uint64_t {
+    const std::size_t n = ns[i / std::size(ms)];
+    const std::size_t m = ms[i % std::size(ms)];
+    const auto g = instance(n, m, n * 100 + m);
+    auto prob = to_string_product(g);
+    Design1Modular d1(prob.mats, prob.v);
+    Design2Modular d2(prob.mats, prob.v);
+    return d1.run().busy_steps + d2.run().busy_steps;
+  };
+  std::optional<sysdp::sim::ThreadPool> pool;
+  if (workers > 0) pool.emplace(workers);
+  sysdp::sim::BatchRunner runner(pool ? &*pool : nullptr);
+  for (auto _ : state) {
+    auto results = runner.run(jobs, job);
+    benchmark::DoNotOptimize(results);
+  }
+  state.counters["jobs"] = static_cast<double>(jobs);
+  state.counters["lanes"] = static_cast<double>(runner.lanes());
+}
+BENCHMARK(bm_e1_grid_batch)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(3)
+    ->Unit(benchmark::kMillisecond);
+
+// Engine-level parallelism on one big array: all PEs eval/commit across
+// the pool each cycle.  Arg(0) = serial engine.  Fine-grained fork-join
+// per cycle only pays off for wide arrays on multi-core hosts; the point
+// of benching it is to *measure* that boundary, not to assume it.
+void bm_design1_modular_engine(benchmark::State& state) {
+  const auto workers = static_cast<std::size_t>(state.range(0));
+  const auto g = instance(8, 96, 42);
+  auto prob = to_string_product(g);
+  std::optional<sysdp::sim::ThreadPool> pool;
+  if (workers > 0) pool.emplace(workers);
+  for (auto _ : state) {
+    Design1Modular arr(prob.mats, prob.v);
+    auto res = arr.run(pool ? &*pool : nullptr);
+    benchmark::DoNotOptimize(res.values);
+  }
+}
+BENCHMARK(bm_design1_modular_engine)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(3)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

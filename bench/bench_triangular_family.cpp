@@ -5,6 +5,8 @@
 // all three.
 #include <cinttypes>
 #include <cstdio>
+#include <iterator>
+#include <optional>
 
 #include "andor/pipeline_array.hpp"
 #include "arrays/gkt_array.hpp"
@@ -13,6 +15,8 @@
 #include "baseline/matrix_chain.hpp"
 #include "bench_util.hpp"
 #include "graph/generators.hpp"
+#include "sim/batch.hpp"
+#include "sim/thread_pool.hpp"
 
 namespace {
 
@@ -78,6 +82,52 @@ void bm_bst_array(benchmark::State& state) {
   }
 }
 BENCHMARK(bm_bst_array)->Arg(32)->Arg(64);
+
+// The full family sweep (every size x {GKT, serialised, BST}) as one batch
+// of independent simulations.  Arg(0) = serial loop baseline; Arg(k) = k
+// pool workers + the caller.  This sweep is the headline workload of
+// BENCH_SIM.json: sweep points share nothing, so the speedup tracks the
+// host's core count.
+void bm_family_sweep_batch(benchmark::State& state) {
+  const auto workers = static_cast<std::size_t>(state.range(0));
+  const std::size_t sizes[] = {16, 24, 32, 48, 64, 96, 128};
+  constexpr std::size_t kKinds = 3;
+  const std::size_t jobs = std::size(sizes) * kKinds;
+  const auto job = [&](std::size_t i) -> std::uint64_t {
+    const std::size_t n = sizes[i / kKinds];
+    Rng rng(i);
+    switch (i % kKinds) {
+      case 0: {
+        GktArray arr(random_chain_dims(n, rng));
+        return arr.run().stats.busy_steps;
+      }
+      case 1: {
+        SerializedChainArray arr(random_chain_dims(n, rng));
+        return arr.run().stats.busy_steps;
+      }
+      default: {
+        std::uniform_int_distribution<Cost> freq(1, 40);
+        std::vector<Cost> f(n);
+        for (auto& x : f) x = freq(rng);
+        return run_bst_array(f).stats.busy_steps;
+      }
+    }
+  };
+  std::optional<sysdp::sim::ThreadPool> pool;
+  if (workers > 0) pool.emplace(workers);
+  sysdp::sim::BatchRunner runner(pool ? &*pool : nullptr);
+  for (auto _ : state) {
+    auto results = runner.run(jobs, job);
+    benchmark::DoNotOptimize(results);
+  }
+  state.counters["jobs"] = static_cast<double>(jobs);
+  state.counters["lanes"] = static_cast<double>(runner.lanes());
+}
+BENCHMARK(bm_family_sweep_batch)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(3)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

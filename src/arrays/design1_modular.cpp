@@ -6,6 +6,7 @@
 #include "sim/module.hpp"
 #include "sim/register.hpp"
 #include "sim/stats.hpp"
+#include "sim/thread_pool.hpp"
 
 namespace sysdp {
 
@@ -35,6 +36,9 @@ class Design1Modular::Host : public sim::Module {
     if (c < m_) input_ = Token{v_[c], static_cast<std::size_t>(c), 1, true};
   }
   void commit() override {}
+
+  /// P_0 reads input() in the same cycle it is computed.
+  [[nodiscard]] bool combinational() const noexcept override { return true; }
 
   /// Sample the tail PE's accumulator output after each clock edge.
   void harvest(const Token& tail_acc) {
@@ -170,11 +174,11 @@ Design1Modular::Design1Modular(std::vector<Matrix<V>> mats, std::vector<V> v)
 
 Design1Modular::~Design1Modular() = default;
 
-RunResult<Design1Modular::V> Design1Modular::run() {
+RunResult<Design1Modular::V> Design1Modular::run(sim::ThreadPool* pool) {
   const std::size_t Q = mats_.size();
   const std::size_t r = mats_.front().rows();
   sim::ActivityStats stats(m_);
-  sim::Engine engine;
+  sim::Engine engine(pool);
   host_ = std::make_unique<Host>(v_, m_, Q, r);
   engine.add(*host_);
   pes_.clear();

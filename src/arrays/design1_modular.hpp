@@ -20,6 +20,10 @@
 #include "semiring/closed_semiring.hpp"
 #include "semiring/matrix.hpp"
 
+namespace sysdp::sim {
+class ThreadPool;
+}  // namespace sysdp::sim
+
 namespace sysdp {
 
 class Design1Modular {
@@ -34,7 +38,10 @@ class Design1Modular {
   Design1Modular(const Design1Modular&) = delete;
   Design1Modular& operator=(const Design1Modular&) = delete;
 
-  [[nodiscard]] RunResult<V> run();
+  /// Run to completion.  With a pool the engine fans PE eval/commit across
+  /// threads; results are bit-identical to the serial run (the host input
+  /// feed is the only combinational driver and stays serialised).
+  [[nodiscard]] RunResult<V> run(sim::ThreadPool* pool = nullptr);
 
  private:
   class Host;

@@ -33,6 +33,9 @@ class Design2Modular::FeedbackUnit : public sim::Module {
   }
   void commit() override {}
 
+  /// Drives the broadcast bus the PEs sample in the same cycle.
+  [[nodiscard]] bool combinational() const noexcept override { return true; }
+
   /// The PEs publish their S registers here on MOVE (the feedback wiring).
   std::vector<V> s_snapshot_;
 
@@ -107,9 +110,9 @@ Design2Modular::Design2Modular(std::vector<Matrix<V>> mats, std::vector<V> v)
 
 Design2Modular::~Design2Modular() = default;
 
-RunResult<Design2Modular::V> Design2Modular::run() {
+RunResult<Design2Modular::V> Design2Modular::run(sim::ThreadPool* pool) {
   sim::ActivityStats stats(m_);
-  sim::Engine engine;
+  sim::Engine engine(pool);
   feedback_ = std::make_unique<FeedbackUnit>(bus_, v_, m_);
   feedback_->s_snapshot_.assign(m_, MinPlus::zero());
   engine.add(*feedback_);  // bus driver first

@@ -43,7 +43,10 @@ class Design2Modular {
   Design2Modular(const Design2Modular&) = delete;
   Design2Modular& operator=(const Design2Modular&) = delete;
 
-  [[nodiscard]] RunResult<V> run();
+  /// Run to completion.  With a pool the PEs evaluate and latch across
+  /// threads; the FeedbackUnit is the bus driver and stays serialised, so
+  /// results are bit-identical to the serial run.
+  [[nodiscard]] RunResult<V> run(sim::ThreadPool* pool = nullptr);
 
  private:
   class FeedbackUnit;

@@ -62,6 +62,9 @@ class Design3Modular::Controller : public sim::Module {
 
   void commit() override { in_flight_.commit(); }
 
+  /// The stations read input()/delivery() in the cycle they are computed.
+  [[nodiscard]] bool combinational() const noexcept override { return true; }
+
   /// Called by P_{m-1} during eval with its outgoing token (registered:
   /// visible to stations only next cycle).
   void capture(sim::Cycle c, const Token& t) {
@@ -170,9 +173,9 @@ Design3Modular::Design3Modular(const NodeValueGraph& graph)
 
 Design3Modular::~Design3Modular() = default;
 
-Design3Result Design3Modular::run() {
+Design3Result Design3Modular::run(sim::ThreadPool* pool) {
   sim::ActivityStats stats(m_);
-  sim::Engine engine;
+  sim::Engine engine(pool);
   controller_ = std::make_unique<Controller>(graph_, m_, n_stages_);
   engine.add(*controller_);  // bus driver before the stations
   pes_.clear();

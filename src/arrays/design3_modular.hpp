@@ -22,6 +22,10 @@
 #include "arrays/design3_feedback.hpp"
 #include "graph/node_value_graph.hpp"
 
+namespace sysdp::sim {
+class ThreadPool;
+}  // namespace sysdp::sim
+
 namespace sysdp {
 
 class Design3Modular {
@@ -32,7 +36,10 @@ class Design3Modular {
   Design3Modular(const Design3Modular&) = delete;
   Design3Modular& operator=(const Design3Modular&) = delete;
 
-  [[nodiscard]] Design3Result run();
+  /// Run to completion.  With a pool the stations evaluate and latch
+  /// across threads; the feedback controller is the only combinational
+  /// driver and stays serialised, so results are bit-identical to serial.
+  [[nodiscard]] Design3Result run(sim::ThreadPool* pool = nullptr);
 
  private:
   class Controller;

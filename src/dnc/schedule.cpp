@@ -27,13 +27,16 @@ struct ByLevel {
 /// Policy-polymorphic ready set over the AND-tree.  Hu levels (depths) are
 /// tiny (<= log2 N), so per-level FIFO buckets give O(1) amortised
 /// selection for every policy; within one level, insertion order is
-/// preserved.
+/// preserved.  The bucket/FIFO storage lives in the caller's workspace so
+/// repeated runs reuse the deque allocations.
 class ReadySet {
  public:
-  ReadySet(const AndTree& tree, SchedulePolicy policy)
-      : tree_(tree),
-        policy_(policy),
-        buckets_(tree.height() + 1) {}
+  ReadySet(const AndTree& tree, SchedulePolicy policy, ScheduleWorkspace& ws)
+      : tree_(tree), policy_(policy), buckets_(ws.buckets), fifo_(ws.fifo) {
+    buckets_.resize(tree.height() + 1);
+    for (auto& b : buckets_) b.clear();
+    fifo_.clear();
+  }
 
   void push(std::size_t id) {
     buckets_[tree_.node(id).depth].push_back(id);
@@ -74,8 +77,8 @@ class ReadySet {
  private:
   const AndTree& tree_;
   SchedulePolicy policy_;
-  std::vector<std::deque<std::size_t>> buckets_;
-  std::deque<std::size_t> fifo_;
+  std::vector<std::deque<std::size_t>>& buckets_;
+  std::deque<std::size_t>& fifo_;
   std::size_t size_ = 0;
 };
 
@@ -83,13 +86,25 @@ class ReadySet {
 
 ScheduleResult schedule_and_tree(std::size_t num_leaves, std::uint64_t k,
                                  SchedulePolicy policy) {
+  thread_local ScheduleWorkspace ws;
+  return schedule_and_tree(num_leaves, k, policy, ws);
+}
+
+ScheduleResult schedule_and_tree(std::size_t num_leaves, std::uint64_t k,
+                                 SchedulePolicy policy,
+                                 ScheduleWorkspace& ws) {
   if (k == 0) throw std::invalid_argument("schedule_and_tree: k == 0");
-  AndTree tree(num_leaves);
+  if (!ws.tree.has_value() || ws.tree_leaves != num_leaves) {
+    ws.tree.emplace(num_leaves);
+    ws.tree_leaves = num_leaves;
+  }
+  const AndTree& tree = *ws.tree;
   ScheduleResult res;
   if (num_leaves <= 1) return res;
 
-  std::vector<std::size_t> missing(tree.size(), 0);
-  ReadySet ready(tree, policy);
+  std::vector<std::size_t>& missing = ws.missing;
+  missing.assign(tree.size(), 0);
+  ReadySet ready(tree, policy, ws);
   for (std::size_t i = 0; i < tree.size(); ++i) {
     const auto& n = tree.node(i);
     if (n.is_leaf()) continue;
@@ -98,8 +113,9 @@ ScheduleResult schedule_and_tree(std::size_t num_leaves, std::uint64_t k,
     if (missing[i] == 0) ready.push(i);
   }
 
+  std::vector<std::size_t>& batch = ws.batch;
   while (!ready.empty()) {
-    std::vector<std::size_t> batch;
+    batch.clear();
     for (std::uint64_t s = 0; s < k && !ready.empty(); ++s) {
       batch.push_back(ready.pop());
     }
@@ -180,7 +196,8 @@ TimedDncResult execute_dnc_timed(const std::vector<Matrix<Cost>>& mats,
   AndTree tree(mats.size());
   std::vector<Matrix<Cost>> value(tree.size());
   std::vector<std::size_t> missing(tree.size(), 0);
-  ReadySet ready(tree, policy);
+  ScheduleWorkspace ws;
+  ReadySet ready(tree, policy, ws);
   for (std::size_t i = 0; i < tree.size(); ++i) {
     const auto& n = tree.node(i);
     if (n.is_leaf()) {

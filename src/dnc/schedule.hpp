@@ -9,6 +9,8 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <optional>
 #include <vector>
 
 #include "dnc/and_tree.hpp"
@@ -47,13 +49,31 @@ struct ScheduleResult {
   }
 };
 
+/// Reusable scratch for schedule_and_tree: bench sweeps call the scheduler
+/// thousands of times with the same N, and rebuilding the AND-tree plus
+/// the ready-set buckets dominated the per-call cost.  Contents between
+/// calls are unspecified; one workspace must not be shared across threads.
+struct ScheduleWorkspace {
+  std::optional<AndTree> tree;  ///< memoised for the last num_leaves seen
+  std::size_t tree_leaves = 0;
+  std::vector<std::size_t> missing;
+  std::vector<std::deque<std::size_t>> buckets;
+  std::deque<std::size_t> fifo;
+  std::vector<std::size_t> batch;
+};
+
 /// Simulate list scheduling of the AND-tree for `num_leaves` matrices on
 /// `k` arrays under the given policy (default: highest-level-first).  Also
 /// records, per step, how many arrays were busy, so benches can plot the
-/// phase structure.
+/// phase structure.  The workspace-free overload reuses a thread-local
+/// workspace, so repeated bench iterations hit warm buffers.
 [[nodiscard]] ScheduleResult schedule_and_tree(
     std::size_t num_leaves, std::uint64_t k,
     SchedulePolicy policy = SchedulePolicy::kHighestLevelFirst);
+[[nodiscard]] ScheduleResult schedule_and_tree(std::size_t num_leaves,
+                                               std::uint64_t k,
+                                               SchedulePolicy policy,
+                                               ScheduleWorkspace& ws);
 
 /// Execute the schedule functionally: multiply the actual matrix string in
 /// schedule order with `k` workers and return the product (equals the

@@ -1,23 +1,59 @@
 #include "sim/engine.hpp"
 
+#include "sim/thread_pool.hpp"
+
 namespace sysdp::sim {
 
-void Engine::step() {
+namespace {
+
+/// Below this many parallel-safe modules a fork-join per phase costs more
+/// than it saves; small arrays silently run serially.
+constexpr std::size_t kMinParallelModules = 8;
+
+}  // namespace
+
+void Engine::step_serial() {
   for (Module* m : modules_) m->eval(now_);
   for (Module* m : modules_) m->commit();
+}
+
+void Engine::step_parallel() {
+  // Phase 1a: combinational drivers, serially, in registration order —
+  // their outputs must be stable before any listener evaluates.
+  for (Module* m : drivers_) m->eval(now_);
+  // Phase 1b: register-only modules read committed state (plus the driver
+  // outputs fixed above) and stage writes to their own registers only, so
+  // any order — including concurrent — yields bit-identical staging.
+  pool_->parallel_for(parallel_.size(),
+                      [this](std::size_t i) { parallel_[i]->eval(now_); });
+  // Phase 2 (after the implicit barrier): every module latches only its
+  // own registers, so the clock edge parallelises over all modules.
+  pool_->parallel_for(modules_.size(),
+                      [this](std::size_t i) { modules_[i]->commit(); });
+}
+
+void Engine::step() {
+  if (pool_ != nullptr && parallel_.size() >= kMinParallelModules) {
+    step_parallel();
+  } else {
+    step_serial();
+  }
   ++now_;
+  evals_ += modules_.size();
 }
 
 void Engine::run(Cycle n) {
   for (Cycle i = 0; i < n; ++i) step();
 }
 
-bool Engine::run_until(const std::function<bool()>& done, Cycle max_cycles) {
-  for (Cycle i = 0; i < max_cycles; ++i) {
-    if (done()) return true;
+RunUntilResult Engine::run_until(const std::function<bool()>& done,
+                                 Cycle max_cycles) {
+  if (done()) return {true, 0};
+  for (Cycle i = 1; i <= max_cycles; ++i) {
     step();
+    if (done()) return {true, i};
   }
-  return done();
+  return {false, max_cycles};
 }
 
 }  // namespace sysdp::sim

@@ -1,13 +1,27 @@
 // Clocked simulation engine.
 //
-// Runs a set of modules through eval/commit phases.  Modules are evaluated
-// in registration order (drivers of combinational buses first); registers
-// make all PE-to-PE links sequential, so ordering only matters for bus
-// designs.  The engine never owns modules: array models own their PEs and
-// register them for stepping.
+// Runs a set of modules through eval/commit phases.  Two execution modes
+// share one Engine type:
+//
+//   * Serial (default): modules are evaluated in registration order
+//     (drivers of combinational buses first); registers make all PE-to-PE
+//     links sequential, so ordering only matters for bus designs.
+//   * Parallel (construct with a ThreadPool): the synchronous two-phase
+//     register semantics make eval order-independent for purely registered
+//     designs, so the eval phase fans all non-combinational modules across
+//     the pool, with a barrier before the commit phase, which is likewise
+//     parallel (each module latches only its own registers).  Modules that
+//     drive same-cycle combinational state (Module::combinational()) are
+//     evaluated serially, in registration order, before the parallel fan-
+//     out, so bus designs stay deterministic and results are bit-identical
+//     to a serial run.
+//
+// The engine never owns modules: array models own their PEs and register
+// them for stepping.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -15,11 +29,35 @@
 
 namespace sysdp::sim {
 
+class ThreadPool;
+
+/// Outcome of Engine::run_until: whether the predicate fired and how many
+/// cycles were consumed getting there (0 if it already held at entry).
+struct RunUntilResult {
+  bool satisfied = false;
+  Cycle cycles = 0;
+};
+
 class Engine {
  public:
+  /// Serial engine.
+  Engine() = default;
+
+  /// Parallel engine: eval/commit phases fan out across `pool` (nullptr
+  /// falls back to serial).  The pool is borrowed, not owned, so one pool
+  /// can serve many engines (and the batch runner) at once.
+  explicit Engine(ThreadPool* pool) : pool_(pool) {}
+
   /// Register a module.  Order matters for combinational bus visibility:
   /// drivers first, listeners after.
-  void add(Module& m) { modules_.push_back(&m); }
+  void add(Module& m) {
+    modules_.push_back(&m);
+    if (m.combinational()) {
+      drivers_.push_back(&m);
+    } else {
+      parallel_.push_back(&m);
+    }
+  }
 
   /// Advance one clock cycle.
   void step();
@@ -27,18 +65,34 @@ class Engine {
   /// Advance `n` cycles.
   void run(Cycle n);
 
-  /// Step until `done()` returns true, up to `max_cycles`.  Returns true if
-  /// the predicate fired (checked after each full cycle).
-  bool run_until(const std::function<bool()>& done, Cycle max_cycles);
+  /// Step until `done()` returns true, up to `max_cycles`.  The predicate
+  /// is checked once at entry (0 cycles consumed if it already holds) and
+  /// once after each cycle — never twice for the same machine state.
+  [[nodiscard]] RunUntilResult run_until(const std::function<bool()>& done,
+                                         Cycle max_cycles);
 
   [[nodiscard]] Cycle now() const noexcept { return now_; }
   [[nodiscard]] std::size_t num_modules() const noexcept {
     return modules_.size();
   }
 
+  /// True if this engine fans eval/commit across a thread pool.
+  [[nodiscard]] bool parallel() const noexcept { return pool_ != nullptr; }
+
+  /// Module evaluations performed so far (modules x cycles stepped), the
+  /// numerator of the PE-evals/sec throughput metric.
+  [[nodiscard]] std::uint64_t module_evals() const noexcept { return evals_; }
+
  private:
-  std::vector<Module*> modules_;
+  void step_serial();
+  void step_parallel();
+
+  std::vector<Module*> modules_;   ///< all, in registration order
+  std::vector<Module*> drivers_;   ///< combinational: serial eval prefix
+  std::vector<Module*> parallel_;  ///< register-only: parallel-safe eval
+  ThreadPool* pool_ = nullptr;
   Cycle now_ = 0;
+  std::uint64_t evals_ = 0;
 };
 
 }  // namespace sysdp::sim

@@ -27,6 +27,16 @@ class Module {
   /// Clock edge: latch all registers staged during eval().
   virtual void commit() = 0;
 
+  /// True if eval() *produces* state other modules read in the same cycle
+  /// (bus drivers, host input feeds).  The parallel engine evaluates all
+  /// such drivers serially, in registration order, before fanning the
+  /// remaining modules out across threads; modules that only *read*
+  /// same-cycle driver outputs (bus listeners) stay parallel-safe because
+  /// every driver has already spoken by the time they run.  Registered
+  /// state (Register<T>) never needs this flag: reads see committed values
+  /// only.
+  [[nodiscard]] virtual bool combinational() const noexcept { return false; }
+
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
 
  private:

@@ -8,6 +8,7 @@
 // processors)" when one iteration does one unit of work.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <vector>
 
@@ -45,6 +46,63 @@ class ActivityStats {
 
  private:
   std::vector<std::uint64_t> busy_;
+};
+
+/// Monotonic wall-clock stopwatch for the throughput counters below.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+  /// Seconds elapsed since construction (or the last restart()).
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+  void restart() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Simulator throughput over one run: how fast the *simulator* chewed
+/// through virtual time, as opposed to ActivityStats, which measures the
+/// *simulated hardware's* utilisation.  This is what the parallel backend
+/// is meant to improve, so benches record it alongside the paper metrics.
+struct ThroughputStats {
+  Cycle cycles = 0;                ///< virtual cycles simulated
+  std::uint64_t module_evals = 0;  ///< module (PE/host) evals performed
+  double wall_seconds = 0.0;       ///< host wall-clock consumed
+
+  [[nodiscard]] double cycles_per_sec() const noexcept {
+    return wall_seconds > 0.0 ? static_cast<double>(cycles) / wall_seconds
+                              : 0.0;
+  }
+  [[nodiscard]] double evals_per_sec() const noexcept {
+    return wall_seconds > 0.0
+               ? static_cast<double>(module_evals) / wall_seconds
+               : 0.0;
+  }
+
+  ThroughputStats& operator+=(const ThroughputStats& o) noexcept {
+    cycles += o.cycles;
+    module_evals += o.module_evals;
+    wall_seconds += o.wall_seconds;
+    return *this;
+  }
+};
+
+/// Wall-clock comparison of one sweep run serially and through the batch
+/// runner — the headline number BENCH_SIM.json records.
+struct BatchSpeedup {
+  std::size_t jobs = 0;
+  std::size_t lanes = 1;          ///< pool lanes used by the batched run
+  double serial_seconds = 0.0;
+  double batch_seconds = 0.0;
+
+  [[nodiscard]] double speedup() const noexcept {
+    return batch_seconds > 0.0 ? serial_seconds / batch_seconds : 0.0;
+  }
 };
 
 }  // namespace sysdp::sim

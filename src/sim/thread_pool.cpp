@@ -1,0 +1,87 @@
+#include "sim/thread_pool.hpp"
+
+#include <atomic>
+
+namespace sysdp::sim {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+/// Shared state of one parallel_for call: a static chunk split plus a
+/// countdown the caller blocks on.  Chunks are contiguous so each lane
+/// touches a disjoint, cache-friendly index range and the work assignment
+/// is deterministic.
+struct ThreadPool::ForJob {
+  const std::function<void(std::size_t)>* body;
+  std::size_t n;
+  std::size_t chunks;
+  std::atomic<std::size_t> remaining;
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+
+  void run_chunk(std::size_t c) {
+    const std::size_t lo = n * c / chunks;
+    const std::size_t hi = n * (c + 1) / chunks;
+    for (std::size_t i = lo; i < hi; ++i) (*body)(i);
+    if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(done_mu);
+      done_cv.notify_one();
+    }
+  }
+};
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  const std::size_t chunks = std::min(n, num_lanes());
+  auto job = std::make_shared<ForJob>();
+  job->body = &body;
+  job->n = n;
+  job->chunks = chunks;
+  job->remaining.store(chunks, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t c = 1; c < chunks; ++c) {
+      queue_.push([job, c] { job->run_chunk(c); });
+    }
+  }
+  cv_.notify_all();
+  job->run_chunk(0);  // the caller is lane 0
+  std::unique_lock<std::mutex> lock(job->done_mu);
+  job->done_cv.wait(lock, [&] {
+    return job->remaining.load(std::memory_order_acquire) == 0;
+  });
+}
+
+}  // namespace sysdp::sim

@@ -1,0 +1,95 @@
+// Fixed-size worker pool for the parallel simulation backend.
+//
+// Two usage patterns, both fork-join:
+//
+//   * parallel_for(n, body): split [0, n) into contiguous chunks, one per
+//     lane (workers + the calling thread), run them concurrently and block
+//     until every index is done.  The per-cycle eval/commit phases of
+//     ParallelEngine are built on this; the chunk split is static and
+//     deterministic so a run is reproducible regardless of scheduling.
+//   * submit(fn) -> future: enqueue an independent task.  BatchRunner uses
+//     this to spread whole simulations (sweep points) across the pool,
+//     which is where the embarrassingly-parallel wall-clock win lives.
+//
+// The pool never spins: idle workers sleep on a condition variable.  A
+// pool of size 0 is legal and means "no worker threads": parallel_for and
+// submit both degenerate to inline execution on the caller, which keeps
+// thread-count sweeps (including 1) trivial to express.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace sysdp::sim {
+
+class ThreadPool {
+ public:
+  /// `workers` worker threads in addition to the calling thread;
+  /// `default_workers()` picks hardware_concurrency - 1.
+  explicit ThreadPool(std::size_t workers = default_workers());
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Worker threads owned by the pool (the calling thread adds one more
+  /// lane during parallel_for).
+  [[nodiscard]] std::size_t num_workers() const noexcept {
+    return workers_.size();
+  }
+  /// Concurrent lanes available to parallel_for: workers + caller.
+  [[nodiscard]] std::size_t num_lanes() const noexcept {
+    return workers_.size() + 1;
+  }
+
+  [[nodiscard]] static std::size_t default_workers() noexcept {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 1 ? hw - 1 : 0;
+  }
+
+  /// Run body(i) for every i in [0, n), blocking until all are done.  The
+  /// range is split into num_lanes() contiguous chunks; the caller executes
+  /// one chunk itself.  body must not recursively call parallel_for on the
+  /// same pool.  Exceptions thrown by body terminate (the simulation
+  /// modules it drives are noexcept in practice; buses throw only on
+  /// design bugs).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+  /// Enqueue one independent task; returns a future for its result.
+  template <typename Fn>
+  auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> fut = task->get_future();
+    if (workers_.empty()) {
+      (*task)();  // no workers: run inline
+      return fut;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+ private:
+  struct ForJob;
+
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> queue_;
+  bool stop_ = false;
+};
+
+}  // namespace sysdp::sim

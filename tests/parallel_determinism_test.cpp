@@ -1,0 +1,172 @@
+// Determinism of the parallel simulation backend.
+//
+// The two-phase register semantics make eval order-independent for
+// register-only modules, so the threaded engine must be *bit-identical* to
+// the serial engine — same costs, cycle counts, busy steps and utilisation
+// — for every design, problem size and thread count (including a pool with
+// zero workers, the degenerate serial case).  The same contract holds for
+// the batch runner: a sweep fanned across the pool returns exactly the
+// results of the serial loop, in index order.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <iterator>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "arrays/design1_modular.hpp"
+#include "arrays/design2_modular.hpp"
+#include "arrays/design3_modular.hpp"
+#include "arrays/gkt_array.hpp"
+#include "arrays/triangular_array.hpp"
+#include "graph/generators.hpp"
+#include "sim/batch.hpp"
+#include "sim/thread_pool.hpp"
+
+namespace sysdp {
+namespace {
+
+// Worker counts to sweep: 0 = no workers (inline), 1 = single worker
+// thread, then a few genuinely concurrent shapes.
+const std::size_t kWorkerCounts[] = {0, 1, 2, 3, 7};
+
+struct Instance {
+  std::vector<Matrix<Cost>> mats;
+  std::vector<Cost> v;
+};
+
+Instance string_instance(std::size_t q, std::size_t m, std::uint64_t seed) {
+  Rng rng(seed);
+  Instance ins;
+  ins.mats = random_matrix_string(q, m, rng);
+  ins.v.resize(m);
+  std::uniform_int_distribution<Cost> dist(0, 99);
+  for (auto& x : ins.v) x = dist(rng);
+  return ins;
+}
+
+template <typename V>
+void expect_identical(const RunResult<V>& serial, const RunResult<V>& par) {
+  EXPECT_EQ(serial.values, par.values);
+  EXPECT_EQ(serial.cycles, par.cycles);
+  EXPECT_EQ(serial.busy_steps, par.busy_steps);
+  EXPECT_EQ(serial.num_pes, par.num_pes);
+  EXPECT_EQ(serial.input_scalars, par.input_scalars);
+  EXPECT_DOUBLE_EQ(serial.utilization_wall(), par.utilization_wall());
+}
+
+TEST(ParallelDeterminism, Design1BitIdenticalAcrossThreadCounts) {
+  const std::pair<std::size_t, std::size_t> shapes[] = {
+      {2, 4}, {3, 8}, {4, 16}, {5, 32}};
+  for (const auto& [q, m] : shapes) {
+    const auto ins = string_instance(q, m, q * 1000 + m);
+    Design1Modular serial_arr(ins.mats, ins.v);
+    const auto serial = serial_arr.run();
+    for (const std::size_t workers : kWorkerCounts) {
+      sim::ThreadPool pool(workers);
+      Design1Modular par_arr(ins.mats, ins.v);
+      const auto par = par_arr.run(&pool);
+      SCOPED_TRACE("q=" + std::to_string(q) + " m=" + std::to_string(m) +
+                   " workers=" + std::to_string(workers));
+      expect_identical(serial, par);
+    }
+  }
+}
+
+TEST(ParallelDeterminism, Design2BitIdenticalAcrossThreadCounts) {
+  const std::pair<std::size_t, std::size_t> shapes[] = {
+      {2, 4}, {3, 8}, {4, 16}, {6, 24}};
+  for (const auto& [q, m] : shapes) {
+    const auto ins = string_instance(q, m, q * 2000 + m);
+    Design2Modular serial_arr(ins.mats, ins.v);
+    const auto serial = serial_arr.run();
+    for (const std::size_t workers : kWorkerCounts) {
+      sim::ThreadPool pool(workers);
+      Design2Modular par_arr(ins.mats, ins.v);
+      const auto par = par_arr.run(&pool);
+      SCOPED_TRACE("q=" + std::to_string(q) + " m=" + std::to_string(m) +
+                   " workers=" + std::to_string(workers));
+      expect_identical(serial, par);
+    }
+  }
+}
+
+TEST(ParallelDeterminism, Design3BitIdenticalAcrossThreadCounts) {
+  const std::pair<std::size_t, std::size_t> shapes[] = {
+      {4, 4}, {8, 8}, {12, 16}, {16, 24}};
+  for (const auto& [n, m] : shapes) {
+    Rng rng(n * 31 + m);
+    const auto nv = traffic_control_instance(n, m, rng);
+    Design3Modular serial_arr(nv);
+    const auto serial = serial_arr.run();
+    for (const std::size_t workers : kWorkerCounts) {
+      sim::ThreadPool pool(workers);
+      Design3Modular par_arr(nv);
+      const auto par = par_arr.run(&pool);
+      SCOPED_TRACE("n=" + std::to_string(n) + " m=" + std::to_string(m) +
+                   " workers=" + std::to_string(workers));
+      EXPECT_EQ(serial.cost, par.cost);
+      EXPECT_EQ(serial.path, par.path);
+      expect_identical(serial.stats, par.stats);
+    }
+  }
+}
+
+// The GKT and triangular arrays are closed-form dataflow simulations (no
+// engine), so parallelism reaches them through the batch runner: an
+// N-sweep fanned across the pool must reproduce the serial loop exactly.
+TEST(ParallelDeterminism, GktBatchSweepMatchesSerialLoop) {
+  const std::size_t sizes[] = {4, 8, 12, 16, 24, 32, 40, 48};
+  const auto job = [&](std::size_t i) {
+    Rng rng(100 + i);
+    GktArray arr(random_chain_dims(sizes[i], rng));
+    return arr.run();
+  };
+  sim::BatchRunner serial(nullptr);
+  const auto base = serial.run(std::size(sizes), job);
+  for (const std::size_t workers : kWorkerCounts) {
+    sim::ThreadPool pool(workers);
+    sim::BatchRunner batched(&pool);
+    const auto par = batched.run(std::size(sizes), job);
+    ASSERT_EQ(par.size(), base.size());
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      SCOPED_TRACE("workers=" + std::to_string(workers) +
+                   " job=" + std::to_string(i));
+      EXPECT_EQ(base[i].total(), par[i].total());
+      EXPECT_EQ(base[i].completion(), par[i].completion());
+      EXPECT_EQ(base[i].stats.busy_steps, par[i].stats.busy_steps);
+      EXPECT_DOUBLE_EQ(base[i].stats.utilization_wall(),
+                       par[i].stats.utilization_wall());
+    }
+  }
+}
+
+TEST(ParallelDeterminism, TriangularBstBatchSweepMatchesSerialLoop) {
+  const std::size_t sizes[] = {4, 8, 16, 24, 32, 48};
+  const auto job = [&](std::size_t i) {
+    Rng rng(7 * (i + 1));
+    std::uniform_int_distribution<Cost> freq(1, 40);
+    std::vector<Cost> f(sizes[i]);
+    for (auto& x : f) x = freq(rng);
+    return run_bst_array(f);
+  };
+  sim::BatchRunner serial(nullptr);
+  const auto base = serial.run(std::size(sizes), job);
+  for (const std::size_t workers : kWorkerCounts) {
+    sim::ThreadPool pool(workers);
+    sim::BatchRunner batched(&pool);
+    const auto par = batched.run(std::size(sizes), job);
+    ASSERT_EQ(par.size(), base.size());
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      SCOPED_TRACE("workers=" + std::to_string(workers) +
+                   " job=" + std::to_string(i));
+      EXPECT_EQ(base[i].total(), par[i].total());
+      EXPECT_EQ(base[i].completion(), par[i].completion());
+      EXPECT_EQ(base[i].stats.busy_steps, par[i].stats.busy_steps);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sysdp

@@ -1,11 +1,19 @@
 // Tests for the clocked simulation engine.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "sim/batch.hpp"
 #include "sim/bus.hpp"
 #include "sim/engine.hpp"
 #include "sim/module.hpp"
 #include "sim/register.hpp"
 #include "sim/stats.hpp"
+#include "sim/thread_pool.hpp"
 #include "sim/trace.hpp"
 
 namespace sysdp::sim {
@@ -87,8 +95,45 @@ TEST(Engine, RunUntil) {
   eng.add(a);
   eng.add(b);
   a.out_.reset(7);
-  EXPECT_TRUE(eng.run_until([&] { return b.out_.read() == 7; }, 10));
-  EXPECT_FALSE(eng.run_until([&] { return b.out_.read() == 8; }, 5));
+  const auto hit = eng.run_until([&] { return b.out_.read() == 7; }, 10);
+  EXPECT_TRUE(hit.satisfied);
+  EXPECT_EQ(hit.cycles, 1u);  // a.out_ was preloaded; one hop into b
+  const auto miss = eng.run_until([&] { return b.out_.read() == 8; }, 5);
+  EXPECT_FALSE(miss.satisfied);
+  EXPECT_EQ(miss.cycles, 5u);
+}
+
+TEST(Engine, RunUntilPredicateAlreadyTrueAtEntry) {
+  ShiftStage a("a", nullptr);
+  Engine eng;
+  eng.add(a);
+  int calls = 0;
+  const auto res = eng.run_until(
+      [&] {
+        ++calls;
+        return true;
+      },
+      100);
+  EXPECT_TRUE(res.satisfied);
+  EXPECT_EQ(res.cycles, 0u);  // no cycles consumed
+  EXPECT_EQ(eng.now(), 0u);   // machine state untouched
+  EXPECT_EQ(calls, 1);        // predicate checked exactly once
+}
+
+TEST(Engine, RunUntilChecksPredicateOncePerCycle) {
+  ShiftStage a("a", nullptr);
+  Engine eng;
+  eng.add(a);
+  int calls = 0;
+  const auto res = eng.run_until(
+      [&] {
+        ++calls;
+        return false;
+      },
+      4);
+  EXPECT_FALSE(res.satisfied);
+  EXPECT_EQ(res.cycles, 4u);
+  EXPECT_EQ(calls, 5);  // entry check + one per cycle, no redundant recheck
 }
 
 TEST(Bus, SingleDriverPerCycle) {
@@ -120,6 +165,100 @@ TEST(Trace, RecordsAndRenders) {
   const auto csv = t.to_csv();
   EXPECT_NE(csv.find("0,acc,5"), std::string::npos);
   EXPECT_NE(csv.find("1,acc,7"), std::string::npos);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_workers(), 3u);
+  EXPECT_EQ(pool.num_lanes(), 4u);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(hits.size(),
+                    [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ZeroWorkersRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_lanes(), 1u);
+  std::vector<int> hits(17, 0);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { hits[i] = 1; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 17);
+  EXPECT_EQ(pool.submit([] { return 41 + 1; }).get(), 42);
+}
+
+TEST(ThreadPool, SubmitRunsTasks) {
+  ThreadPool pool(2);
+  std::vector<std::future<int>> futs;
+  for (int i = 0; i < 32; ++i) {
+    futs.push_back(pool.submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(futs[static_cast<std::size_t>(i)].get(), i * i);
+}
+
+// 16 stages so the parallel engine actually crosses kMinParallelModules and
+// exercises the threaded eval/commit phases.
+TEST(Engine, ParallelShiftChainMatchesSerial) {
+  constexpr std::size_t kStages = 16;
+  const auto build = [](std::vector<std::unique_ptr<ShiftStage>>& stages,
+                        Engine& eng) {
+    for (std::size_t i = 0; i < kStages; ++i) {
+      const Register<int>* prev =
+          i == 0 ? nullptr : &stages[i - 1]->out_;
+      stages.push_back(
+          std::make_unique<ShiftStage>("s" + std::to_string(i), prev));
+      eng.add(*stages.back());
+    }
+    stages.front()->out_.reset(99);
+  };
+
+  std::vector<std::unique_ptr<ShiftStage>> serial_stages;
+  Engine serial;
+  build(serial_stages, serial);
+  ThreadPool pool(3);
+  std::vector<std::unique_ptr<ShiftStage>> par_stages;
+  Engine parallel(&pool);
+  build(par_stages, parallel);
+  EXPECT_TRUE(parallel.parallel());
+
+  for (std::size_t c = 0; c < kStages + 2; ++c) {
+    serial.step();
+    parallel.step();
+    for (std::size_t i = 0; i < kStages; ++i) {
+      ASSERT_EQ(par_stages[i]->out_.read(), serial_stages[i]->out_.read())
+          << "stage " << i << " cycle " << c;
+    }
+  }
+  EXPECT_EQ(parallel.module_evals(), (kStages + 2) * kStages);
+}
+
+TEST(BatchRunner, ResultsInIndexOrderAndMatchSerial) {
+  ThreadPool pool(3);
+  BatchRunner batched(&pool);
+  BatchRunner inline_runner(nullptr);
+  const auto job = [](std::size_t i) {
+    return static_cast<int>(i) * 3 + 1;
+  };
+  const auto a = batched.run(100, job);
+  const auto b = inline_runner.run(100, job);
+  EXPECT_EQ(a, b);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], static_cast<int>(i) * 3 + 1);
+  }
+}
+
+TEST(Stats, ThroughputMath) {
+  ThroughputStats t;
+  t.cycles = 1000;
+  t.module_evals = 16000;
+  t.wall_seconds = 2.0;
+  EXPECT_DOUBLE_EQ(t.cycles_per_sec(), 500.0);
+  EXPECT_DOUBLE_EQ(t.evals_per_sec(), 8000.0);
+  ThroughputStats zero;
+  EXPECT_DOUBLE_EQ(zero.evals_per_sec(), 0.0);
+  BatchSpeedup s;
+  s.serial_seconds = 4.0;
+  s.batch_seconds = 2.0;
+  EXPECT_DOUBLE_EQ(s.speedup(), 2.0);
 }
 
 TEST(Trace, DropsBeyondCapacity) {
