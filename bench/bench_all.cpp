@@ -1,15 +1,23 @@
 // bench_all — the perf-trajectory driver for the simulation backend.
 //
 // Runs the batched sweep workloads (the triangular family, the E1 design
-// grid and the design ablation grid) through google-benchmark with a JSON
-// reporter (the programmatic equivalent of --benchmark_format=json), then
-// re-times each sweep directly — serial loop versus the batch runner, in
-// the same process and the same run — and aggregates everything into
-// BENCH_SIM.json at the path given by --out= (default: ./BENCH_SIM.json).
-// Future PRs append to the trajectory by re-running this binary and
-// diffing the JSON.
+// grid, the design ablation grid and a fill/drain-heavy Design 1 sweep)
+// through google-benchmark with a JSON reporter (the programmatic
+// equivalent of --benchmark_format=json), then re-times each sweep
+// directly — serial loop versus the batch runner, in the same process and
+// the same run — and aggregates everything into BENCH_SIM.json at the path
+// given by --out= (default: ./BENCH_SIM.json).  Future PRs append to the
+// trajectory by re-running this binary and diffing the JSON.
 //
-//   build/bench/bench_all --out=BENCH_SIM.json [--workers=N] [gbench flags]
+//   build/bench/bench_all --out=BENCH_SIM.json [--workers=N]
+//                         [--baseline=OLD.json] [--reduced] [gbench flags]
+//
+// --baseline=OLD.json compares this run's per-benchmark medians against a
+// previously committed BENCH_SIM.json and emits a "regressions" section;
+// any benchmark more than 15% slower than its baseline median makes the
+// binary exit nonzero, which is how CI gates perf regressions.  --reduced
+// skips the google-benchmark pass (the aggregate pass alone carries every
+// number the baseline comparison needs), halving CI wall-clock.
 //
 // Speedup expectations scale with the host: on a >= 4-core machine the
 // sweeps are embarrassingly parallel and the batch runner delivers >= 2x;
@@ -20,6 +28,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <functional>
@@ -35,6 +44,7 @@
 #include "arrays/design2_modular.hpp"
 #include "arrays/design3_modular.hpp"
 #include "arrays/gkt_array.hpp"
+#include "arrays/gkt_modular.hpp"
 #include "arrays/graph_adapter.hpp"
 #include "arrays/triangular_array.hpp"
 #include "graph/generators.hpp"
@@ -119,11 +129,41 @@ Sweep ablation_grid_sweep() {
           }};
 }
 
+/// Build the Q = 1 wide matrix-vector instance used by the fill/drain
+/// sweep and the gating comparison: with a single multiply, PE p is active
+/// for only m of the ~2m total cycles (fill while the vector streams in,
+/// drain while results stream out), so roughly half of all dense evals are
+/// idle — the workload activity gating targets.
+std::pair<std::vector<Matrix<Cost>>, std::vector<Cost>> fill_drain_instance(
+    std::size_t m, std::uint64_t seed) {
+  Rng rng(seed);
+  std::uniform_int_distribution<Cost> w(1, 40);
+  Matrix<Cost> mat(m, m, 0);
+  for (std::size_t r = 0; r < m; ++r) {
+    for (std::size_t c = 0; c < m; ++c) mat(r, c) = w(rng);
+  }
+  std::vector<Cost> v(m);
+  for (auto& x : v) x = w(rng);
+  return {std::vector<Matrix<Cost>>{std::move(mat)}, std::move(v)};
+}
+
+Sweep fill_drain_sweep() {
+  static const std::size_t ms[] = {192, 256, 384};
+  return {"design1_fill_drain", std::size(ms),
+          [](std::size_t i) -> std::uint64_t {
+            const std::size_t m = ms[i];
+            auto [mats, v] = fill_drain_instance(m, 9000 + m);
+            Design1Modular d1(std::move(mats), std::move(v));
+            return d1.run().busy_steps;
+          }};
+}
+
 std::vector<Sweep> all_sweeps() {
   std::vector<Sweep> s;
   s.push_back(triangular_family_sweep());
   s.push_back(e1_grid_sweep());
   s.push_back(ablation_grid_sweep());
+  s.push_back(fill_drain_sweep());
   return s;
 }
 
@@ -154,77 +194,214 @@ void register_gbench_sweeps() {
   }
 }
 
-// ----------------------------------------------------------- output -------
+// ------------------------------------------------------- measurement ------
 
-[[nodiscard]] bool write_json(
-    const std::string& path,
-    const std::vector<std::pair<Sweep, sim::BatchSpeedup>>& sweeps,
-    const sim::ThroughputStats& engine_serial,
-    const sim::ThroughputStats& engine_parallel,
-    const std::string& gbench_json) {
-  std::ofstream out(path);
-  if (!out) {
-    std::fprintf(stderr, "bench_all: cannot write %s\n", path.c_str());
-    return false;
+/// Median of three timed runs of `body` — the unit every baseline
+/// comparison uses, so a one-off scheduling hiccup cannot fail CI.
+template <typename F>
+double median3_seconds(F&& body) {
+  double t[3];
+  for (double& x : t) {
+    sim::WallTimer w;
+    body();
+    x = w.seconds();
   }
-  char buf[256];
-  out << "{\n";
-  out << "  \"schema\": \"sysdp-bench-sim-v1\",\n";
-  out << "  \"host\": {\n";
-  out << "    \"hardware_concurrency\": "
-      << std::thread::hardware_concurrency() << ",\n";
-  out << "    \"pool_workers\": " << g_workers << ",\n";
-  out << "    \"pool_lanes\": " << (g_workers + 1) << "\n  },\n";
+  std::sort(std::begin(t), std::end(t));
+  return t[1];
+}
 
-  out << "  \"batch_sweeps\": [\n";
-  for (std::size_t i = 0; i < sweeps.size(); ++i) {
-    const auto& [sweep, s] = sweeps[i];
-    std::snprintf(buf, sizeof buf,
-                  "    {\"name\": \"%s\", \"jobs\": %zu, \"lanes\": %zu, "
-                  "\"serial_seconds\": %.6f, \"batch_seconds\": %.6f, "
-                  "\"speedup\": %.3f}%s\n",
-                  sweep.name, s.jobs, s.lanes, s.serial_seconds,
-                  s.batch_seconds, s.speedup(),
-                  i + 1 < sweeps.size() ? "," : "");
-    out << buf;
+/// Median of five — for the gating entries, whose dense-vs-sparse ratio
+/// compounds the noise of two measurements, so the baseline gate needs a
+/// steadier estimator than the sweep timings do.
+template <typename F>
+double median5_seconds(F&& body) {
+  double t[5];
+  for (double& x : t) {
+    sim::WallTimer w;
+    body();
+    x = w.seconds();
   }
-  out << "  ],\n";
+  std::sort(std::begin(t), std::end(t));
+  return t[2];
+}
 
-  const auto engine_entry = [&](const char* name,
-                                const sim::ThroughputStats& t,
-                                const char* trailer) {
-    std::snprintf(buf, sizeof buf,
-                  "    {\"name\": \"%s\", \"cycles\": %llu, "
-                  "\"module_evals\": %llu, \"wall_seconds\": %.6f, "
-                  "\"evals_per_sec\": %.0f}%s\n",
-                  name, static_cast<unsigned long long>(t.cycles),
-                  static_cast<unsigned long long>(t.module_evals),
-                  t.wall_seconds, t.evals_per_sec(), trailer);
-    out << buf;
-  };
-  out << "  \"engine_throughput\": [\n";
-  engine_entry("design1_modular_serial", engine_serial, ",");
-  engine_entry("design1_modular_parallel", engine_parallel, "");
-  out << "  ],\n";
+/// One dense-vs-sparse engine comparison: the same instance run with
+/// activity gating off and on, plus the sparse run's eval accounting.
+struct GatingEntry {
+  std::string name;
+  double dense_seconds = 0.0;
+  double sparse_seconds = 0.0;
+  std::uint64_t active_evals = 0;
+  std::uint64_t dense_evals = 0;
 
-  // Raw google-benchmark report (--benchmark_format=json equivalent),
-  // spliced in verbatim: it is already a JSON object.
-  out << "  \"google_benchmark\": "
-      << (gbench_json.empty() ? std::string("null") : gbench_json) << "\n";
-  out << "}\n";
-  out.flush();
-  if (!out) {
-    std::fprintf(stderr, "bench_all: write to %s failed\n", path.c_str());
-    return false;
+  [[nodiscard]] double speedup() const {
+    return sparse_seconds > 0.0 ? dense_seconds / sparse_seconds : 0.0;
   }
-  std::printf("bench_all: wrote %s\n", path.c_str());
-  return true;
+  [[nodiscard]] double activity() const {
+    return dense_evals > 0 ? static_cast<double>(active_evals) /
+                                 static_cast<double>(dense_evals)
+                           : 1.0;
+  }
+};
+
+std::vector<GatingEntry> measure_gating() {
+  std::vector<GatingEntry> out;
+  {
+    GatingEntry e;
+    e.name = "design1_fill_drain_m384";
+    auto [mats, v] = fill_drain_instance(384, 9384);
+    std::uint64_t dense_busy = 0, sparse_busy = 0;
+    e.dense_seconds = median5_seconds([&] {
+      Design1Modular d(mats, v);
+      dense_busy = d.run(nullptr, sim::Gating::kDense).busy_steps;
+    });
+    e.sparse_seconds = median5_seconds([&] {
+      Design1Modular d(mats, v);
+      const auto r = d.run(nullptr, sim::Gating::kSparse);
+      sparse_busy = r.busy_steps;
+      e.active_evals = r.active_evals;
+      e.dense_evals = r.dense_evals;
+    });
+    if (dense_busy != sparse_busy) {
+      std::fprintf(stderr, "bench_all: gating diverges on %s\n",
+                   e.name.c_str());
+      std::exit(1);
+    }
+    out.push_back(std::move(e));
+  }
+  {
+    GatingEntry e;
+    e.name = "design3_traffic_n48_m12";
+    Rng rng(4812);
+    const auto nv = traffic_control_instance(48, 12, rng);
+    std::uint64_t dense_busy = 0, sparse_busy = 0;
+    e.dense_seconds = median5_seconds([&] {
+      Design3Modular d(nv);
+      dense_busy = d.run(nullptr, sim::Gating::kDense).stats.busy_steps;
+    });
+    e.sparse_seconds = median5_seconds([&] {
+      Design3Modular d(nv);
+      const auto r = d.run(nullptr, sim::Gating::kSparse);
+      sparse_busy = r.stats.busy_steps;
+      e.active_evals = r.stats.active_evals;
+      e.dense_evals = r.stats.dense_evals;
+    });
+    if (dense_busy != sparse_busy) {
+      std::fprintf(stderr, "bench_all: gating diverges on %s\n",
+                   e.name.c_str());
+      std::exit(1);
+    }
+    out.push_back(std::move(e));
+  }
+  {
+    // The 2-D GKT array is the headline gating workload: the wavefront
+    // keeps only the flit-carrying diagonal band of cells busy (~1/5 of
+    // cell-cycles at n=96 — the paper's worst processor-utilisation case),
+    // so skipping the idle cells pays far more than on the linear arrays.
+    GatingEntry e;
+    e.name = "gkt_modular_n96";
+    Rng rng(96096);
+    const auto dims = random_chain_dims(96, rng);
+    GktModularArray arr(dims);
+    std::uint64_t dense_busy = 0, sparse_busy = 0;
+    Cost dense_total = 0, sparse_total = 0;
+    e.dense_seconds = median5_seconds([&] {
+      const auto r = arr.run(nullptr, sim::Gating::kDense);
+      dense_busy = r.stats.busy_steps;
+      dense_total = r.total();
+    });
+    e.sparse_seconds = median5_seconds([&] {
+      const auto r = arr.run(nullptr, sim::Gating::kSparse);
+      sparse_busy = r.stats.busy_steps;
+      sparse_total = r.total();
+      e.active_evals = r.stats.active_evals;
+      e.dense_evals = r.stats.dense_evals;
+    });
+    if (dense_busy != sparse_busy || dense_total != sparse_total) {
+      std::fprintf(stderr, "bench_all: gating diverges on %s\n",
+                   e.name.c_str());
+      std::exit(1);
+    }
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+// --------------------------------------------------------- baseline -------
+
+struct MetricSample {
+  std::string name;  ///< e.g. "triangular_family/serial"
+  double seconds = 0.0;
+};
+
+struct Comparison {
+  std::string name;
+  double baseline_seconds = 0.0;
+  double current_seconds = 0.0;
+
+  [[nodiscard]] double ratio() const {
+    return baseline_seconds > 0.0 ? current_seconds / baseline_seconds : 1.0;
+  }
+};
+
+constexpr double kRegressionTolerance = 0.15;
+
+/// Pull {"name": ..., "<field>": X} pairs out of the named array section of
+/// a BENCH_SIM.json written by this binary (one object per line — this is
+/// a scanner for our own output format, not a general JSON parser).
+std::vector<MetricSample> scan_section(const std::string& text,
+                                       const std::string& section,
+                                       const std::string& field,
+                                       const std::string& suffix) {
+  std::vector<MetricSample> out;
+  const auto sec = text.find('"' + section + '"');
+  if (sec == std::string::npos) return out;
+  const auto sec_end = text.find(']', sec);
+  std::size_t pos = sec;
+  while (true) {
+    const auto np = text.find("\"name\": \"", pos);
+    if (np == std::string::npos || np > sec_end) break;
+    const auto ns = np + 9;
+    const auto ne = text.find('"', ns);
+    if (ne == std::string::npos) break;
+    const auto line_end = text.find('\n', ne);
+    const auto fp = text.find('"' + field + "\": ", ne);
+    if (fp != std::string::npos && fp < line_end) {
+      out.push_back(MetricSample{
+          text.substr(ns, ne - ns) + suffix,
+          std::strtod(text.c_str() + fp + field.size() + 4, nullptr)});
+    }
+    pos = ne;
+  }
+  return out;
+}
+
+/// All comparable per-benchmark medians in a BENCH_SIM.json document.
+std::vector<MetricSample> comparable_metrics(const std::string& text) {
+  std::vector<MetricSample> out;
+  for (auto& s : scan_section(text, "batch_sweeps", "serial_seconds",
+                              "/serial")) {
+    out.push_back(std::move(s));
+  }
+  for (auto& s : scan_section(text, "batch_sweeps", "batch_seconds",
+                              "/batch")) {
+    out.push_back(std::move(s));
+  }
+  for (auto& s : scan_section(text, "engine_throughput", "wall_seconds", "")) {
+    out.push_back(std::move(s));
+  }
+  for (auto& s : scan_section(text, "gating", "sparse_seconds", "/sparse")) {
+    out.push_back(std::move(s));
+  }
+  return out;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string out_path = "BENCH_SIM.json";
+  std::string baseline_path;
+  bool reduced = false;
   g_workers = std::max<std::size_t>(sim::ThreadPool::default_workers(), 1);
 
   // Strip our own flags before handing argv to google-benchmark.
@@ -233,6 +410,10 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--out=", 6) == 0) {
       out_path = argv[i] + 6;
+    } else if (std::strncmp(argv[i], "--baseline=", 11) == 0) {
+      baseline_path = argv[i] + 11;
+    } else if (std::strcmp(argv[i], "--reduced") == 0) {
+      reduced = true;
     } else if (std::strncmp(argv[i], "--workers=", 10) == 0) {
       g_workers = static_cast<std::size_t>(std::strtoul(argv[i] + 10, nullptr, 10));
     } else {
@@ -247,34 +428,36 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::printf("# bench_all: google-benchmark pass (JSON captured)\n");
   std::ostringstream gbench_json;
-  std::ostringstream gbench_err;
-  benchmark::JSONReporter json_reporter;
-  json_reporter.SetOutputStream(&gbench_json);
-  json_reporter.SetErrorStream(&gbench_err);
-  benchmark::RunSpecifiedBenchmarks(&json_reporter);
+  if (!reduced) {
+    std::printf("# bench_all: google-benchmark pass (JSON captured)\n");
+    std::ostringstream gbench_err;
+    benchmark::JSONReporter json_reporter;
+    json_reporter.SetOutputStream(&gbench_json);
+    json_reporter.SetErrorStream(&gbench_err);
+    benchmark::RunSpecifiedBenchmarks(&json_reporter);
+  }
   benchmark::Shutdown();
 
   // Direct serial-vs-batch timing, same process, same run: the headline
-  // speedup numbers.  The batched pass's results are cross-checked against
-  // the serial pass so a racy backend fails loudly here, not just in CI.
+  // speedup numbers, each the median of three passes.  The batched pass's
+  // results are cross-checked against the serial pass so a racy backend
+  // fails loudly here, not just in CI.
   std::printf("# bench_all: aggregate pass (%zu workers + caller)\n",
               g_workers);
   sim::ThreadPool pool(g_workers);
   std::vector<std::pair<Sweep, sim::BatchSpeedup>> measured;
   for (auto& sweep : all_sweeps()) {
-    sim::BatchRunner serial(nullptr);
-    sim::WallTimer t1;
-    const auto base = serial.run(sweep.jobs, sweep.job);
     sim::BatchSpeedup s;
     s.jobs = sweep.jobs;
     s.lanes = pool.num_lanes();
-    s.serial_seconds = t1.seconds();
+    std::vector<std::uint64_t> base, par;
+    sim::BatchRunner serial(nullptr);
+    s.serial_seconds =
+        median3_seconds([&] { base = serial.run(sweep.jobs, sweep.job); });
     sim::BatchRunner batched(&pool);
-    sim::WallTimer t2;
-    const auto par = batched.run(sweep.jobs, sweep.job);
-    s.batch_seconds = t2.seconds();
+    s.batch_seconds =
+        median3_seconds([&] { par = batched.run(sweep.jobs, sweep.job); });
     if (base != par) {
       std::fprintf(stderr, "bench_all: batch results diverge on %s\n",
                    sweep.name);
@@ -286,29 +469,216 @@ int main(int argc, char** argv) {
     measured.emplace_back(std::move(sweep), s);
   }
 
+  // Dense versus activity-gated engine on the fill/drain-heavy workloads:
+  // same instance, same process, gating the only variable.
+  const auto gating = measure_gating();
+  for (const auto& e : gating) {
+    std::printf("  gating %-24s dense=%8.3fms sparse=%8.3fms speedup=%.2fx activity=%.3f\n",
+                e.name.c_str(), e.dense_seconds * 1e3, e.sparse_seconds * 1e3,
+                e.speedup(), e.activity());
+  }
+
   // Engine-level throughput on one wide array (96 PEs): cycles simulated
   // and module-evals/sec, serial engine versus threaded eval/commit.
   Rng rng(42);
   const auto g = with_single_source_sink(random_multistage(7, 96, rng));
   auto prob = to_string_product(g);
-  const auto engine_run = [&](sim::ThreadPool* p) {
+  struct EngineSample {
     sim::ThroughputStats t;
-    sim::WallTimer timer;
-    Design1Modular arr(prob.mats, prob.v);
-    const auto res = arr.run(p);
-    t.wall_seconds = timer.seconds();
-    t.cycles = res.cycles;
-    t.module_evals = res.cycles * (res.num_pes + 1);  // PEs + host feed
-    return t;
+    std::uint64_t active_evals = 0;
+    std::uint64_t dense_evals = 0;
+  };
+  const auto engine_run = [&](sim::ThreadPool* p) {
+    EngineSample s;
+    RunResult<Cost> res;
+    s.t.wall_seconds = median3_seconds([&] {
+      Design1Modular arr(prob.mats, prob.v);
+      res = arr.run(p);
+    });
+    s.t.cycles = res.cycles;
+    s.t.module_evals = res.active_evals;  // evals actually performed
+    s.active_evals = res.active_evals;
+    s.dense_evals = res.dense_evals;
+    return s;
   };
   const auto eng_serial = engine_run(nullptr);
   const auto eng_parallel = engine_run(&pool);
-  std::printf("  engine 96-PE design1: serial %.0f evals/s, parallel %.0f evals/s\n",
-              eng_serial.evals_per_sec(), eng_parallel.evals_per_sec());
+  std::printf("  engine 96-PE design1: serial %.0f evals/s, parallel %.0f evals/s, activity %.3f\n",
+              eng_serial.t.evals_per_sec(), eng_parallel.t.evals_per_sec(),
+              static_cast<double>(eng_serial.active_evals) /
+                  static_cast<double>(eng_serial.dense_evals));
 
-  if (!write_json(out_path, measured, eng_serial, eng_parallel,
-                  gbench_json.str())) {
+  // ----------------------------------------------------------- output -----
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "bench_all: cannot write %s\n", out_path.c_str());
     return 1;
+  }
+  char buf[512];
+  out << "{\n";
+  out << "  \"schema\": \"sysdp-bench-sim-v1\",\n";
+  out << "  \"host\": {\n";
+  out << "    \"hardware_concurrency\": "
+      << std::thread::hardware_concurrency() << ",\n";
+  out << "    \"pool_workers\": " << g_workers << ",\n";
+  out << "    \"pool_lanes\": " << (g_workers + 1) << "\n  },\n";
+
+  out << "  \"batch_sweeps\": [\n";
+  for (std::size_t i = 0; i < measured.size(); ++i) {
+    const auto& [sweep, s] = measured[i];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"name\": \"%s\", \"jobs\": %zu, \"lanes\": %zu, "
+                  "\"serial_seconds\": %.6f, \"batch_seconds\": %.6f, "
+                  "\"speedup\": %.3f}%s\n",
+                  sweep.name, s.jobs, s.lanes, s.serial_seconds,
+                  s.batch_seconds, s.speedup(),
+                  i + 1 < measured.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ],\n";
+
+  out << "  \"gating\": [\n";
+  for (std::size_t i = 0; i < gating.size(); ++i) {
+    const auto& e = gating[i];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"name\": \"%s\", \"dense_seconds\": %.6f, "
+                  "\"sparse_seconds\": %.6f, \"speedup\": %.3f, "
+                  "\"active_evals\": %llu, \"dense_evals\": %llu, "
+                  "\"activity\": %.4f}%s\n",
+                  e.name.c_str(), e.dense_seconds, e.sparse_seconds,
+                  e.speedup(),
+                  static_cast<unsigned long long>(e.active_evals),
+                  static_cast<unsigned long long>(e.dense_evals),
+                  e.activity(), i + 1 < gating.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ],\n";
+
+  const auto engine_entry = [&](const char* name, const EngineSample& s,
+                                const char* trailer) {
+    std::snprintf(buf, sizeof buf,
+                  "    {\"name\": \"%s\", \"cycles\": %llu, "
+                  "\"module_evals\": %llu, \"wall_seconds\": %.6f, "
+                  "\"evals_per_sec\": %.0f, \"active_evals\": %llu, "
+                  "\"dense_evals\": %llu, \"activity\": %.4f}%s\n",
+                  name, static_cast<unsigned long long>(s.t.cycles),
+                  static_cast<unsigned long long>(s.t.module_evals),
+                  s.t.wall_seconds, s.t.evals_per_sec(),
+                  static_cast<unsigned long long>(s.active_evals),
+                  static_cast<unsigned long long>(s.dense_evals),
+                  static_cast<double>(s.active_evals) /
+                      static_cast<double>(s.dense_evals),
+                  trailer);
+    out << buf;
+  };
+  out << "  \"engine_throughput\": [\n";
+  engine_entry("design1_modular_serial", eng_serial, ",");
+  engine_entry("design1_modular_parallel", eng_parallel, "");
+  out << "  ],\n";
+
+  // Baseline comparison: per-benchmark medians against a committed
+  // BENCH_SIM.json; only benchmarks present in both documents compare.
+  std::size_t regressed = 0;
+  if (!baseline_path.empty()) {
+    std::ifstream bl(baseline_path);
+    if (!bl) {
+      std::fprintf(stderr, "bench_all: cannot read baseline %s\n",
+                   baseline_path.c_str());
+      return 1;
+    }
+    const std::string text((std::istreambuf_iterator<char>(bl)),
+                           std::istreambuf_iterator<char>());
+    const auto old_metrics = comparable_metrics(text);
+    std::ostringstream current_doc;
+    {
+      // The current metrics, in the same shape the scanner reads.
+      std::ostringstream tmp;
+      tmp << "  \"batch_sweeps\": [\n";
+      for (const auto& [sweep, s] : measured) {
+        std::snprintf(buf, sizeof buf,
+                      "    {\"name\": \"%s\", \"serial_seconds\": %.6f, "
+                      "\"batch_seconds\": %.6f},\n",
+                      sweep.name, s.serial_seconds, s.batch_seconds);
+        tmp << buf;
+      }
+      tmp << "  ],\n  \"engine_throughput\": [\n";
+      std::snprintf(buf, sizeof buf,
+                    "    {\"name\": \"design1_modular_serial\", "
+                    "\"wall_seconds\": %.6f},\n"
+                    "    {\"name\": \"design1_modular_parallel\", "
+                    "\"wall_seconds\": %.6f}\n  ],\n",
+                    eng_serial.t.wall_seconds, eng_parallel.t.wall_seconds);
+      tmp << buf;
+      tmp << "  \"gating\": [\n";
+      for (const auto& e : gating) {
+        std::snprintf(buf, sizeof buf,
+                      "    {\"name\": \"%s\", \"sparse_seconds\": %.6f},\n",
+                      e.name.c_str(), e.sparse_seconds);
+        tmp << buf;
+      }
+      tmp << "  ]\n";
+      current_doc << tmp.str();
+    }
+    const auto new_metrics = comparable_metrics(current_doc.str());
+
+    std::vector<Comparison> comps;
+    for (const auto& nm : new_metrics) {
+      for (const auto& om : old_metrics) {
+        if (om.name == nm.name && om.seconds > 0.0) {
+          comps.push_back(Comparison{nm.name, om.seconds, nm.seconds});
+          break;
+        }
+      }
+    }
+    out << "  \"regressions\": {\n";
+    out << "    \"baseline\": \"" << baseline_path << "\",\n";
+    std::snprintf(buf, sizeof buf, "    \"tolerance\": %.2f,\n",
+                  kRegressionTolerance);
+    out << buf;
+    out << "    \"compared\": " << comps.size() << ",\n";
+    out << "    \"entries\": [\n";
+    for (std::size_t i = 0; i < comps.size(); ++i) {
+      const auto& c = comps[i];
+      const bool bad = c.ratio() > 1.0 + kRegressionTolerance;
+      if (bad) ++regressed;
+      std::snprintf(buf, sizeof buf,
+                    "      {\"name\": \"%s\", \"baseline_seconds\": %.6f, "
+                    "\"current_seconds\": %.6f, \"ratio\": %.3f, "
+                    "\"regressed\": %s}%s\n",
+                    c.name.c_str(), c.baseline_seconds, c.current_seconds,
+                    c.ratio(), bad ? "true" : "false",
+                    i + 1 < comps.size() ? "," : "");
+      out << buf;
+      std::printf("  baseline %-32s %8.3fms -> %8.3fms (%.2fx)%s\n",
+                  c.name.c_str(), c.baseline_seconds * 1e3,
+                  c.current_seconds * 1e3, c.ratio(),
+                  bad ? "  REGRESSED" : "");
+    }
+    out << "    ],\n";
+    out << "    \"regressed\": " << regressed << "\n  },\n";
+  } else {
+    out << "  \"regressions\": null,\n";
+  }
+
+  // Raw google-benchmark report (--benchmark_format=json equivalent),
+  // spliced in verbatim: it is already a JSON object.
+  out << "  \"google_benchmark\": "
+      << (gbench_json.str().empty() ? std::string("null") : gbench_json.str())
+      << "\n";
+  out << "}\n";
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "bench_all: write to %s failed\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("bench_all: wrote %s\n", out_path.c_str());
+
+  if (regressed > 0) {
+    std::fprintf(stderr,
+                 "bench_all: %zu benchmark(s) regressed more than %.0f%% vs %s\n",
+                 regressed, kRegressionTolerance * 100.0,
+                 baseline_path.c_str());
+    return 2;
   }
   return 0;
 }

@@ -1,10 +1,10 @@
 #include "arrays/design1_modular.hpp"
 
+#include <cstdint>
 #include <stdexcept>
 
-#include "sim/engine.hpp"
+#include "semiring/kernels.hpp"
 #include "sim/module.hpp"
-#include "sim/register.hpp"
 #include "sim/stats.hpp"
 #include "sim/thread_pool.hpp"
 
@@ -21,6 +21,71 @@ struct Token {
 
 }  // namespace
 
+/// Per-array arena holding every PE's hot state, struct-of-arrays by token
+/// field.  Each rail is a bank of two-phase registers (one lane per PE):
+/// *_nxt stages the write, written gates the latch, so the semantics are
+/// exactly Register<Token> with the storage flattened for cache-linear
+/// sweeps.
+struct Design1Modular::Arena {
+  using V = Design1Modular::V;
+
+  /// One SoA bank of two-phase token registers.
+  struct Rail {
+    std::vector<V> val, val_nxt;
+    std::vector<std::size_t> idx, idx_nxt;
+    std::vector<std::size_t> q, q_nxt;
+    std::vector<std::uint8_t> valid, valid_nxt, written;
+
+    void init(std::size_t n) {
+      val.assign(n, V{});
+      val_nxt.assign(n, V{});
+      idx.assign(n, 0);
+      idx_nxt.assign(n, 0);
+      q.assign(n, 0);
+      q_nxt.assign(n, 0);
+      valid.assign(n, 0);
+      valid_nxt.assign(n, 0);
+      written.assign(n, 0);
+    }
+    void write(std::size_t p, V v, std::size_t i, std::size_t qq, bool ok) {
+      val_nxt[p] = v;
+      idx_nxt[p] = i;
+      q_nxt[p] = qq;
+      valid_nxt[p] = ok ? 1 : 0;
+      written[p] = 1;
+    }
+    void commit(std::size_t p) {
+      if (written[p]) {
+        val[p] = val_nxt[p];
+        idx[p] = idx_nxt[p];
+        q[p] = q_nxt[p];
+        valid[p] = valid_nxt[p];
+        written[p] = 0;
+      }
+    }
+    [[nodiscard]] Token read(std::size_t p) const {
+      return Token{val[p], idx[p], q[p], valid[p] != 0};
+    }
+  };
+
+  Rail r;    ///< moving rail (pass-through register)
+  Rail acc;  ///< accumulator rail
+  // Distributed control, one lane per PE: the local iteration counter kept
+  // in already-decoded form (multiply index q, 1-based, and position j in
+  // the current multiply) so the hot eval path never divides.
+  std::vector<std::uint8_t> started, advance;
+  std::vector<std::size_t> q_ctl, j_ctl;
+
+  explicit Arena(std::size_t n) {
+    r.init(n);
+    acc.init(n);
+    started.assign(n, 0);
+    advance.assign(n, 0);
+    q_ctl.assign(n, 1);
+    j_ctl.assign(n, 0);
+  }
+};
+
 /// Host-side I/O: feeds the initial vector into P_0 and harvests mode-B
 /// final results streaming out of P_{m-1}.  (The host legitimately sees the
 /// global cycle count; the PEs do not.)
@@ -34,11 +99,18 @@ class Design1Modular::Host : public sim::Module {
   void eval(sim::Cycle c) override {
     input_ = Token{};
     if (c < m_) input_ = Token{v_[c], static_cast<std::size_t>(c), 1, true};
+    exhausted_ = c + 1 >= m_;
   }
   void commit() override {}
 
   /// P_0 reads input() in the same cycle it is computed.
   [[nodiscard]] bool combinational() const noexcept override { return true; }
+
+  /// Once the vector is fed, every further eval leaves input() invalid:
+  /// the feed is a no-op and the gated engine may skip it.
+  [[nodiscard]] bool quiescent() const noexcept override {
+    return exhausted_ && !input_.valid;
+  }
 
   /// Sample the tail PE's accumulator output after each clock edge.
   void harvest(const Token& tail_acc) {
@@ -58,106 +130,110 @@ class Design1Modular::Host : public sim::Module {
   std::size_t final_rows_;
   Token input_;
   std::vector<V> out_;
+  bool exhausted_ = false;
 };
 
 /// One PE with distributed control: a local iteration counter that starts
 /// on the first valid token, from which ODD/MOVE are derived.  Dual output
 /// rails (R and ACC) let the *receiver's* mode select the moving value, the
 /// registered equivalent of Figure 3(b)'s output multiplexer with its
-/// per-PE control delay.
+/// per-PE control delay.  All state lives in the shared arena; the module
+/// is a thin lane view.
 class Design1Modular::Pe : public sim::Module {
  public:
   Pe(std::size_t index, const std::vector<Matrix<V>>& mats, Host& host,
-     const Pe* left, const Pe* const& tail, sim::ActivityStats& stats,
-     std::size_t m)
+     Arena& a, sim::ActivityStats& stats, std::size_t m)
       : Module("pe" + std::to_string(index)),
         index_(index),
         mats_(mats),
         host_(host),
-        left_(left),
-        tail_(tail),
+        a_(a),
         stats_(stats),
         m_(m) {}
 
   void eval(sim::Cycle) override {
-    advance_ = false;
-    const std::size_t local = started_ ? local_ : 0;
-    const std::size_t q = local / m_ + 1;
-    const std::size_t j = local % m_;
+    Arena& a = a_;
+    const std::size_t p = index_;
+    a.advance[p] = 0;
+    const std::size_t q = a.q_ctl[p];
+    const std::size_t j = a.j_ctl[p];
     if (q > mats_.size()) return;  // drained
     const bool mode_a = (q % 2 == 1);
     const Matrix<V>& mat = mats_[mats_.size() - q];
 
     if (mode_a) {
       Token in;
-      if (index_ == 0) {
-        in = (q == 1) ? host_.input() : tail_->acc_.read();
+      if (p == 0) {
+        in = (q == 1) ? host_.input() : a.acc.read(m_ - 1);
         if (in.valid && q != 1 && in.q != q - 1) in.valid = false;
       } else {
-        in = left_->r_.read();
+        in = a.r.read(p - 1);
       }
-      if (!started_ && !in.valid) return;  // not my turn yet
-      advance_ = true;
-      r_.write(in);
-      if (in.valid && index_ < mat.rows()) {
-        const V base = (j == 0) ? MinPlus::zero() : acc_.read().val;
-        acc_.write(Token{
-            MinPlus::plus(base, MinPlus::times(mat(index_, in.idx), in.val)),
-            index_, q, true});
-        stats_.mark_busy(index_);
+      if (!a.started[p] && !in.valid) return;  // not my turn yet
+      a.advance[p] = 1;
+      a.r.write(p, in.val, in.idx, in.q, in.valid);
+      if (in.valid && p < mat.rows()) {
+        const V base = (j == 0) ? MinPlus::zero() : a.acc.val[p];
+        a.acc.write(p, kern::mac<MinPlus>(base, mat(p, in.idx), in.val), p, q,
+                    true);
+        stats_.mark_busy(p);
       }
     } else {
-      advance_ = true;
-      const Token stationary = (j == 0) ? acc_.read() : r_.read();
-      if (j == 0) r_.write(stationary);
+      a.advance[p] = 1;
+      const Token stationary = (j == 0) ? a.acc.read(p) : a.r.read(p);
+      if (j == 0) {
+        a.r.write(p, stationary.val, stationary.idx, stationary.q,
+                  stationary.valid);
+      }
       Token partial;
-      if (index_ == 0) {
+      if (p == 0) {
         partial = (j < mat.rows()) ? Token{MinPlus::zero(), j, q, true}
                                    : Token{};
       } else {
-        partial = left_->acc_.read();
+        partial = a.acc.read(p - 1);
         if (partial.valid && partial.q != q) partial.valid = false;
       }
       if (partial.valid) {
-        acc_.write(Token{MinPlus::plus(partial.val,
-                                       MinPlus::times(
-                                           mat(partial.idx, index_),
-                                           stationary.val)),
-                         partial.idx, q, true});
-        stats_.mark_busy(index_);
+        a.acc.write(p,
+                    kern::mac<MinPlus>(partial.val, mat(partial.idx, p),
+                                       stationary.val),
+                    partial.idx, q, true);
+        stats_.mark_busy(p);
       } else {
-        acc_.write(Token{});
+        a.acc.write(p, V{}, 0, 0, false);
       }
     }
   }
 
   void commit() override {
-    r_.commit();
-    acc_.commit();
-    if (advance_) {
-      if (!started_) {
-        started_ = true;
-        local_ = 1;
-      } else {
-        ++local_;
+    Arena& a = a_;
+    const std::size_t p = index_;
+    a.r.commit(p);
+    a.acc.commit(p);
+    if (a.advance[p]) {
+      a.started[p] = 1;
+      if (++a.j_ctl[p] == m_) {
+        a.j_ctl[p] = 0;
+        ++a.q_ctl[p];
       }
     }
   }
 
-  sim::Register<Token> r_;
-  sim::Register<Token> acc_;
+  /// Skippable before the first valid token arrives (the wakeup edge from
+  /// the left neighbour / host restarts us) and after the last multiply
+  /// drains.  A started, undrained PE must run every cycle: its local
+  /// iteration counter is live control state.
+  [[nodiscard]] bool quiescent() const noexcept override {
+    return !a_.started[index_] || a_.q_ctl[index_] > mats_.size();
+  }
 
  private:
   std::size_t index_;
   const std::vector<Matrix<V>>& mats_;
   Host& host_;
-  const Pe* left_;
-  const Pe* const& tail_;  // resolved after all PEs are constructed
+  Arena& a_;
   sim::ActivityStats& stats_;
   std::size_t m_;
-  bool started_ = false;
-  bool advance_ = false;
-  std::size_t local_ = 0;
 };
 
 Design1Modular::Design1Modular(std::vector<Matrix<V>> mats, std::vector<V> v)
@@ -174,28 +250,35 @@ Design1Modular::Design1Modular(std::vector<Matrix<V>> mats, std::vector<V> v)
 
 Design1Modular::~Design1Modular() = default;
 
-RunResult<Design1Modular::V> Design1Modular::run(sim::ThreadPool* pool) {
+RunResult<Design1Modular::V> Design1Modular::run(sim::ThreadPool* pool,
+                                                 sim::Gating gating) {
   const std::size_t Q = mats_.size();
   const std::size_t r = mats_.front().rows();
   sim::ActivityStats stats(m_);
-  sim::Engine engine(pool);
+  sim::Engine engine(pool, gating);
+  arena_ = std::make_unique<Arena>(m_);
   host_ = std::make_unique<Host>(v_, m_, Q, r);
   engine.add(*host_);
   pes_.clear();
-  tail_ = nullptr;
   for (std::size_t p = 0; p < m_; ++p) {
-    const Pe* left = p == 0 ? nullptr : pes_[p - 1].get();
     pes_.push_back(
-        std::make_unique<Pe>(p, mats_, *host_, left, tail_, stats, m_));
+        std::make_unique<Pe>(p, mats_, *host_, *arena_, stats, m_));
     engine.add(*pes_.back());
   }
-  tail_ = pes_.back().get();
+  // Wakeup edges follow the register dataflow: the host feed starts P_0,
+  // each PE's R/ACC rails feed its right neighbour, and the tail's ACC
+  // rail feeds back into P_0 between multiplies.
+  engine.add_wakeup(*host_, *pes_.front());
+  for (std::size_t p = 1; p < m_; ++p) {
+    engine.add_wakeup(*pes_[p - 1], *pes_[p]);
+  }
+  engine.add_wakeup(*pes_.back(), *pes_.front());
 
   const bool final_mode_a = (Q % 2 == 1);
   const sim::Cycle total = (Q - 1) * m_ + (m_ - 1) + (r - 1) + 1;
   for (sim::Cycle c = 0; c < total; ++c) {
     engine.step();
-    if (!final_mode_a) host_->harvest(pes_.back()->acc_.read());
+    if (!final_mode_a) host_->harvest(arena_->acc.read(m_ - 1));
   }
 
   RunResult<V> res;
@@ -203,9 +286,11 @@ RunResult<Design1Modular::V> Design1Modular::run(sim::ThreadPool* pool) {
   res.cycles = total;
   res.busy_steps = stats.total_busy();
   res.input_scalars = m_ + res.busy_steps;
+  res.active_evals = engine.active_evals();
+  res.dense_evals = engine.dense_evals();
   if (final_mode_a) {
     for (std::size_t p = 0; p < r; ++p) {
-      host_->out()[p] = pes_[p]->acc_.read().val;
+      host_->out()[p] = arena_->acc.val[p];
     }
   }
   res.values = host_->out();

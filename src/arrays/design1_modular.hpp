@@ -8,6 +8,15 @@
 // control signals in P_{i+1} and P_i" from purely local information.  The
 // ODD/MOVE decisions are then local functions of that counter.
 //
+// Hot PE state (the R and ACC token rails plus the control counters) lives
+// in one contiguous per-array arena, struct-of-arrays by token field, so
+// the engine's active-set sweep is cache-linear; the Pe modules are thin
+// views indexing into it.  The array declares quiescence (a PE that has
+// not started, or has drained, is skippable) and wakeup edges along the
+// register dataflow (host -> P_0, P_{p-1} -> P_p, tail -> P_0), so an
+// activity-gated engine skips idle PEs during pipeline fill and drain
+// while staying bit-identical to the dense sweep.
+//
 // Tests assert cycle-exact equivalence with the monolithic model, which
 // demonstrates that the paper's skewed control scheme needs no global
 // wiring.
@@ -19,6 +28,7 @@
 #include "arrays/run_result.hpp"
 #include "semiring/closed_semiring.hpp"
 #include "semiring/matrix.hpp"
+#include "sim/engine.hpp"
 
 namespace sysdp::sim {
 class ThreadPool;
@@ -39,20 +49,24 @@ class Design1Modular {
   Design1Modular& operator=(const Design1Modular&) = delete;
 
   /// Run to completion.  With a pool the engine fans PE eval/commit across
-  /// threads; results are bit-identical to the serial run (the host input
-  /// feed is the only combinational driver and stays serialised).
-  [[nodiscard]] RunResult<V> run(sim::ThreadPool* pool = nullptr);
+  /// threads; with Gating::kSparse (the default) idle PEs are skipped
+  /// entirely.  Results are bit-identical across all four mode
+  /// combinations (the host input feed is the only combinational driver
+  /// and stays serialised).
+  [[nodiscard]] RunResult<V> run(sim::ThreadPool* pool = nullptr,
+                                 sim::Gating gating = sim::Gating::kSparse);
 
  private:
   class Host;
   class Pe;
+  struct Arena;
 
   std::vector<Matrix<V>> mats_;
   std::vector<V> v_;
   std::size_t m_;
+  std::unique_ptr<Arena> arena_;
   std::unique_ptr<Host> host_;
   std::vector<std::unique_ptr<Pe>> pes_;
-  const Pe* tail_ = nullptr;  ///< resolved after all PEs are constructed
 };
 
 }  // namespace sysdp

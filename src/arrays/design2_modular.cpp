@@ -1,6 +1,9 @@
 #include "arrays/design2_modular.hpp"
 
+#include <cstdint>
 #include <stdexcept>
+
+#include "semiring/kernels.hpp"
 
 namespace sysdp {
 
@@ -20,6 +23,25 @@ Phase decode(sim::Cycle c, std::size_t m) {
 
 }  // namespace
 
+/// Per-array arena for the hot PE state: the ACC two-phase register bank
+/// (value + written flag, one lane per PE), the S result registers, and
+/// the MOVE/drained control bits — flattened so the per-cycle sweep walks
+/// contiguous memory instead of chasing one heap object per PE.
+struct Design2Modular::Arena {
+  using V = Design2Modular::V;
+
+  std::vector<V> acc, acc_nxt, s;
+  std::vector<std::uint8_t> acc_written, move, drained;
+
+  explicit Arena(std::size_t n)
+      : acc(n, MinPlus::zero()),
+        acc_nxt(n, MinPlus::zero()),
+        s(n, MinPlus::zero()),
+        acc_written(n, 0),
+        move(n, 0),
+        drained(n, 0) {}
+};
+
 /// Drives the broadcast bus: the external input vector during the first
 /// multiply (FIRST = 1), the fed-back S registers afterwards.
 class Design2Modular::FeedbackUnit : public sim::Module {
@@ -28,13 +50,17 @@ class Design2Modular::FeedbackUnit : public sim::Module {
       : Module("feedback"), bus_(bus), v_(v), m_(m) {}
 
   void eval(sim::Cycle c) override {
-    const auto [q, j] = decode(c, m_);
-    bus_.drive(c, q == 1 ? v_[j] : s_snapshot_[j]);
+    phase_ = decode(c, m_);
+    bus_.drive(c, phase_.q == 1 ? v_[phase_.j] : s_snapshot_[phase_.j]);
   }
   void commit() override {}
 
   /// Drives the broadcast bus the PEs sample in the same cycle.
   [[nodiscard]] bool combinational() const noexcept override { return true; }
+
+  /// The cycle decode, computed once per cycle for all PEs (the unit is a
+  /// combinational driver, so it is stable before any PE evaluates).
+  [[nodiscard]] const Phase& phase() const noexcept { return phase_; }
 
   /// The PEs publish their S registers here on MOVE (the feedback wiring).
   std::vector<V> s_snapshot_;
@@ -43,57 +69,75 @@ class Design2Modular::FeedbackUnit : public sim::Module {
   sim::Bus<V>& bus_;
   const std::vector<V>& v_;
   std::size_t m_;
+  Phase phase_{1, 0};
 };
 
 /// One processing element of Figure 4(b): accumulator, S register, and the
-/// add/compare datapath fed from the broadcast bus.
+/// add/compare datapath fed from the broadcast bus.  State lives in the
+/// shared arena; the module is a thin lane view.
 class Design2Modular::Pe : public sim::Module {
  public:
   Pe(std::size_t index, const std::vector<Matrix<V>>& mats,
-     sim::Bus<V>& bus, FeedbackUnit& feedback, sim::ActivityStats& stats,
-     std::size_t m)
+     sim::Bus<V>& bus, FeedbackUnit& feedback, Arena& a,
+     sim::ActivityStats& stats, std::size_t m)
       : Module("pe" + std::to_string(index)),
         index_(index),
         mats_(mats),
         bus_(bus),
         feedback_(feedback),
+        a_(a),
         stats_(stats),
         m_(m) {}
 
   void eval(sim::Cycle c) override {
-    const auto [q, j] = decode(c, m_);
+    const std::size_t p = index_;
+    const auto [q, j] = feedback_.phase();
     if (q > mats_.size()) return;
     const Matrix<V>& mat = mats_[mats_.size() - q];
-    if (index_ >= mat.rows()) return;
+    if (p >= mat.rows()) {
+      // Only the (possibly rectangular) leftmost matrix can be short, and
+      // it runs last: this PE has no further work in this run.
+      if (q == mats_.size()) a_.drained[p] = 1;
+      return;
+    }
     const auto x = bus_.sample(c);
     if (!x.has_value()) throw std::logic_error("Design2Modular: dead bus");
-    const V base = (j == 0) ? MinPlus::zero() : acc_.read();
-    acc_.write(MinPlus::plus(base, MinPlus::times(mat(index_, j), *x)));
-    stats_.mark_busy(index_);
-    move_ = (j + 1 == m_);  // MOVE fires at the multiply boundary
+    const V base = (j == 0) ? MinPlus::zero() : a_.acc[p];
+    a_.acc_nxt[p] = kern::mac<MinPlus>(base, mat(p, j), *x);
+    a_.acc_written[p] = 1;
+    stats_.mark_busy(p);
+    a_.move[p] = (j + 1 == m_) ? 1 : 0;  // MOVE fires at the multiply bound
   }
 
   void commit() override {
-    acc_.commit();
-    if (move_) {
-      s_.reset(acc_.read());
-      feedback_.s_snapshot_[index_] = s_.read();
-      move_ = false;
+    const std::size_t p = index_;
+    if (a_.acc_written[p]) {
+      a_.acc[p] = a_.acc_nxt[p];
+      a_.acc_written[p] = 0;
+    }
+    if (a_.move[p]) {
+      a_.s[p] = a_.acc[p];
+      feedback_.s_snapshot_[p] = a_.s[p];
+      a_.move[p] = 0;
     }
   }
 
-  [[nodiscard]] V result() const { return s_.read(); }
+  /// A PE beyond the final matrix's rows never works again; no wakeup
+  /// edge exists into Design 2 PEs, so it sleeps through the drain.
+  [[nodiscard]] bool quiescent() const noexcept override {
+    return a_.drained[index_] != 0;
+  }
+
+  [[nodiscard]] V result() const { return a_.s[index_]; }
 
  private:
   std::size_t index_;
   const std::vector<Matrix<V>>& mats_;
   sim::Bus<V>& bus_;
   FeedbackUnit& feedback_;
+  Arena& a_;
   sim::ActivityStats& stats_;
   std::size_t m_;
-  sim::Register<V> acc_{MinPlus::zero()};
-  sim::Register<V> s_{MinPlus::zero()};
-  bool move_ = false;
 };
 
 Design2Modular::Design2Modular(std::vector<Matrix<V>> mats, std::vector<V> v)
@@ -110,16 +154,18 @@ Design2Modular::Design2Modular(std::vector<Matrix<V>> mats, std::vector<V> v)
 
 Design2Modular::~Design2Modular() = default;
 
-RunResult<Design2Modular::V> Design2Modular::run(sim::ThreadPool* pool) {
+RunResult<Design2Modular::V> Design2Modular::run(sim::ThreadPool* pool,
+                                                 sim::Gating gating) {
   sim::ActivityStats stats(m_);
-  sim::Engine engine(pool);
+  sim::Engine engine(pool, gating);
+  arena_ = std::make_unique<Arena>(m_);
   feedback_ = std::make_unique<FeedbackUnit>(bus_, v_, m_);
   feedback_->s_snapshot_.assign(m_, MinPlus::zero());
   engine.add(*feedback_);  // bus driver first
   pes_.clear();
   for (std::size_t p = 0; p < m_; ++p) {
-    pes_.push_back(
-        std::make_unique<Pe>(p, mats_, bus_, *feedback_, stats, m_));
+    pes_.push_back(std::make_unique<Pe>(p, mats_, bus_, *feedback_, *arena_,
+                                        stats, m_));
     engine.add(*pes_.back());
   }
 
@@ -131,6 +177,8 @@ RunResult<Design2Modular::V> Design2Modular::run(sim::ThreadPool* pool) {
   res.cycles = total;
   res.busy_steps = stats.total_busy();
   res.input_scalars = m_ + res.busy_steps;  // vector + one element per MAC
+  res.active_evals = engine.active_evals();
+  res.dense_evals = engine.dense_evals();
   const std::size_t r = mats_.front().rows();
   res.values.reserve(r);
   for (std::size_t p = 0; p < r; ++p) res.values.push_back(pes_[p]->result());

@@ -45,18 +45,24 @@ class Design2Modular {
 
   /// Run to completion.  With a pool the PEs evaluate and latch across
   /// threads; the FeedbackUnit is the bus driver and stays serialised, so
-  /// results are bit-identical to the serial run.
-  [[nodiscard]] RunResult<V> run(sim::ThreadPool* pool = nullptr);
+  /// results are bit-identical to the serial run.  Design 2 keeps every PE
+  /// busy almost every cycle (that is its selling point in the paper), so
+  /// activity gating only retires PEs beyond the rectangular final
+  /// matrix's rows during the last multiply.
+  [[nodiscard]] RunResult<V> run(sim::ThreadPool* pool = nullptr,
+                                 sim::Gating gating = sim::Gating::kSparse);
 
  private:
   class FeedbackUnit;
   class Pe;
+  struct Arena;
 
   std::vector<Matrix<V>> mats_;
   std::vector<V> v_;
   std::size_t m_;
 
   sim::Bus<V> bus_;
+  std::unique_ptr<Arena> arena_;
   std::unique_ptr<FeedbackUnit> feedback_;
   std::vector<std::unique_ptr<Pe>> pes_;
 };

@@ -1,8 +1,9 @@
 #include "arrays/design3_modular.hpp"
 
+#include <cstdint>
 #include <stdexcept>
 
-#include "sim/engine.hpp"
+#include "semiring/kernels.hpp"
 #include "sim/module.hpp"
 #include "sim/register.hpp"
 #include "sim/stats.hpp"
@@ -32,6 +33,63 @@ struct Pair {
 
 }  // namespace
 
+/// Per-array arena for the station-local hot state: the R pipeline rail as
+/// a bank of two-phase registers (struct-of-arrays by token field) and the
+/// K/H feedback registers.  K/H loads are combinational (write-then-commit
+/// inside eval in the original model), so they need no staging — a plain
+/// store is the identical semantics.
+struct Design3Modular::Arena {
+  // R rail, two-phase.
+  std::vector<Cost> r_x, r_x_nxt, r_h, r_h_nxt;
+  std::vector<std::size_t> r_stage, r_stage_nxt, r_idx, r_idx_nxt, r_arg,
+      r_arg_nxt;
+  std::vector<std::uint8_t> r_valid, r_valid_nxt, r_written;
+  // K/H feedback registers, immediate.
+  std::vector<Cost> kh_x, kh_h;
+  std::vector<std::size_t> kh_stage;
+  std::vector<std::uint8_t> kh_valid;
+
+  explicit Arena(std::size_t n)
+      : r_x(n, 0), r_x_nxt(n, 0),
+        r_h(n, kInfCost), r_h_nxt(n, kInfCost),
+        r_stage(n, 0), r_stage_nxt(n, 0),
+        r_idx(n, 0), r_idx_nxt(n, 0),
+        r_arg(n, 0), r_arg_nxt(n, 0),
+        r_valid(n, 0), r_valid_nxt(n, 0), r_written(n, 0),
+        kh_x(n, 0), kh_h(n, kInfCost), kh_stage(n, 0), kh_valid(n, 0) {}
+
+  [[nodiscard]] Token r_read(std::size_t p) const {
+    return Token{r_x[p], r_stage[p], r_idx[p], r_h[p], r_arg[p],
+                 r_valid[p] != 0};
+  }
+  void r_write(std::size_t p, const Token& t) {
+    r_x_nxt[p] = t.x;
+    r_stage_nxt[p] = t.stage;
+    r_idx_nxt[p] = t.idx;
+    r_h_nxt[p] = t.h;
+    r_arg_nxt[p] = t.arg;
+    r_valid_nxt[p] = t.valid ? 1 : 0;
+    r_written[p] = 1;
+  }
+  void r_commit(std::size_t p) {
+    if (r_written[p]) {
+      r_x[p] = r_x_nxt[p];
+      r_stage[p] = r_stage_nxt[p];
+      r_idx[p] = r_idx_nxt[p];
+      r_h[p] = r_h_nxt[p];
+      r_arg[p] = r_arg_nxt[p];
+      r_valid[p] = r_valid_nxt[p];
+      r_written[p] = 0;
+    }
+  }
+};
+
+/// Default-token invariant the gating relies on: invalid tokens in the R
+/// pipeline are always exactly Token{} (the controller only ever emits
+/// Token{} as "no input", and stations forward tokens verbatim), so a
+/// skipped station's stale invalid register is bit-identical to the
+/// rewrite a dense eval would have staged.
+///
 /// Owns the feedback bus: latches P_{m-1}'s completed pair for one cycle
 /// and presents it to the selected station (round-robin), plus the host
 /// input feeder for P_0.  Also the home of the path registers and the
@@ -64,6 +122,15 @@ class Design3Modular::Controller : public sim::Module {
 
   /// The stations read input()/delivery() in the cycle they are computed.
   [[nodiscard]] bool combinational() const noexcept override { return true; }
+
+  /// Nothing left to feed forward (inputs exhausted) and nothing in flight
+  /// on the feedback path, presented or latched.  All three members are
+  /// only mutated by this module's own eval/commit, and a valid capture
+  /// from the tail can only happen in a cycle where the tail's wakeup
+  /// edges have already re-activated the controller.
+  [[nodiscard]] bool quiescent() const noexcept override {
+    return !input_.valid && !delivery_.valid && !in_flight_.read().valid;
+  }
 
   /// Called by P_{m-1} during eval with its outgoing token (registered:
   /// visible to stations only next cycle).
@@ -106,58 +173,66 @@ class Design3Modular::Controller : public sim::Module {
 };
 
 /// One PE of Figure 5(b): R register, K/H feedback registers, and the
-/// F (edge cost) / A (add) / C (compare) datapath.
+/// F (edge cost) / A (add) / C (compare) datapath.  State lives in the
+/// shared arena; the module is a thin lane view.
 class Design3Modular::Pe : public sim::Module {
  public:
   Pe(std::size_t index, const NodeValueGraph& graph, Controller& ctrl,
-     const Pe* left, bool is_tail, sim::ActivityStats& stats, std::size_t n)
+     Arena& a, bool is_tail, sim::ActivityStats& stats, std::size_t n)
       : Module("pe" + std::to_string(index)),
         index_(index),
         graph_(graph),
         ctrl_(ctrl),
-        left_(left),
+        a_(a),
         is_tail_(is_tail),
         stats_(stats),
         n_(n) {}
 
   void eval(sim::Cycle c) override {
+    Arena& a = a_;
+    const std::size_t p = index_;
     // Same-cycle feedback load (the paper's walkthrough: an arriving token
     // meets the pair delivered this very iteration).
-    if (ctrl_.delivery().valid && ctrl_.delivery_station() == index_) {
-      k_h_.write(ctrl_.delivery());
-      k_h_.commit();  // combinational load into K/H before use
+    if (ctrl_.delivery().valid && ctrl_.delivery_station() == p) {
+      const Pair& d = ctrl_.delivery();
+      a.kh_x[p] = d.x;
+      a.kh_h[p] = d.h;
+      a.kh_stage[p] = d.stage;
+      a.kh_valid[p] = 1;
     }
-    Token in = (index_ == 0) ? ctrl_.input() : left_->r_.read();
+    Token in = (p == 0) ? ctrl_.input() : a.r_read(p - 1);
     if (in.valid && in.stage >= 2) {
-      const Pair& fb = k_h_.read();
-      if (fb.valid && fb.stage + 1 == in.stage) {
+      if (a.kh_valid[p] && a.kh_stage[p] + 1 == in.stage) {
         const Cost edge =
             in.stage <= n_
-                ? graph_.transition_cost(in.stage - 2, fb.x, in.x)
+                ? graph_.transition_cost(in.stage - 2, a.kh_x[p], in.x)
                 : Cost{0};
-        const Cost cand = sat_add(fb.h, edge);
-        if (cand < in.h) {
-          in.h = cand;
-          in.arg = index_;
-        }
-        stats_.mark_busy(index_);
+        const Cost cand = sat_add(a.kh_h[p], edge);
+        kern::fold_min(cand, p, in.h, in.arg);
+        stats_.mark_busy(p);
       }
     }
-    r_.write(in);
+    a.r_write(p, in);
     if (is_tail_) ctrl_.capture(c, in);  // registered hand-off to feedback
   }
 
-  void commit() override { r_.commit(); }
+  void commit() override { a_.r_commit(index_); }
 
-  sim::Register<Token> r_;
+  /// No valid token in the R register means the last input was invalid and
+  /// eval would only rewrite Token{} over Token{}: skippable.  A pending
+  /// K/H pair alone does no work (the datapath fires on token arrival),
+  /// and every token/delivery that could arrive is covered by a wakeup
+  /// edge from its producer.
+  [[nodiscard]] bool quiescent() const noexcept override {
+    return a_.r_valid[index_] == 0;
+  }
 
  private:
   std::size_t index_;
   const NodeValueGraph& graph_;
   Controller& ctrl_;
-  const Pe* left_;
+  Arena& a_;
   bool is_tail_;
-  sim::Register<Pair> k_h_;
   sim::ActivityStats& stats_;
   std::size_t n_;
 };
@@ -173,18 +248,34 @@ Design3Modular::Design3Modular(const NodeValueGraph& graph)
 
 Design3Modular::~Design3Modular() = default;
 
-Design3Result Design3Modular::run(sim::ThreadPool* pool) {
+Design3Result Design3Modular::run(sim::ThreadPool* pool, sim::Gating gating) {
   sim::ActivityStats stats(m_);
-  sim::Engine engine(pool);
+  sim::Engine engine(pool, gating);
+  arena_ = std::make_unique<Arena>(m_);
   controller_ = std::make_unique<Controller>(graph_, m_, n_stages_);
   engine.add(*controller_);  // bus driver before the stations
   pes_.clear();
   for (std::size_t p = 0; p < m_; ++p) {
-    const Pe* left = p == 0 ? nullptr : pes_[p - 1].get();
-    pes_.push_back(std::make_unique<Pe>(p, graph_, *controller_, left,
+    pes_.push_back(std::make_unique<Pe>(p, graph_, *controller_, *arena_,
                                         p + 1 == m_, stats, n_stages_));
     engine.add(*pes_.back());
   }
+  // Wakeup edges follow the register dataflow.  The R pipeline:
+  // controller -> P_0 and P_{p-1} -> P_p.  The feedback path: the tail
+  // stages the controller's in-flight pair (so the tail AND whatever can
+  // wake the tail — its predecessor — must wake the controller, or a
+  // staged capture would miss its commit), and a latched pair is delivered
+  // to station (c mod m), so the tail wakes every station.
+  engine.add_wakeup(*controller_, *pes_.front());
+  for (std::size_t p = 1; p < m_; ++p) {
+    engine.add_wakeup(*pes_[p - 1], *pes_[p]);
+  }
+  engine.add_wakeup(*pes_.back(), *controller_);
+  if (m_ > 1) engine.add_wakeup(*pes_[m_ - 2], *controller_);
+  for (std::size_t p = 0; p < m_; ++p) {
+    engine.add_wakeup(*pes_.back(), *pes_[p]);
+  }
+
   const sim::Cycle total = static_cast<sim::Cycle>(n_stages_ + 1) * m_;
   engine.run(total);
 
@@ -194,6 +285,8 @@ Design3Result Design3Modular::run(sim::ThreadPool* pool) {
   out.stats.busy_steps = stats.total_busy();
   out.stats.input_scalars =
       static_cast<std::uint64_t>(n_stages_) * m_;  // node values only
+  out.stats.active_evals = engine.active_evals();
+  out.stats.dense_evals = engine.dense_evals();
   const Token& col = controller_->collector();
   out.cost = col.h;
   if (!is_inf(out.cost)) {

@@ -21,6 +21,7 @@
 
 #include "arrays/design3_feedback.hpp"
 #include "graph/node_value_graph.hpp"
+#include "sim/engine.hpp"
 
 namespace sysdp::sim {
 class ThreadPool;
@@ -39,15 +40,23 @@ class Design3Modular {
   /// Run to completion.  With a pool the stations evaluate and latch
   /// across threads; the feedback controller is the only combinational
   /// driver and stays serialised, so results are bit-identical to serial.
-  [[nodiscard]] Design3Result run(sim::ThreadPool* pool = nullptr);
+  /// With Gating::kSparse (default) stations sleep through pipeline fill
+  /// and drain; wakeup edges along the R pipeline and the feedback path
+  /// (controller -> P_0, P_{p-1} -> P_p, tail and its predecessor ->
+  /// controller, tail -> every station for the round-robin K/H delivery)
+  /// keep the gated run bit-identical.
+  [[nodiscard]] Design3Result run(sim::ThreadPool* pool = nullptr,
+                                  sim::Gating gating = sim::Gating::kSparse);
 
  private:
   class Controller;
   class Pe;
+  struct Arena;
 
   const NodeValueGraph& graph_;
   std::size_t m_;
   std::size_t n_stages_;
+  std::unique_ptr<Arena> arena_;
   std::unique_ptr<Controller> controller_;
   std::vector<std::unique_ptr<Pe>> pes_;
 };

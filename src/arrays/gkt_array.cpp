@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "semiring/kernels.hpp"
+
 namespace sysdp {
 
 GktArray::GktArray(std::vector<Cost> dims) : dims_(std::move(dims)) {
@@ -23,44 +25,42 @@ GktArray::Result GktArray::run() const {
 
   // Diagonal-order evaluation: every operand a cell consumes comes from a
   // strictly smaller diagonal, so all arrival times are known by the time a
-  // cell is processed.
+  // cell is processed.  The per-cell scratch (operand arrival times and the
+  // arrival-sorted visit order) is hoisted out of the sweep: one workspace
+  // sized for the longest diagonal, reused by every cell.
+  std::vector<sim::Cycle> arrivals(n - 1);
+  std::vector<std::size_t> order(n - 1);
   for (std::size_t d = 1; d < n; ++d) {
     for (std::size_t i = 0; i + d < n; ++i) {
       const std::size_t j = i + d;
       // Arrival time of the operand pair for each split k.
-      std::vector<sim::Cycle> arrivals;
-      arrivals.reserve(d);
       for (std::size_t k = i; k < j; ++k) {
         const sim::Cycle left = out.ready(i, k) + (j - k);       // row hop
         const sim::Cycle right = out.ready(k + 1, j) + (k + 1 - i);  // col hop
-        arrivals.push_back(std::max(left, right));
+        arrivals[k - i] = std::max(left, right);
       }
       // The cell's comparator folds candidates in arrival order; like the
       // Section 6.2 processors it performs two additions and two
       // comparisons per step.
-      std::vector<std::size_t> order(d);
       for (std::size_t t = 0; t < d; ++t) order[t] = i + t;
-      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-        return arrivals[a - i] < arrivals[b - i];
-      });
+      std::sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(d),
+                [&](std::size_t a, std::size_t b) {
+                  return arrivals[a - i] < arrivals[b - i];
+                });
       Cost best = kInfCost;
       std::size_t best_k = i;
       sim::Cycle t = 0;
       std::size_t idx = 0;
-      while (idx < order.size()) {
+      while (idx < d) {
         t = std::max(t, arrivals[order[idx] - i]) + 1;
         std::size_t taken = 0;
-        while (idx < order.size() && taken < 2 &&
-               arrivals[order[idx] - i] <= t - 1) {
+        while (idx < d && taken < 2 && arrivals[order[idx] - i] <= t - 1) {
           const std::size_t k = order[idx];
           const Cost cand =
-              sat_add(sat_add(out.cost(i, k), out.cost(k + 1, j)),
-                      dims_[i] * dims_[k + 1] * dims_[j + 1]);
+              kern::interval_candidate(out.cost(i, k), out.cost(k + 1, j),
+                                       dims_[i] * dims_[k + 1] * dims_[j + 1]);
           ++out.stats.busy_steps;
-          if (cand < best) {
-            best = cand;
-            best_k = k;
-          }
+          kern::fold_min(cand, k, best, best_k);
           ++idx;
           ++taken;
         }

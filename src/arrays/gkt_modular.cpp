@@ -1,0 +1,378 @@
+#include "arrays/gkt_modular.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "semiring/kernels.hpp"
+#include "sim/module.hpp"
+#include "sim/thread_pool.hpp"
+
+namespace sysdp {
+
+namespace {
+
+/// A value in flight on a link: the m_{a,b} it carries, tagged by its
+/// origin so consumers can pair operands.
+struct Flit {
+  Cost val = 0;
+  std::uint32_t a = 0;  // origin cell (a, b)
+  std::uint32_t b = 0;
+};
+
+/// The row and column link registers at one cell position, two-phase:
+/// cur is the flit sitting here this cycle, nxt is staged by the owner's
+/// eval (the through-shift from upstream).  Packed per cell so a
+/// forwarding eval touches one or two cache lines, not a dozen arrays.
+struct LinkPair {
+  Flit row_cur, col_cur;
+  Flit row_nxt, col_nxt;
+  std::uint8_t row_has = 0, col_has = 0;
+  std::uint8_t row_nxt_has = 0, col_nxt_has = 0;
+};
+
+/// Fold bookkeeping for one cell, likewise packed.
+struct CellMeta {
+  Cost best = kInfCost;
+  sim::Cycle done_at = 0;
+  std::uint64_t busy = 0;
+  std::uint32_t q_head = 0;   ///< next ready candidate to fold
+  std::uint32_t q_len = 0;    ///< ready candidates pushed so far
+  std::uint32_t remaining = 0;
+  std::uint32_t staged = 0;
+  std::uint32_t peak = 0;
+  std::uint8_t is_done = 0;
+  std::uint8_t fired = 0;  ///< leaf: cycle-0 launch already sent
+};
+
+}  // namespace
+
+/// Per-array arena holding every cell's state in contiguous per-cell
+/// lanes: the packed link registers and fold metadata above, the operand
+/// staging buffers (lane id*n + k), the arena-backed ready queues
+/// (capacity j-i per cell, prefix-offset addressed), and the completion-
+/// launch bypass slots that a finishing neighbour stages and the owner's
+/// commit merges.  Cell modules are thin lane views.
+struct GktModularArray::Arena {
+  std::size_t n;
+  std::vector<std::uint32_t> id_of;  ///< (i*n + j) -> cell id, i <= j
+
+  std::vector<LinkPair> link;
+  std::vector<CellMeta> meta;
+
+  // Completion-launch bypass.  A real flit in both the through-shift (nxt)
+  // and the launch slot is a link-register conflict, which would falsify
+  // the single-occupancy design — commit throws, mirroring the RTL
+  // assertion.  The row and column pending flags live in separate byte
+  // arrays, not one bitmask: a cell's row launcher and column launcher are
+  // different cells, and under the parallel engine both may launch in the
+  // same eval phase — a shared byte would make that a racy read-modify-
+  // write that can drop a bit.  Split, every element has exactly one
+  // writer per phase and the engine's phase barrier orders the rest.
+  std::vector<Flit> row_launch, col_launch;
+  std::vector<std::uint8_t> row_launch_set, col_launch_set;
+
+  // Operand staging, lane id*n + k, presence in parallel byte arrays.
+  std::vector<Cost> row_op_val, col_op_val;
+  std::vector<std::uint8_t> row_op_set, col_op_set;
+
+  // Ready-candidate FIFOs: cell id owns q_store[q_base[id] + t] for
+  // t < j-i.  Entries below the eval-entry watermark were ready before the
+  // current cycle — exactly the RTL's `at <= c-1` eligibility.
+  std::vector<std::uint32_t> q_store, q_base;
+
+  explicit Arena(std::size_t n_in) : n(n_in) {
+    const std::size_t cells = n * (n + 1) / 2;
+    id_of.assign(n * n, 0);
+    // Diagonal-major cell ids: the completion wavefront sweeps outward one
+    // diagonal at a time, so at any cycle the cells carrying traffic are a
+    // band of consecutive diagonals — with this numbering the gated
+    // engine's (sorted) active set walks nearly contiguous arena lanes,
+    // and a cell's two upstreams sit adjacent in the previous diagonal.
+    std::uint32_t next = 0;
+    for (std::size_t d = 0; d < n; ++d) {
+      for (std::size_t i = 0; i + d < n; ++i) id_of[i * n + (i + d)] = next++;
+    }
+    link.resize(cells);
+    meta.resize(cells);
+    row_launch.resize(cells);
+    col_launch.resize(cells);
+    row_launch_set.assign(cells, 0);
+    col_launch_set.assign(cells, 0);
+    row_op_val.assign(cells * n, 0);
+    col_op_val.assign(cells * n, 0);
+    row_op_set.assign(cells * n, 0);
+    col_op_set.assign(cells * n, 0);
+    q_base.assign(cells + 1, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i; j < n; ++j) {
+        q_base[id(i, j) + 1] = static_cast<std::uint32_t>(j - i);
+        meta[id(i, j)].remaining = static_cast<std::uint32_t>(j - i);
+      }
+      meta[id(i, i)].is_done = 1;  // leaves complete at cycle 0
+    }
+    for (std::size_t c = 0; c < cells; ++c) q_base[c + 1] += q_base[c];
+    q_store.assign(q_base[cells], 0);
+  }
+
+  [[nodiscard]] std::uint32_t id(std::size_t i, std::size_t j) const {
+    return id_of[i * n + j];
+  }
+
+  /// A completed m_{a,b} launches rightward on row a and upward on column
+  /// b by staging the *receiver's* launch slot.  Each slot has exactly one
+  /// possible launcher and receivers only read it at commit, so concurrent
+  /// cell evals never race here.
+  void launch(std::size_t a, std::size_t b, Cost v) {
+    const Flit f{v, static_cast<std::uint32_t>(a),
+                 static_cast<std::uint32_t>(b)};
+    if (b + 1 < n) {
+      const std::uint32_t t = id(a, b + 1);
+      if (row_launch_set[t]) {
+        throw std::logic_error("GktModularArray: link register conflict");
+      }
+      row_launch[t] = f;
+      row_launch_set[t] = 1;
+    }
+    if (a > 0) {
+      const std::uint32_t t = id(a - 1, b);
+      if (col_launch_set[t]) {
+        throw std::logic_error("GktModularArray: link register conflict");
+      }
+      col_launch[t] = f;
+      col_launch_set[t] = 1;
+    }
+  }
+};
+
+/// One cell (i, j).  Diagonal cells are the leaves: they launch their
+/// (zero) value at cycle 0 and sleep forever after.  Off-diagonal cells
+/// observe the streams passing their position, fold up to two ready
+/// candidates per cycle, and forward both streams one hop.
+class GktModularArray::Cell : public sim::Module {
+ public:
+  Cell(std::size_t i, std::size_t j, Arena& a, const std::vector<Cost>& dims)
+      : Module("c" + std::to_string(i) + "_" + std::to_string(j)),
+        i_(i),
+        j_(j),
+        id_(a.id(i, j)),
+        left_(i == j ? 0 : a.id(i, j - 1)),
+        below_(i == j ? 0 : a.id(i + 1, j)),
+        a_(a),
+        dims_(dims) {}
+
+  void eval(sim::Cycle c) override {
+    Arena& a = a_;
+    const std::uint32_t id = id_;
+    if (i_ == j_) {
+      if (c == 0) {
+        a.launch(i_, j_, 0);
+        a.meta[id].fired = 1;
+      }
+      return;
+    }
+    LinkPair& lk = a.link[id];
+    CellMeta& mt = a.meta[id];
+    const std::size_t base = static_cast<std::size_t>(id) * a.n;
+    std::uint32_t* const q = a.q_store.data() + a.q_base[id];
+    const std::uint32_t len0 = mt.q_len;  // candidates ready before cycle c
+
+    // ---- observe: sample the streams passing this position --------------
+    if (lk.row_has) {
+      const Flit& f = lk.row_cur;
+      if (f.a == i_) {
+        const std::size_t k = f.b;  // m_{i,k}
+        if (k >= i_ && k < j_ && !a.row_op_set[base + k]) {
+          a.row_op_val[base + k] = f.val;
+          a.row_op_set[base + k] = 1;
+          ++mt.staged;
+          if (a.col_op_set[base + k]) {
+            q[mt.q_len++] = static_cast<std::uint32_t>(k);
+          }
+        }
+      }
+    }
+    if (lk.col_has) {
+      const Flit& f = lk.col_cur;
+      if (f.b == j_) {
+        const std::size_t fa = f.a;  // m_{a,j}, pairs with k = a-1
+        if (fa > i_ && fa <= j_ && !a.col_op_set[base + fa - 1]) {
+          a.col_op_val[base + fa - 1] = f.val;
+          a.col_op_set[base + fa - 1] = 1;
+          ++mt.staged;
+          if (a.row_op_set[base + fa - 1]) {
+            q[mt.q_len++] = static_cast<std::uint32_t>(fa - 1);
+          }
+        }
+      }
+    }
+    if (mt.staged > mt.peak) mt.peak = mt.staged;
+
+    // ---- compute: fold up to two candidates that were ready before now --
+    if (!mt.is_done && mt.q_head < len0) {
+      std::uint32_t taken = 0;
+      while (mt.q_head < len0 && taken < 2) {
+        const std::size_t k = q[mt.q_head];
+        const Cost cand = kern::interval_candidate(
+            a.row_op_val[base + k], a.col_op_val[base + k],
+            dims_[i_] * dims_[k + 1] * dims_[j_ + 1]);
+        if (cand < mt.best) mt.best = cand;
+        ++mt.busy;
+        ++mt.q_head;
+        ++taken;
+        --mt.remaining;
+        mt.staged -= 2;  // operands retire with their candidate
+      }
+      if (mt.remaining == 0) {
+        mt.is_done = 1;
+        mt.done_at = c;
+        a.launch(i_, j_, mt.best);
+      }
+    }
+
+    // ---- stage the through-shift: one hop from upstream -----------------
+    // Row upstream is (i, j-1), column upstream is (i+1, j); when either
+    // is the diagonal leaf its registers are perpetually empty, so the
+    // stage below correctly clears this cell's register.
+    const LinkPair& lleft = a.link[left_];
+    const LinkPair& lbelow = a.link[below_];
+    lk.row_nxt = lleft.row_cur;
+    lk.row_nxt_has = lleft.row_has;
+    lk.col_nxt = lbelow.col_cur;
+    lk.col_nxt_has = lbelow.col_has;
+  }
+
+  void commit() override {
+    if (i_ == j_) return;
+    Arena& a = a_;
+    const std::uint32_t id = id_;
+    LinkPair& lk = a.link[id];
+    const std::uint8_t rl = a.row_launch_set[id];
+    const std::uint8_t cl = a.col_launch_set[id];
+    if ((rl | cl) == 0) {  // common case: plain clock edge on both links
+      lk.row_cur = lk.row_nxt;
+      lk.row_has = lk.row_nxt_has;
+      lk.col_cur = lk.col_nxt;
+      lk.col_has = lk.col_nxt_has;
+      return;
+    }
+    if (rl) {
+      if (lk.row_nxt_has) {
+        throw std::logic_error("GktModularArray: link register conflict");
+      }
+      lk.row_cur = a.row_launch[id];
+      lk.row_has = 1;
+      a.row_launch_set[id] = 0;
+    } else {
+      lk.row_cur = lk.row_nxt;
+      lk.row_has = lk.row_nxt_has;
+    }
+    if (cl) {
+      if (lk.col_nxt_has) {
+        throw std::logic_error("GktModularArray: link register conflict");
+      }
+      lk.col_cur = a.col_launch[id];
+      lk.col_has = 1;
+      a.col_launch_set[id] = 0;
+    } else {
+      lk.col_cur = lk.col_nxt;
+      lk.col_has = lk.col_nxt_has;
+    }
+  }
+
+  /// A leaf is quiescent once its cycle-0 launch fired.  A cell is
+  /// quiescent when both its link registers are empty (nothing to observe
+  /// or forward) and no folded-candidate work is queued; whether its
+  /// result is still pending does not matter — only an arriving flit can
+  /// change its state, and both streams are covered by wakeup edges.
+  [[nodiscard]] bool quiescent() const noexcept override {
+    const CellMeta& mt = a_.meta[id_];
+    if (i_ == j_) return mt.fired != 0;
+    const LinkPair& lk = a_.link[id_];
+    return !lk.row_has && !lk.col_has && mt.q_head == mt.q_len;
+  }
+
+ private:
+  std::size_t i_, j_;
+  std::uint32_t id_, left_, below_;
+  Arena& a_;
+  const std::vector<Cost>& dims_;
+};
+
+GktModularArray::GktModularArray(std::vector<Cost> dims)
+    : dims_(std::move(dims)) {
+  if (dims_.size() < 2) {
+    throw std::invalid_argument("GktModularArray: need at least one matrix");
+  }
+  for (Cost d : dims_) {
+    if (d <= 0) {
+      throw std::invalid_argument("GktModularArray: dims must be > 0");
+    }
+  }
+}
+
+GktModularArray::~GktModularArray() = default;
+
+GktModularArray::Result GktModularArray::run(sim::ThreadPool* pool,
+                                             sim::Gating gating) {
+  const std::size_t n = num_matrices();
+  sim::Engine engine(pool, gating);
+  arena_ = std::make_unique<Arena>(n);
+  cells_.clear();
+  // Registered in arena-id (diagonal-major) order so the engine's module
+  // index equals the arena lane and the sorted active set walks the arena
+  // sequentially.
+  for (std::size_t d = 0; d < n; ++d) {
+    for (std::size_t i = 0; i + d < n; ++i) {
+      cells_.push_back(std::make_unique<Cell>(i, i + d, *arena_, dims_));
+      engine.add(*cells_.back());
+    }
+  }
+  // Wakeup edges follow the register dataflow: a cell can only be
+  // reactivated by a flit arriving on its row stream (from (i, j-1)) or
+  // its column stream (from (i+1, j)) — completion launches travel the
+  // same arcs, and a launching cell is provably active the cycle before
+  // (it holds the not-yet-folded candidates that complete it), so the
+  // receiver is always awake to latch the launch.  Declared source-major
+  // so each cell's edge 0 / edge 1 match its wake_mask() bits.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const std::uint32_t id = arena_->id(i, j);
+      if (j + 1 < n) engine.add_wakeup(*cells_[id], *cells_[arena_->id(i, j + 1)]);
+      if (i > 0 && i - 1 <= j && i <= j) {
+        engine.add_wakeup(*cells_[id], *cells_[arena_->id(i - 1, j)]);
+      }
+    }
+  }
+
+  const std::uint32_t root = arena_->id(0, n - 1);
+  const sim::Cycle limit = 4 * static_cast<sim::Cycle>(n) + 16;
+  const auto until = engine.run_until(
+      [this, root] { return arena_->meta[root].is_done != 0; }, limit);
+  if (!until.satisfied) {
+    throw std::logic_error("GktModularArray: did not converge");
+  }
+
+  Result out{Matrix<Cost>(n, n, kInfCost), Matrix<sim::Cycle>(n, n, 0), {}, 0};
+  out.stats.num_pes = n * (n + 1) / 2;
+  out.stats.input_scalars = dims_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    out.cost(i, i) = 0;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const CellMeta& mt = arena_->meta[arena_->id(i, j)];
+      if (mt.is_done) {
+        out.cost(i, j) = mt.best;
+        out.done(i, j) = mt.done_at;
+      }
+      out.stats.busy_steps += mt.busy;
+      if (mt.peak > out.peak_operand_buffer) {
+        out.peak_operand_buffer = mt.peak;
+      }
+    }
+  }
+  out.stats.cycles = out.completion();
+  out.stats.active_evals = engine.active_evals();
+  out.stats.dense_evals = engine.dense_evals();
+  return out;
+}
+
+}  // namespace sysdp

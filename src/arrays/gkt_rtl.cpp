@@ -1,8 +1,11 @@
 #include "arrays/gkt_rtl.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <optional>
 #include <stdexcept>
+
+#include "semiring/kernels.hpp"
 
 namespace sysdp {
 
@@ -52,19 +55,25 @@ GktRtlArray::Result GktRtlArray::run() const {
 
   // Per-cell operand staging: arrived row values m_{i,k} (indexed k) and
   // column values m_{k+1,j} (indexed k), plus the ready-candidate queue.
+  // The operand buffers live in one contiguous arena shared by all cells
+  // (lane (i*n + j)*n + k) with presence tracked in parallel byte arrays —
+  // the flattened equivalent of a vector<optional<Cost>> per cell.
   struct CellState {
-    std::vector<std::optional<Cost>> row_op;
-    std::vector<std::optional<Cost>> col_op;
     std::vector<Ready> ready;
     std::size_t remaining = 0;
     Cost best = kInfCost;
     std::size_t staged = 0;
   };
+  std::vector<Cost> row_op_val(n * n * n, 0);
+  std::vector<Cost> col_op_val(n * n * n, 0);
+  std::vector<std::uint8_t> row_op_set(n * n * n, 0);
+  std::vector<std::uint8_t> col_op_set(n * n * n, 0);
+  const auto lane = [n](std::size_t i, std::size_t j) {
+    return (i * n + j) * n;
+  };
   std::vector<std::vector<CellState>> cell(n, std::vector<CellState>(n));
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = i + 1; j < n; ++j) {
-      cell[i][j].row_op.assign(n, std::nullopt);
-      cell[i][j].col_op.assign(n, std::nullopt);
       cell[i][j].remaining = j - i;
     }
   }
@@ -99,20 +108,23 @@ GktRtlArray::Result GktRtlArray::run() const {
     for (std::size_t i = 0; i < n; ++i) {
       for (std::size_t j = i + 1; j < n; ++j) {
         auto& st = cell[i][j];
+        const std::size_t base = lane(i, j);
         if (row[i][j].has_value() && row[i][j]->a == i) {
           const std::size_t k = row[i][j]->b;  // m_{i,k}
-          if (k >= i && k < j && !st.row_op[k].has_value()) {
-            st.row_op[k] = row[i][j]->val;
+          if (k >= i && k < j && !row_op_set[base + k]) {
+            row_op_val[base + k] = row[i][j]->val;
+            row_op_set[base + k] = 1;
             ++st.staged;
-            if (st.col_op[k].has_value()) st.ready.push_back(Ready{c, k});
+            if (col_op_set[base + k]) st.ready.push_back(Ready{c, k});
           }
         }
         if (col[i][j].has_value() && col[i][j]->b == j) {
           const std::size_t a = col[i][j]->a;  // m_{a,j}, pairs with k=a-1
-          if (a > i && a <= j && !st.col_op[a - 1].has_value()) {
-            st.col_op[a - 1] = col[i][j]->val;
+          if (a > i && a <= j && !col_op_set[base + a - 1]) {
+            col_op_val[base + a - 1] = col[i][j]->val;
+            col_op_set[base + a - 1] = 1;
             ++st.staged;
-            if (st.row_op[a - 1].has_value()) {
+            if (row_op_set[base + a - 1]) {
               st.ready.push_back(Ready{c, a - 1});
             }
           }
@@ -142,19 +154,23 @@ GktRtlArray::Result GktRtlArray::run() const {
         if (out.done(i, j) != 0 || st.ready.empty()) continue;
         std::sort(st.ready.begin(), st.ready.end(),
                   [](const Ready& x, const Ready& y) { return x.at < y.at; });
+        const std::size_t base = lane(i, j);
         std::size_t taken = 0;
-        while (!st.ready.empty() && taken < 2 && st.ready.front().at <= c - 1) {
-          const std::size_t k = st.ready.front().k;
-          st.ready.erase(st.ready.begin());
-          const Cost cand = sat_add(
-              sat_add(*st.row_op[k], *st.col_op[k]),
-              dims_[i] * dims_[k + 1] * dims_[j + 1]);
+        while (taken < st.ready.size() && taken < 2 &&
+               st.ready[taken].at <= c - 1) {
+          const std::size_t k = st.ready[taken].k;
+          const Cost cand =
+              kern::interval_candidate(row_op_val[base + k],
+                                       col_op_val[base + k],
+                                       dims_[i] * dims_[k + 1] * dims_[j + 1]);
           st.best = std::min(st.best, cand);
           ++out.stats.busy_steps;
           ++taken;
           --st.remaining;
           st.staged -= 2;  // operands retire with their candidate
         }
+        st.ready.erase(st.ready.begin(),
+                       st.ready.begin() + static_cast<std::ptrdiff_t>(taken));
         if (taken > 0 && st.remaining == 0) {
           out.cost(i, j) = st.best;
           out.done(i, j) = c;

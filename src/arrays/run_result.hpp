@@ -22,6 +22,13 @@ struct RunResult {
   /// Scalars that crossed the array boundary inward (matrix/vector/node
   /// values).  The I/O-bottleneck comparison of experiment E2 uses this.
   std::uint64_t input_scalars = 0;
+  /// Engine activity accounting: module evals the engine actually
+  /// performed vs. the dense modules-x-cycles count.  Equal under dense
+  /// gating; active < dense when activity gating skipped idle PEs.  These
+  /// describe the *simulator's* work, not the simulated hardware, so they
+  /// are excluded from dense-vs-sparse bit-identity comparisons.
+  std::uint64_t active_evals = 0;
+  std::uint64_t dense_evals = 0;
 
   /// Measured processor utilisation against wall-clock time.
   [[nodiscard]] double utilization_wall() const noexcept {
@@ -36,6 +43,18 @@ struct RunResult {
     if (iters == 0 || num_pes == 0) return 0.0;
     return static_cast<double>(busy_steps) /
            (static_cast<double>(iters) * static_cast<double>(num_pes));
+  }
+
+  /// Measured engine activity (active evals / dense evals), the
+  /// simulator-side utilisation the gated engine reports.  1.0 for dense
+  /// runs.  Related to but not comparable with utilization_wall(): the
+  /// denominators differ (activity counts every module — hosts and
+  /// collectors included — while PU divides by PEs only), so the invariant
+  /// is busy_steps <= active_evals, not a bound between the two ratios.
+  [[nodiscard]] double engine_activity() const noexcept {
+    return dense_evals > 0 ? static_cast<double>(active_evals) /
+                                 static_cast<double>(dense_evals)
+                           : 1.0;
   }
 };
 

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "semiring/kernels.hpp"
+
 namespace sysdp {
 
 BstRule::BstRule(std::vector<Cost> freq) : freq_(std::move(freq)) {
@@ -21,7 +23,7 @@ Cost BstRule::candidate(std::size_t i, std::size_t j, std::size_t t,
   const Cost l = r > i ? left : 0;   // empty left subtree
   const Cost rr = r < j ? right : 0; // empty right subtree
   const Cost weight = prefix_[j + 1] - prefix_[i];
-  return sat_add(sat_add(l, rr), weight);
+  return kern::interval_candidate(l, rr, weight);
 }
 
 std::pair<std::size_t, std::size_t> BstRule::left_interval(
@@ -56,8 +58,8 @@ PolygonRule::PolygonRule(std::vector<Cost> weights)
 Cost PolygonRule::candidate(std::size_t i, std::size_t j, std::size_t t,
                             Cost left, Cost right) const {
   const std::size_t k = i + 1 + t;  // apex strictly between i and j
-  return sat_add(sat_add(left, right),
-                 weights_[i] * weights_[k] * weights_[j]);
+  return kern::interval_candidate(left, right,
+                                  weights_[i] * weights_[k] * weights_[j]);
 }
 
 std::pair<std::size_t, std::size_t> PolygonRule::left_interval(

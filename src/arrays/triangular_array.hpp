@@ -30,6 +30,7 @@
 
 #include "arrays/run_result.hpp"
 #include "semiring/cost.hpp"
+#include "semiring/kernels.hpp"
 #include "semiring/matrix.hpp"
 
 namespace sysdp {
@@ -64,6 +65,11 @@ class TriangularArray {
     out.stats.num_pes = num_cells();
     for (std::size_t i = 0; i < n; ++i) out.cost(i, i) = rule_.base(i);
 
+    // Per-cell scratch (operand arrival times, arrival-sorted visit order)
+    // hoisted out of the sweep: one workspace sized for the widest split
+    // range, reused by every cell.
+    std::vector<sim::Cycle> arrivals(n);
+    std::vector<std::size_t> order(n);
     for (std::size_t d = 1; d < n; ++d) {
       for (std::size_t i = 0; i + d < n; ++i) {
         const std::size_t j = i + d;
@@ -77,7 +83,6 @@ class TriangularArray {
         }
         // Operand-pair arrival times: a completed sub-interval value hops
         // one cell per cycle along its row/column toward (i, j).
-        std::vector<sim::Cycle> arrivals(cands);
         for (std::size_t t = 0; t < cands; ++t) {
           const auto [li, lj] = rule_.left_interval(i, j, t);
           const auto [ri, rj] = rule_.right_interval(i, j, t);
@@ -87,9 +92,9 @@ class TriangularArray {
               out.ready(ri, rj) + (ri - i);   // column hops
           arrivals[t] = std::max(left, right);
         }
-        std::vector<std::size_t> order(cands);
         for (std::size_t t = 0; t < cands; ++t) order[t] = t;
-        std::sort(order.begin(), order.end(),
+        std::sort(order.begin(),
+                  order.begin() + static_cast<std::ptrdiff_t>(cands),
                   [&](std::size_t a, std::size_t b) {
                     return arrivals[a] < arrivals[b];
                   });
@@ -109,10 +114,7 @@ class TriangularArray {
             const Cost cand = rule_.candidate(i, j, t, out.cost(li, lj),
                                               out.cost(ri, rj));
             ++out.stats.busy_steps;
-            if (cand < best) {
-              best = cand;
-              best_t = t;
-            }
+            kern::fold_min(cand, t, best, best_t);
             ++idx;
             ++taken;
           }

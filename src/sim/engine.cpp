@@ -1,5 +1,8 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
+#include <stdexcept>
+
 #include "sim/thread_pool.hpp"
 
 namespace sysdp::sim {
@@ -10,11 +13,50 @@ namespace {
 /// than it saves; small arrays silently run serially.
 constexpr std::size_t kMinParallelModules = 8;
 
+/// Quiescence is polled every this many cycles.  Between polls an active
+/// module stays active unconditionally, so a module sleeps up to
+/// kQuiescencePeriod - 1 cycles late — by the quiescence contract those
+/// extra evals are observational no-ops, and idle phases worth gating
+/// (pipeline fill/drain) last O(array width) cycles, so the amortised
+/// saving dwarfs the delay.
+constexpr Cycle kQuiescencePeriod = 4;
+
 }  // namespace
+
+void Engine::add(Module& m) {
+  const auto idx = static_cast<std::uint32_t>(modules_.size());
+  modules_.push_back(&m);
+  module_index_.emplace(&m, idx);
+  wake_.emplace_back();
+  active_.push_back(1);  // every module evaluates in its first cycle
+  is_driver_.push_back(m.combinational() ? 1 : 0);
+  if (m.combinational()) {
+    drivers_.push_back(&m);
+    driver_idx_.push_back(idx);
+  } else {
+    parallel_.push_back(&m);
+    parallel_idx_.push_back(idx);
+  }
+  gated_init_ = false;  // active lists are rebuilt on the next gated step
+}
+
+std::size_t Engine::index_of(const Module& m) const {
+  const auto it = module_index_.find(&m);
+  if (it == module_index_.end()) {
+    throw std::invalid_argument("Engine::add_wakeup: module not registered");
+  }
+  return it->second;
+}
+
+void Engine::add_wakeup(const Module& src, const Module& dst) {
+  wake_[index_of(src)].push_back(static_cast<std::uint32_t>(index_of(dst)));
+  gated_init_ = false;  // the CSR edge view is stale
+}
 
 void Engine::step_serial() {
   for (Module* m : modules_) m->eval(now_);
   for (Module* m : modules_) m->commit();
+  active_evals_ += modules_.size();
 }
 
 void Engine::step_parallel() {
@@ -30,16 +72,145 @@ void Engine::step_parallel() {
   // own registers, so the clock edge parallelises over all modules.
   pool_->parallel_for(modules_.size(),
                       [this](std::size_t i) { modules_[i]->commit(); });
+  active_evals_ += modules_.size();
+}
+
+void Engine::init_gated() {
+  active_drivers_.clear();
+  active_regs_.clear();
+  for (const std::uint32_t i : driver_idx_) {
+    if (active_[i]) active_drivers_.push_back(i);
+  }
+  for (const std::uint32_t i : parallel_idx_) {
+    if (active_[i]) active_regs_.push_back(i);
+  }
+  wake_off_.assign(modules_.size() + 1, 0);
+  wake_edges_.clear();
+  for (std::size_t i = 0; i < modules_.size(); ++i) {
+    wake_edges_.insert(wake_edges_.end(), wake_[i].begin(), wake_[i].end());
+    wake_off_[i + 1] = static_cast<std::uint32_t>(wake_edges_.size());
+  }
+  gated_init_ = true;
+}
+
+void Engine::step_serial_gated() {
+  if (!gated_init_) init_gated();
+  for (const std::uint32_t i : active_drivers_) modules_[i]->eval(now_);
+  for (const std::uint32_t i : active_regs_) modules_[i]->eval(now_);
+  for (const std::uint32_t i : active_drivers_) modules_[i]->commit();
+  for (const std::uint32_t i : active_regs_) modules_[i]->commit();
+  active_evals_ += active_drivers_.size() + active_regs_.size();
+  refresh_active();
+}
+
+void Engine::step_parallel_gated() {
+  if (!gated_init_) init_gated();
+  // Same three phases as step_parallel, restricted to the active set.  The
+  // set is frozen for the whole cycle (refresh_active runs after commit),
+  // so the concurrent indexing below races with nothing.
+  for (const std::uint32_t i : active_drivers_) modules_[i]->eval(now_);
+  pool_->parallel_for(active_regs_.size(), [this](std::size_t i) {
+    modules_[active_regs_[i]]->eval(now_);
+  });
+  for (const std::uint32_t i : active_drivers_) modules_[i]->commit();
+  pool_->parallel_for(active_regs_.size(), [this](std::size_t i) {
+    modules_[active_regs_[i]]->commit();
+  });
+  active_evals_ += active_drivers_.size() + active_regs_.size();
+  refresh_active();
+}
+
+void Engine::refresh_active() {
+  // Phase 1 — demotion, only every kQuiescencePeriod cycles: polling the
+  // virtual quiescent() per active module per cycle would eat the savings
+  // of the skipped evals, and a module demoted late only runs extra no-op
+  // evals (quiescence contract), so results are unchanged.  Sleeping
+  // modules are never re-queried: quiescent() depends only on self-mutated
+  // state, which cannot have changed while asleep.
+  if ((now_ % kQuiescencePeriod) == 0) {
+    std::size_t kept = 0;
+    for (const std::uint32_t i : active_drivers_) {  // keep driver order
+      if (modules_[i]->quiescent()) {
+        active_[i] = 0;
+      } else {
+        active_drivers_[kept++] = i;
+      }
+    }
+    active_drivers_.resize(kept);
+    kept = 0;
+    for (const std::uint32_t i : active_regs_) {
+      if (modules_[i]->quiescent()) {
+        active_[i] = 0;
+      } else {
+        active_regs_[kept++] = i;
+      }
+    }
+    active_regs_.resize(kept);
+  }
+  // Phase 2 — wakeup: every module still active fires its declared edges;
+  // a sleeping target is appended to the active set for the next cycle.
+  // Iterating the post-demotion lists matches the eager semantics on poll
+  // cycles (only non-quiescent modules wake successors); between polls the
+  // set is a superset of the eager one, which is harmless — the extra
+  // members are quiescent, so their evals are no-ops.  Steady-state cost
+  // is one flag test per edge; appends happen only on sleep->active
+  // transitions.
+  // Newly woken modules are collected first (they must not fire their own
+  // edges until the cycle *they* are active in) and appended after.
+  woken_.clear();
+  const auto fire = [this](const std::vector<std::uint32_t>& list) {
+    for (const std::uint32_t i : list) {
+      const std::uint32_t hi = wake_off_[i + 1];
+      for (std::uint32_t e = wake_off_[i]; e < hi; ++e) {
+        const std::uint32_t d = wake_edges_[e];
+        if (!active_[d]) {
+          active_[d] = 1;
+          woken_.push_back(d);
+        }
+      }
+    }
+  };
+  fire(active_drivers_);
+  fire(active_regs_);
+  if (woken_.empty()) return;
+  // Both active lists are kept sorted by module index (registration
+  // order): drivers need it for bus visibility, and for the register-only
+  // sweep an in-order walk keeps the per-module state accesses streaming —
+  // an unordered active set defeats the hardware prefetcher and costs more
+  // than the gating saves.
+  std::sort(woken_.begin(), woken_.end());
+  const auto regs_mid = static_cast<std::ptrdiff_t>(active_regs_.size());
+  for (const std::uint32_t d : woken_) {
+    if (is_driver_[d]) {
+      auto pos = active_drivers_.begin();
+      while (pos != active_drivers_.end() && *pos < d) ++pos;
+      active_drivers_.insert(pos, d);
+    } else {
+      active_regs_.push_back(d);
+    }
+  }
+  std::inplace_merge(active_regs_.begin(), active_regs_.begin() + regs_mid,
+                     active_regs_.end());
 }
 
 void Engine::step() {
-  if (pool_ != nullptr && parallel_.size() >= kMinParallelModules) {
-    step_parallel();
+  const bool pooled =
+      pool_ != nullptr && parallel_.size() >= kMinParallelModules;
+  if (gating_ == Gating::kSparse) {
+    if (pooled) {
+      step_parallel_gated();
+    } else {
+      step_serial_gated();
+    }
   } else {
-    step_serial();
+    if (pooled) {
+      step_parallel();
+    } else {
+      step_serial();
+    }
   }
   ++now_;
-  evals_ += modules_.size();
+  dense_evals_ += modules_.size();
 }
 
 void Engine::run(Cycle n) {

@@ -16,6 +16,22 @@
 //     out, so bus designs stay deterministic and results are bit-identical
 //     to a serial run.
 //
+// Orthogonal to serial/parallel is the *gating* mode:
+//
+//   * Gating::kDense: every module evaluates and commits every cycle (the
+//     classic cycle-accurate sweep).
+//   * Gating::kSparse: the engine keeps an active set.  After each commit
+//     phase it asks every evaluated module Module::quiescent(); a
+//     quiescent module is dropped from the set and is neither evaluated
+//     nor committed again until a wakeup edge (add_wakeup) fires — i.e.
+//     until a declared predecessor ends a cycle non-quiescent.  Because a
+//     quiescent module's eval is an observational no-op by contract, and
+//     every input that can reactivate it is covered by an edge, the gated
+//     run is bit-identical to the dense run (in both serial and pooled
+//     mode) while skipping the virtual-dispatch cost of idle PEs — the
+//     work-efficiency analogue of the paper's processor-utilisation
+//     analysis, where large PE fractions idle during pipeline fill/drain.
+//
 // The engine never owns modules: array models own their PEs and register
 // them for stepping.
 #pragma once
@@ -23,6 +39,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/module.hpp"
@@ -38,26 +55,36 @@ struct RunUntilResult {
   Cycle cycles = 0;
 };
 
+/// Execution mode of the eval/commit sweep: dense (every module, every
+/// cycle) or sparse (skip quiescent modules, neighbour wakeup).
+enum class Gating : std::uint8_t { kDense, kSparse };
+
 class Engine {
  public:
-  /// Serial engine.
+  /// Serial dense engine.
   Engine() = default;
+
+  /// Serial engine with an explicit gating mode.
+  explicit Engine(Gating gating) : gating_(gating) {}
 
   /// Parallel engine: eval/commit phases fan out across `pool` (nullptr
   /// falls back to serial).  The pool is borrowed, not owned, so one pool
   /// can serve many engines (and the batch runner) at once.
-  explicit Engine(ThreadPool* pool) : pool_(pool) {}
+  explicit Engine(ThreadPool* pool, Gating gating = Gating::kDense)
+      : pool_(pool), gating_(gating) {}
 
   /// Register a module.  Order matters for combinational bus visibility:
   /// drivers first, listeners after.
-  void add(Module& m) {
-    modules_.push_back(&m);
-    if (m.combinational()) {
-      drivers_.push_back(&m);
-    } else {
-      parallel_.push_back(&m);
-    }
-  }
+  void add(Module& m);
+
+  /// Declare a wakeup edge for Gating::kSparse: whenever `src` ends a
+  /// cycle active and non-quiescent, `dst` is evaluated the next cycle.
+  /// Array builders declare one edge per register-dataflow arc that can
+  /// carry a reactivating value (left PE -> right PE, host -> first PE,
+  /// tail -> feedback consumer, ...).  Both modules must already be
+  /// add()ed; throws std::invalid_argument otherwise.  Ignored (harmless)
+  /// in dense mode.
+  void add_wakeup(const Module& src, const Module& dst);
 
   /// Advance one clock cycle.
   void step();
@@ -79,20 +106,78 @@ class Engine {
   /// True if this engine fans eval/commit across a thread pool.
   [[nodiscard]] bool parallel() const noexcept { return pool_ != nullptr; }
 
-  /// Module evaluations performed so far (modules x cycles stepped), the
-  /// numerator of the PE-evals/sec throughput metric.
-  [[nodiscard]] std::uint64_t module_evals() const noexcept { return evals_; }
+  [[nodiscard]] Gating gating() const noexcept { return gating_; }
+
+  /// Module evaluations actually performed so far.  In dense mode this is
+  /// modules x cycles; in sparse mode only active modules count.
+  [[nodiscard]] std::uint64_t module_evals() const noexcept {
+    return active_evals_;
+  }
+  /// Same as module_evals() — the numerator of activity().
+  [[nodiscard]] std::uint64_t active_evals() const noexcept {
+    return active_evals_;
+  }
+  /// What a dense sweep would have cost: modules x cycles stepped.
+  [[nodiscard]] std::uint64_t dense_evals() const noexcept {
+    return dense_evals_;
+  }
+  /// Measured engine activity: active evals / dense evals in [0, 1].  The
+  /// simulator-side counterpart of the paper's processor utilisation,
+  /// though with a different denominator (every registered module, not
+  /// just PEs): an active module is not always doing a useful MAC, and
+  /// every useful MAC happens inside an active eval.
+  [[nodiscard]] double activity() const noexcept {
+    return dense_evals_ > 0 ? static_cast<double>(active_evals_) /
+                                  static_cast<double>(dense_evals_)
+                            : 1.0;
+  }
 
  private:
   void step_serial();
   void step_parallel();
+  void step_serial_gated();
+  void step_parallel_gated();
+  /// Build the persistent active lists from the active_ flags.
+  void init_gated();
+  /// Post-commit bookkeeping: every active module wakes its declared
+  /// successors each cycle (sleeping targets are appended to the active
+  /// lists); quiescence is polled — and sleepers demoted — only every
+  /// kQuiescencePeriod cycles, keeping the virtual quiescent() call off
+  /// the per-cycle critical path.  A late demotion only runs extra no-op
+  /// evals, so results are unchanged.
+  void refresh_active();
+  [[nodiscard]] std::size_t index_of(const Module& m) const;
 
   std::vector<Module*> modules_;   ///< all, in registration order
+  /// Module -> registration index, so add_wakeup on an n-PE array costs
+  /// O(edges) instead of O(edges * n) linear scans.
+  std::unordered_map<const Module*, std::uint32_t> module_index_;
   std::vector<Module*> drivers_;   ///< combinational: serial eval prefix
   std::vector<Module*> parallel_;  ///< register-only: parallel-safe eval
+  std::vector<std::uint32_t> driver_idx_;    ///< modules_ index per driver
+  std::vector<std::uint32_t> parallel_idx_;  ///< modules_ index per parallel
+  std::vector<std::vector<std::uint32_t>> wake_;  ///< wakeup successors
+  /// CSR view of wake_, rebuilt by init_gated: successors of module i are
+  /// wake_edges_[wake_off_[i] .. wake_off_[i+1]) — one contiguous walk per
+  /// refresh instead of a pointer chase per active module.
+  std::vector<std::uint32_t> wake_off_, wake_edges_;
+  std::vector<std::uint8_t> active_;     ///< active flag per module
+  std::vector<std::uint8_t> is_driver_;  ///< combinational flag per module
+  /// Persistent active sets, maintained incrementally (wake appends,
+  /// demote removes).  Both are kept sorted by registration index: drivers
+  /// need it for bus visibility; register-only modules don't need it for
+  /// correctness (two-phase registers make their eval order unobservable)
+  /// but an in-order sweep keeps per-module state accesses streaming for
+  /// the hardware prefetcher.
+  std::vector<std::uint32_t> active_drivers_;
+  std::vector<std::uint32_t> active_regs_;
+  std::vector<std::uint32_t> woken_;  ///< refresh_active scratch
+  bool gated_init_ = false;
   ThreadPool* pool_ = nullptr;
+  Gating gating_ = Gating::kDense;
   Cycle now_ = 0;
-  std::uint64_t evals_ = 0;
+  std::uint64_t active_evals_ = 0;
+  std::uint64_t dense_evals_ = 0;
 };
 
 }  // namespace sysdp::sim

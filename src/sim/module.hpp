@@ -37,6 +37,24 @@ class Module {
   /// only.
   [[nodiscard]] virtual bool combinational() const noexcept { return false; }
 
+  /// Quiescence hook for the activity-gated engine (Gating::kSparse).
+  /// Return true only when BOTH hold:
+  ///
+  ///   1. eval()/commit() are observational no-ops right now: they would
+  ///      change no committed register value, drive no bus, mark no stats
+  ///      and write no state another module reads.  (A PE holding no valid
+  ///      token whose inputs are invalid is the canonical case.)
+  ///   2. That stays true until a module with a declared wakeup edge into
+  ///      this one (Engine::add_wakeup) goes non-quiescent — i.e. every
+  ///      input that could re-activate this module is covered by an edge.
+  ///
+  /// The answer must depend only on state this module itself mutates (its
+  /// own registers/counters): the engine queries it after the commit phase
+  /// and caches the result while the module sleeps.  Default: never
+  /// quiescent, which is always safe (the module simply never gets
+  /// skipped).
+  [[nodiscard]] virtual bool quiescent() const noexcept { return false; }
+
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
 
  private:

@@ -19,6 +19,7 @@
 #include "arrays/design2_modular.hpp"
 #include "arrays/design3_modular.hpp"
 #include "arrays/gkt_array.hpp"
+#include "arrays/gkt_modular.hpp"
 #include "arrays/triangular_array.hpp"
 #include "graph/generators.hpp"
 #include "sim/batch.hpp"
@@ -30,6 +31,10 @@ namespace {
 // Worker counts to sweep: 0 = no workers (inline), 1 = single worker
 // thread, then a few genuinely concurrent shapes.
 const std::size_t kWorkerCounts[] = {0, 1, 2, 3, 7};
+
+// Both gating modes: every (workers, gating) combination must reproduce
+// the serial dense run bit-for-bit.
+const sim::Gating kGatings[] = {sim::Gating::kDense, sim::Gating::kSparse};
 
 struct Instance {
   std::vector<Matrix<Cost>> mats;
@@ -62,14 +67,17 @@ TEST(ParallelDeterminism, Design1BitIdenticalAcrossThreadCounts) {
   for (const auto& [q, m] : shapes) {
     const auto ins = string_instance(q, m, q * 1000 + m);
     Design1Modular serial_arr(ins.mats, ins.v);
-    const auto serial = serial_arr.run();
+    const auto serial = serial_arr.run(nullptr, sim::Gating::kDense);
     for (const std::size_t workers : kWorkerCounts) {
-      sim::ThreadPool pool(workers);
-      Design1Modular par_arr(ins.mats, ins.v);
-      const auto par = par_arr.run(&pool);
-      SCOPED_TRACE("q=" + std::to_string(q) + " m=" + std::to_string(m) +
-                   " workers=" + std::to_string(workers));
-      expect_identical(serial, par);
+      for (const sim::Gating gating : kGatings) {
+        sim::ThreadPool pool(workers);
+        Design1Modular par_arr(ins.mats, ins.v);
+        const auto par = par_arr.run(&pool, gating);
+        SCOPED_TRACE("q=" + std::to_string(q) + " m=" + std::to_string(m) +
+                     " workers=" + std::to_string(workers) + " sparse=" +
+                     std::to_string(gating == sim::Gating::kSparse));
+        expect_identical(serial, par);
+      }
     }
   }
 }
@@ -80,14 +88,17 @@ TEST(ParallelDeterminism, Design2BitIdenticalAcrossThreadCounts) {
   for (const auto& [q, m] : shapes) {
     const auto ins = string_instance(q, m, q * 2000 + m);
     Design2Modular serial_arr(ins.mats, ins.v);
-    const auto serial = serial_arr.run();
+    const auto serial = serial_arr.run(nullptr, sim::Gating::kDense);
     for (const std::size_t workers : kWorkerCounts) {
-      sim::ThreadPool pool(workers);
-      Design2Modular par_arr(ins.mats, ins.v);
-      const auto par = par_arr.run(&pool);
-      SCOPED_TRACE("q=" + std::to_string(q) + " m=" + std::to_string(m) +
-                   " workers=" + std::to_string(workers));
-      expect_identical(serial, par);
+      for (const sim::Gating gating : kGatings) {
+        sim::ThreadPool pool(workers);
+        Design2Modular par_arr(ins.mats, ins.v);
+        const auto par = par_arr.run(&pool, gating);
+        SCOPED_TRACE("q=" + std::to_string(q) + " m=" + std::to_string(m) +
+                     " workers=" + std::to_string(workers) + " sparse=" +
+                     std::to_string(gating == sim::Gating::kSparse));
+        expect_identical(serial, par);
+      }
     }
   }
 }
@@ -99,16 +110,44 @@ TEST(ParallelDeterminism, Design3BitIdenticalAcrossThreadCounts) {
     Rng rng(n * 31 + m);
     const auto nv = traffic_control_instance(n, m, rng);
     Design3Modular serial_arr(nv);
-    const auto serial = serial_arr.run();
+    const auto serial = serial_arr.run(nullptr, sim::Gating::kDense);
     for (const std::size_t workers : kWorkerCounts) {
-      sim::ThreadPool pool(workers);
-      Design3Modular par_arr(nv);
-      const auto par = par_arr.run(&pool);
-      SCOPED_TRACE("n=" + std::to_string(n) + " m=" + std::to_string(m) +
-                   " workers=" + std::to_string(workers));
-      EXPECT_EQ(serial.cost, par.cost);
-      EXPECT_EQ(serial.path, par.path);
-      expect_identical(serial.stats, par.stats);
+      for (const sim::Gating gating : kGatings) {
+        sim::ThreadPool pool(workers);
+        Design3Modular par_arr(nv);
+        const auto par = par_arr.run(&pool, gating);
+        SCOPED_TRACE("n=" + std::to_string(n) + " m=" + std::to_string(m) +
+                     " workers=" + std::to_string(workers) + " sparse=" +
+                     std::to_string(gating == sim::Gating::kSparse));
+        EXPECT_EQ(serial.cost, par.cost);
+        EXPECT_EQ(serial.path, par.path);
+        expect_identical(serial.stats, par.stats);
+      }
+    }
+  }
+}
+
+// The modular GKT cell array runs on the engine directly: every (workers,
+// gating) combination must reproduce the serial dense run bit-for-bit.
+TEST(ParallelDeterminism, GktModularBitIdenticalAcrossThreadCounts) {
+  for (const std::size_t n : {3u, 8u, 16u, 24u}) {
+    Rng rng(300 + n);
+    const auto dims = random_chain_dims(n, rng);
+    GktModularArray arr(dims);
+    const auto serial = arr.run(nullptr, sim::Gating::kDense);
+    for (const std::size_t workers : kWorkerCounts) {
+      for (const sim::Gating gating : kGatings) {
+        sim::ThreadPool pool(workers);
+        const auto par = arr.run(&pool, gating);
+        SCOPED_TRACE("n=" + std::to_string(n) +
+                     " workers=" + std::to_string(workers) + " sparse=" +
+                     std::to_string(gating == sim::Gating::kSparse));
+        EXPECT_EQ(serial.total(), par.total());
+        EXPECT_EQ(serial.completion(), par.completion());
+        EXPECT_EQ(serial.stats.cycles, par.stats.cycles);
+        EXPECT_EQ(serial.stats.busy_steps, par.stats.busy_steps);
+        EXPECT_EQ(serial.peak_operand_buffer, par.peak_operand_buffer);
+      }
     }
   }
 }
