@@ -123,6 +123,14 @@ class Design1Modular::Host : public sim::Module {
   [[nodiscard]] const Token& input() const noexcept { return input_; }
   [[nodiscard]] std::vector<V>& out() noexcept { return out_; }
 
+  /// The feed retires for good once the vector is exhausted.
+  [[nodiscard]] sim::SleepMode sleep_mode() const noexcept override {
+    return sim::SleepMode::kRetire;
+  }
+  void describe_ports(sim::PortSet& ports) const override {
+    ports.drives_signal(&input_, "host.input");
+  }
+
  private:
   const std::vector<V>& v_;
   std::size_t m_;
@@ -227,6 +235,30 @@ class Design1Modular::Pe : public sim::Module {
     return !a_.started[index_] || a_.q_ctl[index_] > mats_.size();
   }
 
+  /// Sleeps before the first token and reactivates on input: the wakeup
+  /// edges from the left neighbour / host / tail must cover every read.
+  [[nodiscard]] sim::SleepMode sleep_mode() const noexcept override {
+    return sim::SleepMode::kWakeable;
+  }
+
+  /// Arena lanes are named by the address of their value element; the R
+  /// and ACC rails are banks of two-phase registers.
+  void describe_ports(sim::PortSet& ports) const override {
+    const std::size_t p = index_;
+    ports.writes_register(&a_.r.val[p], "r[" + std::to_string(p) + "]");
+    ports.writes_register(&a_.acc.val[p], "acc[" + std::to_string(p) + "]");
+    if (p == 0) {
+      ports.reads_signal(&host_.input(), "host.input");
+      ports.reads_register(&a_.acc.val[m_ - 1],
+                           "acc[" + std::to_string(m_ - 1) + "]");
+    } else {
+      ports.reads_register(&a_.r.val[p - 1],
+                           "r[" + std::to_string(p - 1) + "]");
+      ports.reads_register(&a_.acc.val[p - 1],
+                           "acc[" + std::to_string(p - 1) + "]");
+    }
+  }
+
  private:
   std::size_t index_;
   const std::vector<Matrix<V>>& mats_;
@@ -237,7 +269,7 @@ class Design1Modular::Pe : public sim::Module {
 };
 
 Design1Modular::Design1Modular(std::vector<Matrix<V>> mats, std::vector<V> v)
-    : mats_(std::move(mats)), v_(std::move(v)), m_(v_.size()) {
+    : mats_(std::move(mats)), v_(std::move(v)), m_(v_.size()), stats_(m_) {
   if (mats_.empty()) throw std::invalid_argument("Design1Modular: no matrices");
   if (m_ == 0) throw std::invalid_argument("Design1Modular: empty vector");
   for (std::size_t i = 0; i < mats_.size(); ++i) {
@@ -250,19 +282,17 @@ Design1Modular::Design1Modular(std::vector<Matrix<V>> mats, std::vector<V> v)
 
 Design1Modular::~Design1Modular() = default;
 
-RunResult<Design1Modular::V> Design1Modular::run(sim::ThreadPool* pool,
-                                                 sim::Gating gating) {
+void Design1Modular::elaborate(sim::Engine& engine) {
   const std::size_t Q = mats_.size();
   const std::size_t r = mats_.front().rows();
-  sim::ActivityStats stats(m_);
-  sim::Engine engine(pool, gating);
+  stats_.reset();
   arena_ = std::make_unique<Arena>(m_);
   host_ = std::make_unique<Host>(v_, m_, Q, r);
   engine.add(*host_);
   pes_.clear();
   for (std::size_t p = 0; p < m_; ++p) {
     pes_.push_back(
-        std::make_unique<Pe>(p, mats_, *host_, *arena_, stats, m_));
+        std::make_unique<Pe>(p, mats_, *host_, *arena_, stats_, m_));
     engine.add(*pes_.back());
   }
   // Wakeup edges follow the register dataflow: the host feed starts P_0,
@@ -273,6 +303,32 @@ RunResult<Design1Modular::V> Design1Modular::run(sim::ThreadPool* pool,
     engine.add_wakeup(*pes_[p - 1], *pes_[p]);
   }
   engine.add_wakeup(*pes_.back(), *pes_.front());
+}
+
+void Design1Modular::describe_environment(sim::PortSet& ports) const {
+  if (arena_ == nullptr) return;
+  // Mode-B harvests sample the tail ACC lane each cycle; a mode-A finish
+  // reads the final results in place across the first r lanes.
+  ports.reads_register(&arena_->acc.val[m_ - 1],
+                       "acc[" + std::to_string(m_ - 1) + "]");
+  if (mats_.size() % 2 == 1) {
+    for (std::size_t p = 0; p < mats_.front().rows(); ++p) {
+      ports.reads_register(&arena_->acc.val[p],
+                           "acc[" + std::to_string(p) + "]");
+    }
+  }
+  // The tail R lane has no right neighbour; declare the architectural
+  // tie-off so the pass-through writes don't read as dangling.
+  ports.reads_register(&arena_->r.val[m_ - 1],
+                       "r[" + std::to_string(m_ - 1) + "]");
+}
+
+RunResult<Design1Modular::V> Design1Modular::run(sim::ThreadPool* pool,
+                                                 sim::Gating gating) {
+  const std::size_t Q = mats_.size();
+  const std::size_t r = mats_.front().rows();
+  sim::Engine engine(pool, gating);
+  elaborate(engine);
 
   const bool final_mode_a = (Q % 2 == 1);
   const sim::Cycle total = (Q - 1) * m_ + (m_ - 1) + (r - 1) + 1;
@@ -284,7 +340,7 @@ RunResult<Design1Modular::V> Design1Modular::run(sim::ThreadPool* pool,
   RunResult<V> res;
   res.num_pes = m_;
   res.cycles = total;
-  res.busy_steps = stats.total_busy();
+  res.busy_steps = stats_.total_busy();
   res.input_scalars = m_ + res.busy_steps;
   res.active_evals = engine.active_evals();
   res.dense_evals = engine.dense_evals();

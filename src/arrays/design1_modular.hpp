@@ -29,6 +29,8 @@
 #include "semiring/closed_semiring.hpp"
 #include "semiring/matrix.hpp"
 #include "sim/engine.hpp"
+#include "sim/port.hpp"
+#include "sim/stats.hpp"
 
 namespace sysdp::sim {
 class ThreadPool;
@@ -56,6 +58,15 @@ class Design1Modular {
   [[nodiscard]] RunResult<V> run(sim::ThreadPool* pool = nullptr,
                                  sim::Gating gating = sim::Gating::kSparse);
 
+  /// Build the arena, modules, and wakeup wiring into `engine` without
+  /// running a cycle.  run() uses this internally; the lint CLI and the
+  /// analysis tests call it directly and capture the netlist.
+  void elaborate(sim::Engine& engine);
+
+  /// Testbench-side taps for analysis::capture: the run loop harvests the
+  /// result values straight out of the ACC rail after the final cycles.
+  void describe_environment(sim::PortSet& ports) const;
+
  private:
   class Host;
   class Pe;
@@ -64,6 +75,7 @@ class Design1Modular {
   std::vector<Matrix<V>> mats_;
   std::vector<V> v_;
   std::size_t m_;
+  sim::ActivityStats stats_;
   std::unique_ptr<Arena> arena_;
   std::unique_ptr<Host> host_;
   std::vector<std::unique_ptr<Pe>> pes_;

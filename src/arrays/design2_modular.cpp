@@ -65,6 +65,17 @@ class Design2Modular::FeedbackUnit : public sim::Module {
   /// The PEs publish their S registers here on MOVE (the feedback wiring).
   std::vector<V> s_snapshot_;
 
+  /// The bus combinationally re-presents registered state: the external
+  /// vector (constant) or the fed-back S snapshots.
+  void describe_ports(sim::PortSet& ports) const override {
+    ports.drives(bus_, "bus");
+    for (std::size_t p = 0; p < m_; ++p) {
+      ports.reads_register(&s_snapshot_[p],
+                           "s_snapshot[" + std::to_string(p) + "]");
+      ports.derives(&bus_, &s_snapshot_[p]);
+    }
+  }
+
  private:
   sim::Bus<V>& bus_;
   const std::vector<V>& v_;
@@ -128,6 +139,20 @@ class Design2Modular::Pe : public sim::Module {
     return a_.drained[index_] != 0;
   }
 
+  /// Once drained a Design 2 PE never reactivates: retirement, not sleep,
+  /// so no wakeup edge into it is required.
+  [[nodiscard]] sim::SleepMode sleep_mode() const noexcept override {
+    return sim::SleepMode::kRetire;
+  }
+
+  void describe_ports(sim::PortSet& ports) const override {
+    const std::size_t p = index_;
+    ports.reads(bus_, "bus");
+    ports.writes_register(&a_.s[p], "s[" + std::to_string(p) + "]");
+    ports.writes_register(&feedback_.s_snapshot_[p],
+                          "s_snapshot[" + std::to_string(p) + "]");
+  }
+
   [[nodiscard]] V result() const { return a_.s[index_]; }
 
  private:
@@ -141,7 +166,7 @@ class Design2Modular::Pe : public sim::Module {
 };
 
 Design2Modular::Design2Modular(std::vector<Matrix<V>> mats, std::vector<V> v)
-    : mats_(std::move(mats)), v_(std::move(v)), m_(v_.size()) {
+    : mats_(std::move(mats)), v_(std::move(v)), m_(v_.size()), stats_(m_) {
   if (mats_.empty()) throw std::invalid_argument("Design2Modular: no matrices");
   if (m_ == 0) throw std::invalid_argument("Design2Modular: empty vector");
   for (std::size_t i = 0; i < mats_.size(); ++i) {
@@ -154,10 +179,8 @@ Design2Modular::Design2Modular(std::vector<Matrix<V>> mats, std::vector<V> v)
 
 Design2Modular::~Design2Modular() = default;
 
-RunResult<Design2Modular::V> Design2Modular::run(sim::ThreadPool* pool,
-                                                 sim::Gating gating) {
-  sim::ActivityStats stats(m_);
-  sim::Engine engine(pool, gating);
+void Design2Modular::elaborate(sim::Engine& engine) {
+  stats_.reset();
   arena_ = std::make_unique<Arena>(m_);
   feedback_ = std::make_unique<FeedbackUnit>(bus_, v_, m_);
   feedback_->s_snapshot_.assign(m_, MinPlus::zero());
@@ -165,9 +188,24 @@ RunResult<Design2Modular::V> Design2Modular::run(sim::ThreadPool* pool,
   pes_.clear();
   for (std::size_t p = 0; p < m_; ++p) {
     pes_.push_back(std::make_unique<Pe>(p, mats_, bus_, *feedback_, *arena_,
-                                        stats, m_));
+                                        stats_, m_));
     engine.add(*pes_.back());
   }
+}
+
+void Design2Modular::describe_environment(sim::PortSet& ports) const {
+  if (arena_ == nullptr) return;
+  // Result harvest reads the first final-matrix-rows S registers; the
+  // remaining lanes are tied off (their PEs drain during the last multiply).
+  for (std::size_t p = 0; p < m_; ++p) {
+    ports.reads_register(&arena_->s[p], "s[" + std::to_string(p) + "]");
+  }
+}
+
+RunResult<Design2Modular::V> Design2Modular::run(sim::ThreadPool* pool,
+                                                 sim::Gating gating) {
+  sim::Engine engine(pool, gating);
+  elaborate(engine);
 
   const sim::Cycle total = static_cast<sim::Cycle>(mats_.size()) * m_;
   engine.run(total);
@@ -175,7 +213,7 @@ RunResult<Design2Modular::V> Design2Modular::run(sim::ThreadPool* pool,
   RunResult<V> res;
   res.num_pes = m_;
   res.cycles = total;
-  res.busy_steps = stats.total_busy();
+  res.busy_steps = stats_.total_busy();
   res.input_scalars = m_ + res.busy_steps;  // vector + one element per MAC
   res.active_evals = engine.active_evals();
   res.dense_evals = engine.dense_evals();

@@ -27,6 +27,7 @@
 #include "sim/bus.hpp"
 #include "sim/engine.hpp"
 #include "sim/module.hpp"
+#include "sim/port.hpp"
 #include "sim/register.hpp"
 #include "sim/stats.hpp"
 
@@ -52,6 +53,14 @@ class Design2Modular {
   [[nodiscard]] RunResult<V> run(sim::ThreadPool* pool = nullptr,
                                  sim::Gating gating = sim::Gating::kSparse);
 
+  /// Build the arena, modules, and bus wiring into `engine` without
+  /// running a cycle (run() uses this; the lint CLI captures the netlist).
+  void elaborate(sim::Engine& engine);
+
+  /// Testbench-side taps for analysis::capture: the run loop harvests the
+  /// S registers of the first final-matrix-rows PEs.
+  void describe_environment(sim::PortSet& ports) const;
+
  private:
   class FeedbackUnit;
   class Pe;
@@ -60,6 +69,7 @@ class Design2Modular {
   std::vector<Matrix<V>> mats_;
   std::vector<V> v_;
   std::size_t m_;
+  sim::ActivityStats stats_;
 
   sim::Bus<V> bus_;
   std::unique_ptr<Arena> arena_;

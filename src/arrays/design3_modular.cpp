@@ -159,6 +159,33 @@ class Design3Modular::Controller : public sim::Module {
     return pred_;
   }
 
+  /// Storage keys for the port declarations of the modules (and the
+  /// testbench) that touch controller-owned state via capture()/harvest.
+  [[nodiscard]] const void* in_flight_key() const noexcept {
+    return &in_flight_;
+  }
+  [[nodiscard]] const void* collector_key() const noexcept {
+    return &collector_;
+  }
+  [[nodiscard]] const void* pred_key() const noexcept { return &pred_; }
+
+  /// Sleeps once the feed is exhausted and the feedback path is empty;
+  /// the tail (and its predecessor) wakeup edges reactivate it.
+  [[nodiscard]] sim::SleepMode sleep_mode() const noexcept override {
+    return sim::SleepMode::kWakeable;
+  }
+
+  /// `delivery` combinationally re-presents the latched in-flight pair —
+  /// the derivation lets wakeup-coverage accept the tail's edges to the
+  /// stations in place of controller -> station edges (which would keep
+  /// the whole array awake during pipeline fill).
+  void describe_ports(sim::PortSet& ports) const override {
+    ports.drives_signal(&input_, "ctrl.input");
+    ports.drives_signal(&delivery_, "ctrl.delivery");
+    ports.reads_register(&in_flight_, "in_flight");
+    ports.derives(&delivery_, &in_flight_);
+  }
+
  private:
   const NodeValueGraph& graph_;
   std::size_t m_;
@@ -227,6 +254,32 @@ class Design3Modular::Pe : public sim::Module {
     return a_.r_valid[index_] == 0;
   }
 
+  /// Sleeps between tokens; the R-pipeline and feedback wakeup edges
+  /// reactivate it.
+  [[nodiscard]] sim::SleepMode sleep_mode() const noexcept override {
+    return sim::SleepMode::kWakeable;
+  }
+
+  void describe_ports(sim::PortSet& ports) const override {
+    const std::size_t p = index_;
+    ports.reads_signal(&ctrl_.delivery(), "ctrl.delivery");
+    ports.writes_register(&a_.r_x[p], "r[" + std::to_string(p) + "]");
+    if (p == 0) {
+      ports.reads_signal(&ctrl_.input(), "ctrl.input");
+    } else {
+      ports.reads_register(&a_.r_x[p - 1],
+                           "r[" + std::to_string(p - 1) + "]");
+    }
+    if (is_tail_) {
+      // capture(): staged write of the controller's in-flight pair (a
+      // two-phase register latched at the controller's commit) plus the
+      // harvest-only collector token and predecessor table.
+      ports.writes_register(ctrl_.in_flight_key(), "in_flight");
+      ports.writes_register(ctrl_.collector_key(), "collector");
+      ports.writes_register(ctrl_.pred_key(), "pred");
+    }
+  }
+
  private:
   std::size_t index_;
   const NodeValueGraph& graph_;
@@ -240,7 +293,8 @@ class Design3Modular::Pe : public sim::Module {
 Design3Modular::Design3Modular(const NodeValueGraph& graph)
     : graph_(graph),
       m_(graph.stage_size(0)),
-      n_stages_(graph.num_stages()) {
+      n_stages_(graph.num_stages()),
+      stats_(m_) {
   if (!graph.uniform_width()) {
     throw std::invalid_argument("Design3Modular: non-uniform width");
   }
@@ -248,16 +302,15 @@ Design3Modular::Design3Modular(const NodeValueGraph& graph)
 
 Design3Modular::~Design3Modular() = default;
 
-Design3Result Design3Modular::run(sim::ThreadPool* pool, sim::Gating gating) {
-  sim::ActivityStats stats(m_);
-  sim::Engine engine(pool, gating);
+void Design3Modular::elaborate(sim::Engine& engine) {
+  stats_.reset();
   arena_ = std::make_unique<Arena>(m_);
   controller_ = std::make_unique<Controller>(graph_, m_, n_stages_);
   engine.add(*controller_);  // bus driver before the stations
   pes_.clear();
   for (std::size_t p = 0; p < m_; ++p) {
     pes_.push_back(std::make_unique<Pe>(p, graph_, *controller_, *arena_,
-                                        p + 1 == m_, stats, n_stages_));
+                                        p + 1 == m_, stats_, n_stages_));
     engine.add(*pes_.back());
   }
   // Wakeup edges follow the register dataflow.  The R pipeline:
@@ -272,9 +325,27 @@ Design3Result Design3Modular::run(sim::ThreadPool* pool, sim::Gating gating) {
   }
   engine.add_wakeup(*pes_.back(), *controller_);
   if (m_ > 1) engine.add_wakeup(*pes_[m_ - 2], *controller_);
-  for (std::size_t p = 0; p < m_; ++p) {
+  // Station 0 is skipped: the controller cannot be quiescent while a
+  // delivery is pending, so the controller -> P_0 pipeline edge already
+  // covers P_0's delivery input.
+  for (std::size_t p = 1; p < m_; ++p) {
     engine.add_wakeup(*pes_.back(), *pes_[p]);
   }
+}
+
+void Design3Modular::describe_environment(sim::PortSet& ports) const {
+  if (controller_ == nullptr) return;
+  ports.reads_register(controller_->collector_key(), "collector");
+  ports.reads_register(controller_->pred_key(), "pred");
+  // The tail's R lane has no right neighbour (the hand-off to the feedback
+  // path is the staged capture, not this register): architectural tie-off.
+  ports.reads_register(&arena_->r_x[m_ - 1],
+                       "r[" + std::to_string(m_ - 1) + "]");
+}
+
+Design3Result Design3Modular::run(sim::ThreadPool* pool, sim::Gating gating) {
+  sim::Engine engine(pool, gating);
+  elaborate(engine);
 
   const sim::Cycle total = static_cast<sim::Cycle>(n_stages_ + 1) * m_;
   engine.run(total);
@@ -282,7 +353,7 @@ Design3Result Design3Modular::run(sim::ThreadPool* pool, sim::Gating gating) {
   Design3Result out;
   out.stats.num_pes = m_;
   out.stats.cycles = total;
-  out.stats.busy_steps = stats.total_busy();
+  out.stats.busy_steps = stats_.total_busy();
   out.stats.input_scalars =
       static_cast<std::uint64_t>(n_stages_) * m_;  // node values only
   out.stats.active_evals = engine.active_evals();

@@ -22,6 +22,8 @@
 #include "arrays/design3_feedback.hpp"
 #include "graph/node_value_graph.hpp"
 #include "sim/engine.hpp"
+#include "sim/port.hpp"
+#include "sim/stats.hpp"
 
 namespace sysdp::sim {
 class ThreadPool;
@@ -48,6 +50,14 @@ class Design3Modular {
   [[nodiscard]] Design3Result run(sim::ThreadPool* pool = nullptr,
                                   sim::Gating gating = sim::Gating::kSparse);
 
+  /// Build the arena, modules, and wakeup wiring into `engine` without
+  /// running a cycle (run() uses this; the lint CLI captures the netlist).
+  void elaborate(sim::Engine& engine);
+
+  /// Testbench-side taps for analysis::capture: the run loop harvests the
+  /// collector token and the predecessor table after the final cycle.
+  void describe_environment(sim::PortSet& ports) const;
+
  private:
   class Controller;
   class Pe;
@@ -56,6 +66,7 @@ class Design3Modular {
   const NodeValueGraph& graph_;
   std::size_t m_;
   std::size_t n_stages_;
+  sim::ActivityStats stats_;
   std::unique_ptr<Arena> arena_;
   std::unique_ptr<Controller> controller_;
   std::vector<std::unique_ptr<Pe>> pes_;

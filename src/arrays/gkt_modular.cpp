@@ -291,6 +291,45 @@ class GktModularArray::Cell : public sim::Module {
     return !lk.row_has && !lk.col_has && mt.q_head == mt.q_len;
   }
 
+  /// Leaves retire after their cycle-0 launch; every other cell sleeps
+  /// between flits and is reactivated by the two incoming streams.
+  [[nodiscard]] sim::SleepMode sleep_mode() const noexcept override {
+    return i_ == j_ ? sim::SleepMode::kRetire : sim::SleepMode::kWakeable;
+  }
+
+  /// Keys name the link registers (per-cell row/col streams) and the
+  /// completion-launch slots.  A diagonal leaf never writes its own link
+  /// registers, so downstream cells do not declare reads of leaf links
+  /// (the tie-off convention) — leaf outputs travel via launch slots only.
+  void describe_ports(sim::PortSet& ports) const override {
+    const Arena& a = a_;
+    const auto slot = [](const char* base, std::size_t i, std::size_t j) {
+      return std::string(base) + "[" + std::to_string(i) + "," +
+             std::to_string(j) + "]";
+    };
+    if (i_ != j_) {
+      ports.writes_register(&a.link[id_].row_cur, slot("row", i_, j_));
+      ports.writes_register(&a.link[id_].col_cur, slot("col", i_, j_));
+      ports.reads_register(&a.row_launch[id_], slot("row_launch", i_, j_));
+      ports.reads_register(&a.col_launch[id_], slot("col_launch", i_, j_));
+      if (j_ > i_ + 1) {  // upstreams are real cells, not leaves
+        ports.reads_register(&a.link[left_].row_cur, slot("row", i_, j_ - 1));
+        ports.reads_register(&a.link[below_].col_cur,
+                             slot("col", i_ + 1, j_));
+      }
+    }
+    // Completion launch: stage the right neighbour's row slot and the
+    // upper neighbour's column slot (leaves launch too, at cycle 0).
+    if (j_ + 1 < a.n) {
+      ports.writes_register(&a.row_launch[a.id(i_, j_ + 1)],
+                            slot("row_launch", i_, j_ + 1));
+    }
+    if (i_ > 0) {
+      ports.writes_register(&a.col_launch[a.id(i_ - 1, j_)],
+                            slot("col_launch", i_ - 1, j_));
+    }
+  }
+
  private:
   std::size_t i_, j_;
   std::uint32_t id_, left_, below_;
@@ -312,10 +351,8 @@ GktModularArray::GktModularArray(std::vector<Cost> dims)
 
 GktModularArray::~GktModularArray() = default;
 
-GktModularArray::Result GktModularArray::run(sim::ThreadPool* pool,
-                                             sim::Gating gating) {
+void GktModularArray::elaborate(sim::Engine& engine) {
   const std::size_t n = num_matrices();
-  sim::Engine engine(pool, gating);
   arena_ = std::make_unique<Arena>(n);
   cells_.clear();
   // Registered in arena-id (diagonal-major) order so the engine's module
@@ -343,6 +380,29 @@ GktModularArray::Result GktModularArray::run(sim::ThreadPool* pool,
       }
     }
   }
+}
+
+void GktModularArray::describe_environment(sim::PortSet& ports) const {
+  if (arena_ == nullptr) return;
+  const std::size_t n = arena_->n;
+  // Boundary tie-offs: the last column's row streams and the top row's
+  // column streams shift off the edge of the triangle by design.
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    ports.reads_register(&arena_->link[arena_->id(i, n - 1)].row_cur,
+                         "row[" + std::to_string(i) + "," +
+                             std::to_string(n - 1) + "]");
+  }
+  for (std::size_t j = 1; j < n; ++j) {
+    ports.reads_register(&arena_->link[arena_->id(0, j)].col_cur,
+                         "col[0," + std::to_string(j) + "]");
+  }
+}
+
+GktModularArray::Result GktModularArray::run(sim::ThreadPool* pool,
+                                             sim::Gating gating) {
+  const std::size_t n = num_matrices();
+  sim::Engine engine(pool, gating);
+  elaborate(engine);
 
   const std::uint32_t root = arena_->id(0, n - 1);
   const sim::Cycle limit = 4 * static_cast<sim::Cycle>(n) + 16;

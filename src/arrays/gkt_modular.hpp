@@ -27,6 +27,7 @@
 #include "semiring/cost.hpp"
 #include "semiring/matrix.hpp"
 #include "sim/engine.hpp"
+#include "sim/port.hpp"
 
 namespace sysdp::sim {
 class ThreadPool;
@@ -64,6 +65,14 @@ class GktModularArray {
   /// ever contend for one link register.
   [[nodiscard]] Result run(sim::ThreadPool* pool = nullptr,
                            sim::Gating gating = sim::Gating::kSparse);
+
+  /// Build the arena, cells, and wakeup wiring into `engine` without
+  /// running a cycle (run() uses this; the lint CLI captures the netlist).
+  void elaborate(sim::Engine& engine);
+
+  /// Testbench-side taps for analysis::capture: the boundary link
+  /// registers (top row / last column) shift into the void by design.
+  void describe_environment(sim::PortSet& ports) const;
 
   [[nodiscard]] std::size_t num_matrices() const noexcept {
     return dims_.size() - 1;

@@ -84,4 +84,38 @@ TriangularArray<PolygonRule>::Result run_polygon_array(
   return TriangularArray<PolygonRule>(std::move(rule), n).run();
 }
 
+ChainRule::ChainRule(std::vector<Cost> dims) : dims_(std::move(dims)) {
+  if (dims_.size() < 2) {
+    throw std::invalid_argument("ChainRule: need at least one matrix");
+  }
+  for (Cost d : dims_) {
+    if (d <= 0) throw std::invalid_argument("ChainRule: dims must be > 0");
+  }
+}
+
+Cost ChainRule::candidate(std::size_t i, std::size_t j, std::size_t t,
+                          Cost left, Cost right) const {
+  const std::size_t k = i + t;
+  return kern::interval_candidate(left, right,
+                                  dims_[i] * dims_[k + 1] * dims_[j + 1]);
+}
+
+std::pair<std::size_t, std::size_t> ChainRule::left_interval(
+    std::size_t i, std::size_t j, std::size_t t) const {
+  (void)j;
+  return {i, i + t};
+}
+
+std::pair<std::size_t, std::size_t> ChainRule::right_interval(
+    std::size_t i, std::size_t j, std::size_t t) const {
+  return {i + t + 1, j};
+}
+
+TriangularArray<ChainRule>::Result run_chain_array(
+    const std::vector<Cost>& dims) {
+  ChainRule rule(dims);
+  const std::size_t n = rule.num_matrices();
+  return TriangularArray<ChainRule>(std::move(rule), n).run();
+}
+
 }  // namespace sysdp

@@ -198,4 +198,36 @@ class PolygonRule {
 [[nodiscard]] TriangularArray<PolygonRule>::Result run_polygon_array(
     const std::vector<Cost>& weights);
 
+/// Rule for the optimal matrix-multiplication order (the paper's eq. 6):
+///   m(i, j) = min_{i <= k < j} m(i, k) + m(k+1, j) + d_i d_{k+1} d_{j+1}
+/// over chain dimensions d.  This is the recurrence the GKT array is
+/// specialised for, so the generic triangular models cross-check against
+/// GktRtlArray / GktModularArray on identical inputs.
+class ChainRule {
+ public:
+  explicit ChainRule(std::vector<Cost> dims);
+
+  [[nodiscard]] Cost base(std::size_t) const { return 0; }
+  [[nodiscard]] std::size_t splits(std::size_t i, std::size_t j) const {
+    return j - i;
+  }
+  [[nodiscard]] Cost candidate(std::size_t i, std::size_t j, std::size_t t,
+                               Cost left, Cost right) const;
+  [[nodiscard]] std::pair<std::size_t, std::size_t> left_interval(
+      std::size_t i, std::size_t j, std::size_t t) const;
+  [[nodiscard]] std::pair<std::size_t, std::size_t> right_interval(
+      std::size_t i, std::size_t j, std::size_t t) const;
+
+  [[nodiscard]] std::size_t num_matrices() const noexcept {
+    return dims_.size() - 1;
+  }
+
+ private:
+  std::vector<Cost> dims_;
+};
+
+/// Matrix-chain ordering on the generic triangular array.
+[[nodiscard]] TriangularArray<ChainRule>::Result run_chain_array(
+    const std::vector<Cost>& dims);
+
 }  // namespace sysdp

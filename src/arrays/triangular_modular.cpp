@@ -1,0 +1,482 @@
+#include "arrays/triangular_modular.hpp"
+
+#include <string>
+
+#include "semiring/kernels.hpp"
+#include "sim/module.hpp"
+#include "sim/thread_pool.hpp"
+#include "arrays/triangular_array.hpp"
+
+namespace sysdp {
+
+namespace {
+
+/// A value in flight on a link, tagged by its origin cell (a, b).
+struct Flit {
+  Cost val = 0;
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+};
+
+/// The row and column link registers at one cell position, two-phase (see
+/// GktModularArray::LinkPair — same fabric).
+struct LinkPair {
+  Flit row_cur, col_cur;
+  Flit row_nxt, col_nxt;
+  std::uint8_t row_has = 0, col_has = 0;
+  std::uint8_t row_nxt_has = 0, col_nxt_has = 0;
+};
+
+struct CellMeta {
+  Cost best = kInfCost;
+  sim::Cycle done_at = 0;
+  std::uint64_t busy = 0;
+  std::uint32_t q_head = 0;  ///< next ready candidate to fold
+  std::uint32_t q_len = 0;   ///< ready candidates pushed so far
+  std::uint32_t remaining = 0;
+  std::uint8_t is_done = 0;
+  std::uint8_t fired = 0;  ///< launch already sent (diagonals at cycle 0)
+};
+
+}  // namespace
+
+/// Per-array arena: the packed link registers, fold metadata, the patient
+/// completion-launch slots, and the flattened per-candidate tables
+/// (origins, clamp flags, local costs, arrived operand values, ready
+/// FIFO), prefix-offset addressed per cell.  Cell modules are thin lane
+/// views, registered diagonal-major like GktModularArray.
+struct TriangularModularCore::Arena {
+  std::size_t n;
+  std::vector<std::uint32_t> id_of;  ///< (i*n + j) -> cell id, i <= j
+
+  std::vector<LinkPair> link;
+  std::vector<CellMeta> meta;
+
+  // Patient launch slots: a completing cell stages the receiver's slot;
+  // the receiver's commit merges it into the link register at the first
+  // cycle with a gap (the slot stays pending until then).  Each slot has
+  // exactly one possible launcher, which launches at most once per run,
+  // so a still-pending slot can never be re-staged.
+  std::vector<Flit> row_launch, col_launch;
+  std::vector<std::uint8_t> row_launch_set, col_launch_set;
+
+  // Per-candidate tables, lane cand_base[id] + t for t < cands.
+  std::vector<std::uint32_t> cand_base;
+  std::vector<std::uint32_t> row_origin, col_origin;
+  std::vector<std::uint8_t> use_left, use_right;
+  std::vector<Cost> local, left_val, right_val;
+  std::vector<std::uint8_t> left_set, right_set;
+  std::vector<std::uint32_t> q_store;
+
+  Arena(std::size_t n_in, const std::vector<Cost>& base,
+        const std::vector<std::vector<Candidate>>& cands)
+      : n(n_in) {
+    const std::size_t cells = n * (n + 1) / 2;
+    id_of.assign(n * n, 0);
+    std::uint32_t next = 0;
+    for (std::size_t d = 0; d < n; ++d) {
+      for (std::size_t i = 0; i + d < n; ++i) id_of[i * n + (i + d)] = next++;
+    }
+    link.resize(cells);
+    meta.resize(cells);
+    row_launch.resize(cells);
+    col_launch.resize(cells);
+    row_launch_set.assign(cells, 0);
+    col_launch_set.assign(cells, 0);
+
+    cand_base.assign(cells + 1, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      meta[id(i, i)].best = base[i];
+      meta[id(i, i)].is_done = 1;  // diagonals complete at cycle 0
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const auto& list = cands[i * n + j];
+        cand_base[id(i, j) + 1] = static_cast<std::uint32_t>(list.size());
+        meta[id(i, j)].remaining = static_cast<std::uint32_t>(list.size());
+        if (list.empty()) {
+          // Trivially solved (e.g. a polygon edge): value 0 at cycle 0.
+          // Such a cell still forwards traffic but never launches — the
+          // constructor has verified nothing consumes it.
+          meta[id(i, j)].best = 0;
+          meta[id(i, j)].is_done = 1;
+          meta[id(i, j)].fired = 1;
+        }
+      }
+    }
+    for (std::size_t c = 0; c < cells; ++c) cand_base[c + 1] += cand_base[c];
+    const std::size_t total = cand_base[cells];
+    row_origin.assign(total, 0);
+    col_origin.assign(total, 0);
+    use_left.assign(total, 0);
+    use_right.assign(total, 0);
+    local.assign(total, 0);
+    left_val.assign(total, 0);
+    right_val.assign(total, 0);
+    left_set.assign(total, 0);
+    right_set.assign(total, 0);
+    q_store.assign(total, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const auto& list = cands[i * n + j];
+        const std::uint32_t b0 = cand_base[id(i, j)];
+        for (std::size_t t = 0; t < list.size(); ++t) {
+          row_origin[b0 + t] = list[t].row_origin;
+          col_origin[b0 + t] = list[t].col_origin;
+          use_left[b0 + t] = list[t].use_left;
+          use_right[b0 + t] = list[t].use_right;
+          local[b0 + t] = list[t].local;
+        }
+      }
+    }
+  }
+
+  /// Polled between cycles on the main thread (eval must not mutate any
+  /// shared counter — cells fold concurrently under the pooled engine).
+  [[nodiscard]] bool all_done() const {
+    for (const CellMeta& mt : meta) {
+      if (!mt.is_done) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] std::uint32_t id(std::size_t i, std::size_t j) const {
+    return id_of[i * n + j];
+  }
+
+  /// Whether cell (i, j) ever launches a completion: diagonals always do,
+  /// off-diagonal cells only when they have candidates (trivially-solved
+  /// cells forward traffic but produce nothing).
+  [[nodiscard]] bool launches(std::size_t i, std::size_t j) const {
+    if (i == j) return true;
+    const std::uint32_t c = id(i, j);
+    return cand_base[c + 1] - cand_base[c] > 0;
+  }
+
+  /// A completed cell (a, b) launches rightward on row a and upward on
+  /// column b by staging the receiver's (patient) launch slot.
+  void launch(std::size_t a, std::size_t b, Cost v) {
+    const Flit f{v, static_cast<std::uint32_t>(a),
+                 static_cast<std::uint32_t>(b)};
+    if (b + 1 < n) {
+      const std::uint32_t t = id(a, b + 1);
+      if (row_launch_set[t]) {
+        throw std::logic_error("TriangularModularCore: launch slot re-staged");
+      }
+      row_launch[t] = f;
+      row_launch_set[t] = 1;
+    }
+    if (a > 0) {
+      const std::uint32_t t = id(a - 1, b);
+      if (col_launch_set[t]) {
+        throw std::logic_error("TriangularModularCore: launch slot re-staged");
+      }
+      col_launch[t] = f;
+      col_launch_set[t] = 1;
+    }
+  }
+};
+
+/// One cell (i, j).  Diagonal cells launch their base value at cycle 0 and
+/// retire; off-diagonal cells observe the streams passing their position,
+/// match flits against their candidates' origin tables, fold up to two
+/// ready candidates per cycle, and forward both streams one hop.
+class TriangularModularCore::Cell : public sim::Module {
+ public:
+  Cell(std::size_t i, std::size_t j, Arena& a)
+      : Module("t" + std::to_string(i) + "_" + std::to_string(j)),
+        i_(i),
+        j_(j),
+        id_(a.id(i, j)),
+        left_(i == j ? 0 : a.id(i, j - 1)),
+        below_(i == j ? 0 : a.id(i + 1, j)),
+        a_(a) {}
+
+  void eval(sim::Cycle c) override {
+    Arena& a = a_;
+    const std::uint32_t id = id_;
+    if (i_ == j_) {
+      if (c == 0) {
+        a.launch(i_, j_, a.meta[id].best);
+        a.meta[id].fired = 1;
+      }
+      return;
+    }
+    LinkPair& lk = a.link[id];
+    CellMeta& mt = a.meta[id];
+    const std::uint32_t b0 = a.cand_base[id];
+    const std::uint32_t kcnt = a.cand_base[id + 1] - b0;
+    std::uint32_t* const q = a.q_store.data() + b0;
+    const std::uint32_t len0 = mt.q_len;  // candidates ready before cycle c
+
+    // ---- observe: match passing flits against the origin tables --------
+    if (lk.row_has && lk.row_cur.a == i_) {
+      const Flit& f = lk.row_cur;  // left operand from (i, f.b)
+      for (std::uint32_t t = 0; t < kcnt; ++t) {
+        if (a.row_origin[b0 + t] == f.b && !a.left_set[b0 + t]) {
+          a.left_val[b0 + t] = f.val;
+          a.left_set[b0 + t] = 1;
+          if (a.right_set[b0 + t]) q[mt.q_len++] = t;
+        }
+      }
+    }
+    if (lk.col_has && lk.col_cur.b == j_) {
+      const Flit& f = lk.col_cur;  // right operand from (f.a, j)
+      for (std::uint32_t t = 0; t < kcnt; ++t) {
+        if (a.col_origin[b0 + t] == f.a && !a.right_set[b0 + t]) {
+          a.right_val[b0 + t] = f.val;
+          a.right_set[b0 + t] = 1;
+          if (a.left_set[b0 + t]) q[mt.q_len++] = t;
+        }
+      }
+    }
+
+    // ---- compute: fold up to two candidates that were ready before now -
+    if (!mt.is_done && mt.q_head < len0) {
+      std::uint32_t taken = 0;
+      while (mt.q_head < len0 && taken < 2) {
+        const std::uint32_t t = q[mt.q_head];
+        const Cost l = a.use_left[b0 + t] ? a.left_val[b0 + t] : 0;
+        const Cost r = a.use_right[b0 + t] ? a.right_val[b0 + t] : 0;
+        const Cost cand = kern::interval_candidate(l, r, a.local[b0 + t]);
+        if (cand < mt.best) mt.best = cand;
+        ++mt.busy;
+        ++mt.q_head;
+        ++taken;
+        --mt.remaining;
+      }
+      if (mt.remaining == 0) {
+        mt.is_done = 1;
+        mt.done_at = c;
+        a.launch(i_, j_, mt.best);
+      }
+    }
+
+    // ---- stage the through-shift: one hop from upstream ----------------
+    const LinkPair& lleft = a.link[left_];
+    const LinkPair& lbelow = a.link[below_];
+    lk.row_nxt = lleft.row_cur;
+    lk.row_nxt_has = lleft.row_has;
+    lk.col_nxt = lbelow.col_cur;
+    lk.col_nxt_has = lbelow.col_has;
+  }
+
+  void commit() override {
+    if (i_ == j_) return;
+    Arena& a = a_;
+    const std::uint32_t id = id_;
+    LinkPair& lk = a.link[id];
+    // Patient merge: a pending launch takes the link only in a cycle whose
+    // through-shift leaves it empty; otherwise it keeps waiting.
+    if (a.row_launch_set[id] && !lk.row_nxt_has) {
+      lk.row_cur = a.row_launch[id];
+      lk.row_has = 1;
+      a.row_launch_set[id] = 0;
+    } else {
+      lk.row_cur = lk.row_nxt;
+      lk.row_has = lk.row_nxt_has;
+    }
+    if (a.col_launch_set[id] && !lk.col_nxt_has) {
+      lk.col_cur = a.col_launch[id];
+      lk.col_has = 1;
+      a.col_launch_set[id] = 0;
+    } else {
+      lk.col_cur = lk.col_nxt;
+      lk.col_has = lk.col_nxt_has;
+    }
+  }
+
+  /// A diagonal is quiescent once its cycle-0 launch fired.  A cell is
+  /// quiescent when both links are empty, no folded-candidate work is
+  /// queued, and no launch is waiting in its slots (a waiting launch
+  /// needs this cell's commit to merge — sleeping on it would deadlock).
+  [[nodiscard]] bool quiescent() const noexcept override {
+    const CellMeta& mt = a_.meta[id_];
+    if (i_ == j_) return mt.fired != 0;
+    const LinkPair& lk = a_.link[id_];
+    return !lk.row_has && !lk.col_has && mt.q_head == mt.q_len &&
+           !a_.row_launch_set[id_] && !a_.col_launch_set[id_];
+  }
+
+  /// Diagonals retire after their one launch; every other cell sleeps
+  /// between flits and is reactivated by the two incoming streams.
+  [[nodiscard]] sim::SleepMode sleep_mode() const noexcept override {
+    return i_ == j_ ? sim::SleepMode::kRetire : sim::SleepMode::kWakeable;
+  }
+
+  /// Same key model as GktModularArray: link registers and launch slots,
+  /// with the leaf tie-off convention (a diagonal never writes its own
+  /// links, so downstream cells do not declare reads of diagonal links).
+  void describe_ports(sim::PortSet& ports) const override {
+    const Arena& a = a_;
+    const auto slot = [](const char* base, std::size_t i, std::size_t j) {
+      return std::string(base) + "[" + std::to_string(i) + "," +
+             std::to_string(j) + "]";
+    };
+    if (i_ != j_) {
+      ports.writes_register(&a.link[id_].row_cur, slot("row", i_, j_));
+      ports.writes_register(&a.link[id_].col_cur, slot("col", i_, j_));
+      // A launch slot is staged only by the neighbour it belongs to; when
+      // that neighbour never launches (a trivially-solved cell) the slot
+      // stays architecturally empty and declaring the read would be a
+      // dangling port.
+      if (a.launches(i_, j_ - 1)) {
+        ports.reads_register(&a.row_launch[id_], slot("row_launch", i_, j_));
+      }
+      if (a.launches(i_ + 1, j_)) {
+        ports.reads_register(&a.col_launch[id_], slot("col_launch", i_, j_));
+      }
+      if (j_ > i_ + 1) {  // upstreams are real cells, not diagonals
+        ports.reads_register(&a.link[left_].row_cur, slot("row", i_, j_ - 1));
+        ports.reads_register(&a.link[below_].col_cur,
+                             slot("col", i_ + 1, j_));
+      }
+    }
+    // Completion launch targets (trivially-solved cells never launch).
+    if (a.launches(i_, j_)) {
+      if (j_ + 1 < a.n) {
+        ports.writes_register(&a.row_launch[a.id(i_, j_ + 1)],
+                              slot("row_launch", i_, j_ + 1));
+      }
+      if (i_ > 0) {
+        ports.writes_register(&a.col_launch[a.id(i_ - 1, j_)],
+                              slot("col_launch", i_ - 1, j_));
+      }
+    }
+  }
+
+ private:
+  std::size_t i_, j_;
+  std::uint32_t id_, left_, below_;
+  Arena& a_;
+};
+
+TriangularModularCore::TriangularModularCore(
+    std::size_t n, std::vector<Cost> base,
+    std::vector<std::vector<Candidate>> cands)
+    : n_(n), base_(std::move(base)), cands_(std::move(cands)) {
+  if (n_ == 0) throw std::invalid_argument("TriangularModularCore: empty");
+  if (base_.size() != n_ || cands_.size() != n_ * n_) {
+    throw std::invalid_argument("TriangularModularCore: bad table shape");
+  }
+  // Every origin must name a cell that actually launches: a diagonal, or
+  // an off-diagonal cell with at least one candidate.
+  const auto launches = [&](std::size_t i, std::size_t j) {
+    return i == j || !cands_[i * n_ + j].empty();
+  };
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = i + 1; j < n_; ++j) {
+      for (const Candidate& c : cands_[i * n_ + j]) {
+        if (c.row_origin < i || c.row_origin >= j ||
+            !launches(i, c.row_origin) || c.col_origin <= i ||
+            c.col_origin > j || !launches(c.col_origin, j)) {
+          throw std::invalid_argument(
+              "TriangularModularCore: candidate origin is not a launching "
+              "cell");
+        }
+      }
+    }
+  }
+}
+
+TriangularModularCore::~TriangularModularCore() = default;
+
+void TriangularModularCore::elaborate(sim::Engine& engine) {
+  arena_ = std::make_unique<Arena>(n_, base_, cands_);
+  cells_.clear();
+  // Registered in arena-id (diagonal-major) order, like GktModularArray.
+  for (std::size_t d = 0; d < n_; ++d) {
+    for (std::size_t i = 0; i + d < n_; ++i) {
+      cells_.push_back(std::make_unique<Cell>(i, i + d, *arena_));
+      engine.add(*cells_.back());
+    }
+  }
+  // Wakeup edges follow the two transport streams, the only arcs a flit
+  // (through-shift or patient launch) can arrive on.
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = i; j < n_; ++j) {
+      const std::uint32_t id = arena_->id(i, j);
+      if (j + 1 < n_) {
+        engine.add_wakeup(*cells_[id], *cells_[arena_->id(i, j + 1)]);
+      }
+      if (i > 0) {
+        engine.add_wakeup(*cells_[id], *cells_[arena_->id(i - 1, j)]);
+      }
+    }
+  }
+}
+
+void TriangularModularCore::describe_environment(sim::PortSet& ports) const {
+  if (arena_ == nullptr) return;
+  const std::size_t n = arena_->n;
+  // Boundary tie-offs: the last column's row streams and the top row's
+  // column streams shift off the edge of the triangle by design.
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    ports.reads_register(&arena_->link[arena_->id(i, n - 1)].row_cur,
+                         "row[" + std::to_string(i) + "," +
+                             std::to_string(n - 1) + "]");
+  }
+  for (std::size_t j = 1; j < n; ++j) {
+    ports.reads_register(&arena_->link[arena_->id(0, j)].col_cur,
+                         "col[0," + std::to_string(j) + "]");
+  }
+}
+
+TriangularModularCore::Result TriangularModularCore::run(
+    sim::ThreadPool* pool, sim::Gating gating) {
+  const std::size_t n = n_;
+  sim::Engine engine(pool, gating);
+  elaborate(engine);
+
+  // Transport bound: every flit crosses at most n links, each candidate
+  // fold costs at most one extra cycle, and a patient launch can wait at
+  // most for the finite stream ahead of it — 8n + 32 covers the family
+  // with generous slack.
+  const sim::Cycle limit = 8 * static_cast<sim::Cycle>(n) + 32;
+  const auto until = engine.run_until([this] { return arena_->all_done(); },
+                                      limit);
+  if (!until.satisfied) {
+    throw std::logic_error("TriangularModularCore: did not converge");
+  }
+
+  Result out{Matrix<Cost>(n, n, kInfCost), Matrix<sim::Cycle>(n, n, 0), {}};
+  out.stats.num_pes = n * (n + 1) / 2;
+  out.stats.input_scalars = n;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.cost(i, i) = arena_->meta[arena_->id(i, i)].best;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const CellMeta& mt = arena_->meta[arena_->id(i, j)];
+      out.cost(i, j) = mt.best;
+      out.done(i, j) = mt.done_at;
+      out.stats.busy_steps += mt.busy;
+    }
+  }
+  out.stats.cycles = until.cycles;
+  out.stats.active_evals = engine.active_evals();
+  out.stats.dense_evals = engine.dense_evals();
+  return out;
+}
+
+TriangularModularCore::Result run_bst_modular(const std::vector<Cost>& freq,
+                                              sim::ThreadPool* pool,
+                                              sim::Gating gating) {
+  const BstRule rule(freq);
+  return TriangularModularArray<BstRule>(rule, rule.num_keys())
+      .run(pool, gating);
+}
+
+TriangularModularCore::Result run_polygon_modular(
+    const std::vector<Cost>& weights, sim::ThreadPool* pool,
+    sim::Gating gating) {
+  const PolygonRule rule(weights);
+  return TriangularModularArray<PolygonRule>(rule, rule.num_vertices())
+      .run(pool, gating);
+}
+
+TriangularModularCore::Result run_chain_modular(const std::vector<Cost>& dims,
+                                                sim::ThreadPool* pool,
+                                                sim::Gating gating) {
+  const ChainRule rule(dims);
+  return TriangularModularArray<ChainRule>(rule, rule.num_matrices())
+      .run(pool, gating);
+}
+
+}  // namespace sysdp

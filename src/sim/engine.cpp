@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
+#include <utility>
 
 #include "sim/thread_pool.hpp"
 
@@ -49,8 +51,27 @@ std::size_t Engine::index_of(const Module& m) const {
 }
 
 void Engine::add_wakeup(const Module& src, const Module& dst) {
+  if (now_ > 0) {
+    throw std::logic_error(
+        "Engine::add_wakeup: wakeup edges must be declared before the first "
+        "step() — a module may already have gone quiescent without this "
+        "edge's protection (edge " +
+        src.name() + " -> " + dst.name() + " declared at cycle " +
+        std::to_string(now_) + ")");
+  }
   wake_[index_of(src)].push_back(static_cast<std::uint32_t>(index_of(dst)));
   gated_init_ = false;  // the CSR edge view is stale
+}
+
+std::vector<std::pair<const Module*, const Module*>> Engine::wakeup_edges()
+    const {
+  std::vector<std::pair<const Module*, const Module*>> edges;
+  for (std::size_t i = 0; i < wake_.size(); ++i) {
+    for (const std::uint32_t d : wake_[i]) {
+      edges.emplace_back(modules_[i], modules_[d]);
+    }
+  }
+  return edges;
 }
 
 void Engine::step_serial() {
@@ -194,6 +215,13 @@ void Engine::refresh_active() {
 }
 
 void Engine::step() {
+  if (now_ == 0 && elaboration_check_) {
+    // One-shot: the netlist is complete (add/add_wakeup reject changes once
+    // time starts), so the verdict cannot change on later cycles.
+    const auto check = std::move(elaboration_check_);
+    elaboration_check_ = nullptr;
+    check(*this);
+  }
   const bool pooled =
       pool_ != nullptr && parallel_.size() >= kMinParallelModules;
   if (gating_ == Gating::kSparse) {

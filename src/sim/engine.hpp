@@ -40,6 +40,7 @@
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "sim/module.hpp"
@@ -84,7 +85,22 @@ class Engine {
   /// tail -> feedback consumer, ...).  Both modules must already be
   /// add()ed; throws std::invalid_argument otherwise.  Ignored (harmless)
   /// in dense mode.
+  ///
+  /// Elaboration must be complete before time starts: once step() has run,
+  /// a module may already have been demoted without the new edge's
+  /// protection, so add_wakeup throws std::logic_error instead of letting
+  /// the late edge silently fail to guard the cycles that already passed.
   void add_wakeup(const Module& src, const Module& dst);
+
+  /// Install a check that runs once, at the first step(), after the
+  /// netlist is fully elaborated and before any module evaluates.  The
+  /// analysis layer uses this for the opt-in debug mode that lints every
+  /// engine at elaboration and fails fast (analysis::attach_debug_lint);
+  /// the hook keeps sim free of a dependency on the analysis library.
+  /// Throwing from the check aborts the run before cycle 0.
+  void set_elaboration_check(std::function<void(const Engine&)> check) {
+    elaboration_check_ = std::move(check);
+  }
 
   /// Advance one clock cycle.
   void step();
@@ -102,6 +118,17 @@ class Engine {
   [[nodiscard]] std::size_t num_modules() const noexcept {
     return modules_.size();
   }
+
+  /// Registered modules in registration (= evaluation) order.  Read-only
+  /// connectivity introspection for the analysis layer.
+  [[nodiscard]] const std::vector<Module*>& modules() const noexcept {
+    return modules_;
+  }
+
+  /// Declared wakeup edges as (src, dst) module pairs, in declaration
+  /// order per source.  Read-only view for the analysis layer.
+  [[nodiscard]] std::vector<std::pair<const Module*, const Module*>>
+  wakeup_edges() const;
 
   /// True if this engine fans eval/commit across a thread pool.
   [[nodiscard]] bool parallel() const noexcept { return pool_ != nullptr; }
@@ -173,6 +200,7 @@ class Engine {
   std::vector<std::uint32_t> active_regs_;
   std::vector<std::uint32_t> woken_;  ///< refresh_active scratch
   bool gated_init_ = false;
+  std::function<void(const Engine&)> elaboration_check_;
   ThreadPool* pool_ = nullptr;
   Gating gating_ = Gating::kDense;
   Cycle now_ = 0;

@@ -7,8 +7,25 @@
 
 namespace sysdp::sim {
 
+class PortSet;
+
 /// Clock cycle index.
 using Cycle = std::uint64_t;
+
+/// How a module uses quiescence under Gating::kSparse — declared alongside
+/// quiescent() so the static wakeup-coverage check knows which modules need
+/// their inputs covered by Engine::add_wakeup edges.
+enum class SleepMode : std::uint8_t {
+  /// quiescent() is never true (the Module default): the module runs every
+  /// cycle, so no incoming dataflow needs wakeup coverage.
+  kNever,
+  /// Once quiescent, quiescent forever (a drained PE, an exhausted feed):
+  /// no input can ever reactivate it, so none needs coverage.
+  kRetire,
+  /// May go quiescent and later reactivate: every incoming dataflow edge
+  /// must be covered by a wakeup edge, or the gated run can diverge.
+  kWakeable,
+};
 
 /// A clocked hardware block.  Each cycle the engine calls eval() on every
 /// module (combinational phase: read registers/buses, stage register
@@ -54,6 +71,19 @@ class Module {
   /// quiescent, which is always safe (the module simply never gets
   /// skipped).
   [[nodiscard]] virtual bool quiescent() const noexcept { return false; }
+
+  /// Declared counterpart of quiescent(): a module that overrides
+  /// quiescent() must also report how it sleeps (kRetire or kWakeable), or
+  /// the wakeup-coverage lint check cannot see that its inputs need edges.
+  [[nodiscard]] virtual SleepMode sleep_mode() const noexcept {
+    return SleepMode::kNever;
+  }
+
+  /// Connectivity introspection: declare every register/signal this module
+  /// reads or writes (see sim/port.hpp).  The default declares nothing,
+  /// which keeps hand-rolled test modules working but makes the module
+  /// opaque to the static-analysis layer.
+  virtual void describe_ports(PortSet& ports) const { (void)ports; }
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
 

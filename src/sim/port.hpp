@@ -1,0 +1,130 @@
+// Connectivity introspection: modules declare the storage they touch.
+//
+// The engine simulates netlists whose correctness rests on structural
+// invariants (single drivers, registered PE-to-PE links, wakeup edges
+// covering every reactivating input).  Those invariants are facts about
+// *connectivity*, so they can be checked statically — but the C++ object
+// graph hides connectivity inside eval() bodies.  PortSet makes it
+// explicit: Module::describe_ports reports every piece of shared storage
+// the module reads or writes, identified by address.  The identity is a
+// plain `const void*` key on purpose: array models keep hot state in
+// struct-of-arrays arenas where "one register" is a lane across several
+// vectors, and the address of any one stable element (conventionally the
+// value field) names the lane.  Two modules that pass the same key are
+// connected; that is the whole model.
+//
+// Port kinds mirror the engine's two timing domains:
+//
+//   * kRegister — two-phase state: written during eval (or staged for a
+//     peer's commit) and observable from the *next* cycle.  Register<T>,
+//     arena register rails, and cross-module launch/staging slots that a
+//     peer latches at its clock edge all belong here.
+//   * kSignal — combinational state: driven during eval and observable by
+//     later modules in the *same* cycle.  Bus<T> and host-feed outputs
+//     belong here; drivers must report Module::combinational().
+//
+// A combinational output that merely re-presents a registered value one
+// cycle later (a bus driven from a register, a delivery latch) declares
+// that with derives(): the analysis layer uses it to accept wakeup edges
+// that originate at the register's writer instead of at the signal driver
+// — the retiming argument (Leiserson & Saxe) made checkable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sysdp::sim {
+
+template <typename T>
+class Register;
+template <typename T>
+class Bus;
+
+/// Timing domain of a declared port.  See the file comment.
+enum class PortKind : std::uint8_t { kRegister, kSignal };
+
+/// Direction relative to the declaring module: kIn is read, kOut is
+/// written/driven.
+enum class PortDir : std::uint8_t { kIn, kOut };
+
+/// One declared storage access.  `storage` is the identity key: equal keys
+/// mean the same physical register/signal.
+struct Port {
+  const void* storage = nullptr;
+  PortKind kind = PortKind::kRegister;
+  PortDir dir = PortDir::kIn;
+  std::string label;  ///< human-readable name, e.g. "r[3]" or "bus"
+};
+
+/// A combinational output re-presenting a registered value: `signal` is a
+/// kSignal out-port key, `reg` the kRegister key it is derived from.
+struct SignalDerivation {
+  const void* signal = nullptr;
+  const void* reg = nullptr;
+};
+
+/// Collector passed to Module::describe_ports (and, for testbench-side
+/// taps, filled directly by array models' describe_environment).
+class PortSet {
+ public:
+  /// Raw-key declarations — use these for arena lanes, naming the lane by
+  /// the address of one stable element (conventionally the value field).
+  void reads_register(const void* key, std::string label) {
+    add(key, PortKind::kRegister, PortDir::kIn, std::move(label));
+  }
+  void writes_register(const void* key, std::string label) {
+    add(key, PortKind::kRegister, PortDir::kOut, std::move(label));
+  }
+  void reads_signal(const void* key, std::string label) {
+    add(key, PortKind::kSignal, PortDir::kIn, std::move(label));
+  }
+  void drives_signal(const void* key, std::string label) {
+    add(key, PortKind::kSignal, PortDir::kOut, std::move(label));
+  }
+
+  /// Typed conveniences for the discrete primitives.
+  template <typename T>
+  void reads(const Register<T>& r, std::string label) {
+    reads_register(&r, std::move(label));
+  }
+  template <typename T>
+  void writes(const Register<T>& r, std::string label) {
+    writes_register(&r, std::move(label));
+  }
+  template <typename T>
+  void reads(const Bus<T>& b, std::string label) {
+    reads_signal(&b, std::move(label));
+  }
+  template <typename T>
+  void drives(const Bus<T>& b, std::string label) {
+    drives_signal(&b, std::move(label));
+  }
+
+  /// Declare that out-signal `signal` is a combinational function of the
+  /// committed value of register `reg` (and of nothing else that can
+  /// reactivate a consumer).  Wakeup-coverage then accepts an edge from
+  /// the register's writer in place of one from the signal driver.
+  void derives(const void* signal, const void* reg) {
+    derivations_.push_back(SignalDerivation{signal, reg});
+  }
+
+  [[nodiscard]] const std::vector<Port>& ports() const noexcept {
+    return ports_;
+  }
+  [[nodiscard]] const std::vector<SignalDerivation>& derivations()
+      const noexcept {
+    return derivations_;
+  }
+
+ private:
+  void add(const void* key, PortKind kind, PortDir dir, std::string label) {
+    ports_.push_back(Port{key, kind, dir, std::move(label)});
+  }
+
+  std::vector<Port> ports_;
+  std::vector<SignalDerivation> derivations_;
+};
+
+}  // namespace sysdp::sim

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <memory>
 #include <numeric>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -134,6 +135,19 @@ TEST(Engine, RunUntilChecksPredicateOncePerCycle) {
   EXPECT_FALSE(res.satisfied);
   EXPECT_EQ(res.cycles, 4u);
   EXPECT_EQ(calls, 5);  // entry check + one per cycle, no redundant recheck
+}
+
+TEST(Engine, AddWakeupAfterFirstStepThrows) {
+  ShiftStage a("a", nullptr);
+  ShiftStage b("b", &a.out_);
+  Engine eng(Gating::kSparse);
+  eng.add(a);
+  eng.add(b);
+  eng.add_wakeup(a, b);  // elaboration-time edges are fine
+  eng.step();
+  // Once time has started a module may already have been demoted without
+  // the new edge's protection, so the engine must refuse the late edge.
+  EXPECT_THROW(eng.add_wakeup(a, b), std::logic_error);
 }
 
 TEST(Bus, SingleDriverPerCycle) {

@@ -1,0 +1,192 @@
+// Differential tests for the engine-backed generic triangular array:
+// TriangularModularCore must agree with the analytic TriangularArray on
+// every rule in the interval-DP family, agree with the chain-specialised
+// GKT arrays on chain inputs, and be bit-identical across engine modes.
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "arrays/gkt_modular.hpp"
+#include "arrays/gkt_rtl.hpp"
+#include "arrays/triangular_array.hpp"
+#include "arrays/triangular_modular.hpp"
+#include "sim/thread_pool.hpp"
+
+namespace sysdp {
+namespace {
+
+// Deterministic pseudo-random costs in [1, 20] (xorshift; no global RNG
+// so test order cannot change inputs).
+std::vector<Cost> make_costs(std::size_t n, std::uint64_t seed) {
+  std::vector<Cost> out(n);
+  std::uint64_t s = seed * 2654435761u + 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    out[i] = static_cast<Cost>(s % 20) + 1;
+  }
+  return out;
+}
+
+// Upper-triangle cost equality between the modular and analytic results.
+template <typename Analytic>
+void expect_costs_match(const TriangularModularCore::Result& mod,
+                        const Analytic& ref) {
+  ASSERT_EQ(mod.cost.rows(), ref.cost.rows());
+  ASSERT_EQ(mod.cost.cols(), ref.cost.cols());
+  for (std::size_t i = 0; i < mod.cost.rows(); ++i) {
+    for (std::size_t j = i; j < mod.cost.cols(); ++j) {
+      EXPECT_EQ(mod.cost(i, j), ref.cost(i, j)) << "cell (" << i << ", " << j
+                                                << ")";
+    }
+  }
+  EXPECT_EQ(mod.total(), ref.total());
+}
+
+TEST(TriangularModular, BstMatchesAnalytic) {
+  for (std::size_t n : {1u, 2u, 3u, 5u, 8u, 12u}) {
+    const auto freq = make_costs(n, 11 * n + 3);
+    const auto mod = run_bst_modular(freq);
+    const auto ref = run_bst_array(freq);
+    SCOPED_TRACE("n = " + std::to_string(n));
+    expect_costs_match(mod, ref);
+  }
+}
+
+TEST(TriangularModular, PolygonMatchesAnalytic) {
+  for (std::size_t n : {2u, 3u, 4u, 6u, 9u, 13u}) {
+    const auto weights = make_costs(n, 7 * n + 1);
+    const auto mod = run_polygon_modular(weights);
+    const auto ref = run_polygon_array(weights);
+    SCOPED_TRACE("n = " + std::to_string(n));
+    expect_costs_match(mod, ref);
+  }
+}
+
+TEST(TriangularModular, ChainMatchesAnalytic) {
+  for (std::size_t m : {1u, 2u, 4u, 7u, 11u}) {
+    const auto dims = make_costs(m + 1, 5 * m + 9);
+    const auto mod = run_chain_modular(dims);
+    const auto ref = run_chain_array(dims);
+    SCOPED_TRACE("matrices = " + std::to_string(m));
+    expect_costs_match(mod, ref);
+  }
+}
+
+// The analytic chain rule cross-checks the chain-specialised GKT arrays,
+// closing the triangle: generic-modular == generic-analytic == GKT.
+TEST(TriangularModular, ChainMatchesGktArrays) {
+  for (std::size_t m : {1u, 3u, 6u, 10u}) {
+    const auto dims = make_costs(m + 1, 13 * m + 5);
+    SCOPED_TRACE("matrices = " + std::to_string(m));
+    const auto mod = run_chain_modular(dims);
+    const auto rtl = GktRtlArray(dims).run();
+    auto gkt = GktModularArray(dims);
+    const auto gmod = gkt.run();
+    EXPECT_EQ(mod.total(), rtl.total());
+    EXPECT_EQ(mod.total(), gmod.total());
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = i; j < m; ++j) {
+        EXPECT_EQ(mod.cost(i, j), gmod.cost(i, j))
+            << "cell (" << i << ", " << j << ")";
+      }
+    }
+  }
+}
+
+// Classic fixed instance (CLRS 15.2): dims 30x35x15x5x10x20x25, optimal
+// cost 15125.
+TEST(TriangularModular, ChainClassicInstance) {
+  const std::vector<Cost> dims{30, 35, 15, 5, 10, 20, 25};
+  EXPECT_EQ(run_chain_modular(dims).total(), 15125);
+}
+
+// Bit-identity across serial/pooled x dense/sparse: cost AND completion
+// cycles match exactly (active/dense eval counters are simulator-side and
+// excluded by design).
+TEST(TriangularModular, BitIdenticalAcrossEngineModes) {
+  sim::ThreadPool pool(3);
+  struct Case {
+    const char* name;
+    sim::ThreadPool* pool;
+    sim::Gating gating;
+  };
+  const Case cases[] = {
+      {"serial/dense", nullptr, sim::Gating::kDense},
+      {"serial/sparse", nullptr, sim::Gating::kSparse},
+      {"pooled/dense", &pool, sim::Gating::kDense},
+      {"pooled/sparse", &pool, sim::Gating::kSparse},
+  };
+  const auto freq = make_costs(9, 42);
+  const auto weights = make_costs(9, 43);
+  const auto dims = make_costs(9, 44);
+  const auto ref_bst = run_bst_modular(freq);
+  const auto ref_poly = run_polygon_modular(weights);
+  const auto ref_chain = run_chain_modular(dims);
+  for (const auto& c : cases) {
+    SCOPED_TRACE(c.name);
+    for (const auto* ref : {&ref_bst, &ref_poly, &ref_chain}) {
+      auto got = ref == &ref_bst    ? run_bst_modular(freq, c.pool, c.gating)
+                 : ref == &ref_poly ? run_polygon_modular(weights, c.pool,
+                                                          c.gating)
+                                    : run_chain_modular(dims, c.pool, c.gating);
+      ASSERT_EQ(got.cost.rows(), ref->cost.rows());
+      for (std::size_t i = 0; i < got.cost.rows(); ++i) {
+        for (std::size_t j = i; j < got.cost.cols(); ++j) {
+          EXPECT_EQ(got.cost(i, j), ref->cost(i, j));
+          EXPECT_EQ(got.done(i, j), ref->done(i, j));
+        }
+      }
+      EXPECT_EQ(got.stats.busy_steps, ref->stats.busy_steps);
+      EXPECT_EQ(got.stats.cycles, ref->stats.cycles);
+    }
+  }
+}
+
+// Activity gating must actually save evals on a sparse workload while the
+// dense run evaluates every cell every cycle.
+TEST(TriangularModular, SparseGatingSkipsIdleCells) {
+  const auto freq = make_costs(12, 77);
+  const auto dense = run_bst_modular(freq, nullptr, sim::Gating::kDense);
+  const auto sparse = run_bst_modular(freq, nullptr, sim::Gating::kSparse);
+  EXPECT_EQ(dense.stats.active_evals, dense.stats.dense_evals);
+  EXPECT_LT(sparse.stats.active_evals, sparse.stats.dense_evals);
+  EXPECT_EQ(dense.total(), sparse.total());
+}
+
+TEST(TriangularModular, SingleCellArrays) {
+  EXPECT_EQ(run_bst_modular({5}).total(), 5);
+  EXPECT_EQ(run_chain_modular({3, 4}).total(), 0);
+  EXPECT_EQ(run_polygon_modular({2, 3}).total(), 0);
+}
+
+// A malformed rule whose sub-intervals leave the consumer's row/column
+// must be rejected at compile time, not silently mis-wired.
+struct BadRule {
+  [[nodiscard]] Cost base(std::size_t) const { return 0; }
+  [[nodiscard]] std::size_t splits(std::size_t, std::size_t) const {
+    return 1;
+  }
+  [[nodiscard]] Cost candidate(std::size_t, std::size_t, std::size_t, Cost l,
+                               Cost r) const {
+    return l + r;
+  }
+  [[nodiscard]] std::pair<std::size_t, std::size_t> left_interval(
+      std::size_t i, std::size_t, std::size_t) const {
+    return {i + 1, i + 1};  // not on the consumer's row
+  }
+  [[nodiscard]] std::pair<std::size_t, std::size_t> right_interval(
+      std::size_t, std::size_t j, std::size_t) const {
+    return {j, j};
+  }
+};
+
+TEST(TriangularModular, RejectsOffAxisRule) {
+  EXPECT_THROW((TriangularModularArray<BadRule>(BadRule{}, 3)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sysdp
