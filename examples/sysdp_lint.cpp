@@ -4,28 +4,24 @@
 //              [--list]
 //
 // Elaborates each example array (Designs 1-3, the GKT chain array, and the
-// generic triangular family) at several sizes on a fresh engine, captures
-// the dataflow netlist, and runs the five analysis checks.  Text output is
-// one report per design; --json emits one sysdp-lint-v1 document with all
-// reports, which CI archives.  The exit status is nonzero if any design
-// has a finding at or above the --fail-on severity (default: error), so
-// the lint run gates merges exactly like a test.
+// generic triangular family) at the registry's fixed sizes on a fresh
+// engine, captures the dataflow netlist, and runs the analysis checks.
+// Text output is one report per design; --json emits one sysdp-lint-v1
+// document with all reports, which CI archives.  The exit status is
+// nonzero if any design has a finding at or above the --fail-on severity
+// (default: error), so the lint run gates merges exactly like a test.
+//
+// The instance set is examples/design_registry.hpp — shared with
+// sysdp_trace, so the lint gate certifies exactly the netlists the trace
+// tool records.
 #include <cstdio>
-#include <functional>
-#include <random>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "analysis/lint.hpp"
 #include "analysis/netlist.hpp"
-#include "arrays/design1_modular.hpp"
-#include "arrays/design2_modular.hpp"
-#include "arrays/design3_modular.hpp"
-#include "arrays/gkt_modular.hpp"
-#include "arrays/triangular_array.hpp"
-#include "arrays/triangular_modular.hpp"
-#include "graph/generators.hpp"
+#include "design_registry.hpp"
 #include "sim/engine.hpp"
 
 namespace {
@@ -39,99 +35,15 @@ int usage() {
   return 2;
 }
 
-/// Deterministic instance inputs: the lint gate must flag the same netlist
-/// every run, so all sizes and seeds are fixed here.
-std::vector<Cost> deterministic_costs(std::size_t n, std::uint64_t seed) {
-  Rng rng(seed * 6364136223846793005ull + 1442695040888963407ull);
-  std::uniform_int_distribution<Cost> dist(1, 50);
-  std::vector<Cost> out(n);
-  for (auto& x : out) x = dist(rng);
-  return out;
-}
-
-/// Elaborate `arr` into a fresh gated engine, capture the netlist with the
-/// design's environment taps, and run all checks.
-template <typename Array>
-analysis::LintReport lint_array(Array& arr, const std::string& name) {
+/// Elaborate one registry instance into a fresh gated engine, capture the
+/// netlist with the design's environment taps, and run all checks.
+analysis::LintReport lint_design(const examples::DesignSpec& spec) {
+  const auto inst = spec.make();
   sim::Engine engine(sim::Gating::kSparse);
-  arr.elaborate(engine);
+  inst->elaborate(engine);
   analysis::CaptureOptions opts;
-  arr.describe_environment(opts.environment);
-  return analysis::Linter().run(analysis::capture(engine, opts), name);
-}
-
-struct Named {
-  std::string name;
-  std::function<analysis::LintReport()> run;
-};
-
-std::vector<Named> all_designs() {
-  std::vector<Named> out;
-  // Design 1: distributed-control string-product array.
-  for (auto [q, m] : {std::pair<std::size_t, std::size_t>{2, 3}, {4, 6}}) {
-    std::string name = "design1-modular[q" + std::to_string(q) + ",m" +
-                       std::to_string(m) + "]";
-    out.push_back({name, [q = q, m = m, name] {
-                     Rng rng(11 * q + m);
-                     Design1Modular arr(random_matrix_string(q, m, rng),
-                                        deterministic_costs(m, q));
-                     return lint_array(arr, name);
-                   }});
-  }
-  // Design 2: broadcast-bus array.
-  for (auto [q, m] : {std::pair<std::size_t, std::size_t>{2, 3}, {3, 5}}) {
-    std::string name = "design2-modular[q" + std::to_string(q) + ",m" +
-                       std::to_string(m) + "]";
-    out.push_back({name, [q = q, m = m, name] {
-                     Rng rng(13 * q + m);
-                     Design2Modular arr(random_matrix_string(q, m, rng),
-                                        deterministic_costs(m, q + 7));
-                     return lint_array(arr, name);
-                   }});
-  }
-  // Design 3: feedback array over node-value graphs.
-  for (auto [stages, width] :
-       {std::pair<std::size_t, std::size_t>{3, 2}, {6, 4}}) {
-    std::string name = "design3-modular[s" + std::to_string(stages) + ",w" +
-                       std::to_string(width) + "]";
-    out.push_back({name, [stages = stages, width = width, name] {
-                     Rng rng(17 * stages + width);
-                     const auto graph =
-                         traffic_control_instance(stages, width, rng);
-                     Design3Modular arr(graph);
-                     return lint_array(arr, name);
-                   }});
-  }
-  // GKT matrix-chain triangle.
-  for (std::size_t m : {3u, 6u}) {
-    std::string name = "gkt-modular[m" + std::to_string(m) + "]";
-    out.push_back({name, [m, name] {
-                     GktModularArray arr(deterministic_costs(m + 1, m));
-                     return lint_array(arr, name);
-                   }});
-  }
-  // Generic triangular family: one netlist per rule.
-  for (std::size_t n : {4u, 7u}) {
-    std::string bst = "triangular-bst[n" + std::to_string(n) + "]";
-    out.push_back({bst, [n, bst] {
-                     TriangularModularArray<BstRule> arr(
-                         BstRule(deterministic_costs(n, n)), n);
-                     return lint_array(arr, bst);
-                   }});
-    std::string poly = "triangular-polygon[n" + std::to_string(n) + "]";
-    out.push_back({poly, [n, poly] {
-                     TriangularModularArray<PolygonRule> arr(
-                         PolygonRule(deterministic_costs(n, n + 3)), n);
-                     return lint_array(arr, poly);
-                   }});
-    std::string chain = "triangular-chain[n" + std::to_string(n) + "]";
-    out.push_back({chain, [n, chain] {
-                     TriangularModularArray<ChainRule> arr(
-                         ChainRule(deterministic_costs(n + 1, n + 5)), n);
-                     return lint_array(arr, chain);
-                   }});
-  }
-  return out;
+  inst->describe_environment(opts.environment);
+  return analysis::Linter().run(analysis::capture(engine, opts), spec.name);
 }
 
 bool parse_severity(std::string_view s, analysis::Severity& out) {
@@ -169,7 +81,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  auto designs = all_designs();
+  const auto designs = examples::all_designs();
   if (list) {
     for (const auto& d : designs) std::printf("%s\n", d.name.c_str());
     return 0;
@@ -178,7 +90,7 @@ int main(int argc, char** argv) {
   std::vector<analysis::LintReport> reports;
   for (const auto& d : designs) {
     if (!filter.empty() && d.name.find(filter) == std::string::npos) continue;
-    reports.push_back(d.run());
+    reports.push_back(lint_design(d));
   }
   if (reports.empty()) {
     std::fprintf(stderr, "sysdp_lint: no design matches '%s'\n",

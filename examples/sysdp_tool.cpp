@@ -4,7 +4,7 @@
 //   sysdp_tool gen chain <matrices> <seed>
 //   sysdp_tool gen objective <vars> <domain> <seed>     (banded, eq. 36)
 //   sysdp_tool info <file>                              classify and describe
-//   sysdp_tool solve <file> [k]                         route per Table 1
+//   sysdp_tool solve <file> [k] [--metrics]             route per Table 1
 //
 // `solve` dispatches exactly as core/solver.hpp: multistage graphs to the
 // Design 1 systolic array (plus divide-and-conquer when k > 1 is given),
@@ -21,6 +21,7 @@
 #include "graph/generators.hpp"
 #include "io/problem_io.hpp"
 #include "nonserial/nonserial_generators.hpp"
+#include "obs/metrics.hpp"
 
 namespace {
 
@@ -33,7 +34,7 @@ int usage() {
                "  sysdp_tool gen chain <matrices> <seed>\n"
                "  sysdp_tool gen objective <vars> <domain> <seed>\n"
                "  sysdp_tool info <file>\n"
-               "  sysdp_tool solve <file> [k]\n"
+               "  sysdp_tool solve <file> [k] [--metrics]\n"
                "  sysdp_tool reduce <file>      stage-reduction plan "
                "(multistage only)\n");
   return 2;
@@ -54,6 +55,21 @@ void print_report(const SolveReport& rep) {
   }
   std::printf("steps   : %llu\n",
               static_cast<unsigned long long>(rep.work_steps));
+}
+
+/// --metrics: the solve outcome as the shared counter-registry rendering
+/// (same shape sysdp_trace emits), so scripted consumers parse one format.
+void print_metrics(const SolveReport& rep) {
+  obs::MetricsRegistry metrics;
+  metrics.set_counter("solve.cycles", rep.cycles);
+  metrics.set_counter("solve.work_steps", rep.work_steps);
+  metrics.set_counter("solve.assignment_len", rep.assignment.size());
+  if (rep.cycles > 0) {
+    metrics.set_gauge("solve.steps_per_cycle",
+                      static_cast<double>(rep.work_steps) /
+                          static_cast<double>(rep.cycles));
+  }
+  std::printf("metrics :\n%s", metrics.to_text().c_str());
 }
 
 int cmd_gen(int argc, char** argv) {
@@ -111,19 +127,21 @@ int cmd_info(const std::string& path) {
   return 0;
 }
 
-int cmd_solve(const std::string& path, std::uint64_t k) {
+int cmd_solve(const std::string& path, std::uint64_t k, bool metrics) {
   const auto problem = load_problem(path);
   std::visit(
-      [k](const auto& p) {
+      [k, metrics](const auto& p) {
         using T = std::decay_t<decltype(p)>;
+        SolveReport rep;
         if constexpr (std::is_same_v<T, MultistageGraph>) {
-          print_report(k > 1 ? solve_polyadic_serial(p, k)
-                             : solve_monadic_serial(p));
+          rep = k > 1 ? solve_polyadic_serial(p, k) : solve_monadic_serial(p);
         } else if constexpr (std::is_same_v<T, std::vector<Cost>>) {
-          print_report(solve_chain_order(p));
+          rep = solve_chain_order(p);
         } else {
-          print_report(solve_objective(p));
+          rep = solve_objective(p);
         }
+        print_report(rep);
+        if (metrics) print_metrics(rep);
       },
       problem);
   return 0;
@@ -171,8 +189,18 @@ int main(int argc, char** argv) {
     const std::string cmd = argv[1];
     if (cmd == "gen") return cmd_gen(argc - 2, argv + 2);
     if (cmd == "info" && argc == 3) return cmd_info(argv[2]);
-    if (cmd == "solve" && (argc == 3 || argc == 4)) {
-      return cmd_solve(argv[2], argc == 4 ? std::stoull(argv[3]) : 1);
+    if (cmd == "solve" && argc >= 3 && argc <= 5) {
+      std::uint64_t k = 1;
+      bool metrics = false;
+      for (int i = 3; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--metrics") {
+          metrics = true;
+        } else {
+          k = std::stoull(arg);
+        }
+      }
+      return cmd_solve(argv[2], k, metrics);
     }
     if (cmd == "reduce" && argc == 3) return cmd_reduce(argv[2]);
     return usage();

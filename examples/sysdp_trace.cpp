@@ -1,0 +1,280 @@
+// One-shot telemetry capture for any registered design instance.
+//
+//   sysdp_trace [--design <substr>] [--out-dir <dir>] [--bucket <cycles>]
+//               [--pool <threads>] [--gating <dense|sparse>]
+//               [--dnc <N,K>] [--list]
+//
+// For every matching design of examples/design_registry.hpp (the same
+// fixed instances the lint gate certifies) the tool runs the array once on
+// a fresh engine with the full observability stack attached and emits
+// three artifacts into --out-dir (default "."):
+//
+//   <name>.vcd           — per-port waveforms (GTKWave-viewable)
+//   <name>.metrics.json  — sysdp-metrics-v1 counters/gauges + utilisation
+//                          timeline (per-PE busy deltas per bucket)
+//   <name>.trace.json    — Chrome trace-event JSON (chrome://tracing or
+//                          Perfetto); includes host thread-pool spans when
+//                          --pool is given
+//
+// The tool cross-checks its own telemetry before writing: the timeline's
+// aggregate busy count must equal the run's busy_steps (the observer saw
+// every unit of work the array accounted), and where the timeline observed
+// the full run its utilisation must equal the array's wall utilisation.
+// Any mismatch is a telemetry bug and exits nonzero.
+//
+// --dnc N,K additionally records the divide-and-conquer scheduler of
+// src/dnc/schedule over an N-leaf problem on K arrays and writes
+// dnc-n<N>-k<K>.trace.json with one Chrome-trace thread per array; the
+// span density is the paper's eq. (29) processor utilisation.
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "design_registry.hpp"
+#include "dnc/metrics.hpp"
+#include "dnc/schedule.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
+#include "obs/vcd.hpp"
+#include "sim/engine.hpp"
+#include "sim/thread_pool.hpp"
+
+namespace {
+
+using namespace sysdp;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: sysdp_trace [--design <substring>] [--out-dir <dir>]\n"
+      "                   [--bucket <cycles>] [--pool <threads>]\n"
+      "                   [--gating <dense|sparse>] [--dnc <N,K>] [--list]\n");
+  return 2;
+}
+
+/// Design names carry instance decorations ("design1-modular[q2,m3]");
+/// artifact basenames keep only portable characters.
+std::string file_base(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+        (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.') {
+      out += c;
+    } else if (c == '[' || c == ',') {
+      out += c == '[' ? '-' : '_';
+    }  // ']' and anything else drops
+  }
+  return out;
+}
+
+struct Options {
+  std::string filter;
+  std::string out_dir = ".";
+  sim::Cycle bucket = 1;
+  std::size_t pool_threads = 0;
+  sim::Gating gating = sim::Gating::kSparse;
+  bool list = false;
+  bool dnc = false;
+  std::uint64_t dnc_n = 0;
+  std::uint64_t dnc_k = 0;
+};
+
+/// Capture one design: run with VCD + timeline observers, cross-check,
+/// write the three artifacts.  Returns false on telemetry mismatch.
+bool trace_design(const examples::DesignSpec& spec, const Options& opt,
+                  sim::ThreadPool* pool) {
+  const auto inst = spec.make();
+
+  sim::Engine engine(pool, opt.gating);
+  obs::VcdSink vcd(file_base(spec.name));
+  obs::TimelineSink timeline(
+      inst->num_pes(),
+      [&inst](std::size_t pe) { return inst->pe_busy(pe); }, opt.bucket);
+  engine.add_observer(&vcd);
+  engine.add_observer(&timeline);
+
+  obs::PoolTraceRecorder pool_recorder;
+  if (pool != nullptr) pool->set_observer(&pool_recorder);
+  inst->run(engine);
+  if (pool != nullptr) pool->set_observer(nullptr);
+  timeline.finalize();
+  const examples::RunStats& stats = inst->stats();
+
+  // Telemetry must agree with the array's own accounting: every busy step
+  // the array counted shows up in exactly one timeline bucket.
+  if (timeline.aggregate_busy() != stats.busy_steps) {
+    std::fprintf(stderr,
+                 "sysdp_trace: %s: timeline aggregate %llu != busy_steps "
+                 "%llu\n",
+                 spec.name.c_str(),
+                 static_cast<unsigned long long>(timeline.aggregate_busy()),
+                 static_cast<unsigned long long>(stats.busy_steps));
+    return false;
+  }
+  // Where the timeline observed exactly the accounted wall-clock window,
+  // the utilisations must match too (run_until designs may step a few
+  // cycles past the completion cycle the stats report).
+  if (timeline.cycles() == stats.cycles && timeline.num_pes() == stats.num_pes &&
+      timeline.utilization() != stats.utilization_wall()) {
+    std::fprintf(stderr, "sysdp_trace: %s: timeline utilization %f != %f\n",
+                 spec.name.c_str(), timeline.utilization(),
+                 stats.utilization_wall());
+    return false;
+  }
+
+  obs::MetricsRegistry metrics;
+  metrics.set_counter("run.cycles", stats.cycles);
+  metrics.set_counter("run.busy_steps", stats.busy_steps);
+  metrics.set_counter("run.num_pes", stats.num_pes);
+  metrics.set_counter("engine.active_evals", stats.active_evals);
+  metrics.set_counter("engine.dense_evals", stats.dense_evals);
+  metrics.set_counter("sink.dropped", stats.trace_dropped);
+  metrics.set_counter("vcd.signals", vcd.num_signals());
+  metrics.set_gauge("run.utilization_wall", stats.utilization_wall());
+  metrics.set_gauge("timeline.utilization", timeline.utilization());
+  if (stats.dense_evals > 0) {
+    metrics.set_gauge("engine.activity",
+                      static_cast<double>(stats.active_evals) /
+                          static_cast<double>(stats.dense_evals));
+  }
+
+  obs::ChromeTraceWriter trace;
+  trace.process_name(2, "simulated: " + spec.name);
+  obs::append_timeline_trace(trace, timeline, 2);
+  if (pool != nullptr) {
+    trace.process_name(3, "host: thread pool");
+    obs::append_pool_trace(trace, pool_recorder, 3);
+  }
+
+  const std::filesystem::path dir(opt.out_dir);
+  const std::string base = file_base(spec.name);
+  vcd.write_file((dir / (base + ".vcd")).string());
+  obs::write_text_file((dir / (base + ".metrics.json")).string(),
+                       obs::metrics_v1_json(spec.name, metrics, &timeline));
+  trace.write_file((dir / (base + ".trace.json")).string());
+  std::printf(
+      "%-28s cycles=%-6llu pes=%-3zu busy=%-6llu util=%.3f vcd_signals=%zu\n",
+      spec.name.c_str(), static_cast<unsigned long long>(stats.cycles),
+      stats.num_pes, static_cast<unsigned long long>(stats.busy_steps),
+      stats.utilization_wall(), vcd.num_signals());
+  return true;
+}
+
+/// Record the DnC scheduler timeline for an N-leaf chain on K arrays.
+bool trace_dnc(const Options& opt) {
+  ScheduleWorkspace ws;
+  std::vector<ScheduleSpan> spans;
+  const ScheduleResult res =
+      schedule_and_tree(static_cast<std::size_t>(opt.dnc_n), opt.dnc_k,
+                        SchedulePolicy::kHighestLevelFirst, ws, &spans);
+
+  obs::ChromeTraceWriter trace;
+  trace.process_name(1, "dnc scheduler");
+  obs::append_schedule_trace(trace, spans, opt.dnc_k, 1);
+
+  const std::filesystem::path dir(opt.out_dir);
+  const std::string base = "dnc-n" + std::to_string(opt.dnc_n) + "-k" +
+                           std::to_string(opt.dnc_k);
+  trace.write_file((dir / (base + ".trace.json")).string());
+  std::printf("%-28s makespan=%-6llu tasks=%-6llu PU=%.3f (eq29 %.3f)\n",
+              base.c_str(), static_cast<unsigned long long>(res.makespan),
+              static_cast<unsigned long long>(res.tasks),
+              res.utilization(opt.dnc_k), pu_eq29(opt.dnc_n, opt.dnc_k));
+  return true;
+}
+
+bool parse_dnc(std::string_view arg, Options& opt) {
+  const std::size_t comma = arg.find(',');
+  if (comma == std::string_view::npos) return false;
+  const std::string n(arg.substr(0, comma));
+  const std::string k(arg.substr(comma + 1));
+  char* end = nullptr;
+  opt.dnc_n = std::strtoull(n.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || opt.dnc_n < 2) return false;
+  opt.dnc_k = std::strtoull(k.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || opt.dnc_k == 0) return false;
+  opt.dnc = true;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--list") {
+      opt.list = true;
+    } else if (arg == "--design" && i + 1 < argc) {
+      opt.filter = argv[++i];
+    } else if (arg == "--out-dir" && i + 1 < argc) {
+      opt.out_dir = argv[++i];
+    } else if (arg == "--bucket" && i + 1 < argc) {
+      const long v = std::atol(argv[++i]);
+      if (v <= 0) return usage();
+      opt.bucket = static_cast<sim::Cycle>(v);
+    } else if (arg == "--pool" && i + 1 < argc) {
+      const long v = std::atol(argv[++i]);
+      if (v <= 0) return usage();
+      opt.pool_threads = static_cast<std::size_t>(v);
+    } else if (arg == "--gating" && i + 1 < argc) {
+      const std::string_view g = argv[++i];
+      if (g == "dense") {
+        opt.gating = sim::Gating::kDense;
+      } else if (g == "sparse") {
+        opt.gating = sim::Gating::kSparse;
+      } else {
+        return usage();
+      }
+    } else if (arg == "--dnc" && i + 1 < argc) {
+      if (!parse_dnc(argv[++i], opt)) return usage();
+    } else {
+      return usage();
+    }
+  }
+
+  const auto designs = examples::all_designs();
+  if (opt.list) {
+    for (const auto& d : designs) std::printf("%s\n", d.name.c_str());
+    return 0;
+  }
+
+  std::error_code ec;
+  std::filesystem::create_directories(opt.out_dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "sysdp_trace: cannot create out dir '%s': %s\n",
+                 opt.out_dir.c_str(), ec.message().c_str());
+    return 2;
+  }
+
+  std::unique_ptr<sim::ThreadPool> pool;
+  if (opt.pool_threads > 0) {
+    pool = std::make_unique<sim::ThreadPool>(opt.pool_threads);
+  }
+
+  std::size_t traced = 0;
+  bool ok = true;
+  for (const auto& d : designs) {
+    if (!opt.filter.empty() && d.name.find(opt.filter) == std::string::npos) {
+      continue;
+    }
+    ok = trace_design(d, opt, pool.get()) && ok;
+    ++traced;
+  }
+  if (opt.dnc) {
+    ok = trace_dnc(opt) && ok;
+    ++traced;
+  }
+  if (traced == 0) {
+    std::fprintf(stderr, "sysdp_trace: no design matches '%s'\n",
+                 opt.filter.c_str());
+    return 2;
+  }
+  return ok ? 0 : 1;
+}

@@ -207,6 +207,26 @@ void check_wakeup_coverage(const Netlist& net, const Emitter& emit) {
   }
 }
 
+void check_probe_coverage(const Netlist& net, const Emitter& emit) {
+  for (const Storage& st : net.storages) {
+    if (st.sampled || st.writers.empty()) continue;
+    // Only engine modules matter: environment taps are testbench harvest
+    // conveniences, not simulated hardware the waveform layer could show.
+    bool module_written = false;
+    for (const NodeId w : st.writers) {
+      if (net.node(w).module != nullptr) {
+        module_written = true;
+        break;
+      }
+    }
+    if (!module_written) continue;
+    emit(name_list(net, st.writers), st.label,
+         "storage '" + st.label +
+             "' is written but no writing port attaches a telemetry "
+             "sampler — VCD waveforms of this design omit it");
+  }
+}
+
 }  // namespace
 
 const char* to_string(Severity s) noexcept {
@@ -270,7 +290,8 @@ Linter::Linter()
                   {kCombHazard, Severity::kError},
                   {kDanglingPort, Severity::kWarning},
                   {kOrphanModule, Severity::kError},
-                  {kWakeupCoverage, Severity::kError}} {}
+                  {kWakeupCoverage, Severity::kError},
+                  {kProbeCoverage, Severity::kNote}} {}
 
 void Linter::set_severity(std::string_view check, Severity s) {
   for (CheckSeverity& cs : severities_) {
@@ -301,6 +322,7 @@ LintReport Linter::run(const Netlist& net, std::string design_name) const {
   check_dangling_port(net, emitter(kDanglingPort));
   check_orphan_module(net, emitter(kOrphanModule));
   check_wakeup_coverage(net, emitter(kWakeupCoverage));
+  check_probe_coverage(net, emitter(kProbeCoverage));
   return report;
 }
 

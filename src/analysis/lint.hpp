@@ -1,7 +1,7 @@
 // Static checker framework over captured netlists.
 //
 // The linter turns the systolic correctness arguments the simulator used
-// to take on faith into machine-checked structural properties.  Five
+// to take on faith into machine-checked structural properties.  Six
 // built-in checks:
 //
 //   multiple-drivers  — a register written, or a bus driven, by more than
@@ -30,6 +30,10 @@
 //                       missing ones are errors, because Gating::kSparse
 //                       silently diverges from dense execution without
 //                       them.
+//   probe-coverage    — a storage some module writes but no writing port
+//                       covers with a telemetry sampler (note): the VCD
+//                       layer (src/obs) cannot observe it, so waveforms of
+//                       this design silently omit the lane.
 //
 // Severities are per-check and overridable; reports render as human text
 // or JSON (schema sysdp-lint-v1).
@@ -84,8 +88,9 @@ class Linter {
   static constexpr std::string_view kDanglingPort = "dangling-port";
   static constexpr std::string_view kOrphanModule = "orphan-module";
   static constexpr std::string_view kWakeupCoverage = "wakeup-coverage";
+  static constexpr std::string_view kProbeCoverage = "probe-coverage";
 
-  /// All five checks enabled at their default severities.
+  /// All six checks enabled at their default severities.
   Linter();
 
   /// Override the principal severity of one check (e.g. demote

@@ -65,12 +65,13 @@ Netlist capture(const sim::Engine& engine, const CaptureOptions& opts) {
         storage_index.emplace(p.storage, net.storages.size());
     if (inserted) {
       net.storages.push_back(
-          Storage{p.storage, p.kind, false, p.label, {}, {}});
+          Storage{p.storage, p.kind, false, false, p.label, {}, {}});
     }
     Storage& st = net.storages[it->second];
     if (st.kind != p.kind) st.kind_conflict = true;
     // Prefer a writer's label as the canonical storage name.
     if (p.dir == sim::PortDir::kOut && !p.label.empty()) st.label = p.label;
+    if (p.dir == sim::PortDir::kOut && p.sample) st.sampled = true;
     note_accessor(p.dir == sim::PortDir::kOut ? st.writers : st.readers, node);
   };
 

@@ -48,6 +48,10 @@ struct Storage {
   const void* key = nullptr;
   sim::PortKind kind = sim::PortKind::kRegister;
   bool kind_conflict = false;
+  /// True if any writing port attached a telemetry sampler (sim/port.hpp):
+  /// the waveform layer can observe this storage.  The probe-coverage lint
+  /// notes written storages no sampler covers.
+  bool sampled = false;
   std::string label;
   std::vector<NodeId> writers;
   std::vector<NodeId> readers;

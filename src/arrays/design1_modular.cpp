@@ -128,7 +128,11 @@ class Design1Modular::Host : public sim::Module {
     return sim::SleepMode::kRetire;
   }
   void describe_ports(sim::PortSet& ports) const override {
-    ports.drives_signal(&input_, "host.input");
+    // Token is a struct lane, so the probe is explicit: waveforms show the
+    // fed value while a token is in flight and 0 between tokens.
+    ports.drives_signal(&input_, "host.input", [this]() -> std::int64_t {
+      return input_.valid ? static_cast<std::int64_t>(input_.val) : 0;
+    });
   }
 
  private:
@@ -325,9 +329,16 @@ void Design1Modular::describe_environment(sim::PortSet& ports) const {
 
 RunResult<Design1Modular::V> Design1Modular::run(sim::ThreadPool* pool,
                                                  sim::Gating gating) {
+  sim::Engine engine(pool, gating);
+  return run(engine);
+}
+
+RunResult<Design1Modular::V> Design1Modular::run(sim::Engine& engine) {
+  if (engine.now() > 0 || engine.num_modules() > 0) {
+    throw std::invalid_argument("Design1Modular::run: engine must be fresh");
+  }
   const std::size_t Q = mats_.size();
   const std::size_t r = mats_.front().rows();
-  sim::Engine engine(pool, gating);
   elaborate(engine);
 
   const bool final_mode_a = (Q % 2 == 1);

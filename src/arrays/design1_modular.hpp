@@ -58,6 +58,20 @@ class Design1Modular {
   [[nodiscard]] RunResult<V> run(sim::ThreadPool* pool = nullptr,
                                  sim::Gating gating = sim::Gating::kSparse);
 
+  /// Run on a caller-constructed engine, so telemetry observers (VCD,
+  /// timelines — sim/observer.hpp) can attach before time starts.  The
+  /// engine must be fresh: no modules added, no cycles stepped; throws
+  /// std::invalid_argument otherwise.
+  [[nodiscard]] RunResult<V> run(sim::Engine& engine);
+
+  /// Number of PEs (valid from construction, before elaborate()).
+  [[nodiscard]] std::size_t num_pes() const noexcept { return m_; }
+  /// Cumulative busy cycles of PE `pe` — the monotone counter utilisation
+  /// timelines sample per cycle.
+  [[nodiscard]] std::uint64_t pe_busy(std::size_t pe) const {
+    return stats_.busy_cycles(pe);
+  }
+
   /// Build the arena, modules, and wakeup wiring into `engine` without
   /// running a cycle.  run() uses this internally; the lint CLI and the
   /// analysis tests call it directly and capture the netlist.

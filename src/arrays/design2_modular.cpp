@@ -205,6 +205,13 @@ void Design2Modular::describe_environment(sim::PortSet& ports) const {
 RunResult<Design2Modular::V> Design2Modular::run(sim::ThreadPool* pool,
                                                  sim::Gating gating) {
   sim::Engine engine(pool, gating);
+  return run(engine);
+}
+
+RunResult<Design2Modular::V> Design2Modular::run(sim::Engine& engine) {
+  if (engine.now() > 0 || engine.num_modules() > 0) {
+    throw std::invalid_argument("Design2Modular::run: engine must be fresh");
+  }
   elaborate(engine);
 
   const sim::Cycle total = static_cast<sim::Cycle>(mats_.size()) * m_;

@@ -53,6 +53,20 @@ class Design2Modular {
   [[nodiscard]] RunResult<V> run(sim::ThreadPool* pool = nullptr,
                                  sim::Gating gating = sim::Gating::kSparse);
 
+  /// Run on a caller-constructed engine, so telemetry observers (VCD,
+  /// timelines — sim/observer.hpp) can attach before time starts.  The
+  /// engine must be fresh: no modules added, no cycles stepped; throws
+  /// std::invalid_argument otherwise.
+  [[nodiscard]] RunResult<V> run(sim::Engine& engine);
+
+  /// Number of PEs (valid from construction, before elaborate()).
+  [[nodiscard]] std::size_t num_pes() const noexcept { return m_; }
+  /// Cumulative busy cycles of PE `pe` — the monotone counter utilisation
+  /// timelines sample per cycle.
+  [[nodiscard]] std::uint64_t pe_busy(std::size_t pe) const {
+    return stats_.busy_cycles(pe);
+  }
+
   /// Build the arena, modules, and bus wiring into `engine` without
   /// running a cycle (run() uses this; the lint CLI captures the netlist).
   void elaborate(sim::Engine& engine);

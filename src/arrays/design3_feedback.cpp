@@ -24,6 +24,8 @@ Design3Result Design3Feedback::run() {
 
   Design3Result out;
   out.stats.num_pes = m;
+  const std::uint64_t sink_dropped_before =
+      sink_ != nullptr ? sink_->dropped_events() : 0;
 
   std::vector<Token> r_cur(m), r_next(m);
   std::vector<Feedback> k_h(m);  // K_p / H_p registers (combinational load)
@@ -90,17 +92,20 @@ Design3Result Design3Feedback::run() {
       if (tail.stage <= N) {
         in_flight = Feedback{tail.x, tail.h, tail.stage, true};
         if (tail.stage >= 2) pred[tail.stage - 1][tail.idx] = tail.arg;
-        if (trace_ != nullptr && tail.stage >= 2) {
-          trace_->record(c, "h_out", tail.h);
+        if (sink_ != nullptr && tail.stage >= 2) {
+          sink_->record(c, "h_out", tail.h);
         }
       } else {
         collector_out = tail;  // the final minimum leaves the array
-        if (trace_ != nullptr) trace_->record(c, "min_out", tail.h);
+        if (sink_ != nullptr) sink_->record(c, "min_out", tail.h);
       }
     }
   }
 
   out.stats.cycles = total;
+  if (sink_ != nullptr) {
+    out.stats.trace_dropped = sink_->dropped_events() - sink_dropped_before;
+  }
   out.cost = collector_out.h;
   if (!is_inf(out.cost)) {
     out.path.assign(N, 0);

@@ -57,9 +57,14 @@ class Design3Feedback {
   /// The paper's iteration count (N+1) * m.
   [[nodiscard]] std::uint64_t iterations() const noexcept;
 
-  /// Attach a signal trace: records every completed h value leaving
-  /// P_{m-1} ("h_out") and the final minimum ("min_out").
-  void set_trace(sim::Trace* trace) noexcept { trace_ = trace; }
+  /// Attach an event sink: records every completed h value leaving
+  /// P_{m-1} ("h_out") and the final minimum ("min_out").  Any EventSink
+  /// works (sim::Trace is the bounded reference one); events the sink
+  /// discards during the run surface as RunResult::trace_dropped instead
+  /// of vanishing behind a latent flag.
+  void set_sink(sim::EventSink* sink) noexcept { sink_ = sink; }
+  /// Convenience alias of set_sink for the historical Trace call sites.
+  void set_trace(sim::Trace* trace) noexcept { sink_ = trace; }
 
   /// Simulate to completion.
   [[nodiscard]] Design3Result run();
@@ -84,7 +89,7 @@ class Design3Feedback {
   const NodeValueGraph& graph_;
   std::size_t m_;
   std::size_t n_stages_;
-  sim::Trace* trace_ = nullptr;
+  sim::EventSink* sink_ = nullptr;
 };
 
 }  // namespace sysdp

@@ -169,6 +169,25 @@ class Design3Modular::Controller : public sim::Module {
   }
   [[nodiscard]] const void* pred_key() const noexcept { return &pred_; }
 
+  /// Telemetry probes for the controller-owned struct lanes the tail PE
+  /// declares (the port layer cannot infer samplers for them).
+  [[nodiscard]] std::int64_t in_flight_probe() const {
+    const Pair f = in_flight_.read();
+    return f.valid ? static_cast<std::int64_t>(f.h) : 0;
+  }
+  [[nodiscard]] std::int64_t collector_probe() const {
+    return collector_.valid ? static_cast<std::int64_t>(collector_.h) : 0;
+  }
+  /// Path-register occupancy: how many predecessor entries are nonzero so
+  /// far — a staircase waveform that tracks completed stages.
+  [[nodiscard]] std::int64_t pred_probe() const {
+    std::int64_t filled = 0;
+    for (const auto& row : pred_) {
+      for (const std::size_t arg : row) filled += arg != 0 ? 1 : 0;
+    }
+    return filled;
+  }
+
   /// Sleeps once the feed is exhausted and the feedback path is empty;
   /// the tail (and its predecessor) wakeup edges reactivate it.
   [[nodiscard]] sim::SleepMode sleep_mode() const noexcept override {
@@ -180,8 +199,18 @@ class Design3Modular::Controller : public sim::Module {
   /// stations in place of controller -> station edges (which would keep
   /// the whole array awake during pipeline fill).
   void describe_ports(sim::PortSet& ports) const override {
-    ports.drives_signal(&input_, "ctrl.input");
-    ports.drives_signal(&delivery_, "ctrl.delivery");
+    // Struct-valued lanes carry explicit probes: the input token shows
+    // the node value being fed, the delivery pair its prefix cost h (0
+    // while no token is in flight, so waveforms read as activity bursts).
+    ports.drives_signal(&input_, "ctrl.input", [this]() -> std::int64_t {
+      return input_.valid ? static_cast<std::int64_t>(input_.x) : 0;
+    });
+    ports.drives_signal(&delivery_, "ctrl.delivery",
+                        [this]() -> std::int64_t {
+                          return delivery_.valid
+                                     ? static_cast<std::int64_t>(delivery_.h)
+                                     : 0;
+                        });
     ports.reads_register(&in_flight_, "in_flight");
     ports.derives(&delivery_, &in_flight_);
   }
@@ -274,9 +303,12 @@ class Design3Modular::Pe : public sim::Module {
       // capture(): staged write of the controller's in-flight pair (a
       // two-phase register latched at the controller's commit) plus the
       // harvest-only collector token and predecessor table.
-      ports.writes_register(ctrl_.in_flight_key(), "in_flight");
-      ports.writes_register(ctrl_.collector_key(), "collector");
-      ports.writes_register(ctrl_.pred_key(), "pred");
+      ports.writes_register(ctrl_.in_flight_key(), "in_flight",
+                            [c = &ctrl_] { return c->in_flight_probe(); });
+      ports.writes_register(ctrl_.collector_key(), "collector",
+                            [c = &ctrl_] { return c->collector_probe(); });
+      ports.writes_register(ctrl_.pred_key(), "pred",
+                            [c = &ctrl_] { return c->pred_probe(); });
     }
   }
 
@@ -345,6 +377,13 @@ void Design3Modular::describe_environment(sim::PortSet& ports) const {
 
 Design3Result Design3Modular::run(sim::ThreadPool* pool, sim::Gating gating) {
   sim::Engine engine(pool, gating);
+  return run(engine);
+}
+
+Design3Result Design3Modular::run(sim::Engine& engine) {
+  if (engine.now() > 0 || engine.num_modules() > 0) {
+    throw std::invalid_argument("Design3Modular::run: engine must be fresh");
+  }
   elaborate(engine);
 
   const sim::Cycle total = static_cast<sim::Cycle>(n_stages_ + 1) * m_;

@@ -307,9 +307,25 @@ class GktModularArray::Cell : public sim::Module {
       return std::string(base) + "[" + std::to_string(i) + "," +
              std::to_string(j) + "]";
     };
+    // Flit lanes are structs, so the port layer cannot infer a sampler;
+    // probe the carried cost when a flit is present, 0 when the link is
+    // empty (telemetry only — occupancy is the interesting waveform).
+    const LinkPair* const lk = &a.link[id_];
     if (i_ != j_) {
-      ports.writes_register(&a.link[id_].row_cur, slot("row", i_, j_));
-      ports.writes_register(&a.link[id_].col_cur, slot("col", i_, j_));
+      ports.writes_register(&lk->row_cur, slot("row", i_, j_),
+                            [lk]() -> std::int64_t {
+                              return lk->row_has != 0
+                                         ? static_cast<std::int64_t>(
+                                               lk->row_cur.val)
+                                         : 0;
+                            });
+      ports.writes_register(&lk->col_cur, slot("col", i_, j_),
+                            [lk]() -> std::int64_t {
+                              return lk->col_has != 0
+                                         ? static_cast<std::int64_t>(
+                                               lk->col_cur.val)
+                                         : 0;
+                            });
       ports.reads_register(&a.row_launch[id_], slot("row_launch", i_, j_));
       ports.reads_register(&a.col_launch[id_], slot("col_launch", i_, j_));
       if (j_ > i_ + 1) {  // upstreams are real cells, not leaves
@@ -321,12 +337,26 @@ class GktModularArray::Cell : public sim::Module {
     // Completion launch: stage the right neighbour's row slot and the
     // upper neighbour's column slot (leaves launch too, at cycle 0).
     if (j_ + 1 < a.n) {
-      ports.writes_register(&a.row_launch[a.id(i_, j_ + 1)],
-                            slot("row_launch", i_, j_ + 1));
+      const std::uint32_t t = a.id(i_, j_ + 1);
+      const Flit* const f = &a.row_launch[t];
+      const std::uint8_t* const set = &a.row_launch_set[t];
+      ports.writes_register(f, slot("row_launch", i_, j_ + 1),
+                            [f, set]() -> std::int64_t {
+                              return *set != 0
+                                         ? static_cast<std::int64_t>(f->val)
+                                         : 0;
+                            });
     }
     if (i_ > 0) {
-      ports.writes_register(&a.col_launch[a.id(i_ - 1, j_)],
-                            slot("col_launch", i_ - 1, j_));
+      const std::uint32_t t = a.id(i_ - 1, j_);
+      const Flit* const f = &a.col_launch[t];
+      const std::uint8_t* const set = &a.col_launch_set[t];
+      ports.writes_register(f, slot("col_launch", i_ - 1, j_),
+                            [f, set]() -> std::int64_t {
+                              return *set != 0
+                                         ? static_cast<std::int64_t>(f->val)
+                                         : 0;
+                            });
     }
   }
 
@@ -398,10 +428,21 @@ void GktModularArray::describe_environment(sim::PortSet& ports) const {
   }
 }
 
+std::uint64_t GktModularArray::pe_busy(std::size_t pe) const {
+  return arena_ != nullptr ? arena_->meta.at(pe).busy : 0;
+}
+
 GktModularArray::Result GktModularArray::run(sim::ThreadPool* pool,
                                              sim::Gating gating) {
-  const std::size_t n = num_matrices();
   sim::Engine engine(pool, gating);
+  return run(engine);
+}
+
+GktModularArray::Result GktModularArray::run(sim::Engine& engine) {
+  if (engine.now() > 0 || engine.num_modules() > 0) {
+    throw std::invalid_argument("GktModularArray::run: engine must be fresh");
+  }
+  const std::size_t n = num_matrices();
   elaborate(engine);
 
   const std::uint32_t root = arena_->id(0, n - 1);

@@ -66,6 +66,23 @@ class GktModularArray {
   [[nodiscard]] Result run(sim::ThreadPool* pool = nullptr,
                            sim::Gating gating = sim::Gating::kSparse);
 
+  /// Run on a caller-constructed engine, so telemetry observers (VCD,
+  /// timelines — sim/observer.hpp) can attach before time starts.  The
+  /// engine must be fresh: no modules added, no cycles stepped; throws
+  /// std::invalid_argument otherwise.
+  [[nodiscard]] Result run(sim::Engine& engine);
+
+  /// Number of cells n(n+1)/2 (valid from construction, before
+  /// elaborate()).
+  [[nodiscard]] std::size_t num_pes() const noexcept {
+    const std::size_t n = num_matrices();
+    return n * (n + 1) / 2;
+  }
+  /// Cumulative busy cycles of cell `pe` (arena diagonal-major id) — the
+  /// monotone counter utilisation timelines sample per cycle.  0 before
+  /// elaboration.
+  [[nodiscard]] std::uint64_t pe_busy(std::size_t pe) const;
+
   /// Build the arena, cells, and wakeup wiring into `engine` without
   /// running a cycle (run() uses this; the lint CLI captures the netlist).
   void elaborate(sim::Engine& engine);

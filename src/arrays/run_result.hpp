@@ -29,6 +29,11 @@ struct RunResult {
   /// are excluded from dense-vs-sparse bit-identity comparisons.
   std::uint64_t active_evals = 0;
   std::uint64_t dense_evals = 0;
+  /// Events the attached telemetry sink discarded during this run (0 when
+  /// no sink was attached or nothing overflowed).  The explicit surface
+  /// for what used to be sim::Trace's silent drop: a truncated trace is a
+  /// fact of the result, not a latent flag.
+  std::uint64_t trace_dropped = 0;
 
   /// Measured processor utilisation against wall-clock time.
   [[nodiscard]] double utilization_wall() const noexcept {

@@ -98,6 +98,12 @@ class TriangularModularCore {
   [[nodiscard]] Result run(sim::ThreadPool* pool = nullptr,
                            sim::Gating gating = sim::Gating::kSparse);
 
+  /// Run on a caller-constructed engine, so telemetry observers (VCD,
+  /// timelines — sim/observer.hpp) can attach before time starts.  The
+  /// engine must be fresh: no modules added, no cycles stepped; throws
+  /// std::invalid_argument otherwise.
+  [[nodiscard]] Result run(sim::Engine& engine);
+
   /// Build the arena, cells, and wakeup wiring into `engine` without
   /// running a cycle (run() uses this; the lint CLI captures the netlist).
   void elaborate(sim::Engine& engine);
@@ -106,6 +112,15 @@ class TriangularModularCore {
   void describe_environment(sim::PortSet& ports) const;
 
   [[nodiscard]] std::size_t size() const noexcept { return n_; }
+
+  /// Number of cells n(n+1)/2 (valid from construction).
+  [[nodiscard]] std::size_t num_pes() const noexcept {
+    return n_ * (n_ + 1) / 2;
+  }
+  /// Cumulative busy cycles of cell `pe` (arena diagonal-major id) — the
+  /// monotone counter utilisation timelines sample per cycle.  0 before
+  /// elaboration.
+  [[nodiscard]] std::uint64_t pe_busy(std::size_t pe) const;
 
  private:
   class Cell;
@@ -133,11 +148,18 @@ class TriangularModularArray {
                            sim::Gating gating = sim::Gating::kSparse) {
     return core_.run(pool, gating);
   }
+  [[nodiscard]] Result run(sim::Engine& engine) { return core_.run(engine); }
   void elaborate(sim::Engine& engine) { core_.elaborate(engine); }
   void describe_environment(sim::PortSet& ports) const {
     core_.describe_environment(ports);
   }
   [[nodiscard]] std::size_t size() const noexcept { return core_.size(); }
+  [[nodiscard]] std::size_t num_pes() const noexcept {
+    return core_.num_pes();
+  }
+  [[nodiscard]] std::uint64_t pe_busy(std::size_t pe) const {
+    return core_.pe_busy(pe);
+  }
 
  private:
   static std::vector<Cost> compile_base(const Rule& rule, std::size_t n) {

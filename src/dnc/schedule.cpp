@@ -91,8 +91,8 @@ ScheduleResult schedule_and_tree(std::size_t num_leaves, std::uint64_t k,
 }
 
 ScheduleResult schedule_and_tree(std::size_t num_leaves, std::uint64_t k,
-                                 SchedulePolicy policy,
-                                 ScheduleWorkspace& ws) {
+                                 SchedulePolicy policy, ScheduleWorkspace& ws,
+                                 std::vector<ScheduleSpan>* spans) {
   if (k == 0) throw std::invalid_argument("schedule_and_tree: k == 0");
   if (!ws.tree.has_value() || ws.tree_leaves != num_leaves) {
     ws.tree.emplace(num_leaves);
@@ -118,6 +118,11 @@ ScheduleResult schedule_and_tree(std::size_t num_leaves, std::uint64_t k,
     batch.clear();
     for (std::uint64_t s = 0; s < k && !ready.empty(); ++s) {
       batch.push_back(ready.pop());
+    }
+    if (spans != nullptr) {
+      for (std::size_t s = 0; s < batch.size(); ++s) {
+        spans->push_back(ScheduleSpan{s, res.makespan, batch[s]});
+      }
     }
     res.busy_per_step.push_back(batch.size());
     ++res.makespan;

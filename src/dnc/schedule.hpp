@@ -49,6 +49,17 @@ struct ScheduleResult {
   }
 };
 
+/// One executed product as a busy span for the telemetry layer: array
+/// `array` (0-based of the K) ran AND-tree node `node` during scheduler
+/// step [start, start + 1) — each task takes exactly T_1 = 1.  Spans are
+/// what the chrome-trace exporter draws, and summing them per array
+/// reconstructs busy_per_step (and hence eq. 29's utilisation) exactly.
+struct ScheduleSpan {
+  std::uint64_t array = 0;  ///< batch position, i.e. which of the K arrays
+  std::uint64_t start = 0;  ///< step index (units of T_1)
+  std::size_t node = 0;     ///< AND-tree node id executed
+};
+
 /// Reusable scratch for schedule_and_tree: bench sweeps call the scheduler
 /// thousands of times with the same N, and rebuilding the AND-tree plus
 /// the ready-set buckets dominated the per-call cost.  Contents between
@@ -70,10 +81,11 @@ struct ScheduleWorkspace {
 [[nodiscard]] ScheduleResult schedule_and_tree(
     std::size_t num_leaves, std::uint64_t k,
     SchedulePolicy policy = SchedulePolicy::kHighestLevelFirst);
-[[nodiscard]] ScheduleResult schedule_and_tree(std::size_t num_leaves,
-                                               std::uint64_t k,
-                                               SchedulePolicy policy,
-                                               ScheduleWorkspace& ws);
+/// `spans`, when non-null, receives one ScheduleSpan per executed task —
+/// opt-in so the hot bench path (null default) pays only a pointer test.
+[[nodiscard]] ScheduleResult schedule_and_tree(
+    std::size_t num_leaves, std::uint64_t k, SchedulePolicy policy,
+    ScheduleWorkspace& ws, std::vector<ScheduleSpan>* spans = nullptr);
 
 /// Execute the schedule functionally: multiply the actual matrix string in
 /// schedule order with `k` workers and return the product (equals the

@@ -1,0 +1,73 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+#include "obs/json_util.hpp"
+#include "obs/timeline.hpp"
+
+namespace sysdp::obs {
+
+std::string MetricsRegistry::to_text() const {
+  std::size_t width = 0;
+  for (const auto& kv : counters_) width = std::max(width, kv.first.size());
+  for (const auto& kv : gauges_) width = std::max(width, kv.first.size());
+  std::string out;
+  for (const auto& [name, value] : counters_) {
+    out += name;
+    out.append(width - name.size() + 2, ' ');
+    out += std::to_string(value);
+    out += '\n';
+  }
+  for (const auto& [name, value] : gauges_) {
+    out += name;
+    out.append(width - name.size() + 2, ' ');
+    out += json_double(value);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::string out = "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    if (!first) out += ", ";
+    first = false;
+    out += '"' + json_escape(name) + "\": " + std::to_string(value);
+  }
+  out += "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges_) {
+    if (!first) out += ", ";
+    first = false;
+    out += '"' + json_escape(name) + "\": " + json_double(value);
+  }
+  out += "}}";
+  return out;
+}
+
+std::string metrics_v1_json(const std::string& design,
+                            const MetricsRegistry& registry,
+                            const TimelineSink* timeline) {
+  std::string out = "{\n  \"schema\": \"sysdp-metrics-v1\",\n  \"design\": \"" +
+                    json_escape(design) + "\",\n  \"metrics\": " +
+                    registry.to_json();
+  if (timeline != nullptr) {
+    out += ",\n  \"timeline\": " + timeline->to_json();
+  }
+  out += "\n}\n";
+  return out;
+}
+
+void write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+  out.flush();
+  if (!out) {
+    throw std::runtime_error("obs::write_text_file: write failed for " + path);
+  }
+}
+
+}  // namespace sysdp::obs

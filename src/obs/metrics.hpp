@@ -1,0 +1,81 @@
+// Named-counter registry and the sysdp-metrics-v1 document.
+//
+// The registry is the telemetry layer's scoreboard: anything with a name
+// and a number (cycles simulated, PE-busy steps, engine activity, trace
+// drops) lands here, and every consumer — the sysdp_trace CLI, the
+// sysdp_tool --metrics flag, tests — renders the same two views: aligned
+// text for humans, a JSON object for machines.  Iteration order is the
+// sorted key order (std::map), so renderings are deterministic and
+// golden-testable regardless of insertion order.
+//
+// sysdp-metrics-v1 is the one-run document sysdp_trace emits: the
+// registry plus the per-PE utilisation timeline, self-describing via a
+// "schema" field like the bench and lint documents.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace sysdp::obs {
+
+class TimelineSink;
+
+class MetricsRegistry {
+ public:
+  /// Add `delta` to counter `name` (creating it at 0 first).
+  void count(const std::string& name, std::uint64_t delta = 1) {
+    counters_[name] += delta;
+  }
+  /// Set counter `name` to an absolute value.
+  void set_counter(const std::string& name, std::uint64_t value) {
+    counters_[name] = value;
+  }
+  /// Set gauge `name` (a measured ratio or wall-clock figure).
+  void set_gauge(const std::string& name, double value) {
+    gauges_[name] = value;
+  }
+
+  [[nodiscard]] std::uint64_t counter(const std::string& name) const {
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+  [[nodiscard]] double gauge(const std::string& name) const {
+    const auto it = gauges_.find(name);
+    return it == gauges_.end() ? 0.0 : it->second;
+  }
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& counters()
+      const noexcept {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, double>& gauges() const noexcept {
+    return gauges_;
+  }
+  [[nodiscard]] bool empty() const noexcept {
+    return counters_.empty() && gauges_.empty();
+  }
+
+  /// Aligned "name  value" lines, counters first, then gauges.
+  [[nodiscard]] std::string to_text() const;
+  /// One JSON object: {"counters": {...}, "gauges": {...}}.
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+};
+
+/// Render the sysdp-metrics-v1 document for one run: the registry plus the
+/// optional utilisation timeline (see obs/timeline.hpp).  The timeline's
+/// aggregate equals the "busy_steps" counter by construction, which the
+/// sysdp_trace CLI asserts before writing the file.
+[[nodiscard]] std::string metrics_v1_json(const std::string& design,
+                                          const MetricsRegistry& registry,
+                                          const TimelineSink* timeline);
+
+/// Write `content` to `path`; throws std::runtime_error on I/O failure.
+/// The artifact writers (VCD, chrome trace, metrics documents) all share
+/// this error contract.
+void write_text_file(const std::string& path, const std::string& content);
+
+}  // namespace sysdp::obs

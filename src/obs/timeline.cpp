@@ -1,0 +1,78 @@
+#include "obs/timeline.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "obs/json_util.hpp"
+
+namespace sysdp::obs {
+
+TimelineSink::TimelineSink(std::size_t num_pes, BusyFn busy,
+                           sim::Cycle bucket_cycles)
+    : busy_(std::move(busy)),
+      bucket_(bucket_cycles),
+      prev_(num_pes, 0),
+      per_pe_(num_pes) {
+  if (bucket_ == 0) {
+    throw std::invalid_argument("TimelineSink: bucket_cycles == 0");
+  }
+  if (!busy_) throw std::invalid_argument("TimelineSink: empty BusyFn");
+  // Baseline now, in case the sink is driven manually (no on_elaborated).
+  for (std::size_t pe = 0; pe < num_pes; ++pe) prev_[pe] = busy_(pe);
+}
+
+void TimelineSink::on_elaborated(const sim::Engine& engine) {
+  (void)engine;
+  // Re-baseline: elaboration may have reset the counters since
+  // construction, and nothing has run yet, so buckets stay empty.
+  for (std::size_t pe = 0; pe < prev_.size(); ++pe) prev_[pe] = busy_(pe);
+}
+
+void TimelineSink::on_cycle(const sim::Engine& engine, sim::Cycle t) {
+  (void)engine;
+  (void)t;
+  ++cycles_;
+  if (++in_bucket_ == bucket_) close_bucket();
+}
+
+void TimelineSink::close_bucket() {
+  for (std::size_t pe = 0; pe < prev_.size(); ++pe) {
+    const std::uint64_t cur = busy_(pe);
+    per_pe_[pe].push_back(cur - prev_[pe]);
+    aggregate_ += cur - prev_[pe];
+    prev_[pe] = cur;
+  }
+  in_bucket_ = 0;
+}
+
+void TimelineSink::finalize() {
+  if (in_bucket_ > 0) close_bucket();
+}
+
+double TimelineSink::utilization() const noexcept {
+  if (cycles_ == 0 || prev_.empty()) return 0.0;
+  return static_cast<double>(aggregate_) /
+         (static_cast<double>(cycles_) * static_cast<double>(prev_.size()));
+}
+
+std::string TimelineSink::to_json() const {
+  std::string out = "{\"bucket_cycles\": " + std::to_string(bucket_) +
+                    ", \"cycles\": " + std::to_string(cycles_) +
+                    ", \"num_pes\": " + std::to_string(prev_.size()) +
+                    ", \"aggregate_busy\": " + std::to_string(aggregate_) +
+                    ", \"utilization\": " + json_double(utilization()) +
+                    ", \"per_pe\": [";
+  for (std::size_t pe = 0; pe < per_pe_.size(); ++pe) {
+    if (pe > 0) out += ", ";
+    out += '[';
+    for (std::size_t b = 0; b < per_pe_[pe].size(); ++b) {
+      if (b > 0) out += ", ";
+      out += std::to_string(per_pe_[pe][b]);
+    }
+    out += ']';
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace sysdp::obs

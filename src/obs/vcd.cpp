@@ -1,0 +1,134 @@
+#include "obs/vcd.hpp"
+
+#include <fstream>
+#include <stdexcept>
+#include <unordered_set>
+#include <utility>
+
+#include "sim/engine.hpp"
+
+namespace sysdp::obs {
+
+namespace {
+
+/// VCD identifier alphabet: every printable ASCII char '!'..'~'.
+constexpr char kIdFirst = '!';
+constexpr std::size_t kIdRange = 94;
+
+}  // namespace
+
+VcdSink::VcdSink(std::string top, VcdOptions options)
+    : top_(std::move(top)), options_(std::move(options)) {}
+
+std::string VcdSink::id_code(std::size_t index) {
+  std::string id;
+  do {
+    id += static_cast<char>(kIdFirst + index % kIdRange);
+    index /= kIdRange;
+  } while (index > 0);
+  return id;
+}
+
+std::string VcdSink::sanitize(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    if (!ok) c = '_';
+  }
+  if (out.empty()) out = "_";
+  return out;
+}
+
+void VcdSink::append_value(std::string& out, std::int64_t value,
+                           const std::string& id) {
+  // Minimal-width binary for non-negative values; full 64 bits when the
+  // sign bit matters, so GTKWave's signed-decimal view stays correct.
+  const auto bits = static_cast<std::uint64_t>(value);
+  out += 'b';
+  if (value == 0) {
+    out += '0';
+  } else {
+    int hi = 63;
+    if (value > 0) {
+      while (hi > 0 && ((bits >> hi) & 1u) == 0) --hi;
+    }
+    for (int i = hi; i >= 0; --i) {
+      out += ((bits >> i) & 1u) != 0 ? '1' : '0';
+    }
+  }
+  out += ' ';
+  out += id;
+  out += '\n';
+}
+
+void VcdSink::on_elaborated(const sim::Engine& engine) {
+  if (elaborated_) return;  // one engine per sink
+  elaborated_ = true;
+
+  header_ = "$version sysdp obs::VcdSink $end\n$timescale " +
+            options_.timescale + " $end\n$scope module " + sanitize(top_) +
+            " $end\n";
+  std::unordered_set<const void*> seen;
+  for (const sim::Module* m : engine.modules()) {
+    sim::PortSet ports;
+    m->describe_ports(ports);
+    std::string vars;
+    for (const sim::Port& port : ports.ports()) {
+      if (!port.sample) continue;
+      if (port.dir != sim::PortDir::kOut && !options_.include_inputs) {
+        continue;
+      }
+      if (!seen.insert(port.storage).second) continue;  // first decl wins
+      Probe probe;
+      probe.sample = port.sample;
+      probe.id = id_code(probes_.size());
+      vars += "  $var integer 64 " + probe.id + " " + sanitize(port.label) +
+              " $end\n";
+      probes_.push_back(std::move(probe));
+    }
+    if (!vars.empty()) {
+      header_ += " $scope module " + sanitize(m->name()) + " $end\n" + vars +
+                 " $upscope $end\n";
+    }
+  }
+  header_ += "$upscope $end\n$enddefinitions $end\n";
+
+  // Initial dump: pre-cycle-0 committed state, every probe.
+  body_ = "#0\n$dumpvars\n";
+  for (Probe& probe : probes_) {
+    probe.last = probe.sample();
+    append_value(body_, probe.last, probe.id);
+  }
+  body_ += "$end\n";
+}
+
+void VcdSink::on_cycle(const sim::Engine& engine, sim::Cycle t) {
+  (void)engine;
+  bool stamped = false;
+  for (Probe& probe : probes_) {
+    const std::int64_t v = probe.sample();
+    if (v == probe.last) continue;
+    if (!stamped) {
+      body_ += '#';
+      body_ += std::to_string(t + 1);  // state after cycle t's clock edge
+      body_ += '\n';
+      stamped = true;
+    }
+    probe.last = v;
+    append_value(body_, v, probe.id);
+  }
+}
+
+void VcdSink::write_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw std::runtime_error("VcdSink: cannot open " + path);
+  }
+  out << header_ << body_;
+  if (!out) {
+    throw std::runtime_error("VcdSink: write failed for " + path);
+  }
+}
+
+}  // namespace sysdp::obs

@@ -40,6 +40,12 @@ class Bus {
     return drive_count_;
   }
 
+  /// Most recent value ever driven, regardless of cycle (default-initial
+  /// before the first drive).  Telemetry probes use this: a waveform shows
+  /// the bus holding its last transaction, which is what a latched bus
+  /// monitor on real hardware would capture.
+  [[nodiscard]] T last_value() const { return value_.value_or(T{}); }
+
  private:
   Cycle cycle_ = static_cast<Cycle>(-1);
   std::optional<T> value_;

@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "sim/observer.hpp"
 #include "sim/thread_pool.hpp"
 
 namespace sysdp::sim {
@@ -61,6 +62,19 @@ void Engine::add_wakeup(const Module& src, const Module& dst) {
   }
   wake_[index_of(src)].push_back(static_cast<std::uint32_t>(index_of(dst)));
   gated_init_ = false;  // the CSR edge view is stale
+}
+
+void Engine::add_observer(EngineObserver* obs) {
+  if (obs == nullptr) {
+    throw std::invalid_argument("Engine::add_observer: null observer");
+  }
+  if (now_ > 0) {
+    throw std::logic_error(
+        "Engine::add_observer: observers must attach before the first "
+        "step() — on_elaborated has already fired (now at cycle " +
+        std::to_string(now_) + ")");
+  }
+  observers_.push_back(obs);
 }
 
 std::vector<std::pair<const Module*, const Module*>> Engine::wakeup_edges()
@@ -215,12 +229,15 @@ void Engine::refresh_active() {
 }
 
 void Engine::step() {
-  if (now_ == 0 && elaboration_check_) {
-    // One-shot: the netlist is complete (add/add_wakeup reject changes once
-    // time starts), so the verdict cannot change on later cycles.
-    const auto check = std::move(elaboration_check_);
-    elaboration_check_ = nullptr;
-    check(*this);
+  if (now_ == 0) {
+    if (elaboration_check_) {
+      // One-shot: the netlist is complete (add/add_wakeup reject changes
+      // once time starts), so the verdict cannot change on later cycles.
+      const auto check = std::move(elaboration_check_);
+      elaboration_check_ = nullptr;
+      check(*this);
+    }
+    for (EngineObserver* obs : observers_) obs->on_elaborated(*this);
   }
   const bool pooled =
       pool_ != nullptr && parallel_.size() >= kMinParallelModules;
@@ -239,6 +256,10 @@ void Engine::step() {
   }
   ++now_;
   dense_evals_ += modules_.size();
+  if (!observers_.empty()) {
+    // now_ - 1 just completed: registers hold their post-edge values.
+    for (EngineObserver* obs : observers_) obs->on_cycle(*this, now_ - 1);
+  }
 }
 
 void Engine::run(Cycle n) {

@@ -47,6 +47,7 @@
 
 namespace sysdp::sim {
 
+class EngineObserver;
 class ThreadPool;
 
 /// Outcome of Engine::run_until: whether the predicate fired and how many
@@ -100,6 +101,20 @@ class Engine {
   /// Throwing from the check aborts the run before cycle 0.
   void set_elaboration_check(std::function<void(const Engine&)> check) {
     elaboration_check_ = std::move(check);
+  }
+
+  /// Attach a telemetry probe (see sim/observer.hpp).  The observer is
+  /// borrowed, not owned, and must outlive the engine's stepping.  Must be
+  /// called before the first step() — on_elaborated fires exactly once, at
+  /// cycle 0, so a late observer would silently miss it; add_observer
+  /// throws std::logic_error instead (mirroring add_wakeup).  With no
+  /// observers attached the per-cycle cost is a single empty()-check.
+  void add_observer(EngineObserver* obs);
+
+  /// Attached observers, in attachment (= notification) order.
+  [[nodiscard]] const std::vector<EngineObserver*>& observers()
+      const noexcept {
+    return observers_;
   }
 
   /// Advance one clock cycle.
@@ -201,6 +216,7 @@ class Engine {
   std::vector<std::uint32_t> woken_;  ///< refresh_active scratch
   bool gated_init_ = false;
   std::function<void(const Engine&)> elaboration_check_;
+  std::vector<EngineObserver*> observers_;
   ThreadPool* pool_ = nullptr;
   Gating gating_ = Gating::kDense;
   Cycle now_ = 0;

@@ -28,10 +28,20 @@
 // that with derives(): the analysis layer uses it to accept wakeup edges
 // that originate at the register's writer instead of at the signal driver
 // — the retiming argument (Leiserson & Saxe) made checkable.
+//
+// Ports double as *probe points* for the telemetry layer: each port may
+// carry a Sampler, a closure returning the storage's committed value as an
+// int64.  Declarations whose key is a pointer to an arithmetic type (the
+// arena-lane convention) get a sampler automatically; struct-valued lanes
+// attach one explicitly via the three-argument overloads, or stay opaque
+// (empty sampler) — the probe-coverage lint check reports opaque written
+// storage so unprobeable state is a visible, reviewed fact.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -49,6 +59,11 @@ enum class PortKind : std::uint8_t { kRegister, kSignal };
 /// written/driven.
 enum class PortDir : std::uint8_t { kIn, kOut };
 
+/// Probe closure: returns the storage's committed value widened to int64.
+/// Must be safe to call whenever the engine is between cycles (after any
+/// commit phase); an empty Sampler marks the port as opaque to probes.
+using Sampler = std::function<std::int64_t()>;
+
 /// One declared storage access.  `storage` is the identity key: equal keys
 /// mean the same physical register/signal.
 struct Port {
@@ -56,6 +71,7 @@ struct Port {
   PortKind kind = PortKind::kRegister;
   PortDir dir = PortDir::kIn;
   std::string label;  ///< human-readable name, e.g. "r[3]" or "bus"
+  Sampler sample;     ///< optional probe; empty when the lane is opaque
 };
 
 /// A combinational output re-presenting a registered value: `signal` is a
@@ -71,35 +87,74 @@ class PortSet {
  public:
   /// Raw-key declarations — use these for arena lanes, naming the lane by
   /// the address of one stable element (conventionally the value field).
-  void reads_register(const void* key, std::string label) {
-    add(key, PortKind::kRegister, PortDir::kIn, std::move(label));
+  /// Arithmetic-typed keys get an automatic sampler (the key *is* the
+  /// value field); other key types stay opaque unless the three-argument
+  /// overloads below attach an explicit one.
+  template <typename T>
+  void reads_register(const T* key, std::string label) {
+    add(key, PortKind::kRegister, PortDir::kIn, std::move(label),
+        auto_sampler(key));
   }
-  void writes_register(const void* key, std::string label) {
-    add(key, PortKind::kRegister, PortDir::kOut, std::move(label));
+  template <typename T>
+  void writes_register(const T* key, std::string label) {
+    add(key, PortKind::kRegister, PortDir::kOut, std::move(label),
+        auto_sampler(key));
   }
-  void reads_signal(const void* key, std::string label) {
-    add(key, PortKind::kSignal, PortDir::kIn, std::move(label));
+  template <typename T>
+  void reads_signal(const T* key, std::string label) {
+    add(key, PortKind::kSignal, PortDir::kIn, std::move(label),
+        auto_sampler(key));
   }
-  void drives_signal(const void* key, std::string label) {
-    add(key, PortKind::kSignal, PortDir::kOut, std::move(label));
+  template <typename T>
+  void drives_signal(const T* key, std::string label) {
+    add(key, PortKind::kSignal, PortDir::kOut, std::move(label),
+        auto_sampler(key));
   }
 
-  /// Typed conveniences for the discrete primitives.
+  /// Explicit-sampler declarations for struct-valued lanes (a flit, a
+  /// token): the closure projects whatever scalar is worth waveform space.
+  template <typename T>
+  void reads_register(const T* key, std::string label, Sampler sample) {
+    add(key, PortKind::kRegister, PortDir::kIn, std::move(label),
+        std::move(sample));
+  }
+  template <typename T>
+  void writes_register(const T* key, std::string label, Sampler sample) {
+    add(key, PortKind::kRegister, PortDir::kOut, std::move(label),
+        std::move(sample));
+  }
+  template <typename T>
+  void reads_signal(const T* key, std::string label, Sampler sample) {
+    add(key, PortKind::kSignal, PortDir::kIn, std::move(label),
+        std::move(sample));
+  }
+  template <typename T>
+  void drives_signal(const T* key, std::string label, Sampler sample) {
+    add(key, PortKind::kSignal, PortDir::kOut, std::move(label),
+        std::move(sample));
+  }
+
+  /// Typed conveniences for the discrete primitives.  Integer-valued
+  /// registers and buses sample themselves; other payloads stay opaque.
   template <typename T>
   void reads(const Register<T>& r, std::string label) {
-    reads_register(&r, std::move(label));
+    add(&r, PortKind::kRegister, PortDir::kIn, std::move(label),
+        register_sampler(r));
   }
   template <typename T>
   void writes(const Register<T>& r, std::string label) {
-    writes_register(&r, std::move(label));
+    add(&r, PortKind::kRegister, PortDir::kOut, std::move(label),
+        register_sampler(r));
   }
   template <typename T>
   void reads(const Bus<T>& b, std::string label) {
-    reads_signal(&b, std::move(label));
+    add(&b, PortKind::kSignal, PortDir::kIn, std::move(label),
+        bus_sampler(b));
   }
   template <typename T>
   void drives(const Bus<T>& b, std::string label) {
-    drives_signal(&b, std::move(label));
+    add(&b, PortKind::kSignal, PortDir::kOut, std::move(label),
+        bus_sampler(b));
   }
 
   /// Declare that out-signal `signal` is a combinational function of the
@@ -119,8 +174,46 @@ class PortSet {
   }
 
  private:
-  void add(const void* key, PortKind kind, PortDir dir, std::string label) {
-    ports_.push_back(Port{key, kind, dir, std::move(label)});
+  template <typename T>
+  [[nodiscard]] static Sampler auto_sampler(const T* key) {
+    if constexpr (std::is_arithmetic_v<T> || std::is_enum_v<T>) {
+      return [key]() -> std::int64_t {
+        return static_cast<std::int64_t>(*key);
+      };
+    } else {
+      (void)key;  // opaque lane (struct payload or type-erased void key)
+      return {};
+    }
+  }
+
+  template <typename T>
+  [[nodiscard]] static Sampler register_sampler(const Register<T>& r) {
+    if constexpr (std::is_arithmetic_v<T> || std::is_enum_v<T>) {
+      return [&r]() -> std::int64_t {
+        return static_cast<std::int64_t>(r.read());
+      };
+    } else {
+      (void)r;
+      return {};
+    }
+  }
+
+  template <typename T>
+  [[nodiscard]] static Sampler bus_sampler(const Bus<T>& b) {
+    if constexpr (std::is_arithmetic_v<T> || std::is_enum_v<T>) {
+      return [&b]() -> std::int64_t {
+        return static_cast<std::int64_t>(b.last_value());
+      };
+    } else {
+      (void)b;
+      return {};
+    }
+  }
+
+  void add(const void* key, PortKind kind, PortDir dir, std::string label,
+           Sampler sample) {
+    ports_.push_back(Port{key, kind, dir, std::move(label),
+                          std::move(sample)});
   }
 
   std::vector<Port> ports_;

@@ -1,13 +1,23 @@
 #include "sim/thread_pool.hpp"
 
 #include <atomic>
+#include <chrono>
 
 namespace sysdp::sim {
+
+namespace {
+
+/// Lane of the current thread: 0 for any non-pool thread (including the
+/// parallel_for caller), 1..workers for pool workers.  Thread-local so a
+/// span reported from inside a task lands on the lane that ran it.
+thread_local std::size_t tl_lane = 0;
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t workers) {
   workers_.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i + 1); });
   }
 }
 
@@ -20,7 +30,20 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::worker_loop() {
+std::uint64_t ThreadPool::now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void ThreadPool::note_span(PoolObserver::SpanKind kind, std::uint64_t t0_ns,
+                           std::uint64_t t1_ns) const {
+  if (observer_ != nullptr) observer_->on_span(tl_lane, kind, t0_ns, t1_ns);
+}
+
+void ThreadPool::worker_loop(std::size_t lane) {
+  tl_lane = lane;
   for (;;) {
     std::function<void()> task;
     {
@@ -42,6 +65,7 @@ struct ThreadPool::ForJob {
   const std::function<void(std::size_t)>* body;
   std::size_t n;
   std::size_t chunks;
+  const ThreadPool* pool;  ///< for span reporting; nullptr-observer safe
   std::atomic<std::size_t> remaining;
   std::mutex done_mu;
   std::condition_variable done_cv;
@@ -49,7 +73,13 @@ struct ThreadPool::ForJob {
   void run_chunk(std::size_t c) {
     const std::size_t lo = n * c / chunks;
     const std::size_t hi = n * (c + 1) / chunks;
+    const bool timed = pool->observer() != nullptr;
+    const std::uint64_t t0 = timed ? ThreadPool::now_ns() : 0;
     for (std::size_t i = lo; i < hi; ++i) (*body)(i);
+    if (timed) {
+      pool->note_span(PoolObserver::SpanKind::kChunk, t0,
+                      ThreadPool::now_ns());
+    }
     if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       std::lock_guard<std::mutex> lock(done_mu);
       done_cv.notify_one();
@@ -61,7 +91,10 @@ void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& body) {
   if (n == 0) return;
   if (workers_.empty() || n == 1) {
+    const bool timed = observer_ != nullptr;
+    const std::uint64_t t0 = timed ? now_ns() : 0;
     for (std::size_t i = 0; i < n; ++i) body(i);
+    if (timed) note_span(PoolObserver::SpanKind::kChunk, t0, now_ns());
     return;
   }
   const std::size_t chunks = std::min(n, num_lanes());
@@ -69,6 +102,7 @@ void ThreadPool::parallel_for(std::size_t n,
   job->body = &body;
   job->n = n;
   job->chunks = chunks;
+  job->pool = this;
   job->remaining.store(chunks, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -78,10 +112,19 @@ void ThreadPool::parallel_for(std::size_t n,
   }
   cv_.notify_all();
   job->run_chunk(0);  // the caller is lane 0
+  // Everything after the caller's own chunk is barrier wait: the time the
+  // fork-join structure costs the critical path, reported as its own span
+  // so work/wait ratios fall straight out of the trace.
+  const bool timed = observer_ != nullptr;
+  const std::uint64_t w0 = timed ? now_ns() : 0;
   std::unique_lock<std::mutex> lock(job->done_mu);
   job->done_cv.wait(lock, [&] {
     return job->remaining.load(std::memory_order_acquire) == 0;
   });
+  if (timed) {
+    lock.unlock();
+    note_span(PoolObserver::SpanKind::kBarrierWait, w0, now_ns());
+  }
 }
 
 }  // namespace sysdp::sim

@@ -29,6 +29,27 @@
 
 namespace sysdp::sim {
 
+/// Host-layer telemetry hook: receives wall-clock spans of pool activity
+/// so chrome-trace exporters can show where BatchSpeedup's time goes.
+///
+///   * kChunk       — one lane executing its parallel_for chunk
+///   * kTask        — one submit()ted task executing on a worker
+///   * kBarrierWait — the calling thread blocked on the parallel_for
+///                    barrier after finishing its own chunk (work vs.
+///                    wait, the number that explains fork-join overhead)
+///
+/// on_span is called concurrently from every lane; implementations must be
+/// thread-safe.  Timestamps are steady-clock nanoseconds (same epoch for
+/// every span of one process, so spans are directly comparable).
+class PoolObserver {
+ public:
+  enum class SpanKind : std::uint8_t { kChunk, kTask, kBarrierWait };
+
+  virtual ~PoolObserver() = default;
+  virtual void on_span(std::size_t lane, SpanKind kind, std::uint64_t t0_ns,
+                      std::uint64_t t1_ns) = 0;
+};
+
 class ThreadPool {
  public:
   /// `workers` worker threads in addition to the calling thread;
@@ -62,10 +83,41 @@ class ThreadPool {
   /// design bugs).
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
 
-  /// Enqueue one independent task; returns a future for its result.
+  /// Attach (or detach, with nullptr) the telemetry observer.  Borrowed,
+  /// not owned.  Not synchronised: set it while no parallel_for or
+  /// submitted task is in flight, and only from the owning thread.
+  void set_observer(PoolObserver* obs) noexcept { observer_ = obs; }
+  [[nodiscard]] PoolObserver* observer() const noexcept { return observer_; }
+
+  /// Steady-clock nanoseconds on the epoch PoolObserver spans use.
+  [[nodiscard]] static std::uint64_t now_ns() noexcept;
+
+  /// Enqueue one independent task; returns a future for its result.  With
+  /// an observer attached the task is timed and reported as a kTask span.
   template <typename Fn>
   auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
     using R = std::invoke_result_t<Fn>;
+    if (observer_ != nullptr) {
+      return submit_impl<R>([this, fn = std::forward<Fn>(fn)]() mutable -> R {
+        const std::uint64_t t0 = now_ns();
+        if constexpr (std::is_void_v<R>) {
+          fn();
+          note_span(PoolObserver::SpanKind::kTask, t0, now_ns());
+        } else {
+          R r = fn();
+          note_span(PoolObserver::SpanKind::kTask, t0, now_ns());
+          return r;
+        }
+      });
+    }
+    return submit_impl<R>(std::forward<Fn>(fn));
+  }
+
+ private:
+  struct ForJob;
+
+  template <typename R, typename Fn>
+  std::future<R> submit_impl(Fn&& fn) {
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
     std::future<R> fut = task->get_future();
     if (workers_.empty()) {
@@ -80,16 +132,17 @@ class ThreadPool {
     return fut;
   }
 
- private:
-  struct ForJob;
-
-  void worker_loop();
+  void worker_loop(std::size_t lane);
+  /// Forward a span to the observer, stamping the calling thread's lane.
+  void note_span(PoolObserver::SpanKind kind, std::uint64_t t0_ns,
+                 std::uint64_t t1_ns) const;
 
   std::vector<std::thread> workers_;
   std::mutex mu_;
   std::condition_variable cv_;
   std::queue<std::function<void()>> queue_;
   bool stop_ = false;
+  PoolObserver* observer_ = nullptr;
 };
 
 }  // namespace sysdp::sim

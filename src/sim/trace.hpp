@@ -1,28 +1,69 @@
 // Bounded signal trace for debugging and for the worked examples.
 //
 // Records (cycle, signal, value) tuples up to a capacity; renders as CSV.
-// Array models expose an optional Trace* so unit tests and examples can
-// inspect the data movement that the paper's figures illustrate.
+// Array models expose an optional EventSink* so unit tests and examples can
+// inspect the data movement that the paper's figures illustrate.  Trace is
+// the vector-backed reference sink: bounded, with an *explicit* overflow
+// policy.  Historically it silently stopped recording at capacity and only
+// set a latent flag; overflow is now a chosen policy and a counted,
+// queryable fact (dropped_events(), surfaced through the EventSink
+// interface so array models can propagate it into RunResult).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "sim/module.hpp"
+#include "sim/observer.hpp"
 
 namespace sysdp::sim {
 
-class Trace {
- public:
-  explicit Trace(std::size_t capacity = 1 << 16) : capacity_(capacity) {}
+/// What a full Trace does with the next event.
+enum class TraceOverflow : std::uint8_t {
+  /// Discard the incoming event and count it (the default — keeps the
+  /// *earliest* events, which is what fill-phase debugging wants).
+  kDropNewest,
+  /// Overwrite the oldest retained event (ring buffer) and count the
+  /// displacement — keeps the *latest* events, for drain-phase debugging.
+  kKeepLatest,
+  /// Throw std::runtime_error: for tests and tools where truncation would
+  /// invalidate the analysis and must abort instead.
+  kThrow,
+};
 
-  void record(Cycle t, std::string signal, std::int64_t value) {
-    if (events_.size() >= capacity_) {
-      dropped_ = true;
+class Trace : public EventSink {
+ public:
+  explicit Trace(std::size_t capacity = 1 << 16,
+                 TraceOverflow policy = TraceOverflow::kDropNewest)
+      : capacity_(capacity), policy_(policy) {}
+
+  void record(Cycle t, std::string signal, std::int64_t value) override {
+    if (events_.size() < capacity_) {
+      events_.push_back(Event{t, std::move(signal), value});
       return;
     }
-    events_.push_back(Event{t, std::move(signal), value});
+    switch (policy_) {
+      case TraceOverflow::kDropNewest:
+        ++dropped_;
+        return;
+      case TraceOverflow::kKeepLatest:
+        if (capacity_ == 0) {  // nothing retainable; count and move on
+          ++dropped_;
+          return;
+        }
+        events_[start_] = Event{t, std::move(signal), value};
+        start_ = (start_ + 1) % capacity_;
+        ++dropped_;
+        return;
+      case TraceOverflow::kThrow:
+        throw std::runtime_error("Trace: capacity " +
+                                 std::to_string(capacity_) +
+                                 " exceeded recording '" + signal +
+                                 "' at cycle " + std::to_string(t));
+    }
   }
 
   struct Event {
@@ -31,15 +72,28 @@ class Trace {
     std::int64_t value;
   };
 
+  /// Retained events in chronological order (under kKeepLatest the ring is
+  /// rotated into order on access, which is why the storage is mutable).
   [[nodiscard]] const std::vector<Event>& events() const noexcept {
+    if (start_ != 0) {
+      std::rotate(events_.begin(),
+                  events_.begin() + static_cast<std::ptrdiff_t>(start_),
+                  events_.end());
+      start_ = 0;
+    }
     return events_;
   }
-  [[nodiscard]] bool dropped() const noexcept { return dropped_; }
+  /// True if any event was discarded or displaced.
+  [[nodiscard]] bool dropped() const noexcept { return dropped_ > 0; }
+  [[nodiscard]] std::uint64_t dropped_events() const noexcept override {
+    return dropped_;
+  }
+  [[nodiscard]] TraceOverflow policy() const noexcept { return policy_; }
 
   /// CSV rendering: "cycle,signal,value" lines.
   [[nodiscard]] std::string to_csv() const {
     std::string out = "cycle,signal,value\n";
-    for (const auto& e : events_) {
+    for (const auto& e : events()) {
       out += std::to_string(e.cycle);
       out += ',';
       out += e.signal;
@@ -52,8 +106,10 @@ class Trace {
 
  private:
   std::size_t capacity_;
-  bool dropped_ = false;
-  std::vector<Event> events_;
+  TraceOverflow policy_;
+  std::uint64_t dropped_ = 0;
+  mutable std::size_t start_ = 0;  ///< ring head under kKeepLatest
+  mutable std::vector<Event> events_;
 };
 
 }  // namespace sysdp::sim

@@ -22,6 +22,8 @@
 #include "arrays/gkt_modular.hpp"
 #include "arrays/triangular_array.hpp"
 #include "graph/generators.hpp"
+#include "obs/timeline.hpp"
+#include "obs/vcd.hpp"
 #include "sim/batch.hpp"
 #include "sim/thread_pool.hpp"
 
@@ -148,6 +150,67 @@ TEST(ParallelDeterminism, GktModularBitIdenticalAcrossThreadCounts) {
         EXPECT_EQ(serial.stats.busy_steps, par.stats.busy_steps);
         EXPECT_EQ(serial.peak_operand_buffer, par.peak_operand_buffer);
       }
+    }
+  }
+}
+
+// The determinism contract extends to the telemetry documents: probes read
+// committed state on cycle boundaries, so the VCD dump and the utilisation
+// timeline must be *byte-identical* across every engine mode, not merely
+// the scalar results.  One divergent waveform byte means an observer saw
+// mid-cycle or thread-dependent state.
+struct TelemetryDoc {
+  std::string vcd;
+  std::string timeline;
+};
+
+template <typename Array>
+TelemetryDoc capture_telemetry(Array& arr, sim::ThreadPool* pool,
+                               sim::Gating gating) {
+  sim::Engine engine(pool, gating);
+  obs::VcdSink vcd;
+  obs::TimelineSink timeline(
+      arr.num_pes(), [&arr](std::size_t pe) { return arr.pe_busy(pe); });
+  engine.add_observer(&vcd);
+  engine.add_observer(&timeline);
+  (void)arr.run(engine);
+  timeline.finalize();
+  return TelemetryDoc{vcd.str(), timeline.to_json()};
+}
+
+TEST(ParallelDeterminism, Design1TelemetryBitIdenticalAcrossModes) {
+  const auto ins = string_instance(3, 8, 3008);
+  Design1Modular ref_arr(ins.mats, ins.v);
+  const auto ref = capture_telemetry(ref_arr, nullptr, sim::Gating::kDense);
+  ASSERT_FALSE(ref.vcd.empty());
+  for (const std::size_t workers : kWorkerCounts) {
+    for (const sim::Gating gating : kGatings) {
+      sim::ThreadPool pool(workers);
+      Design1Modular arr(ins.mats, ins.v);
+      const auto doc = capture_telemetry(arr, &pool, gating);
+      SCOPED_TRACE("workers=" + std::to_string(workers) + " sparse=" +
+                   std::to_string(gating == sim::Gating::kSparse));
+      EXPECT_EQ(ref.vcd, doc.vcd);
+      EXPECT_EQ(ref.timeline, doc.timeline);
+    }
+  }
+}
+
+TEST(ParallelDeterminism, GktModularTelemetryBitIdenticalAcrossModes) {
+  Rng rng(308);
+  const auto dims = random_chain_dims(8, rng);
+  GktModularArray ref_arr(dims);
+  const auto ref = capture_telemetry(ref_arr, nullptr, sim::Gating::kDense);
+  ASSERT_FALSE(ref.vcd.empty());
+  for (const std::size_t workers : kWorkerCounts) {
+    for (const sim::Gating gating : kGatings) {
+      sim::ThreadPool pool(workers);
+      GktModularArray arr(dims);
+      const auto doc = capture_telemetry(arr, &pool, gating);
+      SCOPED_TRACE("workers=" + std::to_string(workers) + " sparse=" +
+                   std::to_string(gating == sim::Gating::kSparse));
+      EXPECT_EQ(ref.vcd, doc.vcd);
+      EXPECT_EQ(ref.timeline, doc.timeline);
     }
   }
 }
