@@ -20,12 +20,18 @@
 // skips the google-benchmark pass (the aggregate pass alone carries every
 // number the baseline comparison needs), halving CI wall-clock.
 //
-// --engine-tolerance=F tightens the gate for the engine_throughput entries
-// only (e.g. 0.02 for 2%): these run with no observers attached, so they
-// measure exactly the telemetry layer's when-off overhead — the
-// "zero overhead when off" contract of sim/observer.hpp.  The
-// design1_modular_observed entry carries a no-op observer and is reported
-// for trend-watching at the default tolerance.
+// --engine-tolerance=F tightens the gate for the engine_throughput and
+// compiled_throughput entries (e.g. 0.02 for 2%): the former run with no
+// observers attached, so they measure exactly the telemetry layer's
+// when-off overhead — the "zero overhead when off" contract of
+// sim/observer.hpp — and the latter are flat-tape replays steady enough
+// for the same tight comparison.  The design1_modular_observed entry
+// carries a no-op observer and is reported for trend-watching at the
+// default tolerance.
+//
+// The compiled_throughput section also carries a baseline-free gate: the
+// compiled tape must replay at least 3x faster than the interpreted dense
+// serial run on two or more families, else the binary exits nonzero.
 //
 // Speedup expectations scale with the host: on a >= 4-core machine the
 // sweeps are embarrassingly parallel and the batch runner delivers >= 2x;
@@ -56,6 +62,9 @@
 #include "arrays/gkt_modular.hpp"
 #include "arrays/graph_adapter.hpp"
 #include "arrays/triangular_array.hpp"
+#include "arrays/triangular_modular.hpp"
+#include "compile/engine.hpp"
+#include "compile/lower.hpp"
 #include "graph/generators.hpp"
 #include "sim/batch.hpp"
 #include "sim/engine.hpp"
@@ -341,6 +350,99 @@ std::vector<GatingEntry> measure_gating() {
   return out;
 }
 
+// ------------------------------------------------- compiled backend -------
+
+/// One compiled-vs-interpreted throughput comparison: the same instance
+/// through the modular engine (dense, serial — the semantics the tape
+/// replays bit-identically) and through CompiledEngine's flat tape.
+/// Lowering runs once, outside the timed region: a tape is replayable, so
+/// its one-time cost amortises the way a netlist elaboration does.
+struct CompiledSample {
+  std::string name;
+  std::uint64_t cycles = 0;
+  std::uint64_t num_ops = 0;
+  double interpreted_seconds = 0.0;
+  double compiled_seconds = 0.0;
+
+  [[nodiscard]] double speedup() const {
+    return compiled_seconds > 0.0 ? interpreted_seconds / compiled_seconds
+                                  : 0.0;
+  }
+  [[nodiscard]] double ops_per_sec() const {
+    return compiled_seconds > 0.0
+               ? static_cast<double>(num_ops) / compiled_seconds
+               : 0.0;
+  }
+};
+
+/// Floor for the in-binary compiled gate: at least two families must
+/// replay >= this much faster than their interpreted dense serial run.
+/// The measured margin is an order of magnitude beyond this — the floor
+/// only has to separate "flat tape" from "accidentally re-interpreting".
+constexpr double kCompiledSpeedupFloor = 3.0;
+
+template <typename MakeArray, typename BusyOf>
+CompiledSample measure_compiled_one(const char* name, MakeArray&& make,
+                                    BusyOf&& busy_of) {
+  CompiledSample s;
+  s.name = name;
+  std::uint64_t busy = 0;
+  s.interpreted_seconds = best_seconds(9, [&] {
+    auto arr = make();
+    busy = busy_of(arr.run(nullptr, sim::Gating::kDense));
+  });
+  auto arr = make();
+  auto low = compile::lower_array(arr);
+  s.cycles = low.net.cycles();
+  s.num_ops = low.net.num_ops();
+  compile::CompiledEngine ce(low.net);
+  ce.run_all();
+  // The tape must carry exactly the oracle's busy steps and reproduce its
+  // recorded outputs — a silent mismatch here would make the timing below
+  // a comparison of different computations.
+  if (s.num_ops != busy || ce.verify_outputs().found) {
+    std::fprintf(stderr, "bench_all: compiled backend diverges on %s\n",
+                 name);
+    std::exit(1);
+  }
+  s.compiled_seconds = best_seconds(9, [&] {
+    ce.reset();
+    ce.run_all();
+    benchmark::DoNotOptimize(ce.now());
+  });
+  return s;
+}
+
+std::vector<CompiledSample> measure_compiled(
+    const std::vector<Matrix<Cost>>& mats, const std::vector<Cost>& v) {
+  std::vector<CompiledSample> out;
+  out.push_back(measure_compiled_one(
+      "compiled_design1_96pe",
+      [&] { return Design1Modular(mats, v); },
+      [](const RunResult<Cost>& r) { return r.busy_steps; }));
+  {
+    Rng rng(96096);  // same instance as the gkt_modular_n96 gating entry
+    const auto dims = random_chain_dims(96, rng);
+    out.push_back(measure_compiled_one(
+        "compiled_gkt_n96", [&] { return GktModularArray(dims); },
+        [](const GktModularArray::Result& r) { return r.stats.busy_steps; }));
+  }
+  {
+    Rng rng(777);
+    std::uniform_int_distribution<Cost> freq(1, 40);
+    std::vector<Cost> f(96);
+    for (auto& x : f) x = freq(rng);
+    const BstRule rule(f);
+    out.push_back(measure_compiled_one(
+        "compiled_bst_n96",
+        [&] { return TriangularModularArray<BstRule>(rule, rule.num_keys()); },
+        [](const TriangularModularArray<BstRule>::Result& r) {
+          return r.stats.busy_steps;
+        }));
+  }
+  return out;
+}
+
 // --------------------------------------------------------- baseline -------
 
 struct MetricSample {
@@ -363,8 +465,11 @@ constexpr double kRegressionTolerance = 0.15;
 
 /// Entries gated by --engine-tolerance: the observer-free engine
 /// throughput runs ("_observed" deliberately excluded — it carries a
-/// no-op observer, so it measures when-on cost, not when-off overhead).
+/// no-op observer, so it measures when-on cost, not when-off overhead),
+/// plus the compiled-tape replay timings, whose steadiness (flat arrays,
+/// no dispatch) supports the same tight cross-run comparison.
 bool engine_gated(const std::string& name) {
+  if (name.rfind("compiled_", 0) == 0) return true;
   return name.rfind("design1_modular_", 0) == 0 &&
          name.find("_observed") == std::string::npos;
 }
@@ -411,6 +516,10 @@ std::vector<MetricSample> comparable_metrics(const std::string& text) {
     out.push_back(std::move(s));
   }
   for (auto& s : scan_section(text, "engine_throughput", "wall_seconds", "")) {
+    out.push_back(std::move(s));
+  }
+  for (auto& s :
+       scan_section(text, "compiled_throughput", "compiled_seconds", "")) {
     out.push_back(std::move(s));
   }
   for (auto& s : scan_section(text, "gating", "sparse_seconds", "/sparse")) {
@@ -560,6 +669,19 @@ int main(int argc, char** argv) {
               static_cast<double>(eng_serial.active_evals) /
                   static_cast<double>(eng_serial.dense_evals));
 
+  // Compiled flat-tape replay versus the interpreted modular engine on the
+  // same instances: the lowering pipeline's whole reason to exist.
+  const auto compiled = measure_compiled(prob.mats, prob.v);
+  std::size_t compiled_fast_families = 0;
+  for (const auto& c : compiled) {
+    if (c.speedup() >= kCompiledSpeedupFloor) ++compiled_fast_families;
+    std::printf(
+        "  compiled %-22s interpreted=%8.3fms compiled=%8.3fms speedup=%.1fx "
+        "(%.0f ops/s)\n",
+        c.name.c_str(), c.interpreted_seconds * 1e3, c.compiled_seconds * 1e3,
+        c.speedup(), c.ops_per_sec());
+  }
+
   // ----------------------------------------------------------- output -----
   std::ofstream out(out_path);
   if (!out) {
@@ -629,6 +751,22 @@ int main(int argc, char** argv) {
   engine_entry("design1_modular_observed", eng_observed, "");
   out << "  ],\n";
 
+  out << "  \"compiled_throughput\": [\n";
+  for (std::size_t i = 0; i < compiled.size(); ++i) {
+    const auto& c = compiled[i];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"name\": \"%s\", \"cycles\": %llu, "
+                  "\"num_ops\": %llu, \"interpreted_seconds\": %.6f, "
+                  "\"compiled_seconds\": %.6f, \"speedup\": %.3f, "
+                  "\"compiled_ops_per_sec\": %.0f}%s\n",
+                  c.name.c_str(), static_cast<unsigned long long>(c.cycles),
+                  static_cast<unsigned long long>(c.num_ops),
+                  c.interpreted_seconds, c.compiled_seconds, c.speedup(),
+                  c.ops_per_sec(), i + 1 < compiled.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ],\n";
+
   // Baseline comparison: per-benchmark medians against a committed
   // BENCH_SIM.json; only benchmarks present in both documents compare.
   std::size_t regressed = 0;
@@ -665,6 +803,14 @@ int main(int argc, char** argv) {
                     eng_serial.t.wall_seconds, eng_parallel.t.wall_seconds,
                     eng_observed.t.wall_seconds);
       tmp << buf;
+      tmp << "  \"compiled_throughput\": [\n";
+      for (const auto& c : compiled) {
+        std::snprintf(buf, sizeof buf,
+                      "    {\"name\": \"%s\", \"compiled_seconds\": %.6f},\n",
+                      c.name.c_str(), c.compiled_seconds);
+        tmp << buf;
+      }
+      tmp << "  ],\n";
       tmp << "  \"gating\": [\n";
       for (const auto& e : gating) {
         std::snprintf(buf, sizeof buf,
@@ -731,6 +877,18 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("bench_all: wrote %s\n", out_path.c_str());
+
+  // In-binary compiled gate (no baseline needed): the flat tape must beat
+  // the interpreted dense serial run by kCompiledSpeedupFloor on at least
+  // two families, or the lowering pipeline has stopped paying for itself.
+  if (compiled_fast_families < 2) {
+    std::fprintf(stderr,
+                 "bench_all: compiled backend >= %.1fx interpreted on only "
+                 "%zu/%zu families (need >= 2)\n",
+                 kCompiledSpeedupFloor, compiled_fast_families,
+                 compiled.size());
+    return 2;
+  }
 
   if (regressed > 0) {
     std::fprintf(stderr,

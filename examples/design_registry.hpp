@@ -28,6 +28,7 @@
 #include "arrays/run_result.hpp"
 #include "arrays/triangular_array.hpp"
 #include "arrays/triangular_modular.hpp"
+#include "compile/lower.hpp"
 #include "graph/generators.hpp"
 #include "sim/engine.hpp"
 #include "sim/port.hpp"
@@ -91,6 +92,10 @@ class DesignInstance {
   [[nodiscard]] virtual std::uint64_t pe_busy(std::size_t pe) const = 0;
   /// Statistics of the last run() (default-constructed before).
   [[nodiscard]] virtual const RunStats& stats() const = 0;
+  /// Lower the design to a compiled flat tape (compile::lower_array).
+  /// Consumes the instance's freshness: the internal oracle run IS the
+  /// array's one run, so call this instead of — never after — run().
+  [[nodiscard]] virtual compile::Lowered lower() = 0;
 };
 
 /// Adapter over the duck-typed array surface.  `keepalive` owns any state
@@ -121,6 +126,9 @@ class TypedInstance final : public DesignInstance {
     return arr_->pe_busy(pe);
   }
   [[nodiscard]] const RunStats& stats() const override { return stats_; }
+  [[nodiscard]] compile::Lowered lower() override {
+    return compile::lower_array(*arr_);
+  }
 
  private:
   std::unique_ptr<Array> arr_;

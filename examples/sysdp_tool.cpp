@@ -4,18 +4,28 @@
 //   sysdp_tool gen chain <matrices> <seed>
 //   sysdp_tool gen objective <vars> <domain> <seed>     (banded, eq. 36)
 //   sysdp_tool info <file>                              classify and describe
-//   sysdp_tool solve <file> [k] [--metrics]             route per Table 1
+//   sysdp_tool solve <file> [k] [--metrics] [--engine=modular|compiled]
+//                                                       route per Table 1
 //
 // `solve` dispatches exactly as core/solver.hpp: multistage graphs to the
 // Design 1 systolic array (plus divide-and-conquer when k > 1 is given),
 // chains to the serialised AND/OR / GKT array, objectives to the
-// classification-driven route of Section 6.
+// classification-driven route of Section 6.  --engine=compiled routes the
+// multistage and chain arrays through the compiled flat-tape backend
+// (src/compile): the design is lowered once, replayed with per-op oracle
+// checking, and the answer is printed only if the replay is bit-identical
+// to the modular run.
 #include <algorithm>
 #include <cstdio>
 #include <iostream>
 #include <string>
 
 #include "andor/stage_reduction.hpp"
+#include "arrays/design1_modular.hpp"
+#include "arrays/gkt_modular.hpp"
+#include "arrays/graph_adapter.hpp"
+#include "compile/engine.hpp"
+#include "compile/lower.hpp"
 #include "core/solver.hpp"
 #include "core/table1.hpp"
 #include "graph/generators.hpp"
@@ -35,6 +45,7 @@ int usage() {
                "  sysdp_tool gen objective <vars> <domain> <seed>\n"
                "  sysdp_tool info <file>\n"
                "  sysdp_tool solve <file> [k] [--metrics]\n"
+               "                  [--engine=modular|compiled]\n"
                "  sysdp_tool reduce <file>      stage-reduction plan "
                "(multistage only)\n");
   return 2;
@@ -127,17 +138,86 @@ int cmd_info(const std::string& path) {
   return 0;
 }
 
-int cmd_solve(const std::string& path, std::uint64_t k, bool metrics) {
+/// Replay `low` with per-op oracle checking; throws on any divergence so
+/// a compiled-route answer is never printed unless it is bit-identical to
+/// the modular run that produced the tape.
+compile::CompiledEngine checked_replay(const compile::Lowered& low) {
+  compile::CompiledEngine ce(low.net);
+  const auto div = ce.run_all_checked();
+  if (div.found || ce.verify_outputs().found) {
+    throw std::runtime_error(
+        "compiled replay diverged from the modular oracle");
+  }
+  return ce;
+}
+
+/// --engine=compiled on a multistage graph: Design 1 lowered to a flat
+/// tape.  The optimum comes from the replayed "out" lanes; path recovery
+/// stays with the sequential sweep, exactly like the interpreted route.
+SolveReport solve_monadic_compiled(const MultistageGraph& g) {
+  SolveReport rep;
+  rep.cls = {Recursion::kMonadic, Structure::kSerial};
+  auto prob = to_string_product(g);
+  Design1Modular arr(std::move(prob.mats), std::move(prob.v));
+  const auto low = compile::lower_array(arr);
+  const auto ce = checked_replay(low);
+  Cost best = kInfCost;
+  for (const auto& o : low.net.outputs) {
+    if (o.tag == "out") best = std::min(best, ce.value(o.slot));
+  }
+  rep.cost = best;
+  rep.method = "Design 1 via compiled tape (" +
+               std::to_string(low.net.num_ops()) + " ops, " +
+               std::to_string(low.net.cycles()) + " levels)";
+  rep.work_steps = low.net.num_ops();
+  rep.cycles = low.net.cycles();
+  rep.assignment = solve_monadic_serial(g).assignment;
+  return rep;
+}
+
+/// --engine=compiled on a matrix chain: the GKT triangle lowered to a
+/// flat tape; the root cell carries the optimum.
+SolveReport solve_chain_compiled(const std::vector<Cost>& dims) {
+  SolveReport rep;
+  rep.cls = {Recursion::kPolyadic, Structure::kNonserial};
+  GktModularArray arr(dims);
+  const auto low = compile::lower_array(arr);
+  const std::size_t n = dims.size() - 1;
+  const auto ce = checked_replay(low);
+  rep.cost = n >= 2 ? ce.output("cell", n - 1) : 0;
+  rep.method = "GKT array via compiled tape (" +
+               std::to_string(low.net.num_ops()) + " ops, " +
+               std::to_string(low.net.cycles()) + " levels)";
+  rep.work_steps = low.net.num_ops();
+  rep.cycles = low.net.cycles();
+  return rep;
+}
+
+int cmd_solve(const std::string& path, std::uint64_t k, bool metrics,
+              bool compiled) {
   const auto problem = load_problem(path);
   std::visit(
-      [k, metrics](const auto& p) {
+      [k, metrics, compiled](const auto& p) {
         using T = std::decay_t<decltype(p)>;
         SolveReport rep;
         if constexpr (std::is_same_v<T, MultistageGraph>) {
-          rep = k > 1 ? solve_polyadic_serial(p, k) : solve_monadic_serial(p);
+          rep = k > 1         ? solve_polyadic_serial(p, k)
+                : compiled    ? solve_monadic_compiled(p)
+                              : solve_monadic_serial(p);
+          if (compiled && k > 1) {
+            std::fprintf(stderr,
+                         "note: --engine=compiled ignored for k > 1 "
+                         "(divide-and-conquer runs interpreted)\n");
+          }
         } else if constexpr (std::is_same_v<T, std::vector<Cost>>) {
-          rep = solve_chain_order(p);
+          rep = compiled ? solve_chain_compiled(p) : solve_chain_order(p);
         } else {
+          if (compiled) {
+            std::fprintf(stderr,
+                         "note: --engine=compiled supports multistage and "
+                         "chain problems; objective uses the modular "
+                         "route\n");
+          }
           rep = solve_objective(p);
         }
         print_report(rep);
@@ -189,18 +269,23 @@ int main(int argc, char** argv) {
     const std::string cmd = argv[1];
     if (cmd == "gen") return cmd_gen(argc - 2, argv + 2);
     if (cmd == "info" && argc == 3) return cmd_info(argv[2]);
-    if (cmd == "solve" && argc >= 3 && argc <= 5) {
+    if (cmd == "solve" && argc >= 3 && argc <= 6) {
       std::uint64_t k = 1;
       bool metrics = false;
+      bool compiled = false;
       for (int i = 3; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--metrics") {
           metrics = true;
+        } else if (arg == "--engine=compiled") {
+          compiled = true;
+        } else if (arg == "--engine=modular") {
+          compiled = false;
         } else {
           k = std::stoull(arg);
         }
       }
-      return cmd_solve(argv[2], k, metrics);
+      return cmd_solve(argv[2], k, metrics, compiled);
     }
     if (cmd == "reduce" && argc == 3) return cmd_reduce(argv[2]);
     return usage();

@@ -2,7 +2,7 @@
 //
 //   sysdp_trace [--design <substr>] [--out-dir <dir>] [--bucket <cycles>]
 //               [--pool <threads>] [--gating <dense|sparse>]
-//               [--dnc <N,K>] [--list]
+//               [--engine <modular|compiled>] [--dnc <N,K>] [--list]
 //
 // For every matching design of examples/design_registry.hpp (the same
 // fixed instances the lint gate certifies) the tool runs the array once on
@@ -22,6 +22,12 @@
 // the full run its utilisation must equal the array's wall utilisation.
 // Any mismatch is a telemetry bug and exits nonzero.
 //
+// --engine compiled switches the capture to the compiled flat-tape
+// backend: each matching design is lowered (compile::lower_array), the
+// tape is replayed with per-op oracle checking, and the tape shape is
+// written as <name>.compiled.metrics.json.  The VCD/timeline artifacts do
+// not apply — the compiled engine has no modules to observe.
+//
 // --dnc N,K additionally records the divide-and-conquer scheduler of
 // src/dnc/schedule over an N-leaf problem on K arrays and writes
 // dnc-n<N>-k<K>.trace.json with one Chrome-trace thread per array; the
@@ -34,6 +40,8 @@
 #include <string_view>
 #include <vector>
 
+#include "compile/engine.hpp"
+#include "compile/lower.hpp"
 #include "design_registry.hpp"
 #include "dnc/metrics.hpp"
 #include "dnc/schedule.hpp"
@@ -53,7 +61,9 @@ int usage() {
       stderr,
       "usage: sysdp_trace [--design <substring>] [--out-dir <dir>]\n"
       "                   [--bucket <cycles>] [--pool <threads>]\n"
-      "                   [--gating <dense|sparse>] [--dnc <N,K>] [--list]\n");
+      "                   [--gating <dense|sparse>]\n"
+      "                   [--engine <modular|compiled>]\n"
+      "                   [--dnc <N,K>] [--list]\n");
   return 2;
 }
 
@@ -79,11 +89,76 @@ struct Options {
   sim::Cycle bucket = 1;
   std::size_t pool_threads = 0;
   sim::Gating gating = sim::Gating::kSparse;
+  bool compiled = false;
   bool list = false;
   bool dnc = false;
   std::uint64_t dnc_n = 0;
   std::uint64_t dnc_k = 0;
 };
+
+/// --engine compiled: lower the design to its flat tape, replay it with
+/// per-op oracle checking, and emit <name>.compiled.metrics.json with the
+/// tape shape (ops, levels, slots, elided copies).  The compiled engine
+/// has no modules, so the VCD/timeline artifacts do not apply; what it
+/// proves instead is that the tape replays the exact run the modular
+/// telemetry path records.
+bool trace_design_compiled(const examples::DesignSpec& spec,
+                           const Options& opt) {
+  const auto inst = spec.make();
+  compile::Lowered low;
+  try {
+    low = inst->lower();
+  } catch (const std::logic_error& e) {
+    std::fprintf(stderr, "sysdp_trace: %s: lowering failed: %s\n",
+                 spec.name.c_str(), e.what());
+    return false;
+  }
+  compile::CompiledEngine ce(low.net);
+  const auto div = ce.run_all_checked();
+  if (div.found) {
+    std::fprintf(stderr,
+                 "sysdp_trace: %s: compiled replay diverged at op %llu "
+                 "(got %lld, oracle %lld)\n",
+                 spec.name.c_str(),
+                 static_cast<unsigned long long>(div.index),
+                 static_cast<long long>(div.got),
+                 static_cast<long long>(div.expected));
+    return false;
+  }
+  if (ce.verify_outputs().found) {
+    std::fprintf(stderr, "sysdp_trace: %s: compiled outputs diverge\n",
+                 spec.name.c_str());
+    return false;
+  }
+
+  obs::MetricsRegistry metrics;
+  metrics.set_counter("tape.ops", low.net.num_ops());
+  metrics.set_counter("tape.levels", low.net.cycles());
+  metrics.set_counter("tape.slots", low.net.num_slots);
+  metrics.set_counter("tape.outputs", low.net.outputs.size());
+  metrics.set_counter("tape.copies_elided", low.net.stats.copies_elided);
+  metrics.set_counter("tape.consts_interned", low.net.stats.consts_interned);
+  metrics.set_counter("tape.lanes_bound", low.net.stats.lanes_bound);
+  metrics.set_counter("tape.named_lanes", low.net.stats.named_lanes);
+  metrics.set_counter("oracle.busy_steps", low.net.stats.oracle_busy_steps);
+  metrics.set_counter("oracle.dense_evals", low.net.stats.oracle_dense_evals);
+  if (low.net.cycles() > 0) {
+    metrics.set_gauge("tape.ops_per_level",
+                      static_cast<double>(low.net.num_ops()) /
+                          static_cast<double>(low.net.cycles()));
+  }
+
+  const std::filesystem::path dir(opt.out_dir);
+  const std::string base = file_base(spec.name);
+  obs::write_text_file((dir / (base + ".compiled.metrics.json")).string(),
+                       obs::metrics_v1_json(spec.name, metrics, nullptr));
+  std::printf(
+      "%-28s levels=%-6llu slots=%-6u ops=%-6llu elided=%-6llu replay=ok\n",
+      spec.name.c_str(), static_cast<unsigned long long>(low.net.cycles()),
+      low.net.num_slots, static_cast<unsigned long long>(low.net.num_ops()),
+      static_cast<unsigned long long>(low.net.stats.copies_elided));
+  return true;
+}
 
 /// Capture one design: run with VCD + timeline observers, cross-check,
 /// write the three artifacts.  Returns false on telemetry mismatch.
@@ -232,6 +307,13 @@ int main(int argc, char** argv) {
       } else {
         return usage();
       }
+    } else if (arg == "--engine" && i + 1 < argc) {
+      const std::string_view e = argv[++i];
+      if (e == "compiled") {
+        opt.compiled = true;
+      } else if (e != "modular") {
+        return usage();
+      }
     } else if (arg == "--dnc" && i + 1 < argc) {
       if (!parse_dnc(argv[++i], opt)) return usage();
     } else {
@@ -264,7 +346,9 @@ int main(int argc, char** argv) {
     if (!opt.filter.empty() && d.name.find(opt.filter) == std::string::npos) {
       continue;
     }
-    ok = trace_design(d, opt, pool.get()) && ok;
+    ok = (opt.compiled ? trace_design_compiled(d, opt)
+                       : trace_design(d, opt, pool.get())) &&
+         ok;
     ++traced;
   }
   if (opt.dnc) {

@@ -5,6 +5,7 @@
 
 #include "semiring/kernels.hpp"
 #include "sim/module.hpp"
+#include "sim/record.hpp"
 #include "sim/stats.hpp"
 #include "sim/thread_pool.hpp"
 
@@ -70,6 +71,10 @@ struct Design1Modular::Arena {
 
   Rail r;    ///< moving rail (pass-through register)
   Rail acc;  ///< accumulator rail
+  /// Lowering hook (sim/record.hpp), null in normal runs.  Lane keys are
+  /// the rails' value-element addresses — the same keys describe_ports
+  /// declares, so the compiled netlist and the captured one coincide.
+  sim::OpRecorder* rec = nullptr;
   // Distributed control, one lane per PE: the local iteration counter kept
   // in already-decoded form (multiply index q, 1-based, and position j in
   // the current multiply) so the hot eval path never divides.
@@ -100,6 +105,11 @@ class Design1Modular::Host : public sim::Module {
     input_ = Token{};
     if (c < m_) input_ = Token{v_[c], static_cast<std::size_t>(c), 1, true};
     exhausted_ = c + 1 >= m_;
+    if (rec_ != nullptr) {
+      // The fed element (or the idle token's 0) is an instance constant;
+      // bind_now because P_0 samples the bus lane this same cycle.
+      rec_->bind_now(&input_, rec_->constant(input_.val));
+    }
   }
   void commit() override {}
 
@@ -123,6 +133,8 @@ class Design1Modular::Host : public sim::Module {
   [[nodiscard]] const Token& input() const noexcept { return input_; }
   [[nodiscard]] std::vector<V>& out() noexcept { return out_; }
 
+  void set_recorder(sim::OpRecorder* rec) noexcept { rec_ = rec; }
+
   /// The feed retires for good once the vector is exhausted.
   [[nodiscard]] sim::SleepMode sleep_mode() const noexcept override {
     return sim::SleepMode::kRetire;
@@ -143,6 +155,7 @@ class Design1Modular::Host : public sim::Module {
   Token input_;
   std::vector<V> out_;
   bool exhausted_ = false;
+  sim::OpRecorder* rec_ = nullptr;
 };
 
 /// One PE with distributed control: a local iteration counter that starts
@@ -183,9 +196,26 @@ class Design1Modular::Pe : public sim::Module {
       }
       if (!a.started[p] && !in.valid) return;  // not my turn yet
       a.advance[p] = 1;
+      sim::OpRecorder* const rec = a.rec;
+      sim::SlotId s_in = 0;
+      if (rec != nullptr) {
+        // Narrate the pass-through: the R write is a pure copy, so it is a
+        // rebind of the lane to the source's slot, not a tape op.
+        s_in = (p == 0) ? ((q == 1) ? rec->lane(&host_.input(), in.val)
+                                    : rec->lane(&a.acc.val[m_ - 1], in.val))
+                        : rec->lane(&a.r.val[p - 1], in.val);
+        rec->bind_staged(&a.r.val[p], s_in);
+      }
       a.r.write(p, in.val, in.idx, in.q, in.valid);
       if (in.valid && p < mat.rows()) {
         const V base = (j == 0) ? MinPlus::zero() : a.acc.val[p];
+        if (rec != nullptr) {
+          const sim::SlotId s_base = (j == 0)
+                                         ? rec->constant(MinPlus::zero())
+                                         : rec->lane(&a.acc.val[p], base);
+          rec->bind_staged(&a.acc.val[p],
+                           rec->mac(s_base, mat(p, in.idx), s_in));
+        }
         a.acc.write(p, kern::mac<MinPlus>(base, mat(p, in.idx), in.val), p, q,
                     true);
         stats_.mark_busy(p);
@@ -193,7 +223,14 @@ class Design1Modular::Pe : public sim::Module {
     } else {
       a.advance[p] = 1;
       const Token stationary = (j == 0) ? a.acc.read(p) : a.r.read(p);
+      sim::OpRecorder* const rec = a.rec;
+      sim::SlotId s_st = 0;
+      if (rec != nullptr) {
+        s_st = (j == 0) ? rec->lane(&a.acc.val[p], stationary.val)
+                        : rec->lane(&a.r.val[p], stationary.val);
+      }
       if (j == 0) {
+        if (rec != nullptr) rec->bind_staged(&a.r.val[p], s_st);
         a.r.write(p, stationary.val, stationary.idx, stationary.q,
                   stationary.valid);
       }
@@ -206,12 +243,22 @@ class Design1Modular::Pe : public sim::Module {
         if (partial.valid && partial.q != q) partial.valid = false;
       }
       if (partial.valid) {
+        if (rec != nullptr) {
+          const sim::SlotId s_part =
+              (p == 0) ? rec->constant(MinPlus::zero())
+                       : rec->lane(&a.acc.val[p - 1], partial.val);
+          rec->bind_staged(&a.acc.val[p],
+                           rec->mac(s_part, mat(partial.idx, p), s_st));
+        }
         a.acc.write(p,
                     kern::mac<MinPlus>(partial.val, mat(partial.idx, p),
                                        stationary.val),
                     partial.idx, q, true);
         stats_.mark_busy(p);
       } else {
+        if (rec != nullptr) {
+          rec->bind_staged(&a.acc.val[p], rec->constant(V{}));
+        }
         a.acc.write(p, V{}, 0, 0, false);
       }
     }
@@ -291,7 +338,9 @@ void Design1Modular::elaborate(sim::Engine& engine) {
   const std::size_t r = mats_.front().rows();
   stats_.reset();
   arena_ = std::make_unique<Arena>(m_);
+  arena_->rec = engine.recorder();
   host_ = std::make_unique<Host>(v_, m_, Q, r);
+  host_->set_recorder(engine.recorder());
   engine.add(*host_);
   pes_.clear();
   for (std::size_t p = 0; p < m_; ++p) {
@@ -343,9 +392,17 @@ RunResult<Design1Modular::V> Design1Modular::run(sim::Engine& engine) {
 
   const bool final_mode_a = (Q % 2 == 1);
   const sim::Cycle total = (Q - 1) * m_ + (m_ - 1) + (r - 1) + 1;
+  sim::OpRecorder* const rec = engine.recorder();
   for (sim::Cycle c = 0; c < total; ++c) {
     engine.step();
-    if (!final_mode_a) host_->harvest(arena_->acc.read(m_ - 1));
+    if (!final_mode_a) {
+      const Token tail = arena_->acc.read(m_ - 1);
+      if (rec != nullptr && tail.valid && tail.q == Q && tail.idx < r) {
+        rec->output("out", tail.idx,
+                    rec->lane(&arena_->acc.val[m_ - 1], tail.val), tail.val);
+      }
+      host_->harvest(tail);
+    }
   }
 
   RunResult<V> res;
@@ -358,6 +415,10 @@ RunResult<Design1Modular::V> Design1Modular::run(sim::Engine& engine) {
   if (final_mode_a) {
     for (std::size_t p = 0; p < r; ++p) {
       host_->out()[p] = arena_->acc.val[p];
+      if (rec != nullptr) {
+        rec->output("out", p, rec->lane(&arena_->acc.val[p], host_->out()[p]),
+                    host_->out()[p]);
+      }
     }
   }
   res.values = host_->out();

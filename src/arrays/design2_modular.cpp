@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "semiring/kernels.hpp"
+#include "sim/record.hpp"
 
 namespace sysdp {
 
@@ -32,6 +33,9 @@ struct Design2Modular::Arena {
 
   std::vector<V> acc, acc_nxt, s;
   std::vector<std::uint8_t> acc_written, move, drained;
+
+  /// Tape recorder mirroring the datapath, or null when not lowering.
+  sim::OpRecorder* rec = nullptr;
 
   explicit Arena(std::size_t n)
       : acc(n, MinPlus::zero()),
@@ -114,6 +118,24 @@ class Design2Modular::Pe : public sim::Module {
     const auto x = bus_.sample(c);
     if (!x.has_value()) throw std::logic_error("Design2Modular: dead bus");
     const V base = (j == 0) ? MinPlus::zero() : a_.acc[p];
+    if (sim::OpRecorder* const rec = a_.rec; rec != nullptr) {
+      // During the first multiply the bus carries the external vector
+      // (constants on the tape); afterwards it re-presents the fed-back S
+      // snapshot lanes.  MOVE forwards the freshly staged ACC slot into the
+      // S register and the feedback snapshot — pure copies, elided to
+      // binding updates.
+      const sim::SlotId s_x = (q == 1)
+                                  ? rec->constant(*x)
+                                  : rec->lane(&feedback_.s_snapshot_[j], *x);
+      const sim::SlotId s_base = (j == 0) ? rec->constant(MinPlus::zero())
+                                          : rec->lane(&a_.acc[p], base);
+      const sim::SlotId s_mac = rec->mac(s_base, mat(p, j), s_x);
+      rec->bind_staged(&a_.acc[p], s_mac);
+      if (j + 1 == m_) {
+        rec->bind_staged(&a_.s[p], s_mac);
+        rec->bind_staged(&feedback_.s_snapshot_[p], s_mac);
+      }
+    }
     a_.acc_nxt[p] = kern::mac<MinPlus>(base, mat(p, j), *x);
     a_.acc_written[p] = 1;
     stats_.mark_busy(p);
@@ -182,6 +204,7 @@ Design2Modular::~Design2Modular() = default;
 void Design2Modular::elaborate(sim::Engine& engine) {
   stats_.reset();
   arena_ = std::make_unique<Arena>(m_);
+  arena_->rec = engine.recorder();
   feedback_ = std::make_unique<FeedbackUnit>(bus_, v_, m_);
   feedback_->s_snapshot_.assign(m_, MinPlus::zero());
   engine.add(*feedback_);  // bus driver first
@@ -226,7 +249,14 @@ RunResult<Design2Modular::V> Design2Modular::run(sim::Engine& engine) {
   res.dense_evals = engine.dense_evals();
   const std::size_t r = mats_.front().rows();
   res.values.reserve(r);
-  for (std::size_t p = 0; p < r; ++p) res.values.push_back(pes_[p]->result());
+  sim::OpRecorder* const rec = engine.recorder();
+  for (std::size_t p = 0; p < r; ++p) {
+    const V val = pes_[p]->result();
+    if (rec != nullptr) {
+      rec->output("out", p, rec->lane(&arena_->s[p], val), val);
+    }
+    res.values.push_back(val);
+  }
   return res;
 }
 

@@ -5,6 +5,7 @@
 
 #include "semiring/kernels.hpp"
 #include "sim/module.hpp"
+#include "sim/record.hpp"
 #include "sim/register.hpp"
 #include "sim/stats.hpp"
 
@@ -48,6 +49,11 @@ struct Design3Modular::Arena {
   std::vector<Cost> kh_x, kh_h;
   std::vector<std::size_t> kh_stage;
   std::vector<std::uint8_t> kh_valid;
+
+  /// Tape recorder mirroring the cost plane, or null when not lowering.
+  /// Token x/stage/idx fields and the K/H match logic are control (they
+  /// never depend on accumulated costs), so only h and arg are narrated.
+  sim::OpRecorder* rec = nullptr;
 
   explicit Arena(std::size_t n)
       : r_x(n, 0), r_x_nxt(n, 0),
@@ -150,6 +156,7 @@ class Design3Modular::Controller : public sim::Module {
   }
 
   [[nodiscard]] const Token& input() const noexcept { return input_; }
+  [[nodiscard]] std::size_t width() const noexcept { return m_; }
   [[nodiscard]] const Pair& delivery() const noexcept { return delivery_; }
   [[nodiscard]] std::size_t delivery_station() const noexcept {
     return delivery_station_;
@@ -247,6 +254,7 @@ class Design3Modular::Pe : public sim::Module {
   void eval(sim::Cycle c) override {
     Arena& a = a_;
     const std::size_t p = index_;
+    sim::OpRecorder* const rec = a.rec;
     // Same-cycle feedback load (the paper's walkthrough: an arriving token
     // meets the pair delivered this very iteration).
     if (ctrl_.delivery().valid && ctrl_.delivery_station() == p) {
@@ -255,21 +263,61 @@ class Design3Modular::Pe : public sim::Module {
       a.kh_h[p] = d.h;
       a.kh_stage[p] = d.stage;
       a.kh_valid[p] = 1;
+      // The K/H load forwards the in-flight pair's prefix cost: a copy,
+      // visible intra-cycle (the fold below may fire this very eval).
+      if (rec != nullptr) {
+        rec->bind_now(&a.kh_h[p], rec->lane(ctrl_.in_flight_key(), d.h));
+      }
     }
     Token in = (p == 0) ? ctrl_.input() : a.r_read(p - 1);
+    sim::SlotId s_in = 0;
+    const bool track = rec != nullptr && in.valid;
+    if (track) {
+      // Host-fed tokens carry constant prefixes (0 from the source stage,
+      // +inf otherwise); pipelined tokens ride the left neighbour's rail
+      // lane as an (h, arg) pair.
+      s_in = (p == 0)
+                 ? rec->constant_pair(in.h, static_cast<Cost>(in.arg))
+                 : rec->lane_pair(&a.r_x[p - 1], in.h,
+                                  static_cast<Cost>(in.arg));
+    }
     if (in.valid && in.stage >= 2) {
       if (a.kh_valid[p] && a.kh_stage[p] + 1 == in.stage) {
         const Cost edge =
             in.stage <= n_
                 ? graph_.transition_cost(in.stage - 2, a.kh_x[p], in.x)
                 : Cost{0};
+        if (track) {
+          s_in = rec->relax(s_in, rec->lane(&a.kh_h[p], a.kh_h[p]), edge,
+                            static_cast<Cost>(p));
+        }
         const Cost cand = sat_add(a.kh_h[p], edge);
         kern::fold_min(cand, p, in.h, in.arg);
         stats_.mark_busy(p);
       }
     }
     a.r_write(p, in);
-    if (is_tail_) ctrl_.capture(c, in);  // registered hand-off to feedback
+    if (track) rec->bind_staged(&a.r_x[p], s_in);
+    if (is_tail_) {
+      if (rec != nullptr) {
+        if (in.valid && in.stage <= n_) {
+          rec->bind_staged(ctrl_.in_flight_key(), s_in);
+          // The path register write: the token's winning station becomes
+          // the predecessor entry for (stage, idx).
+          if (in.stage >= 2) {
+            rec->output_arg("pred",
+                            static_cast<std::uint64_t>(in.stage - 1) *
+                                    ctrl_.width() +
+                                in.idx,
+                            s_in, static_cast<Cost>(in.arg));
+          }
+        } else {
+          rec->bind_staged(ctrl_.in_flight_key(), rec->constant(kInfCost));
+          if (in.valid) rec->bind_now(ctrl_.collector_key(), s_in);
+        }
+      }
+      ctrl_.capture(c, in);  // registered hand-off to feedback
+    }
   }
 
   void commit() override { a_.r_commit(index_); }
@@ -337,6 +385,7 @@ Design3Modular::~Design3Modular() = default;
 void Design3Modular::elaborate(sim::Engine& engine) {
   stats_.reset();
   arena_ = std::make_unique<Arena>(m_);
+  arena_->rec = engine.recorder();
   controller_ = std::make_unique<Controller>(graph_, m_, n_stages_);
   engine.add(*controller_);  // bus driver before the stations
   pes_.clear();
@@ -399,6 +448,12 @@ Design3Result Design3Modular::run(sim::Engine& engine) {
   out.stats.dense_evals = engine.dense_evals();
   const Token& col = controller_->collector();
   out.cost = col.h;
+  if (sim::OpRecorder* const rec = engine.recorder(); rec != nullptr) {
+    const sim::SlotId s_col = rec->lane_pair(
+        controller_->collector_key(), col.h, static_cast<Cost>(col.arg));
+    rec->output("cost", 0, s_col, col.h);
+    rec->output_arg("arg", 0, s_col, static_cast<Cost>(col.arg));
+  }
   if (!is_inf(out.cost)) {
     out.path.assign(n_stages_, 0);
     out.path[n_stages_ - 1] = col.arg;

@@ -5,6 +5,7 @@
 
 #include "semiring/kernels.hpp"
 #include "sim/module.hpp"
+#include "sim/record.hpp"
 #include "sim/thread_pool.hpp"
 
 namespace sysdp {
@@ -79,6 +80,12 @@ struct GktModularArray::Arena {
   // t < j-i.  Entries below the eval-entry watermark were ready before the
   // current cycle — exactly the RTL's `at <= c-1` eligibility.
   std::vector<std::uint32_t> q_store, q_base;
+
+  /// Tape recorder mirroring the fold datapath, or null when not lowering.
+  /// The streams need no mirroring: a flit's value is its origin cell's
+  /// final best (origins always complete before their flits are consumed),
+  /// so fold operands resolve directly against origin lanes.
+  sim::OpRecorder* rec = nullptr;
 
   explicit Arena(std::size_t n_in) : n(n_in) {
     const std::size_t cells = n * (n + 1) / 2;
@@ -212,9 +219,23 @@ class GktModularArray::Cell : public sim::Module {
       std::uint32_t taken = 0;
       while (mt.q_head < len0 && taken < 2) {
         const std::size_t k = q[mt.q_head];
+        const Cost w = dims_[i_] * dims_[k + 1] * dims_[j_ + 1];
         const Cost cand = kern::interval_candidate(
-            a.row_op_val[base + k], a.col_op_val[base + k],
-            dims_[i_] * dims_[k + 1] * dims_[j_ + 1]);
+            a.row_op_val[base + k], a.col_op_val[base + k], w);
+        if (sim::OpRecorder* const rec = a.rec; rec != nullptr) {
+          // Diagonal-leaf origins launched the literal 0; every other
+          // operand is the origin cell's (final) best lane.
+          const sim::SlotId l =
+              (k == i_) ? rec->constant(0)
+                        : rec->lane(&a.meta[a.id(i_, k)].best,
+                                    a.row_op_val[base + k]);
+          const sim::SlotId r =
+              (k + 1 == j_) ? rec->constant(0)
+                            : rec->lane(&a.meta[a.id(k + 1, j_)].best,
+                                        a.col_op_val[base + k]);
+          rec->bind_now(&mt.best,
+                        rec->fold(rec->lane(&mt.best, mt.best), l, r, w));
+        }
         if (cand < mt.best) mt.best = cand;
         ++mt.busy;
         ++mt.q_head;
@@ -384,6 +405,7 @@ GktModularArray::~GktModularArray() = default;
 void GktModularArray::elaborate(sim::Engine& engine) {
   const std::size_t n = num_matrices();
   arena_ = std::make_unique<Arena>(n);
+  arena_->rec = engine.recorder();
   cells_.clear();
   // Registered in arena-id (diagonal-major) order so the engine's module
   // index equals the arena lane and the sorted active set walks the arena
@@ -456,13 +478,18 @@ GktModularArray::Result GktModularArray::run(sim::Engine& engine) {
   Result out{Matrix<Cost>(n, n, kInfCost), Matrix<sim::Cycle>(n, n, 0), {}, 0};
   out.stats.num_pes = n * (n + 1) / 2;
   out.stats.input_scalars = dims_.size();
+  sim::OpRecorder* const rec = engine.recorder();
   for (std::size_t i = 0; i < n; ++i) {
     out.cost(i, i) = 0;
     for (std::size_t j = i + 1; j < n; ++j) {
-      const CellMeta& mt = arena_->meta[arena_->id(i, j)];
+      CellMeta& mt = arena_->meta[arena_->id(i, j)];
       if (mt.is_done) {
         out.cost(i, j) = mt.best;
         out.done(i, j) = mt.done_at;
+        if (rec != nullptr) {
+          rec->output("cell", static_cast<std::uint64_t>(i) * n + j,
+                      rec->lane(&mt.best, mt.best), mt.best);
+        }
       }
       out.stats.busy_steps += mt.busy;
       if (mt.peak > out.peak_operand_buffer) {

@@ -4,6 +4,7 @@
 
 #include "semiring/kernels.hpp"
 #include "sim/module.hpp"
+#include "sim/record.hpp"
 #include "sim/thread_pool.hpp"
 #include "arrays/triangular_array.hpp"
 
@@ -67,6 +68,11 @@ struct TriangularModularCore::Arena {
   std::vector<Cost> local, left_val, right_val;
   std::vector<std::uint8_t> left_set, right_set;
   std::vector<std::uint32_t> q_store;
+
+  /// Tape recorder mirroring the fold datapath, or null when not lowering.
+  /// As in GktModularArray, fold operands resolve against origin-cell best
+  /// lanes; diagonal origins auto-initialise to their base value.
+  sim::OpRecorder* rec = nullptr;
 
   Arena(std::size_t n_in, const std::vector<Cost>& base,
         const std::vector<std::vector<Candidate>>& cands)
@@ -237,6 +243,22 @@ class TriangularModularCore::Cell : public sim::Module {
         const Cost l = a.use_left[b0 + t] ? a.left_val[b0 + t] : 0;
         const Cost r = a.use_right[b0 + t] ? a.right_val[b0 + t] : 0;
         const Cost cand = kern::interval_candidate(l, r, a.local[b0 + t]);
+        if (sim::OpRecorder* const rec = a.rec; rec != nullptr) {
+          // A clamped operand (use_* == 0) is the rule's structural zero,
+          // not a transported value; otherwise read the origin's lane.
+          const sim::SlotId sl =
+              a.use_left[b0 + t]
+                  ? rec->lane(&a.meta[a.id(i_, a.row_origin[b0 + t])].best,
+                              l)
+                  : rec->constant(0);
+          const sim::SlotId sr =
+              a.use_right[b0 + t]
+                  ? rec->lane(&a.meta[a.id(a.col_origin[b0 + t], j_)].best,
+                              r)
+                  : rec->constant(0);
+          rec->bind_now(&mt.best, rec->fold(rec->lane(&mt.best, mt.best),
+                                            sl, sr, a.local[b0 + t]));
+        }
         if (cand < mt.best) mt.best = cand;
         ++mt.busy;
         ++mt.q_head;
@@ -411,6 +433,7 @@ TriangularModularCore::~TriangularModularCore() = default;
 
 void TriangularModularCore::elaborate(sim::Engine& engine) {
   arena_ = std::make_unique<Arena>(n_, base_, cands_);
+  arena_->rec = engine.recorder();
   cells_.clear();
   // Registered in arena-id (diagonal-major) order, like GktModularArray.
   for (std::size_t d = 0; d < n_; ++d) {
@@ -482,13 +505,19 @@ TriangularModularCore::Result TriangularModularCore::run(sim::Engine& engine) {
   Result out{Matrix<Cost>(n, n, kInfCost), Matrix<sim::Cycle>(n, n, 0), {}};
   out.stats.num_pes = n * (n + 1) / 2;
   out.stats.input_scalars = n;
+  sim::OpRecorder* const rec = engine.recorder();
   for (std::size_t i = 0; i < n; ++i) {
-    out.cost(i, i) = arena_->meta[arena_->id(i, i)].best;
-    for (std::size_t j = i + 1; j < n; ++j) {
+    for (std::size_t j = i; j < n; ++j) {
       const CellMeta& mt = arena_->meta[arena_->id(i, j)];
       out.cost(i, j) = mt.best;
-      out.done(i, j) = mt.done_at;
-      out.stats.busy_steps += mt.busy;
+      if (i != j) {
+        out.done(i, j) = mt.done_at;
+        out.stats.busy_steps += mt.busy;
+      }
+      if (rec != nullptr) {
+        rec->output("cell", static_cast<std::uint64_t>(i) * n + j,
+                    rec->lane(&mt.best, mt.best), mt.best);
+      }
     }
   }
   out.stats.cycles = until.cycles;

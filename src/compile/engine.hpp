@@ -1,0 +1,101 @@
+// Executor for compiled flat-netlist programs.
+//
+// CompiledEngine replays a CompiledNetlist's op tape level by level.  It
+// is the third engine mode next to the serial and pooled interpreters: the
+// same cycle semantics (now() advances one dependency level per step, and
+// a value changes on exactly the cycle it changed in the modular oracle),
+// but the per-cycle work is a tight loop over packed 32-byte ops and one
+// flat value array — no virtual eval/commit dispatch, no module state, no
+// two-phase staging (lowering already resolved it into SSA slots).
+//
+// Everything is bounds-resolved at lowering time, so the hot loop indexes
+// raw arrays; `step_checked` additionally compares every op result with
+// the oracle's recorded value, which the differential suite runs on every
+// design instance.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+#include <vector>
+
+#include "compile/program.hpp"
+#include "semiring/cost.hpp"
+#include "sim/engine.hpp"  // sim::RunUntilResult — one loop shape, two engines
+#include "sim/module.hpp"
+
+namespace sysdp::compile {
+
+/// First divergence found by a checked replay (op-level) or output
+/// verification; index is an op index or output index respectively.
+struct Divergence {
+  bool found = false;
+  std::uint64_t index = 0;
+  Cost got = 0;
+  Cost expected = 0;
+};
+
+class CompiledEngine {
+ public:
+  /// Borrows `net`, which must outlive the engine.
+  explicit CompiledEngine(const CompiledNetlist& net);
+
+  /// Rewind to cycle 0 and restore the initial slot image.  Op-destination
+  /// slots keep stale values from a previous run — harmless, since SSA
+  /// guarantees every one is rewritten before any op or output reads it.
+  void reset();
+
+  /// Execute one dependency level (one oracle cycle).  No-op past the end
+  /// of the tape (the oracle's drained tail cycles are empty levels too).
+  void step();
+
+  /// Execute `n` levels.
+  void run(sim::Cycle n);
+
+  /// Execute the whole tape.
+  void run_all();
+
+  /// Step until `done(*this)` holds, checking once at entry and once per
+  /// cycle — the same contract as sim::Engine::run_until, so harnesses can
+  /// drive either engine through one shape of loop.
+  [[nodiscard]] sim::RunUntilResult run_until(
+      const std::function<bool(const CompiledEngine&)>& done,
+      sim::Cycle max_cycles);
+
+  [[nodiscard]] sim::Cycle now() const noexcept { return now_; }
+  [[nodiscard]] sim::Cycle cycles() const noexcept { return net_->cycles(); }
+  [[nodiscard]] Cost value(sim::SlotId slot) const { return slots_[slot]; }
+  [[nodiscard]] std::uint64_t ops_executed() const noexcept {
+    return ops_executed_;
+  }
+  [[nodiscard]] const CompiledNetlist& program() const noexcept {
+    return *net_;
+  }
+
+  /// Checked variant of step(): every op result is compared against the
+  /// oracle value recorded at lowering time.  Returns the first
+  /// divergence, if any — a non-divergent full replay is the op-level
+  /// proof of cycle-exact bit-identity with the modular engine.
+  Divergence step_checked();
+
+  /// run_all + step_checked: replay the whole tape, stop at the first
+  /// op-level divergence.
+  Divergence run_all_checked();
+
+  /// Compare every declared output slot with the oracle's observed value.
+  [[nodiscard]] Divergence verify_outputs() const;
+
+  /// Value of output `tag[index]`; throws std::out_of_range if absent.
+  [[nodiscard]] Cost output(std::string_view tag, std::uint64_t index) const;
+
+ private:
+  template <typename S, bool kChecked>
+  Divergence exec_level(std::uint32_t lo, std::uint32_t hi);
+
+  const CompiledNetlist* net_;
+  std::vector<Cost> slots_;
+  sim::Cycle now_ = 0;
+  std::uint64_t ops_executed_ = 0;
+};
+
+}  // namespace sysdp::compile

@@ -1,0 +1,115 @@
+// Trace-based lowering: modular design -> CompiledNetlist.
+//
+// lower_array() runs the design once on a serial, dense oracle engine with
+// a Recorder attached.  The array models narrate every semiring op and
+// register write (sim/record.hpp); the recorder shadow-executes the
+// narration and emits the flat tape.  Why this is sound for the paper's
+// designs: their control — which PE fires, with which weight, into which
+// register, on which cycle — is a function of tags, counters and validity
+// bits only, never of the cost values flowing through.  One concrete run
+// therefore fixes the complete schedule for the instance, and the tape
+// replays it bit-identically, cycle for cycle.
+//
+// The elaborated dataflow graph rides along: lowering captures
+// analysis::capture()'s netlist at the oracle's elaboration point and uses
+// it to tie the recorder's lanes back to declared storages (stats +
+// diagnostics) — the compiled program is the same netlist, flattened.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "analysis/netlist.hpp"
+#include "compile/program.hpp"
+#include "compile/recorder.hpp"
+#include "sim/engine.hpp"
+#include "sim/port.hpp"
+
+namespace sysdp::compile {
+
+struct LowerOptions {
+  /// Capture the analysis netlist at elaboration and resolve lane names.
+  bool capture_netlist = true;
+  /// Cross-check tape op count against the oracle's busy-step count: every
+  /// paper design marks exactly one busy step per semiring op, so a
+  /// mismatch means a narration site is missing or duplicated.
+  bool check_busy_steps = true;
+};
+
+struct Lowered {
+  CompiledNetlist net;
+  sim::Cycle oracle_cycles = 0;
+};
+
+namespace detail {
+
+/// Busy-step count of a run result, whatever shape the family returns.
+template <typename R>
+[[nodiscard]] std::uint64_t busy_steps_of(const R& r) {
+  if constexpr (requires { r.busy_steps; }) {
+    return static_cast<std::uint64_t>(r.busy_steps);
+  } else if constexpr (requires { r.stats.busy_steps; }) {
+    return static_cast<std::uint64_t>(r.stats.busy_steps);
+  } else {
+    return 0;
+  }
+}
+
+}  // namespace detail
+
+/// Lower `arr` by oracle run.  The array must be fresh (never run); the
+/// oracle engine is internal and serial+dense, the canonical program
+/// order.  Throws std::logic_error if the narration is inconsistent with
+/// the oracle's live values or the busy-step invariant fails — lowering
+/// bugs die here, not in a diverging replay.
+template <typename Array>
+[[nodiscard]] Lowered lower_array(Array& arr, const LowerOptions& opt = {}) {
+  sim::Engine oracle;
+  Recorder rec;
+  oracle.set_recorder(&rec);
+  oracle.add_observer(&rec);
+  analysis::Netlist netlist;
+  bool captured = false;
+  if (opt.capture_netlist) {
+    oracle.set_elaboration_check([&](const sim::Engine& e) {
+      analysis::CaptureOptions copts;
+      arr.describe_environment(copts.environment);
+      netlist = analysis::capture(e, copts);
+      captured = true;
+    });
+  }
+
+  const auto result = arr.run(oracle);
+
+  Lowered out;
+  out.oracle_cycles = oracle.now();
+  out.net = rec.finish();
+  out.net.stats.oracle_active_evals = oracle.active_evals();
+  out.net.stats.oracle_dense_evals = oracle.dense_evals();
+  out.net.stats.oracle_busy_steps = detail::busy_steps_of(result);
+  if (captured) {
+    for (const void* key : rec.lane_keys()) {
+      if (netlist.storage_of(key) != analysis::Netlist::npos) {
+        ++out.net.stats.named_lanes;
+      }
+    }
+  }
+  if (out.net.cycles() != out.oracle_cycles) {
+    throw std::logic_error(
+        "compile::lower_array: tape has " + std::to_string(out.net.cycles()) +
+        " dependency levels but the oracle ran " +
+        std::to_string(out.oracle_cycles) + " cycles");
+  }
+  if (opt.check_busy_steps &&
+      out.net.num_ops() != out.net.stats.oracle_busy_steps) {
+    throw std::logic_error(
+        "compile::lower_array: tape has " + std::to_string(out.net.num_ops()) +
+        " ops but the oracle counted " +
+        std::to_string(out.net.stats.oracle_busy_steps) +
+        " busy steps — a narration site is missing or duplicated");
+  }
+  return out;
+}
+
+}  // namespace sysdp::compile

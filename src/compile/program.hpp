@@ -1,0 +1,119 @@
+// The compiled flat-netlist program format.
+//
+// A CompiledNetlist is what trace-based lowering (compile/lower.hpp) emits
+// from one oracle run of a modular design: the whole machine reduced to
+//
+//   * one flat slot file — a struct-of-arrays register image where every
+//     value the run ever produces has a fixed 32-bit index (sim::SlotId),
+//     constants deduplicated, copies eliminated entirely;
+//   * one packed op tape — 32-byte descriptors in a contiguous array, the
+//     packed-clause idiom: everything an op touches is named by index, so
+//     the executor is a branch-light loop over flat memory with no virtual
+//     dispatch, no pointer chasing and no per-module state;
+//   * a cycle index — CSR offsets grouping the tape into dependency
+//     levels.  Ops inside one level depend only on earlier levels (or on
+//     the op immediately before them, for in-place fold chains recorded in
+//     oracle order), because that is literally how the two-phase clocked
+//     oracle executed them.  Replaying level by level is therefore
+//     cycle-exact by construction.
+//
+// The tape carries its own differential expectations: every op and every
+// declared output remembers the value the oracle produced, so "compiled
+// matches interpreted" is a property the executor can check about itself
+// (CompiledEngine::verify_*) instead of a separate harness.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "semiring/cost.hpp"
+#include "sim/module.hpp"
+#include "sim/record.hpp"
+
+namespace sysdp::compile {
+
+/// Which closed semiring the tape's kernels fold over.  The five paper
+/// designs all lower to (MIN,+); (MAX,+) shares every kernel shape with
+/// the comparison direction flipped (longest path / critical path DP).
+enum class TapeSemiring : std::uint8_t { kMinPlus, kMaxPlus };
+
+/// Op kinds — one per scalar kernel in semiring/kernels.hpp.
+enum class OpKind : std::uint8_t {
+  /// slot[dst] = slot[a] (+) (w (x) slot[b])          — kern::mac
+  kMac,
+  /// cand = slot[b] (x) slot[c] (x) w;
+  /// slot[dst] = slot[a] (+) cand                     — interval fold
+  kFold,
+  /// cand = slot[b] (x) w; improved = cand better than slot[a];
+  /// slot[dst]   = improved ? cand : slot[a];
+  /// slot[dst+1] = improved ? c    : slot[a+1]        — pair relaxation
+  kRelax,
+};
+
+/// One tape op: 32 bytes, all operands by slot index.  Field meaning
+/// depends on kind (see OpKind); `w` is the immediate weight (matrix
+/// entry, local candidate weight, edge cost) baked in at lowering time —
+/// weights are instance constants, only the DP values flow through slots.
+struct Op {
+  sim::SlotId dst = 0;
+  sim::SlotId a = 0;
+  sim::SlotId b = 0;
+  sim::SlotId c = 0;
+  Cost w = 0;
+  OpKind kind = OpKind::kMac;
+};
+
+static_assert(sizeof(Op) <= 32, "two ops per cache line");
+
+/// Initial value of one slot (constants and captured reset state).  Slots
+/// not listed are op destinations, written before any read by SSA
+/// construction.
+struct SlotInit {
+  sim::SlotId slot = 0;
+  Cost value = 0;
+};
+
+/// One declared result: the design's `tag[index]` lives in `slot`, and the
+/// oracle observed `expected` there.
+struct Output {
+  std::string tag;
+  std::uint64_t index = 0;
+  sim::SlotId slot = 0;
+  Cost expected = 0;
+};
+
+/// Lowering statistics — what the flattening bought.
+struct TapeStats {
+  std::uint64_t copies_elided = 0;   ///< register writes with no tape op
+  std::uint64_t consts_interned = 0; ///< dedup hits on constant()
+  std::uint64_t lanes_bound = 0;     ///< distinct storage keys narrated
+  std::uint64_t named_lanes = 0;     ///< lanes matched to captured storages
+  std::uint64_t oracle_active_evals = 0;
+  std::uint64_t oracle_dense_evals = 0;
+  std::uint64_t oracle_busy_steps = 0;  ///< must equal ops.size()
+};
+
+struct CompiledNetlist {
+  TapeSemiring semiring = TapeSemiring::kMinPlus;
+  std::uint32_t num_slots = 0;
+  std::vector<SlotInit> init;
+  std::vector<Op> ops;  ///< cycle-major, oracle program order inside a cycle
+  /// CSR dependency levels: cycle t executes ops [cycle_off[t],
+  /// cycle_off[t+1]).  Size = cycles + 1; most levels are empty in gated
+  /// phases and the executor skips them at one comparison each.
+  std::vector<std::uint32_t> cycle_off;
+  /// Per-op oracle value (parallel to `ops`): the value the modular engine
+  /// computed for this op's destination.  Kept for checked replay; the
+  /// bench path never touches it.
+  std::vector<Cost> expected;
+  std::vector<Output> outputs;
+  TapeStats stats;
+
+  [[nodiscard]] sim::Cycle cycles() const noexcept {
+    return cycle_off.empty() ? 0 : cycle_off.size() - 1;
+  }
+  [[nodiscard]] std::uint64_t num_ops() const noexcept { return ops.size(); }
+};
+
+}  // namespace sysdp::compile

@@ -1,0 +1,93 @@
+// Concrete OpRecorder: turns one oracle run's narration into a
+// CompiledNetlist.
+//
+// The recorder is both halves of the lowering contract:
+//
+//   * as sim::OpRecorder it receives the narration — lane reads, register
+//     binds, semiring ops — from the array models while the serial dense
+//     oracle steps;
+//   * as sim::EngineObserver it hears the clock: on_cycle closes a
+//     dependency level (cycle_off boundary) and applies the two-phase
+//     staged binds, exactly when the oracle's commit edge made those
+//     values visible.
+//
+// It shadow-executes everything: each slot carries the concrete value the
+// oracle produced for it, every lane() / pending() / output() call is
+// verified against the live value the caller just observed, and every op's
+// result is recorded as the tape's expected value.  A mis-narrated model
+// therefore fails loudly at lowering time with the first inconsistent
+// site, instead of producing a tape that silently diverges.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "compile/program.hpp"
+#include "semiring/cost.hpp"
+#include "sim/observer.hpp"
+#include "sim/record.hpp"
+
+namespace sysdp::compile {
+
+class Recorder final : public sim::OpRecorder, public sim::EngineObserver {
+ public:
+  Recorder() = default;
+
+  // --- sim::OpRecorder ----------------------------------------------------
+  sim::SlotId constant(std::int64_t value) override;
+  sim::SlotId constant_pair(std::int64_t value, std::int64_t arg) override;
+  sim::SlotId lane(const void* key, std::int64_t live) override;
+  sim::SlotId lane_pair(const void* key, std::int64_t live,
+                        std::int64_t arg) override;
+  sim::SlotId pending(const void* key, std::int64_t live) override;
+  void bind_now(const void* key, sim::SlotId slot) override;
+  void bind_staged(const void* key, sim::SlotId slot) override;
+  sim::SlotId mac(sim::SlotId base, std::int64_t w, sim::SlotId x) override;
+  sim::SlotId fold(sim::SlotId best, sim::SlotId left, sim::SlotId right,
+                   std::int64_t local) override;
+  sim::SlotId relax(sim::SlotId pair, sim::SlotId kh, std::int64_t edge,
+                    std::int64_t station) override;
+  void output(std::string_view tag, std::uint64_t index, sim::SlotId slot,
+              std::int64_t observed) override;
+  void output_arg(std::string_view tag, std::uint64_t index, sim::SlotId pair,
+                  std::int64_t observed) override;
+
+  // --- sim::EngineObserver ------------------------------------------------
+  /// Clock edge: apply staged binds, close the current dependency level.
+  void on_cycle(const sim::Engine& engine, sim::Cycle t) override;
+
+  /// Distinct storage keys narrated so far (for netlist name matching).
+  [[nodiscard]] std::vector<const void*> lane_keys() const;
+
+  /// Seal the tape.  Call after the oracle run completes; the recorder is
+  /// spent afterwards.
+  [[nodiscard]] CompiledNetlist finish();
+
+ private:
+  sim::SlotId alloc(Cost concrete);
+  [[nodiscard]] Cost concrete(sim::SlotId slot, const char* site) const;
+  void check_live(sim::SlotId slot, std::int64_t live, const char* site) const;
+
+  std::vector<Cost> concrete_;          ///< shadow value per slot
+  std::vector<std::uint8_t> pair_head_; ///< slot is the value half of a pair
+  std::unordered_map<const void*, sim::SlotId> bound_;
+  std::vector<std::pair<const void*, sim::SlotId>> staged_;
+  std::unordered_map<std::int64_t, sim::SlotId> const_cache_;
+  std::map<std::pair<std::int64_t, std::int64_t>, sim::SlotId>
+      const_pair_cache_;
+  std::vector<SlotInit> init_;
+  std::vector<Op> ops_;
+  std::vector<Cost> expected_;
+  std::vector<std::uint32_t> cycle_off_{0};
+  std::vector<Output> outputs_;
+  std::map<std::pair<std::string, std::uint64_t>, std::size_t> output_index_;
+  std::uint64_t copies_elided_ = 0;
+  std::uint64_t consts_interned_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace sysdp::compile

@@ -43,7 +43,13 @@ class BatchRunner {
     std::vector<std::optional<R>> slots(n);
     auto body = [&](std::size_t i) { slots[i].emplace(make(i)); };
     if (pool_ != nullptr) {
-      pool_->parallel_for(n, body);
+      // Dynamic claiming, one job per claim: sweep points differ wildly in
+      // cost (a 96-PE design next to a 4-PE one), so the static per-lane
+      // split used for engine phases serialises slow jobs behind each
+      // other and loses at small grain.  Which lane runs which job is
+      // scheduling-dependent; results stay bit-identical because slots are
+      // addressed by index.
+      pool_->parallel_for_dynamic(n, body, 1);
     } else {
       for (std::size_t i = 0; i < n; ++i) body(i);
     }

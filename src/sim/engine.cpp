@@ -16,13 +16,7 @@ namespace {
 /// than it saves; small arrays silently run serially.
 constexpr std::size_t kMinParallelModules = 8;
 
-/// Quiescence is polled every this many cycles.  Between polls an active
-/// module stays active unconditionally, so a module sleeps up to
-/// kQuiescencePeriod - 1 cycles late — by the quiescence contract those
-/// extra evals are observational no-ops, and idle phases worth gating
-/// (pipeline fill/drain) last O(array width) cycles, so the amortised
-/// saving dwarfs the delay.
-constexpr Cycle kQuiescencePeriod = 4;
+constexpr Cycle kQuiescencePeriod = Engine::kQuiescencePeriod;
 
 }  // namespace
 
@@ -163,6 +157,26 @@ void Engine::refresh_active() {
   // modules are never re-queried: quiescent() depends only on self-mutated
   // state, which cannot have changed while asleep.
   if ((now_ % kQuiescencePeriod) == 0) {
+    // Adaptive fallback: refresh_active runs inside cycle now_'s step, after
+    // its evals were counted, so the window (mark_cycle, now_] is exactly
+    // now_ - mark_cycle cycles of active_evals_ growth.  If that window ran
+    // at or above kDenseFallbackActivity of a dense sweep, gating is pure
+    // bookkeeping overhead — revert to dense stepping for good.
+    if (now_ > fallback_mark_cycle_ || fallback_mark_evals_ > 0) {
+      const std::uint64_t window_active = active_evals_ - fallback_mark_evals_;
+      const std::uint64_t window_dense =
+          static_cast<std::uint64_t>(modules_.size()) *
+          (now_ + 1 - fallback_mark_cycle_);
+      if (window_dense > 0 &&
+          static_cast<double>(window_active) >=
+              kDenseFallbackActivity * static_cast<double>(window_dense)) {
+        dense_fallback_ = true;
+        fallback_cycle_ = now_;
+        return;  // no more demotion or wakeup bookkeeping needed
+      }
+    }
+    fallback_mark_evals_ = active_evals_;
+    fallback_mark_cycle_ = now_ + 1;
     std::size_t kept = 0;
     for (const std::uint32_t i : active_drivers_) {  // keep driver order
       if (modules_[i]->quiescent()) {
@@ -241,7 +255,7 @@ void Engine::step() {
   }
   const bool pooled =
       pool_ != nullptr && parallel_.size() >= kMinParallelModules;
-  if (gating_ == Gating::kSparse) {
+  if (gating_ == Gating::kSparse && !dense_fallback_) {
     if (pooled) {
       step_parallel_gated();
     } else {

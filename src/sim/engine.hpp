@@ -39,6 +39,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <stdexcept>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -48,6 +49,7 @@
 namespace sysdp::sim {
 
 class EngineObserver;
+class OpRecorder;
 class ThreadPool;
 
 /// Outcome of Engine::run_until: whether the predicate fired and how many
@@ -117,6 +119,24 @@ class Engine {
     return observers_;
   }
 
+  /// Attach an op recorder (sim/record.hpp) for trace-based lowering.  The
+  /// recorder is borrowed, not owned.  Array models query recorder() during
+  /// elaboration and narrate their semiring ops and register writes into
+  /// it; with none attached every narration site is a single never-taken
+  /// branch.  Must be set before elaboration (the first add()) so no write
+  /// escapes the narration; throws std::logic_error otherwise.
+  void set_recorder(OpRecorder* rec) {
+    if (!modules_.empty() || now_ > 0) {
+      throw std::logic_error(
+          "Engine::set_recorder: attach before elaboration — modules bind "
+          "the recorder when they register");
+    }
+    recorder_ = rec;
+  }
+
+  /// The attached op recorder, or nullptr.
+  [[nodiscard]] OpRecorder* recorder() const noexcept { return recorder_; }
+
   /// Advance one clock cycle.
   void step();
 
@@ -149,6 +169,43 @@ class Engine {
   [[nodiscard]] bool parallel() const noexcept { return pool_ != nullptr; }
 
   [[nodiscard]] Gating gating() const noexcept { return gating_; }
+
+  /// Window activity at or above which a sparse engine stops gating: the
+  /// per-module bookkeeping of Gating::kSparse is pure overhead when almost
+  /// nothing sleeps (measured: design3_traffic at 99% activity ran 0.79x
+  /// dense speed under gating).  15/16 keeps genuinely sparse phases —
+  /// pipeline fill/drain, wavefronts — comfortably below the trigger.
+  static constexpr double kDenseFallbackActivity = 0.9375;
+
+  /// Quiescence is polled every this many cycles.  Between polls an active
+  /// module stays active unconditionally, so a module sleeps up to
+  /// kQuiescencePeriod - 1 cycles late — by the quiescence contract those
+  /// extra evals are observational no-ops, and idle phases worth gating
+  /// (pipeline fill/drain) last O(array width) cycles, so the amortised
+  /// saving dwarfs the delay.  The adaptive fallback judges its first
+  /// activity window — and can first trip — at the second poll, cycle
+  /// kQuiescencePeriod.
+  static constexpr Cycle kQuiescencePeriod = 4;
+
+  /// True once a Gating::kSparse engine has reverted to dense sweeps
+  /// because measured window activity reached kDenseFallbackActivity.  The
+  /// fallback is one-way: an instance hot enough to trip it has already
+  /// shown its sleepers are not worth tracking.  Results are unchanged —
+  /// dense stepping is the gated path's own correctness oracle.
+  [[nodiscard]] bool dense_fallback() const noexcept {
+    return dense_fallback_;
+  }
+
+  /// Cycle at which the fallback engaged (meaningful if dense_fallback()).
+  [[nodiscard]] Cycle dense_fallback_cycle() const noexcept {
+    return fallback_cycle_;
+  }
+
+  /// The gating mode actually steering step(): requested mode until the
+  /// adaptive fallback trips, kDense after.
+  [[nodiscard]] Gating effective_gating() const noexcept {
+    return dense_fallback_ ? Gating::kDense : gating_;
+  }
 
   /// Module evaluations actually performed so far.  In dense mode this is
   /// modules x cycles; in sparse mode only active modules count.
@@ -217,11 +274,19 @@ class Engine {
   bool gated_init_ = false;
   std::function<void(const Engine&)> elaboration_check_;
   std::vector<EngineObserver*> observers_;
+  OpRecorder* recorder_ = nullptr;
   ThreadPool* pool_ = nullptr;
   Gating gating_ = Gating::kDense;
   Cycle now_ = 0;
   std::uint64_t active_evals_ = 0;
   std::uint64_t dense_evals_ = 0;
+  /// Adaptive fallback bookkeeping: active_evals_ / now_ as of the last
+  /// quiescence poll, so each poll judges only the window since the one
+  /// before it (a dense fill phase must not poison a long sparse tail).
+  bool dense_fallback_ = false;
+  Cycle fallback_cycle_ = 0;
+  std::uint64_t fallback_mark_evals_ = 0;
+  Cycle fallback_mark_cycle_ = 0;
 };
 
 }  // namespace sysdp::sim

@@ -1,5 +1,6 @@
 #include "sim/thread_pool.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 
@@ -115,6 +116,86 @@ void ThreadPool::parallel_for(std::size_t n,
   // Everything after the caller's own chunk is barrier wait: the time the
   // fork-join structure costs the critical path, reported as its own span
   // so work/wait ratios fall straight out of the trace.
+  const bool timed = observer_ != nullptr;
+  const std::uint64_t w0 = timed ? now_ns() : 0;
+  std::unique_lock<std::mutex> lock(job->done_mu);
+  job->done_cv.wait(lock, [&] {
+    return job->remaining.load(std::memory_order_acquire) == 0;
+  });
+  if (timed) {
+    lock.unlock();
+    note_span(PoolObserver::SpanKind::kBarrierWait, w0, now_ns());
+  }
+}
+
+/// Shared state of one parallel_for_dynamic call: a monotone claim counter
+/// lanes race on, plus the same countdown barrier ForJob uses.  A lane's
+/// whole participation (all blocks it claimed) is reported as one kChunk
+/// span — the trace shows lane occupancy, not per-block noise.
+struct ThreadPool::DynJob {
+  const std::function<void(std::size_t)>* body;
+  std::size_t n;
+  std::size_t grain;
+  const ThreadPool* pool;
+  std::atomic<std::size_t> next;
+  std::atomic<std::size_t> remaining;  ///< lanes still running
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+
+  void run_lane() {
+    const bool timed = pool->observer() != nullptr;
+    const std::uint64_t t0 = timed ? ThreadPool::now_ns() : 0;
+    for (;;) {
+      const std::size_t lo = next.fetch_add(grain, std::memory_order_relaxed);
+      if (lo >= n) break;
+      const std::size_t hi = std::min(lo + grain, n);
+      for (std::size_t i = lo; i < hi; ++i) (*body)(i);
+    }
+    if (timed) {
+      pool->note_span(PoolObserver::SpanKind::kChunk, t0,
+                      ThreadPool::now_ns());
+    }
+    if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(done_mu);
+      done_cv.notify_one();
+    }
+  }
+};
+
+void ThreadPool::parallel_for_dynamic(
+    std::size_t n, const std::function<void(std::size_t)>& body,
+    std::size_t grain) {
+  if (n == 0) return;
+  if (grain == 0) {
+    // Enough blocks for ~8 claims per lane (load balance) without paying an
+    // atomic per index when n is large.
+    grain = std::max<std::size_t>(1, n / (num_lanes() * 8));
+  }
+  if (workers_.empty() || n == 1) {
+    const bool timed = observer_ != nullptr;
+    const std::uint64_t t0 = timed ? now_ns() : 0;
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    if (timed) note_span(PoolObserver::SpanKind::kChunk, t0, now_ns());
+    return;
+  }
+  // More lanes than blocks would only queue tasks that claim nothing.
+  const std::size_t lanes =
+      std::min(num_lanes(), (n + grain - 1) / grain);
+  auto job = std::make_shared<DynJob>();
+  job->body = &body;
+  job->n = n;
+  job->grain = grain;
+  job->pool = this;
+  job->next.store(0, std::memory_order_relaxed);
+  job->remaining.store(lanes, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t c = 1; c < lanes; ++c) {
+      queue_.push([job] { job->run_lane(); });
+    }
+  }
+  cv_.notify_all();
+  job->run_lane();  // the caller is lane 0
   const bool timed = observer_ != nullptr;
   const std::uint64_t w0 = timed ? now_ns() : 0;
   std::unique_lock<std::mutex> lock(job->done_mu);

@@ -83,6 +83,21 @@ class ThreadPool {
   /// design bugs).
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
 
+  /// Like parallel_for, but lanes *claim* `grain`-sized index blocks off a
+  /// shared counter instead of receiving one static chunk each.  The static
+  /// split is right for the engine's eval/commit phases (uniform work, one
+  /// cache-friendly range per lane) but wrong for batch sweeps, where jobs
+  /// have wildly different costs and one slow job serialises its whole
+  /// chunk behind it.  Dynamic claiming keeps every lane busy until the
+  /// work runs out, at the cost of one atomic fetch-add per block —
+  /// which is why tiny jobs should be claimed several at a time (grain).
+  /// `grain == 0` picks a heuristic; which indices run on which lane is
+  /// scheduling-dependent, so bodies must not care (BatchRunner's
+  /// index-addressed result slots satisfy this by construction).
+  void parallel_for_dynamic(std::size_t n,
+                            const std::function<void(std::size_t)>& body,
+                            std::size_t grain = 0);
+
   /// Attach (or detach, with nullptr) the telemetry observer.  Borrowed,
   /// not owned.  Not synchronised: set it while no parallel_for or
   /// submitted task is in flight, and only from the owning thread.
@@ -115,6 +130,7 @@ class ThreadPool {
 
  private:
   struct ForJob;
+  struct DynJob;
 
   template <typename R, typename Fn>
   std::future<R> submit_impl(Fn&& fn) {

@@ -1,0 +1,263 @@
+// Compiled backend unit tests: lowering mechanics, tape invariants and
+// checked replay against the oracle's recorded values.  The broad
+// compiled-vs-interpreted sweeps live in differential_test.cpp; this file
+// exercises the machinery itself on small instances where the tape can be
+// reasoned about directly.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "arrays/design1_modular.hpp"
+#include "arrays/design2_modular.hpp"
+#include "arrays/design3_modular.hpp"
+#include "arrays/gkt_modular.hpp"
+#include "arrays/triangular_array.hpp"
+#include "arrays/triangular_modular.hpp"
+#include "compile/engine.hpp"
+#include "compile/lower.hpp"
+#include "compile/program.hpp"
+#include "graph/generators.hpp"
+
+namespace sysdp {
+namespace {
+
+std::pair<std::vector<Matrix<Cost>>, std::vector<Cost>> string_instance(
+    std::size_t q, std::size_t m, std::uint64_t seed) {
+  Rng rng(seed);
+  auto mats = random_matrix_string(q, m, rng);
+  std::vector<Cost> v(m);
+  std::uniform_int_distribution<Cost> dist(0, 99);
+  for (auto& x : v) x = dist(rng);
+  return {std::move(mats), std::move(v)};
+}
+
+TEST(CompiledBackend, Design1TapeReplaysBitIdentically) {
+  const std::pair<std::size_t, std::size_t> shapes[] = {
+      {1, 4}, {2, 4}, {3, 6}, {4, 8}, {5, 8}};
+  for (const auto& [q, m] : shapes) {
+    SCOPED_TRACE("q=" + std::to_string(q) + " m=" + std::to_string(m));
+    const auto [mats, v] = string_instance(q, m, q * 7700 + m);
+
+    Design1Modular oracle_arr(mats, v);
+    const auto interpreted = oracle_arr.run(nullptr, sim::Gating::kDense);
+
+    Design1Modular arr(mats, v);
+    const auto low = compile::lower_array(arr);
+    // One tape op per paper "step": the oracle's busy count is the op count.
+    EXPECT_EQ(low.net.num_ops(), interpreted.busy_steps);
+    EXPECT_EQ(low.net.cycles(), interpreted.cycles);
+
+    compile::CompiledEngine ce(low.net);
+    const auto div = ce.run_all_checked();
+    EXPECT_FALSE(div.found)
+        << "op " << div.index << " got " << div.got << " expected "
+        << div.expected;
+    EXPECT_EQ(ce.now(), low.oracle_cycles);
+    EXPECT_FALSE(ce.verify_outputs().found);
+    for (std::size_t i = 0; i < interpreted.values.size(); ++i) {
+      EXPECT_EQ(ce.output("out", i), interpreted.values[i]) << "out " << i;
+    }
+  }
+}
+
+TEST(CompiledBackend, ReplayIsRepeatableAfterReset) {
+  const auto [mats, v] = string_instance(3, 6, 42);
+  Design1Modular arr(mats, v);
+  const auto low = compile::lower_array(arr);
+  compile::CompiledEngine ce(low.net);
+  ce.run_all();
+  const Cost first = ce.output("out", 0);
+  ce.reset();
+  EXPECT_EQ(ce.now(), 0u);
+  ce.run_all();
+  EXPECT_EQ(ce.output("out", 0), first);
+  EXPECT_FALSE(ce.verify_outputs().found);
+}
+
+TEST(CompiledBackend, StepIsCycleExact) {
+  // Stepping one level at a time traverses the same tape as run_all, and
+  // run_until's contract mirrors sim::Engine::run_until.
+  const auto [mats, v] = string_instance(2, 5, 99);
+  Design1Modular arr(mats, v);
+  const auto low = compile::lower_array(arr);
+  compile::CompiledEngine ce(low.net);
+  std::uint64_t ops_seen = 0;
+  for (sim::Cycle t = 0; t < ce.cycles(); ++t) {
+    const auto div = ce.step_checked();
+    EXPECT_FALSE(div.found) << "cycle " << t;
+    EXPECT_GE(ce.ops_executed(), ops_seen);
+    ops_seen = ce.ops_executed();
+  }
+  EXPECT_EQ(ops_seen, low.net.num_ops());
+  EXPECT_FALSE(ce.verify_outputs().found);
+
+  compile::CompiledEngine until_engine(low.net);
+  const auto until = until_engine.run_until(
+      [](const compile::CompiledEngine& e) { return e.now() >= e.cycles(); },
+      10000);
+  EXPECT_TRUE(until.satisfied);
+  EXPECT_EQ(until.cycles, ce.cycles());
+}
+
+TEST(CompiledBackend, Design2TapeReplaysBitIdentically) {
+  const std::pair<std::size_t, std::size_t> shapes[] = {
+      {2, 4}, {3, 6}, {4, 8}, {6, 12}};
+  for (const auto& [q, m] : shapes) {
+    SCOPED_TRACE("q=" + std::to_string(q) + " m=" + std::to_string(m));
+    const auto [mats, v] = string_instance(q, m, q * 8100 + m);
+
+    Design2Modular oracle_arr(mats, v);
+    const auto interpreted = oracle_arr.run(nullptr, sim::Gating::kDense);
+
+    Design2Modular arr(mats, v);
+    const auto low = compile::lower_array(arr);
+    EXPECT_EQ(low.net.num_ops(), interpreted.busy_steps);
+    EXPECT_EQ(low.net.cycles(), interpreted.cycles);
+
+    compile::CompiledEngine ce(low.net);
+    EXPECT_FALSE(ce.run_all_checked().found);
+    EXPECT_FALSE(ce.verify_outputs().found);
+    for (std::size_t i = 0; i < interpreted.values.size(); ++i) {
+      EXPECT_EQ(ce.output("out", i), interpreted.values[i]) << "out " << i;
+    }
+  }
+}
+
+TEST(CompiledBackend, Design3TapeReplaysBitIdentically) {
+  const std::pair<std::size_t, std::size_t> shapes[] = {
+      {4, 4}, {8, 8}, {12, 16}};
+  for (const auto& [n, m] : shapes) {
+    SCOPED_TRACE("n=" + std::to_string(n) + " m=" + std::to_string(m));
+    Rng rng(n * 31 + m);
+    const auto nv = traffic_control_instance(n, m, rng);
+
+    Design3Modular oracle_arr(nv);
+    const auto interpreted = oracle_arr.run(nullptr, sim::Gating::kDense);
+
+    Design3Modular arr(nv);
+    const auto low = compile::lower_array(arr);
+    EXPECT_EQ(low.net.num_ops(), interpreted.stats.busy_steps);
+
+    compile::CompiledEngine ce(low.net);
+    EXPECT_FALSE(ce.run_all_checked().found);
+    EXPECT_FALSE(ce.verify_outputs().found);
+    EXPECT_EQ(ce.output("cost", 0), interpreted.cost);
+    if (!interpreted.path.empty()) {
+      // Walk the compiled "pred" outputs exactly as the interpreted model
+      // walks its path registers.
+      const std::size_t stages = interpreted.path.size();
+      std::vector<std::size_t> path(stages, 0);
+      path[stages - 1] =
+          static_cast<std::size_t>(ce.output("arg", 0));
+      for (std::size_t k = stages - 1; k > 0; --k) {
+        path[k - 1] = static_cast<std::size_t>(
+            ce.output("pred", k * m + path[k]));
+      }
+      EXPECT_EQ(path, interpreted.path);
+    }
+  }
+}
+
+TEST(CompiledBackend, GktTapeReplaysBitIdentically) {
+  for (const std::size_t n : {2u, 3u, 5u, 9u, 17u}) {
+    SCOPED_TRACE("n=" + std::to_string(n));
+    Rng rng(500 + n);
+    const auto dims = random_chain_dims(n, rng);
+
+    GktModularArray oracle_arr(dims);
+    const auto interpreted = oracle_arr.run(nullptr, sim::Gating::kDense);
+
+    GktModularArray arr(dims);
+    const auto low = compile::lower_array(arr);
+    EXPECT_EQ(low.net.num_ops(), interpreted.stats.busy_steps);
+
+    compile::CompiledEngine ce(low.net);
+    EXPECT_FALSE(ce.run_all_checked().found);
+    EXPECT_FALSE(ce.verify_outputs().found);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        EXPECT_EQ(ce.output("cell", i * n + j), interpreted.cost(i, j))
+            << "cell (" << i << ", " << j << ")";
+      }
+    }
+  }
+}
+
+TEST(CompiledBackend, TriangularTapesReplayBitIdentically) {
+  // All three rules of the triangular family, including the polygon rule's
+  // trivially-solved edge cells and the BST rule's clamped operands.
+  for (const std::size_t n : {3u, 6u, 11u}) {
+    SCOPED_TRACE("n=" + std::to_string(n));
+    std::vector<Cost> costs(n);
+    Rng rng(900 + n);
+    std::uniform_int_distribution<Cost> dist(1, 20);
+    for (auto& x : costs) x = dist(rng);
+
+    const auto check = [&](auto make_array, const char* what) {
+      SCOPED_TRACE(what);
+      auto oracle_arr = make_array();
+      const auto interpreted = oracle_arr.run(nullptr, sim::Gating::kDense);
+      auto arr = make_array();
+      const auto low = compile::lower_array(arr);
+      EXPECT_EQ(low.net.num_ops(), interpreted.stats.busy_steps);
+      compile::CompiledEngine ce(low.net);
+      EXPECT_FALSE(ce.run_all_checked().found);
+      EXPECT_FALSE(ce.verify_outputs().found);
+      const std::size_t sz = interpreted.cost.rows();
+      for (std::size_t i = 0; i < sz; ++i) {
+        for (std::size_t j = i; j < sz; ++j) {
+          EXPECT_EQ(ce.output("cell", i * sz + j), interpreted.cost(i, j))
+              << "cell (" << i << ", " << j << ")";
+        }
+      }
+    };
+    check(
+        [&] {
+          const BstRule rule(costs);
+          return TriangularModularArray<BstRule>(rule, rule.num_keys());
+        },
+        "bst");
+    check(
+        [&] {
+          const ChainRule rule(costs);
+          return TriangularModularArray<ChainRule>(rule,
+                                                   rule.num_matrices());
+        },
+        "chain");
+    if (n >= 3) {
+      check(
+          [&] {
+            const PolygonRule rule(costs);
+            return TriangularModularArray<PolygonRule>(rule,
+                                                       rule.num_vertices());
+          },
+          "polygon");
+    }
+  }
+}
+
+TEST(CompiledBackend, MaxPlusTapeExecutes) {
+  // The executor dispatches on the tape's semiring tag; hand-build a tiny
+  // (MAX,+) program — slot2 = max(s0, 5 + s1) — and check both kernels.
+  compile::CompiledNetlist net;
+  net.semiring = compile::TapeSemiring::kMaxPlus;
+  net.num_slots = 3;
+  net.init = {{0, 10}, {1, 4}};
+  net.ops = {{2, 0, 1, 0, 5, compile::OpKind::kMac}};
+  net.cycle_off = {0, 1};
+  net.expected = {10};
+  compile::CompiledEngine ce(net);
+  ce.run_all();
+  EXPECT_EQ(ce.value(2), 10);  // max(10, 5 + 4) = 10
+
+  net.init = {{0, 2}, {1, 4}};
+  net.expected = {9};
+  compile::CompiledEngine ce2(net);
+  ce2.run_all();
+  EXPECT_EQ(ce2.value(2), 9);  // max(2, 5 + 4) = 9
+}
+
+}  // namespace
+}  // namespace sysdp

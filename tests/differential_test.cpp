@@ -12,10 +12,18 @@
 #include "andor/regular_builder.hpp"
 #include "andor/search.hpp"
 #include "andor/stage_reduction.hpp"
+#include "arrays/design1_modular.hpp"
 #include "arrays/design2_modular.hpp"
 #include "arrays/design3_feedback.hpp"
+#include "arrays/design3_modular.hpp"
 #include "arrays/gkt_array.hpp"
+#include "arrays/gkt_modular.hpp"
 #include "arrays/graph_adapter.hpp"
+#include "arrays/triangular_array.hpp"
+#include "arrays/triangular_modular.hpp"
+#include "compile/engine.hpp"
+#include "compile/lower.hpp"
+#include "sim/thread_pool.hpp"
 #include "baseline/matrix_chain.hpp"
 #include "baseline/multistage_dp.hpp"
 #include "core/solver.hpp"
@@ -199,6 +207,282 @@ TEST_P(SequentialControlDifferential, Design3AgreesWithMaterializedSweep) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SequentialControlDifferential,
                          ::testing::Range(1, 26));
+
+// ------------------------------- compiled backend vs interpreted engine ---
+
+// Every interpreted engine configuration the compiled tape is checked
+// against: serial and pooled, dense and activity-gated.  The tape is
+// lowered once per instance; each configuration's interpreted run must
+// reproduce its outputs exactly.
+struct EngineConfig {
+  sim::Gating gating;
+  std::size_t workers;  // 0 = no pool (serial engine)
+};
+constexpr EngineConfig kEngineConfigs[] = {{sim::Gating::kDense, 0},
+                                           {sim::Gating::kDense, 3},
+                                           {sim::Gating::kSparse, 0},
+                                           {sim::Gating::kSparse, 2},
+                                           {sim::Gating::kSparse, 7}};
+
+std::pair<std::vector<Matrix<Cost>>, std::vector<Cost>> string_instance(
+    std::size_t q, std::size_t m, std::uint64_t seed) {
+  Rng rng(seed);
+  auto mats = random_matrix_string(q, m, rng);
+  std::vector<Cost> v(m);
+  std::uniform_int_distribution<Cost> dist(0, 99);
+  for (auto& x : v) x = dist(rng);
+  return {std::move(mats), std::move(v)};
+}
+
+/// Lower a fresh array and validate the tape by a checked replay (every
+/// op compared against the oracle's recorded value).  Returns the lowered
+/// program; callers build their own CompiledEngine on it for output
+/// comparisons.
+template <typename MakeArray>
+compile::Lowered lower_checked(MakeArray&& make) {
+  auto arr = make();
+  auto low = compile::lower_array(arr);
+  compile::CompiledEngine ce(low.net);
+  const auto div = ce.run_all_checked();
+  EXPECT_FALSE(div.found) << "op " << div.index << " got " << div.got
+                          << " expected " << div.expected;
+  EXPECT_FALSE(ce.verify_outputs().found);
+  return low;
+}
+
+TEST(CompiledDifferential, Design1AllEngineConfigs) {
+  const auto [mats, v] = string_instance(3, 8, 311);
+  const auto low = lower_checked([&] { return Design1Modular(mats, v); });
+  compile::CompiledEngine ce(low.net);
+  ce.run_all();
+  for (const auto& cfg : kEngineConfigs) {
+    SCOPED_TRACE("workers=" + std::to_string(cfg.workers));
+    sim::ThreadPool pool(cfg.workers);
+    Design1Modular arr(mats, v);
+    const auto res = arr.run(cfg.workers == 0 ? nullptr : &pool, cfg.gating);
+    ASSERT_EQ(ce.cycles(), res.cycles);
+    for (std::size_t i = 0; i < res.values.size(); ++i) {
+      EXPECT_EQ(ce.output("out", i), res.values[i]) << "out " << i;
+    }
+  }
+}
+
+TEST(CompiledDifferential, Design2AllEngineConfigs) {
+  const auto [mats, v] = string_instance(4, 8, 322);
+  const auto low = lower_checked([&] { return Design2Modular(mats, v); });
+  compile::CompiledEngine ce(low.net);
+  ce.run_all();
+  for (const auto& cfg : kEngineConfigs) {
+    SCOPED_TRACE("workers=" + std::to_string(cfg.workers));
+    sim::ThreadPool pool(cfg.workers);
+    Design2Modular arr(mats, v);
+    const auto res = arr.run(cfg.workers == 0 ? nullptr : &pool, cfg.gating);
+    ASSERT_EQ(ce.cycles(), res.cycles);
+    for (std::size_t i = 0; i < res.values.size(); ++i) {
+      EXPECT_EQ(ce.output("out", i), res.values[i]) << "out " << i;
+    }
+  }
+}
+
+TEST(CompiledDifferential, Design3AllEngineConfigs) {
+  Rng rng(333);
+  const std::size_t m = 8;
+  const auto nv = traffic_control_instance(8, m, rng);
+  const auto low = lower_checked([&] { return Design3Modular(nv); });
+  compile::CompiledEngine ce(low.net);
+  ce.run_all();
+  for (const auto& cfg : kEngineConfigs) {
+    SCOPED_TRACE("workers=" + std::to_string(cfg.workers));
+    sim::ThreadPool pool(cfg.workers);
+    Design3Modular arr(nv);
+    const auto res = arr.run(cfg.workers == 0 ? nullptr : &pool, cfg.gating);
+    EXPECT_EQ(ce.output("cost", 0), res.cost);
+    if (!res.path.empty()) {
+      const std::size_t stages = res.path.size();
+      std::vector<std::size_t> path(stages, 0);
+      path[stages - 1] = static_cast<std::size_t>(ce.output("arg", 0));
+      for (std::size_t k = stages - 1; k > 0; --k) {
+        path[k - 1] =
+            static_cast<std::size_t>(ce.output("pred", k * m + path[k]));
+      }
+      EXPECT_EQ(path, res.path);
+    }
+  }
+}
+
+TEST(CompiledDifferential, GktAllEngineConfigs) {
+  Rng rng(344);
+  const std::size_t n = 9;
+  const auto dims = random_chain_dims(n, rng);
+  const auto low = lower_checked([&] { return GktModularArray(dims); });
+  compile::CompiledEngine ce(low.net);
+  ce.run_all();
+  for (const auto& cfg : kEngineConfigs) {
+    SCOPED_TRACE("workers=" + std::to_string(cfg.workers));
+    sim::ThreadPool pool(cfg.workers);
+    GktModularArray arr(dims);
+    const auto res = arr.run(cfg.workers == 0 ? nullptr : &pool, cfg.gating);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        EXPECT_EQ(ce.output("cell", i * n + j), res.cost(i, j))
+            << "cell (" << i << ", " << j << ")";
+      }
+    }
+  }
+}
+
+TEST(CompiledDifferential, TriangularAllEngineConfigs) {
+  Rng rng(355);
+  const std::size_t n = 8;
+  std::vector<Cost> freq(n);
+  std::uniform_int_distribution<Cost> dist(1, 20);
+  for (auto& x : freq) x = dist(rng);
+  const BstRule rule(freq);
+  const auto low = lower_checked(
+      [&] { return TriangularModularArray<BstRule>(rule, rule.num_keys()); });
+  compile::CompiledEngine ce(low.net);
+  ce.run_all();
+  for (const auto& cfg : kEngineConfigs) {
+    SCOPED_TRACE("workers=" + std::to_string(cfg.workers));
+    sim::ThreadPool pool(cfg.workers);
+    TriangularModularArray<BstRule> arr(rule, rule.num_keys());
+    const auto res = arr.run(cfg.workers == 0 ? nullptr : &pool, cfg.gating);
+    const std::size_t sz = res.cost.rows();
+    for (std::size_t i = 0; i < sz; ++i) {
+      for (std::size_t j = i; j < sz; ++j) {
+        EXPECT_EQ(ce.output("cell", i * sz + j), res.cost(i, j))
+            << "cell (" << i << ", " << j << ")";
+      }
+    }
+  }
+}
+
+// Fuzz-ish sweep: each seed draws a random family, a random shape, and a
+// random engine configuration; the compiled tape and the interpreted run
+// must agree output for output (ROADMAP item 5's randomized-testing seed).
+class CompiledFuzzDifferential : public ::testing::TestWithParam<int> {};
+
+TEST_P(CompiledFuzzDifferential, RandomInstanceReplaysBitIdentically) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  Rng rng(seed * 48271u + 13);
+  std::uniform_int_distribution<std::size_t> workers_dist(0, 7);
+  const std::size_t workers = workers_dist(rng);
+  const sim::Gating gating =
+      (seed % 2) != 0 ? sim::Gating::kSparse : sim::Gating::kDense;
+  sim::ThreadPool pool(workers);
+  sim::ThreadPool* const pool_arg = workers == 0 ? nullptr : &pool;
+
+  switch (seed % 5) {
+    case 0: {
+      std::uniform_int_distribution<std::size_t> q_dist(1, 5);
+      std::uniform_int_distribution<std::size_t> m_dist(2, 16);
+      const auto [mats, v] =
+          string_instance(q_dist(rng), m_dist(rng), seed * 101);
+      const auto low =
+          lower_checked([&] { return Design1Modular(mats, v); });
+      compile::CompiledEngine ce(low.net);
+      ce.run_all();
+      Design1Modular arr(mats, v);
+      const auto res = arr.run(pool_arg, gating);
+      for (std::size_t i = 0; i < res.values.size(); ++i) {
+        EXPECT_EQ(ce.output("out", i), res.values[i]);
+      }
+      break;
+    }
+    case 1: {
+      std::uniform_int_distribution<std::size_t> q_dist(2, 6);
+      std::uniform_int_distribution<std::size_t> m_dist(2, 12);
+      const auto [mats, v] =
+          string_instance(q_dist(rng), m_dist(rng), seed * 103);
+      const auto low =
+          lower_checked([&] { return Design2Modular(mats, v); });
+      compile::CompiledEngine ce(low.net);
+      ce.run_all();
+      Design2Modular arr(mats, v);
+      const auto res = arr.run(pool_arg, gating);
+      for (std::size_t i = 0; i < res.values.size(); ++i) {
+        EXPECT_EQ(ce.output("out", i), res.values[i]);
+      }
+      break;
+    }
+    case 2: {
+      std::uniform_int_distribution<std::size_t> n_dist(3, 10);
+      std::uniform_int_distribution<std::size_t> m_dist(2, 8);
+      const auto nv =
+          traffic_control_instance(n_dist(rng), m_dist(rng), rng);
+      const auto low = lower_checked([&] { return Design3Modular(nv); });
+  compile::CompiledEngine ce(low.net);
+  ce.run_all();
+      Design3Modular arr(nv);
+      const auto res = arr.run(pool_arg, gating);
+      EXPECT_EQ(ce.output("cost", 0), res.cost);
+      break;
+    }
+    case 3: {
+      std::uniform_int_distribution<std::size_t> n_dist(2, 14);
+      const std::size_t n = n_dist(rng);
+      const auto dims = random_chain_dims(n, rng);
+      const auto low =
+          lower_checked([&] { return GktModularArray(dims); });
+      compile::CompiledEngine ce(low.net);
+      ce.run_all();
+      GktModularArray arr(dims);
+      const auto res = arr.run(pool_arg, gating);
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+          EXPECT_EQ(ce.output("cell", i * n + j), res.cost(i, j));
+        }
+      }
+      break;
+    }
+    default: {
+      std::uniform_int_distribution<std::size_t> n_dist(3, 10);
+      const std::size_t n = n_dist(rng);
+      std::vector<Cost> costs(n);
+      std::uniform_int_distribution<Cost> dist(1, 20);
+      for (auto& x : costs) x = dist(rng);
+      const auto check = [&](auto make_array) {
+        const auto low = lower_checked(make_array);
+        compile::CompiledEngine ce(low.net);
+        ce.run_all();
+        auto arr = make_array();
+        const auto res = arr.run(pool_arg, gating);
+        const std::size_t sz = res.cost.rows();
+        for (std::size_t i = 0; i < sz; ++i) {
+          for (std::size_t j = i; j < sz; ++j) {
+            EXPECT_EQ(ce.output("cell", i * sz + j), res.cost(i, j));
+          }
+        }
+      };
+      switch (seed % 3) {
+        case 0:
+          check([&] {
+            const BstRule rule(costs);
+            return TriangularModularArray<BstRule>(rule, rule.num_keys());
+          });
+          break;
+        case 1:
+          check([&] {
+            const ChainRule rule(costs);
+            return TriangularModularArray<ChainRule>(rule,
+                                                     rule.num_matrices());
+          });
+          break;
+        default:
+          check([&] {
+            const PolygonRule rule(costs);
+            return TriangularModularArray<PolygonRule>(rule,
+                                                       rule.num_vertices());
+          });
+          break;
+      }
+      break;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompiledFuzzDifferential,
+                         ::testing::Range(1, 21));
 
 }  // namespace
 }  // namespace sysdp

@@ -13,6 +13,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,8 @@
 #include "arrays/graph_adapter.hpp"
 #include "arrays/paper_metrics.hpp"
 #include "graph/generators.hpp"
+#include "sim/engine.hpp"
+#include "sim/module.hpp"
 #include "sim/thread_pool.hpp"
 
 namespace sysdp {
@@ -245,6 +248,87 @@ TEST(ActivityGating, GktActivityReflectsWavefrontSparsity) {
   EXPECT_GT(r.stats.dense_evals, 0u);
   EXPECT_LT(r.stats.engine_activity(), 0.6);
   EXPECT_GE(r.stats.active_evals, r.stats.busy_steps);
+}
+
+// ------------------------------------------------ dense-fallback crossover
+
+// Synthetic module for the fallback crossover: permanently busy or asleep
+// from the first demotion poll on.  No wakeup edges exist, so the active
+// set only changes at polls and the window activity is exact.
+class DutyModule : public sim::Module {
+ public:
+  DutyModule(std::string name, bool busy)
+      : Module(std::move(name)), busy_(busy) {}
+  void eval(sim::Cycle) override { ++evals; }
+  void commit() override {}
+  [[nodiscard]] bool quiescent() const noexcept override { return !busy_; }
+
+  std::uint64_t evals = 0;
+
+ private:
+  bool busy_;
+};
+
+// kDenseFallbackActivity is 15/16: with 16 modules, 15 permanently busy
+// lanes sit exactly on the threshold (inclusive — must trip) and 14 sit
+// one lane below it (must never trip).  The first poll is a warm-up that
+// only sets the measurement mark, so the trip lands on the second poll.
+TEST(ActivityGating, DenseFallbackCrossoverAtThreshold) {
+  constexpr std::size_t kModules = 16;
+  for (const std::size_t busy : {kModules - 2, kModules - 1}) {
+    SCOPED_TRACE("busy=" + std::to_string(busy));
+    std::vector<std::unique_ptr<DutyModule>> mods;
+    sim::Engine eng(nullptr, sim::Gating::kSparse);
+    for (std::size_t i = 0; i < kModules; ++i) {
+      mods.push_back(std::make_unique<DutyModule>("duty" + std::to_string(i),
+                                                  i < busy));
+      eng.add(*mods.back());
+    }
+    eng.run(32);
+    const DutyModule& sleeper = *mods.back();
+    if (busy == kModules - 1) {
+      EXPECT_TRUE(eng.dense_fallback());
+      EXPECT_EQ(eng.dense_fallback_cycle(), sim::Engine::kQuiescencePeriod);
+      EXPECT_EQ(eng.effective_gating(), sim::Gating::kDense);
+      // Dense stepping resumes sweeping the sleeper every cycle: one eval
+      // before its first demotion plus everything after the trip.
+      EXPECT_GT(sleeper.evals, 1u);
+    } else {
+      EXPECT_FALSE(eng.dense_fallback());
+      EXPECT_EQ(eng.effective_gating(), sim::Gating::kSparse);
+      // Demoted at the first poll and never woken again.
+      EXPECT_EQ(sleeper.evals, 1u);
+    }
+    for (std::size_t i = 0; i < busy; ++i) {
+      EXPECT_EQ(mods[i]->evals, 32u) << "module " << i;
+    }
+  }
+}
+
+// The fallback on a real array: Design 2 broadcasts every input to every
+// PE, so a sparse run is dense in disguise and must trip the fallback —
+// while staying bit-identical to the dense oracle.  The GKT wavefront is
+// the opposite extreme: activity stays far below the threshold and the
+// fallback must never engage.
+TEST(ActivityGating, DenseFallbackEngagesOnBroadcastArrayOnly) {
+  const auto [mats, v] = string_instance(4, 16, 4242);
+  Design2Modular dense_arr(mats, v);
+  const auto dense = dense_arr.run(nullptr, sim::Gating::kDense);
+
+  Design2Modular sparse_arr(mats, v);
+  sim::Engine eng(nullptr, sim::Gating::kSparse);
+  const auto sparse = sparse_arr.run(eng);
+  EXPECT_TRUE(eng.dense_fallback());
+  EXPECT_EQ(eng.effective_gating(), sim::Gating::kDense);
+  expect_identical(dense, sparse);
+
+  Rng rng(77);
+  const auto dims = random_chain_dims(24, rng);
+  GktModularArray gkt(dims);
+  sim::Engine wave_eng(nullptr, sim::Gating::kSparse);
+  (void)gkt.run(wave_eng);
+  EXPECT_FALSE(wave_eng.dense_fallback());
+  EXPECT_EQ(wave_eng.effective_gating(), sim::Gating::kSparse);
 }
 
 }  // namespace

@@ -49,6 +49,60 @@ TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
   }
 }
 
+TEST(ThreadPool, DynamicParallelForCoversEveryIndexExactlyOnce) {
+  // Dynamic claiming must preserve parallel_for's only contract — each
+  // index runs exactly once — for every grain, including the heuristic
+  // grain 0, a grain of 1 (BatchRunner's choice), a grain that doesn't
+  // divide n, and one larger than n.
+  for (const std::size_t workers : {0u, 1u, 3u, 7u}) {
+    sim::ThreadPool pool(workers);
+    for (const std::size_t grain : {0u, 1u, 7u, 1000u}) {
+      SCOPED_TRACE("workers=" + std::to_string(workers) +
+                   " grain=" + std::to_string(grain));
+      std::vector<std::atomic<int>> hits(237);
+      pool.parallel_for_dynamic(
+          hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); }, grain);
+      for (std::size_t i = 0; i < hits.size(); ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+      }
+    }
+    // n == 0 is a no-op, not a hang.
+    pool.parallel_for_dynamic(0, [](std::size_t) { FAIL(); });
+  }
+}
+
+TEST(ThreadPool, DynamicParallelForBalancesSkewedWork) {
+  // The motivating case: one job much slower than the rest.  With dynamic
+  // grain-1 claiming, no lane can get stuck with the slow job *plus* a
+  // static share of fast ones, so results written by index stay correct
+  // and all indices complete even under heavy skew.
+  sim::ThreadPool pool(3);
+  constexpr std::size_t kJobs = 64;
+  std::vector<std::uint64_t> out(kJobs, 0);
+  pool.parallel_for_dynamic(
+      kJobs,
+      [&](std::size_t i) {
+        // Job 0 is ~kJobs times the work of the others.
+        const std::uint64_t rounds = (i == 0) ? 400000 : 6000;
+        std::uint64_t acc = i;
+        for (std::uint64_t r = 0; r < rounds; ++r) {
+          acc = acc * 6364136223846793005ULL + 1442695040888963407ULL;
+        }
+        out[i] = acc;
+      },
+      1);
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    // Recompute serially: index-addressed slots must hold that index's
+    // result no matter which lane claimed it.
+    const std::uint64_t rounds = (i == 0) ? 400000 : 6000;
+    std::uint64_t acc = i;
+    for (std::uint64_t r = 0; r < rounds; ++r) {
+      acc = acc * 6364136223846793005ULL + 1442695040888963407ULL;
+    }
+    EXPECT_EQ(out[i], acc) << "job " << i;
+  }
+}
+
 TEST(ThreadPool, SubmitPropagatesExceptionsThroughTheFuture) {
   for (const std::size_t workers : {0u, 2u}) {
     sim::ThreadPool pool(workers);
