@@ -33,6 +33,15 @@
 // compiled tape must replay at least 3x faster than the interpreted dense
 // serial run on two or more families, else the binary exits nonzero.
 //
+// The compiled_batch_throughput section measures the batched executor
+// (compile::BatchedCompiledEngine): one parameterised lowering per family,
+// replayed across B lanes at once, against B independent single-lane
+// CompiledEngine replays.  Its gate: per-instance throughput at B >= 8
+// must be at least 2x the single-lane replay on two or more families.
+// Each family also runs a rebind loop — 128 randomly re-weighted
+// instances through the ONE lowering, no re-lowering — demonstrating the
+// parameter plane's amortisation and reporting instances/sec.
+//
 // Speedup expectations scale with the host: on a >= 4-core machine the
 // sweeps are embarrassingly parallel and the batch runner delivers >= 2x;
 // the host block records hardware_concurrency so a 1-core container's
@@ -63,6 +72,7 @@
 #include "arrays/graph_adapter.hpp"
 #include "arrays/triangular_array.hpp"
 #include "arrays/triangular_modular.hpp"
+#include "compile/batch_engine.hpp"
 #include "compile/engine.hpp"
 #include "compile/lower.hpp"
 #include "graph/generators.hpp"
@@ -443,6 +453,150 @@ std::vector<CompiledSample> measure_compiled(
   return out;
 }
 
+// ------------------------------------------------ batched compiled --------
+
+/// One family's batched-replay measurement: a single parameterised
+/// lowering, timed single-lane (CompiledEngine) and at B in {8, 16}
+/// (BatchedCompiledEngine), plus a rebind loop that pushes 128 randomly
+/// re-weighted instances through the same tape without re-lowering.
+struct CompiledBatchSample {
+  std::string name;
+  std::uint64_t num_ops = 0;
+  std::uint64_t num_params = 0;
+  double single_seconds = 0.0;   ///< one CompiledEngine replay
+  double batch8_seconds = 0.0;   ///< one 8-lane batched replay
+  double batch16_seconds = 0.0;  ///< one 16-lane batched replay
+  std::uint64_t rebound_instances = 0;
+  double rebind_seconds = 0.0;
+
+  [[nodiscard]] double per_instance_speedup(double batch_seconds,
+                                            std::uint32_t b) const {
+    const double per = batch_seconds / static_cast<double>(b);
+    return per > 0.0 ? single_seconds / per : 0.0;
+  }
+  [[nodiscard]] double speedup_b8() const {
+    return per_instance_speedup(batch8_seconds, 8);
+  }
+  [[nodiscard]] double speedup_b16() const {
+    return per_instance_speedup(batch16_seconds, 16);
+  }
+  [[nodiscard]] double rebind_instances_per_sec() const {
+    return rebind_seconds > 0.0
+               ? static_cast<double>(rebound_instances) / rebind_seconds
+               : 0.0;
+  }
+};
+
+/// Floor for the in-binary batched gate: per-instance throughput at B = 8
+/// must reach this multiple of the single-lane compiled replay on two or
+/// more families, else the lane-major layout has stopped vectorising.
+constexpr double kBatchPerInstanceFloor = 2.0;
+
+template <typename MakeArray>
+CompiledBatchSample measure_compiled_batch_one(const char* name,
+                                               MakeArray&& make) {
+  CompiledBatchSample s;
+  s.name = name;
+  auto arr = make();
+  compile::LowerOptions opt;
+  opt.parameterise = true;
+  const auto low = compile::lower_array(arr, opt);
+  s.num_ops = low.net.num_ops();
+  s.num_params = low.net.num_params();
+
+  // Single-lane baseline, after a checked replay so the timing below is a
+  // timing of the right computation.
+  compile::CompiledEngine ce(low.net);
+  ce.run_all_checked();
+  if (ce.verify_outputs().found) {
+    std::fprintf(stderr, "bench_all: compiled backend diverges on %s\n",
+                 name);
+    std::exit(1);
+  }
+  s.single_seconds = best_seconds(9, [&] {
+    ce.reset();
+    ce.run_all();
+    benchmark::DoNotOptimize(ce.now());
+  });
+
+  const auto batch_time = [&](std::uint32_t b) {
+    compile::BatchedCompiledEngine be(low.net, b);
+    be.run_all();
+    for (std::uint32_t lane = 0; lane < b; ++lane) {
+      if (be.verify_outputs(lane).found || be.fallback_levels() != 0) {
+        std::fprintf(stderr,
+                     "bench_all: batched replay diverges on %s lane %u\n",
+                     name, lane);
+        std::exit(1);
+      }
+    }
+    return best_seconds(9, [&] {
+      be.reset();
+      be.run_all();
+      benchmark::DoNotOptimize(be.now());
+    });
+  };
+  s.batch8_seconds = batch_time(8);
+  s.batch16_seconds = batch_time(16);
+
+  // Rebind loop: 16 batches x 8 lanes = 128 instances of the family shape
+  // with fresh random weight tables, all through the ONE lowering above —
+  // the tape is never re-lowered, only rebound.
+  {
+    constexpr std::uint32_t kLanes = 8;
+    constexpr std::uint32_t kBatches = 16;
+    compile::BatchedCompiledEngine be(low.net, kLanes);
+    Rng rng(0xb1d5 + s.num_ops);
+    std::uniform_int_distribution<Cost> wdist(1, 40);
+    std::vector<Cost> table(low.net.num_params());
+    Cost sink = 0;
+    sim::WallTimer wt;
+    for (std::uint32_t batch = 0; batch < kBatches; ++batch) {
+      for (std::uint32_t lane = 0; lane < kLanes; ++lane) {
+        for (auto& x : table) x = wdist(rng);
+        be.bind(lane, table);
+      }
+      be.reset();
+      be.run_all();
+      for (std::uint32_t lane = 0; lane < kLanes; ++lane) {
+        sink ^= be.value(low.net.num_slots - 1, lane);
+      }
+    }
+    s.rebind_seconds = wt.seconds();
+    s.rebound_instances = std::uint64_t{kBatches} * kLanes;
+    benchmark::DoNotOptimize(sink);
+  }
+  return s;
+}
+
+std::vector<CompiledBatchSample> measure_compiled_batch(
+    const std::vector<Matrix<Cost>>& mats, const std::vector<Cost>& v) {
+  // The three rebindable 96-wide families (Design 3 and the BST rule pin
+  // instance data in interned constants, so they batch under the oracle
+  // binding only and are covered by the lane-exactness tests instead).
+  std::vector<CompiledBatchSample> out;
+  out.push_back(measure_compiled_batch_one(
+      "compiled_batch_design1_96pe",
+      [&] { return Design1Modular(mats, v); }));
+  {
+    Rng rng(96096);  // same instance as the compiled_gkt_n96 entry
+    const auto dims = random_chain_dims(96, rng);
+    out.push_back(measure_compiled_batch_one(
+        "compiled_batch_gkt_n96", [&] { return GktModularArray(dims); }));
+  }
+  {
+    Rng rng(96955);
+    const auto dims = random_chain_dims(96, rng);
+    const ChainRule rule(dims);
+    out.push_back(measure_compiled_batch_one(
+        "compiled_batch_chain_n96", [&] {
+          return TriangularModularArray<ChainRule>(rule,
+                                                   rule.num_matrices());
+        }));
+  }
+  return out;
+}
+
 // --------------------------------------------------------- baseline -------
 
 struct MetricSample {
@@ -462,6 +616,42 @@ struct Comparison {
 };
 
 constexpr double kRegressionTolerance = 0.15;
+
+// -------------------------------------------------------- host block ------
+
+/// Build type baked in by bench/CMakeLists.txt; "unspecified" when built
+/// outside CMake (e.g. a compile_commands-driven tool run).
+#ifndef SYSDP_BUILD_TYPE
+#define SYSDP_BUILD_TYPE "unspecified"
+#endif
+constexpr const char* kBuildType = SYSDP_BUILD_TYPE;
+
+/// Host SIMD ISA availability as a JSON string-array body.  On x86 this is
+/// detected at runtime (__builtin_cpu_supports) because the batched
+/// executor's lane kernels are function-multiversioned — the binary is
+/// compiled at baseline ISA yet dispatches AVX-512F/AVX2 clones on capable
+/// hosts, so compile-time macros would under-report what actually ran.
+/// Recording it makes cross-host BENCH_SIM.json diffs explainable — a
+/// 2x-per-instance host and a 4x host usually differ right here.
+std::string simd_isa_flags() {
+  std::vector<const char*> isa;
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  if (__builtin_cpu_supports("avx512f")) isa.push_back("avx512f");
+  if (__builtin_cpu_supports("avx2")) isa.push_back("avx2");
+  if (__builtin_cpu_supports("avx")) isa.push_back("avx");
+  if (__builtin_cpu_supports("sse4.2")) isa.push_back("sse4.2");
+#elif defined(__ARM_NEON)
+  isa.push_back("neon");
+#endif
+  std::string out;
+  for (std::size_t i = 0; i < isa.size(); ++i) {
+    out += '"';
+    out += isa[i];
+    out += '"';
+    if (i + 1 < isa.size()) out += ", ";
+  }
+  return out;
+}
 
 /// Entries gated by --engine-tolerance: the observer-free engine
 /// throughput runs ("_observed" deliberately excluded — it carries a
@@ -520,6 +710,14 @@ std::vector<MetricSample> comparable_metrics(const std::string& text) {
   }
   for (auto& s :
        scan_section(text, "compiled_throughput", "compiled_seconds", "")) {
+    out.push_back(std::move(s));
+  }
+  for (auto& s : scan_section(text, "compiled_batch_throughput",
+                              "batch8_seconds", "/b8")) {
+    out.push_back(std::move(s));
+  }
+  for (auto& s : scan_section(text, "compiled_batch_throughput",
+                              "batch16_seconds", "/b16")) {
     out.push_back(std::move(s));
   }
   for (auto& s : scan_section(text, "gating", "sparse_seconds", "/sparse")) {
@@ -682,6 +880,22 @@ int main(int argc, char** argv) {
         c.speedup(), c.ops_per_sec());
   }
 
+  // Batched compiled replay: one parameterised lowering per family, B
+  // lanes per replay, per-instance throughput against the single-lane
+  // replay, plus the 128-instance rebind loop on the same tape.
+  const auto cbatch = measure_compiled_batch(prob.mats, prob.v);
+  std::size_t batch_fast_families = 0;
+  for (const auto& c : cbatch) {
+    if (c.speedup_b8() >= kBatchPerInstanceFloor) ++batch_fast_families;
+    std::printf(
+        "  batch %-26s single=%8.3fms b8=%8.3fms (%.2fx/inst) "
+        "b16=%8.3fms (%.2fx/inst) rebind=%llu inst @ %.0f inst/s\n",
+        c.name.c_str(), c.single_seconds * 1e3, c.batch8_seconds * 1e3,
+        c.speedup_b8(), c.batch16_seconds * 1e3, c.speedup_b16(),
+        static_cast<unsigned long long>(c.rebound_instances),
+        c.rebind_instances_per_sec());
+  }
+
   // ----------------------------------------------------------- output -----
   std::ofstream out(out_path);
   if (!out) {
@@ -690,12 +904,14 @@ int main(int argc, char** argv) {
   }
   char buf[512];
   out << "{\n";
-  out << "  \"schema\": \"sysdp-bench-sim-v1\",\n";
+  out << "  \"schema\": \"sysdp-bench-sim-v2\",\n";
   out << "  \"host\": {\n";
   out << "    \"hardware_concurrency\": "
       << std::thread::hardware_concurrency() << ",\n";
   out << "    \"pool_workers\": " << g_workers << ",\n";
-  out << "    \"pool_lanes\": " << (g_workers + 1) << "\n  },\n";
+  out << "    \"pool_lanes\": " << (g_workers + 1) << ",\n";
+  out << "    \"build_type\": \"" << kBuildType << "\",\n";
+  out << "    \"simd\": [" << simd_isa_flags() << "]\n  },\n";
 
   out << "  \"batch_sweeps\": [\n";
   for (std::size_t i = 0; i < measured.size(); ++i) {
@@ -767,6 +983,28 @@ int main(int argc, char** argv) {
   }
   out << "  ],\n";
 
+  out << "  \"compiled_batch_throughput\": [\n";
+  for (std::size_t i = 0; i < cbatch.size(); ++i) {
+    const auto& c = cbatch[i];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"name\": \"%s\", \"num_ops\": %llu, "
+                  "\"num_params\": %llu, \"single_seconds\": %.6f, "
+                  "\"batch8_seconds\": %.6f, \"batch16_seconds\": %.6f, "
+                  "\"per_instance_speedup_b8\": %.3f, "
+                  "\"per_instance_speedup_b16\": %.3f, "
+                  "\"rebound_instances\": %llu, "
+                  "\"rebind_instances_per_sec\": %.0f}%s\n",
+                  c.name.c_str(), static_cast<unsigned long long>(c.num_ops),
+                  static_cast<unsigned long long>(c.num_params),
+                  c.single_seconds, c.batch8_seconds, c.batch16_seconds,
+                  c.speedup_b8(), c.speedup_b16(),
+                  static_cast<unsigned long long>(c.rebound_instances),
+                  c.rebind_instances_per_sec(),
+                  i + 1 < cbatch.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ],\n";
+
   // Baseline comparison: per-benchmark medians against a committed
   // BENCH_SIM.json; only benchmarks present in both documents compare.
   std::size_t regressed = 0;
@@ -808,6 +1046,15 @@ int main(int argc, char** argv) {
         std::snprintf(buf, sizeof buf,
                       "    {\"name\": \"%s\", \"compiled_seconds\": %.6f},\n",
                       c.name.c_str(), c.compiled_seconds);
+        tmp << buf;
+      }
+      tmp << "  ],\n";
+      tmp << "  \"compiled_batch_throughput\": [\n";
+      for (const auto& c : cbatch) {
+        std::snprintf(buf, sizeof buf,
+                      "    {\"name\": \"%s\", \"batch8_seconds\": %.6f, "
+                      "\"batch16_seconds\": %.6f},\n",
+                      c.name.c_str(), c.batch8_seconds, c.batch16_seconds);
         tmp << buf;
       }
       tmp << "  ],\n";
@@ -887,6 +1134,17 @@ int main(int argc, char** argv) {
                  "%zu/%zu families (need >= 2)\n",
                  kCompiledSpeedupFloor, compiled_fast_families,
                  compiled.size());
+    return 2;
+  }
+
+  // Batched gate: replaying B = 8 lanes at once must deliver >= 2x the
+  // per-instance throughput of the single-lane replay on at least two
+  // families, or the lane-major layout has stopped vectorising.
+  if (batch_fast_families < 2) {
+    std::fprintf(stderr,
+                 "bench_all: batched replay >= %.1fx per-instance at B=8 on "
+                 "only %zu/%zu families (need >= 2)\n",
+                 kBatchPerInstanceFloor, batch_fast_families, cbatch.size());
     return 2;
   }
 

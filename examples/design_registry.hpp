@@ -95,7 +95,10 @@ class DesignInstance {
   /// Lower the design to a compiled flat tape (compile::lower_array).
   /// Consumes the instance's freshness: the internal oracle run IS the
   /// array's one run, so call this instead of — never after — run().
-  [[nodiscard]] virtual compile::Lowered lower() = 0;
+  /// Pass LowerOptions{.parameterise = true} to emit the parameter plane
+  /// for rebinding/batched replay.
+  [[nodiscard]] virtual compile::Lowered lower(
+      const compile::LowerOptions& opt = {}) = 0;
 };
 
 /// Adapter over the duck-typed array surface.  `keepalive` owns any state
@@ -126,8 +129,9 @@ class TypedInstance final : public DesignInstance {
     return arr_->pe_busy(pe);
   }
   [[nodiscard]] const RunStats& stats() const override { return stats_; }
-  [[nodiscard]] compile::Lowered lower() override {
-    return compile::lower_array(*arr_);
+  [[nodiscard]] compile::Lowered lower(
+      const compile::LowerOptions& opt = {}) override {
+    return compile::lower_array(*arr_, opt);
   }
 
  private:

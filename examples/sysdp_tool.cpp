@@ -5,7 +5,7 @@
 //   sysdp_tool gen objective <vars> <domain> <seed>     (banded, eq. 36)
 //   sysdp_tool info <file>                              classify and describe
 //   sysdp_tool solve <file> [k] [--metrics] [--engine=modular|compiled]
-//                                                       route per Table 1
+//                    [--batch=N]                        route per Table 1
 //
 // `solve` dispatches exactly as core/solver.hpp: multistage graphs to the
 // Design 1 systolic array (plus divide-and-conquer when k > 1 is given),
@@ -14,7 +14,10 @@
 // multistage and chain arrays through the compiled flat-tape backend
 // (src/compile): the design is lowered once, replayed with per-op oracle
 // checking, and the answer is printed only if the replay is bit-identical
-// to the modular run.
+// to the modular run.  --batch=N additionally replays the tape N times
+// through the SIMD-batched executor (chunks of 8 lanes), verifies every
+// lane against the oracle, and reports the replay throughput — the
+// multi-instance path the benchmarks use, driven from the CLI.
 #include <algorithm>
 #include <cstdio>
 #include <iostream>
@@ -24,8 +27,10 @@
 #include "arrays/design1_modular.hpp"
 #include "arrays/gkt_modular.hpp"
 #include "arrays/graph_adapter.hpp"
+#include "compile/batch_engine.hpp"
 #include "compile/engine.hpp"
 #include "compile/lower.hpp"
+#include "sim/batch.hpp"
 #include "core/solver.hpp"
 #include "core/table1.hpp"
 #include "graph/generators.hpp"
@@ -45,7 +50,7 @@ int usage() {
                "  sysdp_tool gen objective <vars> <domain> <seed>\n"
                "  sysdp_tool info <file>\n"
                "  sysdp_tool solve <file> [k] [--metrics]\n"
-               "                  [--engine=modular|compiled]\n"
+               "                  [--engine=modular|compiled] [--batch=N]\n"
                "  sysdp_tool reduce <file>      stage-reduction plan "
                "(multistage only)\n");
   return 2;
@@ -151,10 +156,44 @@ compile::CompiledEngine checked_replay(const compile::Lowered& low) {
   return ce;
 }
 
+/// --batch=N: replay the tape across `n` oracle-bound lanes through the
+/// SIMD-batched executor, in chunks of 8 lanes (BatchRunner::run_chunks,
+/// serial here — the bench drives the pooled version).  Every lane is
+/// verified against the oracle's recorded outputs; any divergence throws.
+/// Returns a human-readable throughput summary for the report.
+std::string batched_replay(const compile::Lowered& low, std::uint64_t n) {
+  constexpr std::size_t kWidth = 8;
+  sim::BatchRunner runner(nullptr);
+  sim::WallTimer timer;
+  const auto verified = runner.run_chunks(
+      static_cast<std::size_t>(n), kWidth,
+      [&](std::size_t, std::size_t count) {
+        compile::BatchedCompiledEngine be(low.net,
+                                          static_cast<std::uint32_t>(count));
+        be.run_all();
+        for (std::uint32_t l = 0; l < be.lanes(); ++l) {
+          if (be.verify_outputs(l).found) {
+            throw std::runtime_error(
+                "batched replay diverged from the modular oracle");
+          }
+        }
+        return count;
+      });
+  const double secs = timer.seconds();
+  std::uint64_t lanes_done = 0;
+  for (const std::size_t c : verified) lanes_done += c;
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "; batch=%llu replays in %.3fs (%.0f inst/s)",
+                static_cast<unsigned long long>(lanes_done), secs,
+                secs > 0 ? static_cast<double>(lanes_done) / secs : 0.0);
+  return buf;
+}
+
 /// --engine=compiled on a multistage graph: Design 1 lowered to a flat
 /// tape.  The optimum comes from the replayed "out" lanes; path recovery
 /// stays with the sequential sweep, exactly like the interpreted route.
-SolveReport solve_monadic_compiled(const MultistageGraph& g) {
+SolveReport solve_monadic_compiled(const MultistageGraph& g,
+                                   std::uint64_t batch) {
   SolveReport rep;
   rep.cls = {Recursion::kMonadic, Structure::kSerial};
   auto prob = to_string_product(g);
@@ -168,7 +207,8 @@ SolveReport solve_monadic_compiled(const MultistageGraph& g) {
   rep.cost = best;
   rep.method = "Design 1 via compiled tape (" +
                std::to_string(low.net.num_ops()) + " ops, " +
-               std::to_string(low.net.cycles()) + " levels)";
+               std::to_string(low.net.cycles()) + " levels" +
+               (batch > 1 ? batched_replay(low, batch) : "") + ")";
   rep.work_steps = low.net.num_ops();
   rep.cycles = low.net.cycles();
   rep.assignment = solve_monadic_serial(g).assignment;
@@ -177,7 +217,8 @@ SolveReport solve_monadic_compiled(const MultistageGraph& g) {
 
 /// --engine=compiled on a matrix chain: the GKT triangle lowered to a
 /// flat tape; the root cell carries the optimum.
-SolveReport solve_chain_compiled(const std::vector<Cost>& dims) {
+SolveReport solve_chain_compiled(const std::vector<Cost>& dims,
+                                 std::uint64_t batch) {
   SolveReport rep;
   rep.cls = {Recursion::kPolyadic, Structure::kNonserial};
   GktModularArray arr(dims);
@@ -187,22 +228,23 @@ SolveReport solve_chain_compiled(const std::vector<Cost>& dims) {
   rep.cost = n >= 2 ? ce.output("cell", n - 1) : 0;
   rep.method = "GKT array via compiled tape (" +
                std::to_string(low.net.num_ops()) + " ops, " +
-               std::to_string(low.net.cycles()) + " levels)";
+               std::to_string(low.net.cycles()) + " levels" +
+               (batch > 1 ? batched_replay(low, batch) : "") + ")";
   rep.work_steps = low.net.num_ops();
   rep.cycles = low.net.cycles();
   return rep;
 }
 
 int cmd_solve(const std::string& path, std::uint64_t k, bool metrics,
-              bool compiled) {
+              bool compiled, std::uint64_t batch) {
   const auto problem = load_problem(path);
   std::visit(
-      [k, metrics, compiled](const auto& p) {
+      [k, metrics, compiled, batch](const auto& p) {
         using T = std::decay_t<decltype(p)>;
         SolveReport rep;
         if constexpr (std::is_same_v<T, MultistageGraph>) {
           rep = k > 1         ? solve_polyadic_serial(p, k)
-                : compiled    ? solve_monadic_compiled(p)
+                : compiled    ? solve_monadic_compiled(p, batch)
                               : solve_monadic_serial(p);
           if (compiled && k > 1) {
             std::fprintf(stderr,
@@ -210,7 +252,8 @@ int cmd_solve(const std::string& path, std::uint64_t k, bool metrics,
                          "(divide-and-conquer runs interpreted)\n");
           }
         } else if constexpr (std::is_same_v<T, std::vector<Cost>>) {
-          rep = compiled ? solve_chain_compiled(p) : solve_chain_order(p);
+          rep = compiled ? solve_chain_compiled(p, batch)
+                         : solve_chain_order(p);
         } else {
           if (compiled) {
             std::fprintf(stderr,
@@ -269,10 +312,11 @@ int main(int argc, char** argv) {
     const std::string cmd = argv[1];
     if (cmd == "gen") return cmd_gen(argc - 2, argv + 2);
     if (cmd == "info" && argc == 3) return cmd_info(argv[2]);
-    if (cmd == "solve" && argc >= 3 && argc <= 6) {
+    if (cmd == "solve" && argc >= 3 && argc <= 7) {
       std::uint64_t k = 1;
       bool metrics = false;
       bool compiled = false;
+      std::uint64_t batch = 1;
       for (int i = 3; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--metrics") {
@@ -281,11 +325,18 @@ int main(int argc, char** argv) {
           compiled = true;
         } else if (arg == "--engine=modular") {
           compiled = false;
+        } else if (arg.rfind("--batch=", 0) == 0) {
+          batch = std::stoull(arg.substr(8));
         } else {
           k = std::stoull(arg);
         }
       }
-      return cmd_solve(argv[2], k, metrics, compiled);
+      if (batch > 1 && !compiled) {
+        std::fprintf(stderr,
+                     "note: --batch=N requires --engine=compiled; ignored\n");
+        batch = 1;
+      }
+      return cmd_solve(argv[2], k, metrics, compiled, batch);
     }
     if (cmd == "reduce" && argc == 3) return cmd_reduce(argv[2]);
     return usage();

@@ -1,0 +1,524 @@
+#include "compile/batch_engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <unordered_map>
+
+#include "semiring/closed_semiring.hpp"
+
+namespace sysdp::compile {
+
+// The lane loops below carry no loop-borne dependence by construction
+// (SSA destinations; see the class comment), but every row pointer derives
+// from the one slot-file base, so the vectoriser cannot prove it and emits
+// per-op runtime overlap checks — at B = 8 lanes the checks cost more than
+// the arithmetic.  This pragma states the independence we can prove and
+// the compiler cannot.
+#if defined(__clang__)
+#define SYSDP_LANE_IVDEP \
+  _Pragma("clang loop vectorize(assume_safety) interleave(assume_safety)")
+#elif defined(__GNUC__)
+#define SYSDP_LANE_IVDEP _Pragma("GCC ivdep")
+#else
+#define SYSDP_LANE_IVDEP
+#endif
+
+namespace {
+
+/// Branch-proof select: all-ones/all-zero mask from the condition, then
+/// bitwise blend.  A plain `cond ? a : b` is usually if-converted, but
+/// when several selects chain over correlated sentinel compares (two
+/// sat_adds back to back), jump threading turns them into real control
+/// flow first and the loop vectoriser then refuses the loop outright.
+/// Masks cannot be threaded, so the lane loops stay branch-free.
+[[nodiscard]] inline Cost sel(bool cond, Cost a, Cost b) noexcept {
+  const Cost m = -static_cast<Cost>(cond);
+  return (a & m) | (b & ~m);
+}
+
+/// Branchless sat_add, bit-identical to sysdp::sat_add for every input
+/// pair (the lane-exactness suite depends on this).  The scalar version
+/// early-returns on the sentinels; here the same priorities are applied as
+/// selects — +inf checked last so it wins over -inf, exactly like the
+/// scalar's first early return — and the operands are clamped before the
+/// raw add so the sum cannot overflow (|clamped| <= max/4).  Every
+/// operation is a compare, mask-select, min, max or add: the lane loops
+/// built from this vectorise with no intrinsics.
+[[nodiscard]] inline Cost lane_sat_add(Cost a, Cost b) noexcept {
+  const Cost ca = std::min(std::max(a, kNegInfCost), kInfCost);
+  const Cost cb = std::min(std::max(b, kNegInfCost), kInfCost);
+  Cost sum = ca + cb;
+  sum = std::min(std::max(sum, kNegInfCost), kInfCost);
+  sum = sel((a <= kNegInfCost) | (b <= kNegInfCost), kNegInfCost, sum);
+  sum = sel((a >= kInfCost) | (b >= kInfCost), kInfCost, sum);
+  return sum;
+}
+
+/// Sentinel class of a scalar weight.  On the baked-immediate path the
+/// weight is lane-invariant, and leaving its sentinel compares inside the
+/// lane loop is ruinous: the vectoriser if-converts them into per-op
+/// scalar-boolean mask materialisation (dozens of scalar ops smearing one
+/// bit across a vector mask).  Classifying w once per op and branching
+/// OUTSIDE the lane loop leaves only vector-vector compares inside.
+enum class WClass : std::uint8_t { kNegInf, kFinite, kInf };
+
+[[nodiscard]] inline WClass classify_w(Cost w) noexcept {
+  if (w >= kInfCost) return WClass::kInf;
+  if (w <= kNegInfCost) return WClass::kNegInf;
+  return WClass::kFinite;
+}
+
+/// lane_sat_add(x, w) with w's sentinel class a compile-time constant.
+/// Bit-identical to lane_sat_add (which is symmetric) for every x whenever
+/// classify_w(w) == kWC: the w-side clamps and overrides are resolved at
+/// compile time, the x-side ones stay as vector-friendly selects.
+template <WClass kWC>
+[[nodiscard]] inline Cost lane_sat_add_w([[maybe_unused]] Cost x,
+                                         [[maybe_unused]] Cost w) noexcept {
+  if constexpr (kWC == WClass::kInf) {
+    return kInfCost;  // +inf wins over everything, -inf included
+  } else if constexpr (kWC == WClass::kNegInf) {
+    return sel(x >= kInfCost, kInfCost, kNegInfCost);
+  } else {
+    // w is strictly between the sentinels, so clamp(w) == w and the
+    // w-side override conditions are statically false.
+    const Cost cx = std::min(std::max(x, kNegInfCost), kInfCost);
+    Cost sum = cx + w;
+    sum = std::min(std::max(sum, kNegInfCost), kInfCost);
+    sum = sel(x <= kNegInfCost, kNegInfCost, sum);
+    sum = sel(x >= kInfCost, kInfCost, sum);
+    return sum;
+  }
+}
+
+/// Invoke `f` with w's class lifted to a compile-time constant — the
+/// three-way branch each kernel wraps around its lane loop.
+template <typename F>
+inline void with_w_class(Cost w, F&& f) {
+  switch (classify_w(w)) {
+    case WClass::kNegInf:
+      f(std::integral_constant<WClass, WClass::kNegInf>{});
+      break;
+    case WClass::kFinite:
+      f(std::integral_constant<WClass, WClass::kFinite>{});
+      break;
+    case WClass::kInf:
+      f(std::integral_constant<WClass, WClass::kInf>{});
+      break;
+  }
+}
+
+[[nodiscard]] constexpr std::uint8_t kind_rank(OpKind k) noexcept {
+  return static_cast<std::uint8_t>(k);
+}
+
+/// True if stable-partitioning this level's ops by kind would invert a
+/// writer→reader pair, i.e. some op reads a slot written earlier in the
+/// level by an op of a LATER partition rank.  SSA rules out WAW and WAR
+/// entirely (every destination is freshly allocated after its readers'
+/// sources), so RAW inversion is the only hazard.  Same-kind pairs keep
+/// their order under a stable partition, so only cross-kind pairs count.
+[[nodiscard]] bool cross_kind_raw(const CompiledNetlist& net, std::uint32_t lo,
+                                  std::uint32_t hi) {
+  std::unordered_map<sim::SlotId, OpKind> writer;
+  for (std::uint32_t i = lo; i < hi; ++i) {
+    const Op& op = net.ops[i];
+    const auto inverted = [&](sim::SlotId src) {
+      const auto it = writer.find(src);
+      return it != writer.end() && kind_rank(op.kind) < kind_rank(it->second);
+    };
+    if (inverted(op.a) || inverted(op.b)) return true;
+    if (op.kind == OpKind::kFold && inverted(op.c)) return true;
+    if (op.kind == OpKind::kRelax && inverted(op.a + 1)) return true;
+    writer[op.dst] = op.kind;
+    if (op.kind == OpKind::kRelax) writer[op.dst + 1] = op.kind;
+  }
+  return false;
+}
+
+}  // namespace
+
+BatchedCompiledEngine::BatchedCompiledEngine(const CompiledNetlist& net,
+                                             std::uint32_t lanes)
+    : net_(&net), lanes_(lanes) {
+  if (lanes == 0) {
+    throw std::invalid_argument("BatchedCompiledEngine: zero lanes");
+  }
+  slots_.resize(std::size_t{net.num_slots} * lanes, 0);
+  if (net.parameterised) {
+    weights_.resize(net.params.size() * lanes);
+    for (std::size_t p = 0; p < net.params.size(); ++p) {
+      for (std::uint32_t l = 0; l < lanes; ++l) {
+        weights_[p * lanes + l] = net.params[p];
+      }
+    }
+  }
+  oracle_bound_.assign(lanes, 1);
+
+  // Partition each level into kind-major runs (see class comment).  The
+  // execution order is a permutation of op indices; runs delimit the
+  // homogeneous spans a single monomorphic kernel sweeps.
+  order_.reserve(net.ops.size());
+  level_run_off_.reserve(net.cycle_off.size());
+  level_run_off_.push_back(0);
+  for (std::uint32_t t = 0; t + 1 < net.cycle_off.size(); ++t) {
+    const std::uint32_t lo = net.cycle_off[t];
+    const std::uint32_t hi = net.cycle_off[t + 1];
+    if (hi > lo) {
+      live_levels_.push_back(t);
+      const auto seg = static_cast<std::uint32_t>(order_.size());
+      if (!cross_kind_raw(net, lo, hi)) {
+        for (const OpKind k :
+             {OpKind::kMac, OpKind::kFold, OpKind::kRelax}) {
+          for (std::uint32_t i = lo; i < hi; ++i) {
+            if (net.ops[i].kind == k) order_.push_back(i);
+          }
+        }
+      } else {
+        ++fallback_levels_;
+        for (std::uint32_t i = lo; i < hi; ++i) order_.push_back(i);
+      }
+      // Emit runs at kind boundaries of the (possibly reordered) segment.
+      std::uint32_t run_lo = seg;
+      for (std::uint32_t k = seg + 1; k < order_.size(); ++k) {
+        if (net.ops[order_[k]].kind != net.ops[order_[run_lo]].kind) {
+          runs_.push_back({run_lo, k, net.ops[order_[run_lo]].kind});
+          run_lo = k;
+        }
+      }
+      runs_.push_back({run_lo, static_cast<std::uint32_t>(order_.size()),
+                       net.ops[order_[run_lo]].kind});
+    }
+    level_run_off_.push_back(static_cast<std::uint32_t>(runs_.size()));
+  }
+  reset();
+}
+
+void BatchedCompiledEngine::reset() {
+  for (const SlotInit& in : net_->init) {
+    Cost* const row = slots_.data() + std::size_t{in.slot} * lanes_;
+    for (std::uint32_t l = 0; l < lanes_; ++l) row[l] = in.value;
+  }
+  now_ = 0;
+  ops_executed_ = 0;
+  levels_skipped_ = 0;
+}
+
+void BatchedCompiledEngine::bind(std::uint32_t lane,
+                                 const std::vector<Cost>& weights) {
+  if (!net_->parameterised) {
+    throw std::invalid_argument(
+        "BatchedCompiledEngine::bind: tape was lowered without a parameter "
+        "plane (LowerOptions::parameterise)");
+  }
+  if (lane >= lanes_) {
+    throw std::invalid_argument("BatchedCompiledEngine::bind: lane " +
+                                std::to_string(lane) + " out of range");
+  }
+  if (weights.size() != net_->params.size()) {
+    throw std::invalid_argument(
+        "BatchedCompiledEngine::bind: weight table has " +
+        std::to_string(weights.size()) + " entries, tape has " +
+        std::to_string(net_->params.size()) + " parameters");
+  }
+  for (std::size_t p = 0; p < weights.size(); ++p) {
+    weights_[p * lanes_ + lane] = weights[p];
+  }
+  set_oracle_bound(lane, weights == net_->params);
+}
+
+void BatchedCompiledEngine::bind_oracle(std::uint32_t lane) {
+  if (lane >= lanes_) {
+    throw std::invalid_argument("BatchedCompiledEngine::bind_oracle: lane " +
+                                std::to_string(lane) + " out of range");
+  }
+  for (std::size_t p = 0; p < net_->params.size(); ++p) {
+    weights_[p * lanes_ + lane] = net_->params[p];
+  }
+  set_oracle_bound(lane, true);
+}
+
+void BatchedCompiledEngine::set_oracle_bound(std::uint32_t lane, bool bound) {
+  if ((oracle_bound_[lane] != 0) != bound) {
+    if (bound) {
+      --rebound_lanes_;
+    } else {
+      ++rebound_lanes_;
+    }
+  }
+  oracle_bound_[lane] = bound ? 1 : 0;
+}
+
+namespace {
+
+/// Everything a lane kernel touches, gathered so the kernels can be free
+/// functions (function multiversioning cannot apply to member templates).
+struct RunCtx {
+  Cost* slots;
+  const Cost* wtab;
+  const Op* ops;
+  const std::uint32_t* ord;
+  const KindRun* runs;
+  std::uint32_t lanes;
+};
+
+// The batched hot loop.  Outer loop over a homogeneous run of ops, inner
+// loop over lanes: every iteration of the lane loop touches contiguous,
+// 64-byte-aligned, mutually non-aliasing rows (SSA makes the destination
+// fresh), carries no dependence, and performs only add/min/max/compare/
+// mask-select on int64 — the exact shape -O2/-O3 auto-vectorisers compile
+// to SIMD.  The arithmetic mirrors CompiledEngine::exec_level kernel for
+// kernel; for TapeSemiring's two semirings S::times IS sat_add, realised
+// here branchlessly (lane_sat_add) with identical results bit for bit.
+template <typename S, bool kParam, std::uint32_t kW>
+inline void exec_runs_impl(const RunCtx& ctx, std::uint32_t rlo,
+                           std::uint32_t rhi) {
+  // kW == 0 is the any-width fallback; a nonzero kW makes the lane count a
+  // compile-time constant, so the lane loops below fully unroll into
+  // straight-line vector code with no trip-count or remainder logic.
+  const std::uint32_t B = kW != 0 ? kW : ctx.lanes;
+  Cost* const slots = ctx.slots;
+  const Cost* const wtab = ctx.wtab;
+  const Op* const ops = ctx.ops;
+  const std::uint32_t* const ord = ctx.ord;
+  for (std::uint32_t r = rlo; r < rhi; ++r) {
+    const KindRun& run = ctx.runs[r];
+    switch (run.kind) {
+      case OpKind::kMac:
+        for (std::uint32_t k = run.lo; k < run.hi; ++k) {
+          const Op& op = ops[ord[k]];
+          const Cost* const __restrict pa = slots + std::size_t{op.a} * B;
+          const Cost* const __restrict pb = slots + std::size_t{op.b} * B;
+          Cost* const __restrict d = slots + std::size_t{op.dst} * B;
+          if constexpr (kParam) {
+            const Cost* const __restrict wrow =
+                wtab + std::size_t{op.param} * B;
+            SYSDP_LANE_IVDEP
+            for (std::uint32_t l = 0; l < B; ++l) {
+              d[l] = S::plus(pa[l], lane_sat_add(wrow[l], pb[l]));
+            }
+          } else {
+            with_w_class(op.w, [&](auto wc) {
+              const Cost wi = op.w;
+              SYSDP_LANE_IVDEP
+              for (std::uint32_t l = 0; l < B; ++l) {
+                d[l] = S::plus(pa[l],
+                               lane_sat_add_w<decltype(wc)::value>(pb[l], wi));
+              }
+            });
+          }
+        }
+        break;
+      case OpKind::kFold:
+        for (std::uint32_t k = run.lo; k < run.hi; ++k) {
+          const Op& op = ops[ord[k]];
+          const Cost* const __restrict pa = slots + std::size_t{op.a} * B;
+          const Cost* const __restrict pb = slots + std::size_t{op.b} * B;
+          const Cost* const __restrict pc = slots + std::size_t{op.c} * B;
+          Cost* const __restrict d = slots + std::size_t{op.dst} * B;
+          if constexpr (kParam) {
+            const Cost* const __restrict wrow =
+                wtab + std::size_t{op.param} * B;
+            SYSDP_LANE_IVDEP
+            for (std::uint32_t l = 0; l < B; ++l) {
+              const Cost cand =
+                  lane_sat_add(lane_sat_add(pb[l], pc[l]), wrow[l]);
+              const Cost prev = pa[l];
+              d[l] = S::improves(cand, prev) ? cand : prev;
+            }
+          } else {
+            with_w_class(op.w, [&](auto wc) {
+              const Cost wi = op.w;
+              SYSDP_LANE_IVDEP
+              for (std::uint32_t l = 0; l < B; ++l) {
+                const Cost cand = lane_sat_add_w<decltype(wc)::value>(
+                    lane_sat_add(pb[l], pc[l]), wi);
+                const Cost prev = pa[l];
+                d[l] = S::improves(cand, prev) ? cand : prev;
+              }
+            });
+          }
+        }
+        break;
+      case OpKind::kRelax:
+        for (std::uint32_t k = run.lo; k < run.hi; ++k) {
+          const Op& op = ops[ord[k]];
+          const Cost* const __restrict pa = slots + std::size_t{op.a} * B;
+          const Cost* const __restrict paarg =
+              slots + (std::size_t{op.a} + 1) * B;
+          const Cost* const __restrict pb = slots + std::size_t{op.b} * B;
+          Cost* const __restrict d = slots + std::size_t{op.dst} * B;
+          Cost* const __restrict darg =
+              slots + (std::size_t{op.dst} + 1) * B;
+          const Cost station = static_cast<Cost>(op.c);
+          if constexpr (kParam) {
+            const Cost* const __restrict wrow =
+                wtab + std::size_t{op.param} * B;
+            SYSDP_LANE_IVDEP
+            for (std::uint32_t l = 0; l < B; ++l) {
+              const Cost cand = lane_sat_add(pb[l], wrow[l]);
+              const Cost prev = pa[l];
+              const bool better = S::improves(cand, prev);
+              d[l] = better ? cand : prev;
+              darg[l] = better ? station : paarg[l];
+            }
+          } else {
+            with_w_class(op.w, [&](auto wc) {
+              const Cost wi = op.w;
+              SYSDP_LANE_IVDEP
+              for (std::uint32_t l = 0; l < B; ++l) {
+                const Cost cand =
+                    lane_sat_add_w<decltype(wc)::value>(pb[l], wi);
+                const Cost prev = pa[l];
+                const bool better = S::improves(cand, prev);
+                d[l] = better ? cand : prev;
+                darg[l] = better ? station : paarg[l];
+              }
+            });
+          }
+        }
+        break;
+    }
+  }
+}
+
+// Function multiversioning: one entry point, compiled once per ISA level
+// (AVX-512F / AVX2 / baseline) with load-time ifunc dispatch, so the same
+// binary runs everywhere yet the hot loops use the widest vectors the
+// host has.  int64 compare/min/max only vectorise profitably from AVX2
+// up, and widest from AVX-512F (vpminsq/vpcmpq on 8 lanes) — with
+// baseline x86-64 codegen the lane loops are scalar-equivalent.
+// `flatten` force-inlines the kernel templates (and everything below
+// them) into each clone so their loops are vectorised under the clone's
+// ISA rather than compiled once at baseline.
+// ThreadSanitizer cannot run under multiversioning: the ifunc resolver
+// that picks a clone executes during relocation, before TSan's runtime
+// is initialised, and the interposed resolver segfaults.  TSan builds
+// fall back to the baseline kernels — they exercise the same source.
+#if defined(__SANITIZE_THREAD__)
+#define SYSDP_BATCH_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define SYSDP_BATCH_TSAN 1
+#endif
+#endif
+#if defined(__x86_64__) && defined(__gnu_linux__) && \
+    (defined(__GNUC__) || defined(__clang__)) && !defined(SYSDP_BATCH_TSAN)
+#define SYSDP_BATCH_CLONES \
+  __attribute__((flatten, target_clones("avx512f", "avx2", "default")))
+#else
+#define SYSDP_BATCH_CLONES
+#endif
+
+SYSDP_BATCH_CLONES
+void exec_runs_dispatch(const RunCtx& ctx, std::uint32_t rlo,
+                        std::uint32_t rhi, TapeSemiring semiring,
+                        bool param) {
+  if (semiring == TapeSemiring::kMinPlus) {
+    switch (ctx.lanes) {
+      case 8:
+        param ? exec_runs_impl<MinPlus, true, 8>(ctx, rlo, rhi)
+              : exec_runs_impl<MinPlus, false, 8>(ctx, rlo, rhi);
+        break;
+      case 16:
+        param ? exec_runs_impl<MinPlus, true, 16>(ctx, rlo, rhi)
+              : exec_runs_impl<MinPlus, false, 16>(ctx, rlo, rhi);
+        break;
+      default:
+        param ? exec_runs_impl<MinPlus, true, 0>(ctx, rlo, rhi)
+              : exec_runs_impl<MinPlus, false, 0>(ctx, rlo, rhi);
+        break;
+    }
+  } else {
+    switch (ctx.lanes) {
+      case 8:
+        param ? exec_runs_impl<MaxPlus, true, 8>(ctx, rlo, rhi)
+              : exec_runs_impl<MaxPlus, false, 8>(ctx, rlo, rhi);
+        break;
+      case 16:
+        param ? exec_runs_impl<MaxPlus, true, 16>(ctx, rlo, rhi)
+              : exec_runs_impl<MaxPlus, false, 16>(ctx, rlo, rhi);
+        break;
+      default:
+        param ? exec_runs_impl<MaxPlus, true, 0>(ctx, rlo, rhi)
+              : exec_runs_impl<MaxPlus, false, 0>(ctx, rlo, rhi);
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+void BatchedCompiledEngine::exec_level(std::uint32_t level) {
+  const std::uint32_t rlo = level_run_off_[level];
+  const std::uint32_t rhi = level_run_off_[level + 1];
+  if (rlo == rhi) return;
+  // Weight-table reads are pure overhead while every lane still replays
+  // the oracle binding: the lane-major table equals the baked immediates
+  // row for row, but streaming it costs lanes*8 bytes per op — on long
+  // tapes that is megabytes per replay and turns the hot loop memory-
+  // bound.  So the parameter path switches on only once some lane actually
+  // deviates from the oracle's weights; results are bit-identical either
+  // way.
+  const bool param = !weights_.empty() && rebound_lanes_ != 0;
+  const RunCtx ctx{slots_.data(), param ? weights_.data() : nullptr,
+                   net_->ops.data(), order_.data(), runs_.data(), lanes_};
+  exec_runs_dispatch(ctx, rlo, rhi, net_->semiring, param);
+  ops_executed_ += std::uint64_t{net_->cycle_off[level + 1] -
+                                 net_->cycle_off[level]} *
+                   lanes_;
+}
+
+void BatchedCompiledEngine::step() {
+  if (now_ + 1 < net_->cycle_off.size()) {
+    exec_level(static_cast<std::uint32_t>(now_));
+  }
+  ++now_;
+}
+
+void BatchedCompiledEngine::run(sim::Cycle n) {
+  const sim::Cycle target = now_ + n;
+  const sim::Cycle end = std::min<sim::Cycle>(target, cycles());
+  auto it = std::lower_bound(live_levels_.begin(), live_levels_.end(), now_);
+  sim::Cycle from = now_;
+  for (; it != live_levels_.end() && *it < end; ++it) {
+    exec_level(*it);
+    levels_skipped_ += *it - from;
+    from = *it + 1;
+  }
+  if (end > from) levels_skipped_ += end - from;
+  now_ = target;
+}
+
+void BatchedCompiledEngine::run_all() {
+  run(cycles() > now_ ? cycles() - now_ : 0);
+}
+
+Divergence BatchedCompiledEngine::verify_outputs(std::uint32_t lane) const {
+  if (!oracle_bound(lane)) {
+    throw std::logic_error(
+        "BatchedCompiledEngine::verify_outputs: lane " + std::to_string(lane) +
+        " is not oracle-bound; recorded expectations describe the oracle's "
+        "weight binding only");
+  }
+  for (std::uint64_t i = 0; i < net_->outputs.size(); ++i) {
+    const Output& out = net_->outputs[i];
+    const Cost got = value(out.slot, lane);
+    if (got != out.expected) return {true, i, got, out.expected};
+  }
+  return {};
+}
+
+Cost BatchedCompiledEngine::output(std::string_view tag, std::uint64_t index,
+                                   std::uint32_t lane) const {
+  for (const Output& out : net_->outputs) {
+    if (out.index == index && out.tag == tag) return value(out.slot, lane);
+  }
+  throw std::out_of_range("BatchedCompiledEngine::output: no output " +
+                          std::string(tag) + "[" + std::to_string(index) +
+                          "]");
+}
+
+}  // namespace sysdp::compile

@@ -1,0 +1,136 @@
+#include "compile/compact.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace sysdp::compile {
+
+namespace {
+
+constexpr std::uint32_t kNone = 0xffffffffu;
+constexpr std::uint32_t kPinned = 0xffffffffu;
+
+}  // namespace
+
+CompactStats compact_slots(CompiledNetlist& net) {
+  CompactStats cs;
+  cs.slots_before = net.num_slots;
+  cs.slots_after = net.num_slots;
+  const std::uint32_t n = net.num_slots;
+  if (n == 0) return cs;
+
+  // --- grouping: kRelax addresses dst/dst+1 and a/a+1 as pairs, so those
+  // slots must stay contiguous.  joined[s] means s and s+1 share a group;
+  // groups are the maximal runs of joined slots.
+  std::vector<std::uint8_t> joined(n, 0);
+  for (const Op& op : net.ops) {
+    if (op.kind == OpKind::kRelax) {
+      joined[op.dst] = 1;
+      joined[op.a] = 1;
+    }
+  }
+  std::vector<std::uint32_t> base(n);
+  std::vector<std::uint32_t> extent(n, 0);
+  for (std::uint32_t s = 0; s < n; ++s) {
+    base[s] = (s > 0 && joined[s - 1] != 0) ? base[s - 1] : s;
+    ++extent[base[s]];
+  }
+
+  // --- liveness: the last dependency level that touches each group.
+  // Output slots are pinned (verify_outputs reads them after the run).
+  std::vector<std::uint32_t> last(n, 0);
+  const auto touch = [&](sim::SlotId s, std::uint32_t lvl) {
+    std::uint32_t& l = last[base[s]];
+    if (l < lvl) l = lvl;
+  };
+  const auto cycles = static_cast<std::uint32_t>(net.cycles());
+  for (std::uint32_t t = 0; t < cycles; ++t) {
+    for (std::uint32_t i = net.cycle_off[t]; i < net.cycle_off[t + 1]; ++i) {
+      const Op& op = net.ops[i];
+      touch(op.dst, t);  // dst+1 / a+1 share the dst / a group
+      touch(op.a, t);
+      touch(op.b, t);
+      if (op.kind == OpKind::kFold) touch(op.c, t);
+    }
+  }
+  for (const Output& o : net.outputs) last[base[o.slot]] = kPinned;
+
+  // --- expiry schedule: non-pinned groups in last-touch order, released
+  // just before the first level past their last touch begins.
+  std::vector<std::uint32_t> expiry;
+  expiry.reserve(n);
+  for (std::uint32_t s = 0; s < n; ++s) {
+    if (base[s] == s && last[s] != kPinned) expiry.push_back(s);
+  }
+  std::stable_sort(expiry.begin(), expiry.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return last[a] < last[b];
+                   });
+
+  // --- linear scan: allocate groups at their defining write (init entry
+  // or op destination), recycle indices from expired groups, exact-size
+  // free lists.  A virtual slot keeps its one physical index for the whole
+  // tape; release only recycles the index for groups defined later.
+  std::vector<std::uint32_t> new_of(n, kNone);
+  std::vector<std::vector<std::uint32_t>> free_by_size(3);
+  std::uint32_t next_phys = 0;
+  const auto acquire = [&](std::uint32_t g) {
+    if (new_of[g] != kNone) return;
+    const std::uint32_t k = extent[g];
+    std::uint32_t phys;
+    if (k < free_by_size.size() && !free_by_size[k].empty()) {
+      phys = free_by_size[k].back();
+      free_by_size[k].pop_back();
+    } else {
+      phys = next_phys;
+      next_phys += k;
+    }
+    for (std::uint32_t j = 0; j < k; ++j) new_of[g + j] = phys + j;
+  };
+
+  for (const SlotInit& si : net.init) acquire(base[si.slot]);
+  std::size_t expired = 0;
+  for (std::uint32_t t = 0; t < cycles; ++t) {
+    while (expired < expiry.size() && last[expiry[expired]] < t) {
+      const std::uint32_t g = expiry[expired++];
+      if (new_of[g] == kNone) continue;  // touched but never defined: bail
+                                         // below at the rewrite instead
+      const std::uint32_t k = extent[g];
+      if (free_by_size.size() <= k) free_by_size.resize(k + 1);
+      free_by_size[k].push_back(new_of[g]);
+    }
+    for (std::uint32_t i = net.cycle_off[t]; i < net.cycle_off[t + 1]; ++i) {
+      acquire(base[net.ops[i].dst]);
+    }
+  }
+
+  // --- rewrite every slot reference through the new naming.
+  const auto map = [&](sim::SlotId s) -> sim::SlotId {
+    if (new_of[s] == kNone) {
+      throw std::logic_error(
+          "compile::compact_slots: slot " + std::to_string(s) +
+          " is read but never written — broken lowering");
+    }
+    return new_of[s];
+  };
+  for (Op& op : net.ops) {
+    op.dst = map(op.dst);
+    op.a = map(op.a);
+    op.b = map(op.b);
+    // kFold's c is a slot; kRelax's c is a station immediate and kMac
+    // leaves c unused — only the first is renamed.
+    if (op.kind == OpKind::kFold) op.c = map(op.c);
+  }
+  for (SlotInit& si : net.init) si.slot = map(si.slot);
+  for (Output& o : net.outputs) o.slot = map(o.slot);
+
+  net.num_slots = next_phys;
+  net.stats.slots_uncompacted = cs.slots_before;
+  cs.slots_after = next_phys;
+  return cs;
+}
+
+}  // namespace sysdp::compile

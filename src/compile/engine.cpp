@@ -1,7 +1,9 @@
 #include "compile/engine.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "semiring/closed_semiring.hpp"
 #include "semiring/kernels.hpp"
@@ -10,6 +12,12 @@ namespace sysdp::compile {
 
 CompiledEngine::CompiledEngine(const CompiledNetlist& net) : net_(&net) {
   slots_.resize(net.num_slots, 0);
+  // Skip-list of non-empty levels: gated tapes spend most of their cycles
+  // in empty levels (fill/drain, quiesced phases); run()/run_all() jump
+  // straight between the levels that carry ops.
+  for (std::uint32_t t = 0; t + 1 < net.cycle_off.size(); ++t) {
+    if (net.cycle_off[t + 1] > net.cycle_off[t]) live_levels_.push_back(t);
+  }
   reset();
 }
 
@@ -17,6 +25,38 @@ void CompiledEngine::reset() {
   for (const SlotInit& in : net_->init) slots_[in.slot] = in.value;
   now_ = 0;
   ops_executed_ = 0;
+  levels_skipped_ = 0;
+  // The weight binding survives reset: a rebound engine replays its
+  // instance again, exactly like an oracle-bound one replays the oracle's.
+}
+
+void CompiledEngine::bind(std::vector<Cost> weights) {
+  if (!net_->parameterised) {
+    throw std::invalid_argument(
+        "CompiledEngine::bind: tape was lowered without a parameter plane "
+        "(LowerOptions::parameterise)");
+  }
+  if (weights.size() != net_->params.size()) {
+    throw std::invalid_argument(
+        "CompiledEngine::bind: weight table has " +
+        std::to_string(weights.size()) + " entries, tape has " +
+        std::to_string(net_->params.size()) + " parameters");
+  }
+  oracle_bound_ = weights == net_->params;
+  weights_ = std::move(weights);
+}
+
+void CompiledEngine::bind_oracle() {
+  weights_.clear();
+  oracle_bound_ = true;
+}
+
+void CompiledEngine::require_oracle_binding(const char* site) const {
+  if (!oracle_bound_) {
+    throw std::logic_error(std::string("CompiledEngine::") + site +
+                           ": recorded expectations describe the oracle's "
+                           "weight binding, but another table is bound");
+  }
 }
 
 // The hot loop.  One pass over a contiguous span of 32-byte ops; all
@@ -25,25 +65,29 @@ void CompiledEngine::reset() {
 // (a cycle's ops are overwhelmingly one kind), and each arm is the same
 // branch-free scalar kernel the interpreter uses — so results are
 // bit-identical while the per-op overhead drops from a virtual eval/commit
-// round trip to a handful of instructions.
-template <typename S, bool kChecked>
+// round trip to a handful of instructions.  With kParam the weight comes
+// from the bound per-instance table via the op's parameter index instead
+// of the baked immediate; everything else is identical.
+template <typename S, bool kChecked, bool kParam>
 Divergence CompiledEngine::exec_level(std::uint32_t lo, std::uint32_t hi) {
   Cost* const s = slots_.data();
   const Op* const ops = net_->ops.data();
+  const Cost* const wt = kParam ? weights_.data() : nullptr;
   for (std::uint32_t i = lo; i < hi; ++i) {
     const Op& op = ops[i];
+    const Cost w = kParam ? wt[op.param] : op.w;
     switch (op.kind) {
       case OpKind::kMac:
-        s[op.dst] = kern::mac<S>(s[op.a], op.w, s[op.b]);
+        s[op.dst] = kern::mac<S>(s[op.a], w, s[op.b]);
         break;
       case OpKind::kFold: {
-        const Cost cand = S::times(S::times(s[op.b], s[op.c]), op.w);
+        const Cost cand = S::times(S::times(s[op.b], s[op.c]), w);
         const Cost prev = s[op.a];
         s[op.dst] = S::improves(cand, prev) ? cand : prev;
         break;
       }
       case OpKind::kRelax: {
-        const Cost cand = S::times(s[op.b], op.w);
+        const Cost cand = S::times(s[op.b], w);
         const Cost prev = s[op.a];
         const bool better = S::improves(cand, prev);
         s[op.dst] = better ? cand : prev;
@@ -61,30 +105,38 @@ Divergence CompiledEngine::exec_level(std::uint32_t lo, std::uint32_t hi) {
   return {};
 }
 
+void CompiledEngine::exec_level_dispatch(std::uint32_t lo, std::uint32_t hi) {
+  const bool param = !weights_.empty();
+  if (net_->semiring == TapeSemiring::kMinPlus) {
+    param ? exec_level<MinPlus, false, true>(lo, hi)
+          : exec_level<MinPlus, false, false>(lo, hi);
+  } else {
+    param ? exec_level<MaxPlus, false, true>(lo, hi)
+          : exec_level<MaxPlus, false, false>(lo, hi);
+  }
+}
+
 void CompiledEngine::step() {
   if (now_ + 1 < net_->cycle_off.size()) {
     const std::uint32_t lo = net_->cycle_off[now_];
     const std::uint32_t hi = net_->cycle_off[now_ + 1];
-    if (hi > lo) {
-      if (net_->semiring == TapeSemiring::kMinPlus) {
-        exec_level<MinPlus, false>(lo, hi);
-      } else {
-        exec_level<MaxPlus, false>(lo, hi);
-      }
-    }
+    if (hi > lo) exec_level_dispatch(lo, hi);
   }
   ++now_;
 }
 
 Divergence CompiledEngine::step_checked() {
+  require_oracle_binding("step_checked");
   Divergence d;
   if (now_ + 1 < net_->cycle_off.size()) {
     const std::uint32_t lo = net_->cycle_off[now_];
     const std::uint32_t hi = net_->cycle_off[now_ + 1];
     if (hi > lo) {
       d = net_->semiring == TapeSemiring::kMinPlus
-              ? exec_level<MinPlus, true>(lo, hi)
-              : exec_level<MaxPlus, true>(lo, hi);
+              ? (weights_.empty() ? exec_level<MinPlus, true, false>(lo, hi)
+                                  : exec_level<MinPlus, true, true>(lo, hi))
+              : (weights_.empty() ? exec_level<MaxPlus, true, false>(lo, hi)
+                                  : exec_level<MaxPlus, true, true>(lo, hi));
     }
   }
   ++now_;
@@ -92,7 +144,20 @@ Divergence CompiledEngine::step_checked() {
 }
 
 void CompiledEngine::run(sim::Cycle n) {
-  for (sim::Cycle i = 0; i < n; ++i) step();
+  // Walk the skip-list from the current position: only the levels that
+  // carry ops are visited, the empty stretches between them are accounted
+  // once per run instead of one comparison per level.
+  const sim::Cycle target = now_ + n;
+  const sim::Cycle end = std::min<sim::Cycle>(target, cycles());
+  auto it = std::lower_bound(live_levels_.begin(), live_levels_.end(), now_);
+  sim::Cycle from = now_;
+  for (; it != live_levels_.end() && *it < end; ++it) {
+    exec_level_dispatch(net_->cycle_off[*it], net_->cycle_off[*it + 1]);
+    levels_skipped_ += *it - from;
+    from = *it + 1;
+  }
+  if (end > from) levels_skipped_ += end - from;
+  now_ = target;
 }
 
 void CompiledEngine::run_all() { run(cycles() > now_ ? cycles() - now_ : 0); }
@@ -117,6 +182,7 @@ Divergence CompiledEngine::run_all_checked() {
 }
 
 Divergence CompiledEngine::verify_outputs() const {
+  require_oracle_binding("verify_outputs");
   for (std::uint64_t i = 0; i < net_->outputs.size(); ++i) {
     const Output& out = net_->outputs[i];
     if (slots_[out.slot] != out.expected) {

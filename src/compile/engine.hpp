@@ -19,6 +19,7 @@
 #include <string_view>
 #include <vector>
 
+#include "compile/aligned.hpp"
 #include "compile/program.hpp"
 #include "semiring/cost.hpp"
 #include "sim/engine.hpp"  // sim::RunUntilResult — one loop shape, two engines
@@ -68,14 +69,37 @@ class CompiledEngine {
   [[nodiscard]] std::uint64_t ops_executed() const noexcept {
     return ops_executed_;
   }
+  /// Empty dependency levels bypassed by run()/run_all() through the
+  /// precomputed skip-list (gated tapes are mostly empty levels); step()
+  /// still visits every level, so stepping callers see 0 here.
+  [[nodiscard]] std::uint64_t levels_skipped() const noexcept {
+    return levels_skipped_;
+  }
   [[nodiscard]] const CompiledNetlist& program() const noexcept {
     return *net_;
   }
 
+  /// Install a per-instance weight table on a parameterised tape: op `i`
+  /// replays with `weights[ops[i].param]` instead of the baked immediate.
+  /// The schedule, slots and outputs' *locations* are unchanged — only the
+  /// values flowing through them.  Throws std::invalid_argument if the
+  /// tape is not parameterised or the table length is not num_params().
+  void bind(std::vector<Cost> weights);
+
+  /// Restore the weight binding the oracle ran with (the default).
+  void bind_oracle();
+
+  /// True while the engine replays the oracle's own weight binding — the
+  /// only binding the tape's recorded expectations describe.  Checked
+  /// replay and verify_outputs() require this.
+  [[nodiscard]] bool oracle_bound() const noexcept { return oracle_bound_; }
+
   /// Checked variant of step(): every op result is compared against the
   /// oracle value recorded at lowering time.  Returns the first
   /// divergence, if any — a non-divergent full replay is the op-level
-  /// proof of cycle-exact bit-identity with the modular engine.
+  /// proof of cycle-exact bit-identity with the modular engine.  Throws
+  /// std::logic_error under a non-oracle weight binding: the recorded
+  /// expectations describe the oracle's weights only.
   Divergence step_checked();
 
   /// run_all + step_checked: replay the whole tape, stop at the first
@@ -83,19 +107,31 @@ class CompiledEngine {
   Divergence run_all_checked();
 
   /// Compare every declared output slot with the oracle's observed value.
+  /// Throws std::logic_error under a non-oracle weight binding.
   [[nodiscard]] Divergence verify_outputs() const;
 
   /// Value of output `tag[index]`; throws std::out_of_range if absent.
   [[nodiscard]] Cost output(std::string_view tag, std::uint64_t index) const;
 
  private:
-  template <typename S, bool kChecked>
+  template <typename S, bool kChecked, bool kParam>
   Divergence exec_level(std::uint32_t lo, std::uint32_t hi);
+  void exec_level_dispatch(std::uint32_t lo, std::uint32_t hi);
+  void require_oracle_binding(const char* site) const;
 
   const CompiledNetlist* net_;
-  std::vector<Cost> slots_;
+  AlignedVec<Cost> slots_;
+  /// Per-instance weight table (bind()); empty means the baked immediates
+  /// (the oracle binding) are in effect.
+  std::vector<Cost> weights_;
+  /// Skip-list of non-empty dependency levels, precomputed at
+  /// construction: run()/run_all() iterate this instead of paying a
+  /// per-level comparison on gated tapes' long empty stretches.
+  std::vector<std::uint32_t> live_levels_;
   sim::Cycle now_ = 0;
   std::uint64_t ops_executed_ = 0;
+  std::uint64_t levels_skipped_ = 0;
+  bool oracle_bound_ = true;
 };
 
 }  // namespace sysdp::compile

@@ -21,6 +21,7 @@
 #include <utility>
 
 #include "analysis/netlist.hpp"
+#include "compile/compact.hpp"
 #include "compile/program.hpp"
 #include "compile/recorder.hpp"
 #include "sim/engine.hpp"
@@ -35,6 +36,20 @@ struct LowerOptions {
   /// paper design marks exactly one busy step per semiring op, so a
   /// mismatch means a narration site is missing or duplicated.
   bool check_busy_steps = true;
+  /// Rename slots by live-range reuse after lowering (compile/compact.hpp):
+  /// the recorder's SSA slot file scales with the op count, compaction
+  /// shrinks it to the peak live count so replays — above all the B-lane
+  /// batched replay, whose slot traffic is multiplied by the lane count —
+  /// stay cache-resident.  Off only for tape-structure forensics.
+  bool compact = true;
+  /// Emit the parameter plane: weight-parameter indices on every op plus
+  /// the oracle's weight table (CompiledNetlist::params), so engines can
+  /// bind() per-instance weight tables and one lowering of a family shape
+  /// serves any weight assignment.  Same-shape instances lower to
+  /// structurally identical tapes (the designs' control depends on tags
+  /// and counters, never on cost values), so their parameter planes align
+  /// index for index.
+  bool parameterise = false;
 };
 
 struct Lowered {
@@ -84,7 +99,7 @@ template <typename Array>
 
   Lowered out;
   out.oracle_cycles = oracle.now();
-  out.net = rec.finish();
+  out.net = rec.finish(opt.parameterise);
   out.net.stats.oracle_active_evals = oracle.active_evals();
   out.net.stats.oracle_dense_evals = oracle.dense_evals();
   out.net.stats.oracle_busy_steps = detail::busy_steps_of(result);
@@ -109,6 +124,7 @@ template <typename Array>
         std::to_string(out.net.stats.oracle_busy_steps) +
         " busy steps — a narration site is missing or duplicated");
   }
+  if (opt.compact) compact_slots(out.net);
   return out;
 }
 

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "compile/aligned.hpp"
 #include "semiring/cost.hpp"
 #include "sim/module.hpp"
 #include "sim/record.hpp"
@@ -55,6 +56,13 @@ enum class OpKind : std::uint8_t {
 /// depends on kind (see OpKind); `w` is the immediate weight (matrix
 /// entry, local candidate weight, edge cost) baked in at lowering time —
 /// weights are instance constants, only the DP values flow through slots.
+///
+/// `param` is the op's index in the tape's *parameter plane* (see
+/// CompiledNetlist::params): on a parameterised tape an executor with a
+/// bound weight table reads `table[param]` instead of the baked `w`, which
+/// is how one lowering of a family shape serves any weight assignment.
+/// The recorder currently emits one parameter per op (param == op index);
+/// executors must go through `param`, not assume the identity map.
 struct Op {
   sim::SlotId dst = 0;
   sim::SlotId a = 0;
@@ -62,8 +70,11 @@ struct Op {
   sim::SlotId c = 0;
   Cost w = 0;
   OpKind kind = OpKind::kMac;
+  std::uint32_t param = 0;
 };
 
+// The parameter-plane field must not push the op descriptor past two ops
+// per cache line: the hot loops are sized around 32-byte descriptors.
 static_assert(sizeof(Op) <= 32, "two ops per cache line");
 
 /// Initial value of one slot (constants and captured reset state).  Slots
@@ -92,13 +103,19 @@ struct TapeStats {
   std::uint64_t oracle_active_evals = 0;
   std::uint64_t oracle_dense_evals = 0;
   std::uint64_t oracle_busy_steps = 0;  ///< must equal ops.size()
+  /// SSA slot count before live-range compaction (compile/compact.hpp);
+  /// 0 means the tape was never compacted.  num_slots after compaction is
+  /// the peak live count — the executor's true working set.
+  std::uint64_t slots_uncompacted = 0;
 };
 
 struct CompiledNetlist {
   TapeSemiring semiring = TapeSemiring::kMinPlus;
   std::uint32_t num_slots = 0;
   std::vector<SlotInit> init;
-  std::vector<Op> ops;  ///< cycle-major, oracle program order inside a cycle
+  /// Cycle-major, oracle program order inside a cycle.  Cache-line aligned:
+  /// the batch executor streams the tape with wide loads.
+  AlignedVec<Op> ops;
   /// CSR dependency levels: cycle t executes ops [cycle_off[t],
   /// cycle_off[t+1]).  Size = cycles + 1; most levels are empty in gated
   /// phases and the executor skips them at one comparison each.
@@ -108,12 +125,25 @@ struct CompiledNetlist {
   /// bench path never touches it.
   std::vector<Cost> expected;
   std::vector<Output> outputs;
+  /// Parameter plane (LowerOptions::parameterise).  When `parameterised`,
+  /// `params[p]` holds the weight the oracle ran with for parameter `p`
+  /// (the *oracle binding*); executors may install any other same-length
+  /// weight table via their bind() APIs and replay the identical schedule
+  /// — the tape's control never depends on the values, so one lowering of
+  /// a family shape (same sizes and topology) serves every weight
+  /// assignment.  `expected` and `Output::expected` are statements about
+  /// the oracle binding only.
+  bool parameterised = false;
+  std::vector<Cost> params;
   TapeStats stats;
 
   [[nodiscard]] sim::Cycle cycles() const noexcept {
     return cycle_off.empty() ? 0 : cycle_off.size() - 1;
   }
   [[nodiscard]] std::uint64_t num_ops() const noexcept { return ops.size(); }
+  [[nodiscard]] std::uint64_t num_params() const noexcept {
+    return params.size();
+  }
 };
 
 }  // namespace sysdp::compile

@@ -128,7 +128,8 @@ sim::SlotId Recorder::mac(sim::SlotId base, std::int64_t w, sim::SlotId x) {
   const Cost result =
       kern::mac<MinPlus>(concrete(base, "mac"), w, concrete(x, "mac"));
   const sim::SlotId dst = alloc(result);
-  ops_.push_back({dst, base, x, 0, w, OpKind::kMac});
+  ops_.push_back({dst, base, x, 0, w, OpKind::kMac,
+                  static_cast<std::uint32_t>(ops_.size())});
   expected_.push_back(result);
   return dst;
 }
@@ -140,7 +141,8 @@ sim::SlotId Recorder::fold(sim::SlotId best, sim::SlotId left,
   const Cost prev = concrete(best, "fold");
   const Cost result = cand < prev ? cand : prev;
   const sim::SlotId dst = alloc(result);
-  ops_.push_back({dst, best, left, right, local, OpKind::kFold});
+  ops_.push_back({dst, best, left, right, local, OpKind::kFold,
+                  static_cast<std::uint32_t>(ops_.size())});
   expected_.push_back(result);
   return dst;
 }
@@ -157,7 +159,7 @@ sim::SlotId Recorder::relax(sim::SlotId pair, sim::SlotId kh,
   (void)darg;  // adjacency is guaranteed by consecutive alloc calls
   pair_head_[dst] = 1;
   ops_.push_back({dst, pair, kh, static_cast<sim::SlotId>(station), edge,
-                  OpKind::kRelax});
+                  OpKind::kRelax, static_cast<std::uint32_t>(ops_.size())});
   expected_.push_back(concrete_[dst]);
   return dst;
 }
@@ -205,7 +207,7 @@ std::vector<const void*> Recorder::lane_keys() const {
   return keys;
 }
 
-CompiledNetlist Recorder::finish() {
+CompiledNetlist Recorder::finish(bool parameterise) {
   if (finished_) bail("finish", "recorder already finished");
   finished_ = true;
   if (!staged_.empty()) {
@@ -223,6 +225,13 @@ CompiledNetlist Recorder::finish() {
   net.cycle_off = std::move(cycle_off_);
   net.expected = std::move(expected_);
   net.outputs = std::move(outputs_);
+  if (parameterise) {
+    // The oracle binding: one parameter per op, holding the weight the
+    // oracle ran with.  op.param already names each op's parameter.
+    net.parameterised = true;
+    net.params.reserve(net.ops.size());
+    for (const Op& op : net.ops) net.params.push_back(op.w);
+  }
   net.stats.copies_elided = copies_elided_;
   net.stats.consts_interned = consts_interned_;
   net.stats.lanes_bound = bound_.size();

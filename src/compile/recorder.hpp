@@ -64,8 +64,10 @@ class Recorder final : public sim::OpRecorder, public sim::EngineObserver {
   [[nodiscard]] std::vector<const void*> lane_keys() const;
 
   /// Seal the tape.  Call after the oracle run completes; the recorder is
-  /// spent afterwards.
-  [[nodiscard]] CompiledNetlist finish();
+  /// spent afterwards.  With `parameterise`, the tape additionally carries
+  /// its parameter plane (one weight parameter per op, initialised to the
+  /// oracle binding) so executors can rebind per-instance weight tables.
+  [[nodiscard]] CompiledNetlist finish(bool parameterise = false);
 
  private:
   sim::SlotId alloc(Cost concrete);
@@ -80,7 +82,7 @@ class Recorder final : public sim::OpRecorder, public sim::EngineObserver {
   std::map<std::pair<std::int64_t, std::int64_t>, sim::SlotId>
       const_pair_cache_;
   std::vector<SlotInit> init_;
-  std::vector<Op> ops_;
+  AlignedVec<Op> ops_;
   std::vector<Cost> expected_;
   std::vector<std::uint32_t> cycle_off_{0};
   std::vector<Output> outputs_;

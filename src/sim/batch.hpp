@@ -15,6 +15,7 @@
 // assert for Designs 1-3, the GKT array and the triangular family.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <functional>
 #include <optional>
@@ -57,6 +58,24 @@ class BatchRunner {
     out.reserve(n);
     for (auto& s : slots) out.push_back(std::move(*s));
     return out;
+  }
+
+  /// Run `chunk(first, count)` over ⌈n/width⌉ contiguous chunks of
+  /// [0, n) — every chunk is `width` jobs except a possibly-short tail —
+  /// and return the chunk results in chunk-index order.  This is the lane
+  /// path for SIMD-batched executors (compile::BatchedCompiledEngine):
+  /// each chunk becomes one batched replay of `count` lanes on one pool
+  /// lane, so pool parallelism multiplies with in-chunk vectorisation
+  /// instead of competing with it.
+  template <typename Fn>
+  auto run_chunks(std::size_t n, std::size_t width, Fn&& chunk)
+      -> std::vector<std::invoke_result_t<Fn&, std::size_t, std::size_t>> {
+    const std::size_t w = width == 0 ? 1 : width;
+    const std::size_t chunks = (n + w - 1) / w;
+    return run(chunks, [&](std::size_t c) {
+      const std::size_t first = c * w;
+      return chunk(first, std::min(w, n - first));
+    });
   }
 
  private:

@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -15,6 +17,7 @@
 #include "arrays/gkt_modular.hpp"
 #include "arrays/triangular_array.hpp"
 #include "arrays/triangular_modular.hpp"
+#include "compile/batch_engine.hpp"
 #include "compile/engine.hpp"
 #include "compile/lower.hpp"
 #include "compile/program.hpp"
@@ -257,6 +260,234 @@ TEST(CompiledBackend, MaxPlusTapeExecutes) {
   compile::CompiledEngine ce2(net);
   ce2.run_all();
   EXPECT_EQ(ce2.value(2), 9);  // max(2, 5 + 4) = 9
+}
+
+TEST(CompiledBackend, TapeAndSlotFileAreCacheLineAligned) {
+  // The batch executor streams both with wide loads; the allocator must
+  // start them on a cache-line boundary.
+  const auto [mats, v] = string_instance(3, 6, 77);
+  Design1Modular arr(mats, v);
+  const auto low = compile::lower_array(arr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(low.net.ops.data()) %
+                compile::kCacheLine,
+            0u);
+  compile::AlignedVec<Cost> slots(17, 0);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(slots.data()) %
+                compile::kCacheLine,
+            0u);
+  static_assert(sizeof(compile::Op) <= 32, "two ops per cache line");
+}
+
+TEST(CompiledBackend, RunSkipsEmptyLevelsViaSkipList) {
+  // The GKT triangle's staged wavefront leaves empty dependency levels
+  // between diagonals — exactly what the skip-list exists to bypass.
+  Rng rng(4242);
+  const auto dims = random_chain_dims(9, rng);
+  GktModularArray arr(dims);
+  const auto low = compile::lower_array(arr);
+  std::uint64_t empty_levels = 0;
+  for (std::size_t t = 0; t + 1 < low.net.cycle_off.size(); ++t) {
+    if (low.net.cycle_off[t + 1] == low.net.cycle_off[t]) ++empty_levels;
+  }
+  ASSERT_GT(empty_levels, 0u) << "instance has no empty levels to skip";
+
+  compile::CompiledEngine run_engine(low.net);
+  run_engine.run_all();
+  EXPECT_EQ(run_engine.levels_skipped(), empty_levels);
+
+  // Stepping visits every level (cycle-exact contract) and reaches the
+  // identical machine state.
+  compile::CompiledEngine step_engine(low.net);
+  while (step_engine.now() < step_engine.cycles()) step_engine.step();
+  EXPECT_EQ(step_engine.levels_skipped(), 0u);
+  EXPECT_EQ(step_engine.ops_executed(), run_engine.ops_executed());
+  for (sim::SlotId s = 0; s < low.net.num_slots; ++s) {
+    ASSERT_EQ(run_engine.value(s), step_engine.value(s)) << "slot " << s;
+  }
+
+  // Mid-stream entry: run the first half by cycles, then the rest; the
+  // skip accounting still covers every empty level exactly once.
+  compile::CompiledEngine half_engine(low.net);
+  half_engine.run(half_engine.cycles() / 2);
+  half_engine.run_all();
+  EXPECT_EQ(half_engine.levels_skipped(), empty_levels);
+  EXPECT_FALSE(half_engine.verify_outputs().found);
+}
+
+TEST(CompiledParamPlane, LoweringEmitsOneParameterPerOp) {
+  const auto [mats, v] = string_instance(3, 6, 55);
+  Design1Modular arr(mats, v);
+  compile::LowerOptions opt;
+  opt.parameterise = true;
+  const auto low = compile::lower_array(arr, opt);
+  ASSERT_TRUE(low.net.parameterised);
+  ASSERT_EQ(low.net.num_params(), low.net.num_ops());
+  for (std::size_t i = 0; i < low.net.ops.size(); ++i) {
+    EXPECT_EQ(low.net.params[low.net.ops[i].param], low.net.ops[i].w)
+        << "op " << i;
+  }
+
+  // Without the option the plane is absent and bind() refuses.
+  Design1Modular plain_arr(mats, v);
+  const auto plain = compile::lower_array(plain_arr);
+  EXPECT_FALSE(plain.net.parameterised);
+  EXPECT_EQ(plain.net.num_params(), 0u);
+  compile::CompiledEngine ce(plain.net);
+  EXPECT_THROW(ce.bind({1, 2, 3}), std::invalid_argument);
+}
+
+TEST(CompiledParamPlane, BindValidatesAndTracksOracleBinding) {
+  const auto [mats, v] = string_instance(2, 5, 66);
+  Design1Modular arr(mats, v);
+  compile::LowerOptions opt;
+  opt.parameterise = true;
+  const auto low = compile::lower_array(arr, opt);
+  compile::CompiledEngine ce(low.net);
+  EXPECT_TRUE(ce.oracle_bound());
+  EXPECT_THROW(ce.bind({}), std::invalid_argument);  // wrong length
+
+  // Binding the oracle's own table is recognised as the oracle binding.
+  ce.bind(low.net.params);
+  EXPECT_TRUE(ce.oracle_bound());
+  EXPECT_FALSE(ce.run_all_checked().found);
+  EXPECT_FALSE(ce.verify_outputs().found);
+
+  // A different table: replay works, checked paths refuse.
+  auto other = low.net.params;
+  other[0] += 1;
+  ce.bind(other);
+  EXPECT_FALSE(ce.oracle_bound());
+  ce.reset();
+  ce.run_all();
+  EXPECT_THROW((void)ce.verify_outputs(), std::logic_error);
+  ce.reset();
+  EXPECT_THROW((void)ce.run_all_checked(), std::logic_error);
+
+  ce.bind_oracle();
+  EXPECT_TRUE(ce.oracle_bound());
+  ce.reset();
+  EXPECT_FALSE(ce.run_all_checked().found);
+  EXPECT_FALSE(ce.verify_outputs().found);
+}
+
+TEST(CompiledParamPlane, HandBuiltTapeRebindsCorrectly) {
+  // slot2 = min(s0, w + s1) with s0=10, s1=4; the parameter plane carries
+  // w so rebinding flips which operand wins.
+  compile::CompiledNetlist net;
+  net.num_slots = 3;
+  net.init = {{0, 10}, {1, 4}};
+  net.ops = {{2, 0, 1, 0, 5, compile::OpKind::kMac, 0}};
+  net.cycle_off = {0, 1};
+  net.expected = {9};
+  net.parameterised = true;
+  net.params = {5};
+
+  compile::CompiledEngine ce(net);
+  ce.run_all();
+  EXPECT_EQ(ce.value(2), 9);  // min(10, 5 + 4)
+
+  ce.bind({100});
+  ce.reset();
+  ce.run_all();
+  EXPECT_EQ(ce.value(2), 10);  // min(10, 100 + 4)
+
+  ce.bind({kInfCost});
+  ce.reset();
+  ce.run_all();
+  EXPECT_EQ(ce.value(2), 10);  // inf is absorbing under rebinding too
+
+  ce.bind_oracle();
+  ce.reset();
+  ce.run_all();
+  EXPECT_EQ(ce.value(2), 9);
+}
+
+TEST(CompiledBatch, SingleLaneMatchesScalarEngine) {
+  const auto [mats, v] = string_instance(3, 8, 88);
+  Design1Modular arr(mats, v);
+  compile::LowerOptions opt;
+  opt.parameterise = true;
+  const auto low = compile::lower_array(arr, opt);
+
+  compile::CompiledEngine ce(low.net);
+  ce.run_all();
+  compile::BatchedCompiledEngine be(low.net, 1);
+  EXPECT_EQ(be.lanes(), 1u);
+  EXPECT_EQ(be.fallback_levels(), 0u);
+  EXPECT_GT(be.kind_runs(), 0u);
+  be.run_all();
+  EXPECT_EQ(be.ops_executed(), low.net.num_ops());
+  EXPECT_EQ(be.levels_skipped(), ce.levels_skipped());
+  for (sim::SlotId s = 0; s < low.net.num_slots; ++s) {
+    ASSERT_EQ(be.value(s, 0), ce.value(s)) << "slot " << s;
+  }
+  EXPECT_FALSE(be.verify_outputs(0).found);
+  for (const auto& out : low.net.outputs) {
+    EXPECT_EQ(be.output(out.tag, out.index, 0), out.expected);
+  }
+
+  // Replays are repeatable, like the scalar engine's.
+  be.reset();
+  EXPECT_EQ(be.now(), 0u);
+  be.run_all();
+  EXPECT_FALSE(be.verify_outputs(0).found);
+}
+
+TEST(CompiledBatch, PerLaneBindOnHandBuiltTape) {
+  compile::CompiledNetlist net;
+  net.num_slots = 3;
+  net.init = {{0, 10}, {1, 4}};
+  net.ops = {{2, 0, 1, 0, 5, compile::OpKind::kMac, 0}};
+  net.cycle_off = {0, 1};
+  net.expected = {9};
+  net.outputs = {{"out", 0, 2, 9}};
+  net.parameterised = true;
+  net.params = {5};
+
+  compile::BatchedCompiledEngine be(net, 3);
+  be.bind(1, {1});
+  be.bind(2, {100});
+  EXPECT_TRUE(be.oracle_bound(0));
+  EXPECT_FALSE(be.oracle_bound(1));
+  EXPECT_FALSE(be.oracle_bound(2));
+  be.run_all();
+  EXPECT_EQ(be.value(2, 0), 9);   // min(10, 5 + 4)
+  EXPECT_EQ(be.value(2, 1), 5);   // min(10, 1 + 4)
+  EXPECT_EQ(be.value(2, 2), 10);  // min(10, 100 + 4)
+  EXPECT_FALSE(be.verify_outputs(0).found);
+  EXPECT_THROW((void)be.verify_outputs(1), std::logic_error);
+  EXPECT_EQ(be.output("out", 0, 1), 5);
+
+  // Rebinding a lane to the oracle table restores checked verification.
+  be.bind_oracle(1);
+  be.reset();
+  be.run_all();
+  EXPECT_EQ(be.value(2, 1), 9);
+  EXPECT_FALSE(be.verify_outputs(1).found);
+}
+
+TEST(CompiledBatch, ConstructorAndBindValidate) {
+  compile::CompiledNetlist net;
+  net.num_slots = 3;
+  net.init = {{0, 10}, {1, 4}};
+  net.ops = {{2, 0, 1, 0, 5, compile::OpKind::kMac, 0}};
+  net.cycle_off = {0, 1};
+  net.expected = {9};
+
+  EXPECT_THROW(compile::BatchedCompiledEngine(net, 0), std::invalid_argument);
+  compile::BatchedCompiledEngine be(net, 2);
+  // Not parameterised: bind refuses, oracle binding replays fine.
+  EXPECT_THROW(be.bind(0, {7}), std::invalid_argument);
+  be.run_all();
+  EXPECT_EQ(be.value(2, 0), 9);
+  EXPECT_EQ(be.value(2, 1), 9);
+
+  net.parameterised = true;
+  net.params = {5};
+  compile::BatchedCompiledEngine pe(net, 2);
+  EXPECT_THROW(pe.bind(2, {7}), std::invalid_argument);         // bad lane
+  EXPECT_THROW(pe.bind(0, {7, 8}), std::invalid_argument);      // bad length
+  EXPECT_THROW(pe.bind_oracle(5), std::invalid_argument);       // bad lane
 }
 
 }  // namespace

@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <utility>
 
 #include "andor/chain_builder.hpp"
 #include "andor/pipeline_array.hpp"
@@ -21,6 +23,7 @@
 #include "arrays/graph_adapter.hpp"
 #include "arrays/triangular_array.hpp"
 #include "arrays/triangular_modular.hpp"
+#include "compile/batch_engine.hpp"
 #include "compile/engine.hpp"
 #include "compile/lower.hpp"
 #include "sim/thread_pool.hpp"
@@ -483,6 +486,349 @@ TEST_P(CompiledFuzzDifferential, RandomInstanceReplaysBitIdentically) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CompiledFuzzDifferential,
                          ::testing::Range(1, 21));
+
+// ------------------------- batched replay and parameter-plane rebinding ---
+
+/// Batch widths the lane-exactness sweep covers: the degenerate width, odd
+/// widths that defeat any accidental power-of-two assumption, the SIMD
+/// sweet spot, and a width above it with a ragged relationship to every
+/// vector length.
+constexpr std::uint32_t kBatchWidths[] = {1, 2, 3, 8, 17};
+
+/// Same-shape tapes must be structurally identical — the contract that
+/// lets one lowering serve a whole family shape.  Weights (op.w, params,
+/// expected values) are the only permitted difference.
+void expect_same_shape(const compile::CompiledNetlist& a,
+                       const compile::CompiledNetlist& b) {
+  ASSERT_EQ(a.semiring, b.semiring);
+  ASSERT_EQ(a.num_slots, b.num_slots);
+  ASSERT_EQ(a.cycle_off, b.cycle_off);
+  ASSERT_EQ(a.ops.size(), b.ops.size());
+  for (std::size_t i = 0; i < a.ops.size(); ++i) {
+    ASSERT_EQ(a.ops[i].dst, b.ops[i].dst) << "op " << i;
+    ASSERT_EQ(a.ops[i].a, b.ops[i].a) << "op " << i;
+    ASSERT_EQ(a.ops[i].b, b.ops[i].b) << "op " << i;
+    ASSERT_EQ(a.ops[i].c, b.ops[i].c) << "op " << i;
+    ASSERT_EQ(a.ops[i].kind, b.ops[i].kind) << "op " << i;
+    ASSERT_EQ(a.ops[i].param, b.ops[i].param) << "op " << i;
+  }
+  ASSERT_EQ(a.init.size(), b.init.size());
+  for (std::size_t i = 0; i < a.init.size(); ++i) {
+    ASSERT_EQ(a.init[i].slot, b.init[i].slot) << "init " << i;
+    ASSERT_EQ(a.init[i].value, b.init[i].value) << "init " << i;
+  }
+  ASSERT_EQ(a.outputs.size(), b.outputs.size());
+  for (std::size_t i = 0; i < a.outputs.size(); ++i) {
+    ASSERT_EQ(a.outputs[i].tag, b.outputs[i].tag) << "output " << i;
+    ASSERT_EQ(a.outputs[i].index, b.outputs[i].index) << "output " << i;
+    ASSERT_EQ(a.outputs[i].slot, b.outputs[i].slot) << "output " << i;
+  }
+}
+
+/// Run a B-lane batched replay of `net` with `tables[l]` bound on lane l
+/// (an empty table means the oracle binding) and require every lane to be
+/// bit-identical, slot for slot, to an independent scalar CompiledEngine
+/// replay of the same binding.
+void expect_lanes_bit_identical(
+    const compile::CompiledNetlist& net,
+    const std::vector<std::vector<Cost>>& tables) {
+  const auto lanes = static_cast<std::uint32_t>(tables.size());
+  compile::BatchedCompiledEngine be(net, lanes);
+  for (std::uint32_t l = 0; l < lanes; ++l) {
+    if (!tables[l].empty()) be.bind(l, tables[l]);
+  }
+  EXPECT_EQ(be.fallback_levels(), 0u);
+  be.run_all();
+  for (std::uint32_t l = 0; l < lanes; ++l) {
+    SCOPED_TRACE("lane " + std::to_string(l));
+    compile::CompiledEngine ce(net);
+    if (!tables[l].empty()) ce.bind(tables[l]);
+    ce.run_all();
+    for (sim::SlotId s = 0; s < net.num_slots; ++s) {
+      ASSERT_EQ(be.value(s, l), ce.value(s)) << "slot " << s;
+    }
+    if (be.oracle_bound(l)) {
+      EXPECT_FALSE(be.verify_outputs(l).found);
+    }
+  }
+}
+
+/// Lower a same-shape variant and return its tape after asserting
+/// structural identity with the base tape — the variant's params then
+/// bind into the base tape index for index.
+template <typename MakeArray>
+compile::CompiledNetlist variant_lowered(const compile::CompiledNetlist& base,
+                                         MakeArray&& make) {
+  auto arr = make();
+  compile::LowerOptions opt;
+  opt.parameterise = true;
+  auto low = compile::lower_array(arr, opt);
+  expect_same_shape(base, low.net);
+  return std::move(low.net);
+}
+
+/// Shorthand for the lane-exactness sweeps, which only need the table.
+template <typename MakeArray>
+std::vector<Cost> variant_params(const compile::CompiledNetlist& base,
+                                 MakeArray&& make) {
+  return variant_lowered(base, std::forward<MakeArray>(make)).params;
+}
+
+TEST(CompiledBatchDifferential, Design1LaneExactAcrossWidths) {
+  const auto [mats, v] = string_instance(3, 8, 411);
+  Design1Modular arr(mats, v);
+  compile::LowerOptions opt;
+  opt.parameterise = true;
+  const auto low = compile::lower_array(arr, opt);
+
+  // Lane variants: same shape and same input vector, fresh matrices.
+  std::vector<std::vector<Cost>> tables;
+  Rng rng(412);
+  for (std::uint32_t l = 0; l < 17; ++l) {
+    if (l == 0) {
+      tables.emplace_back();  // oracle binding
+      continue;
+    }
+    auto vmats = random_matrix_string(3, 8, rng);
+    tables.push_back(variant_params(
+        low.net, [&] { return Design1Modular(vmats, v); }));
+  }
+  for (const std::uint32_t lanes : kBatchWidths) {
+    SCOPED_TRACE("lanes=" + std::to_string(lanes));
+    expect_lanes_bit_identical(
+        low.net, {tables.begin(), tables.begin() + lanes});
+  }
+}
+
+TEST(CompiledBatchDifferential, Design2LaneExactAcrossWidths) {
+  const auto [mats, v] = string_instance(4, 8, 421);
+  Design2Modular arr(mats, v);
+  compile::LowerOptions opt;
+  opt.parameterise = true;
+  const auto low = compile::lower_array(arr, opt);
+
+  std::vector<std::vector<Cost>> tables;
+  Rng rng(422);
+  for (std::uint32_t l = 0; l < 17; ++l) {
+    if (l == 0) {
+      tables.emplace_back();
+      continue;
+    }
+    auto vmats = random_matrix_string(4, 8, rng);
+    tables.push_back(variant_params(
+        low.net, [&] { return Design2Modular(vmats, v); }));
+  }
+  for (const std::uint32_t lanes : kBatchWidths) {
+    SCOPED_TRACE("lanes=" + std::to_string(lanes));
+    expect_lanes_bit_identical(
+        low.net, {tables.begin(), tables.begin() + lanes});
+  }
+}
+
+TEST(CompiledBatchDifferential, Design3LaneExactAcrossWidths) {
+  // Design 3's instance data enters the tape as interned constants (the
+  // node values), so its lanes replay the oracle binding — the batched
+  // kRelax kernel is still exercised against the scalar one lane by lane.
+  Rng rng(431);
+  const auto nv = traffic_control_instance(8, 8, rng);
+  Design3Modular arr(nv);
+  compile::LowerOptions opt;
+  opt.parameterise = true;
+  const auto low = compile::lower_array(arr, opt);
+  for (const std::uint32_t lanes : kBatchWidths) {
+    SCOPED_TRACE("lanes=" + std::to_string(lanes));
+    expect_lanes_bit_identical(
+        low.net, std::vector<std::vector<Cost>>(lanes));
+  }
+}
+
+TEST(CompiledBatchDifferential, GktLaneExactAcrossWidths) {
+  Rng rng(441);
+  const std::size_t n = 9;
+  const auto dims = random_chain_dims(n, rng);
+  GktModularArray arr(dims);
+  compile::LowerOptions opt;
+  opt.parameterise = true;
+  const auto low = compile::lower_array(arr, opt);
+
+  std::vector<std::vector<Cost>> tables;
+  for (std::uint32_t l = 0; l < 17; ++l) {
+    if (l == 0) {
+      tables.emplace_back();
+      continue;
+    }
+    auto vdims = random_chain_dims(n, rng);
+    tables.push_back(variant_params(
+        low.net, [&] { return GktModularArray(vdims); }));
+  }
+  for (const std::uint32_t lanes : kBatchWidths) {
+    SCOPED_TRACE("lanes=" + std::to_string(lanes));
+    expect_lanes_bit_identical(
+        low.net, {tables.begin(), tables.begin() + lanes});
+  }
+}
+
+TEST(CompiledBatchDifferential, TriangularLaneExactAcrossWidths) {
+  // The chain rule's costs enter the tape only as fold weights, so it
+  // rebind-sweeps like GKT.  (BST is different: its leaf cells' initial
+  // values are the frequencies themselves — interned constants, not
+  // parameters — so BST lanes replay the oracle binding below.)
+  Rng rng(451);
+  const std::size_t n = 9;
+  std::uniform_int_distribution<Cost> dist(1, 20);
+  const auto random_costs = [&] {
+    std::vector<Cost> costs(n);
+    for (auto& x : costs) x = dist(rng);
+    return costs;
+  };
+  const auto base_costs = random_costs();
+  const ChainRule base_rule(base_costs);
+  TriangularModularArray<ChainRule> arr(base_rule,
+                                        base_rule.num_matrices());
+  compile::LowerOptions opt;
+  opt.parameterise = true;
+  const auto low = compile::lower_array(arr, opt);
+
+  std::vector<std::vector<Cost>> tables;
+  for (std::uint32_t l = 0; l < 17; ++l) {
+    if (l == 0) {
+      tables.emplace_back();
+      continue;
+    }
+    const auto costs = random_costs();
+    tables.push_back(variant_params(low.net, [&] {
+      const ChainRule rule(costs);
+      return TriangularModularArray<ChainRule>(rule, rule.num_matrices());
+    }));
+  }
+  for (const std::uint32_t lanes : kBatchWidths) {
+    SCOPED_TRACE("lanes=" + std::to_string(lanes));
+    expect_lanes_bit_identical(
+        low.net, {tables.begin(), tables.begin() + lanes});
+  }
+}
+
+TEST(CompiledBatchDifferential, BstLaneExactAcrossWidths) {
+  // Oracle binding on every lane (see above): this still drives the
+  // batched kFold kernel against the scalar engine lane for lane.
+  Rng rng(461);
+  std::vector<Cost> freq(8);
+  std::uniform_int_distribution<Cost> dist(1, 20);
+  for (auto& x : freq) x = dist(rng);
+  const BstRule rule(freq);
+  TriangularModularArray<BstRule> arr(rule, rule.num_keys());
+  compile::LowerOptions opt;
+  opt.parameterise = true;
+  const auto low = compile::lower_array(arr, opt);
+  for (const std::uint32_t lanes : kBatchWidths) {
+    SCOPED_TRACE("lanes=" + std::to_string(lanes));
+    expect_lanes_bit_identical(
+        low.net, std::vector<std::vector<Cost>>(lanes));
+  }
+}
+
+// Rebind fuzz: a random same-shape variant is lowered fresh, its weight
+// table is bound into the base instance's tape, and the rebound replay
+// must land on exactly the values the variant's own fresh lowering
+// produces — slot for slot.  This is the end-to-end proof that one
+// lowering of a family shape serves any weight assignment.
+class CompiledRebindFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(CompiledRebindFuzz, ReboundTapeMatchesFreshLowering) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  Rng rng(seed * 69621u + 5);
+  compile::LowerOptions opt;
+  opt.parameterise = true;
+
+  compile::Lowered base;
+  compile::CompiledNetlist variant_net;
+  switch (seed % 4) {
+    case 0: {
+      std::uniform_int_distribution<std::size_t> q_dist(1, 4);
+      std::uniform_int_distribution<std::size_t> m_dist(2, 10);
+      const std::size_t q = q_dist(rng);
+      const std::size_t m = m_dist(rng);
+      const auto [mats, v] = string_instance(q, m, seed * 211);
+      Design1Modular arr(mats, v);
+      base = compile::lower_array(arr, opt);
+      auto vmats = random_matrix_string(q, m, rng);
+      variant_net = variant_lowered(
+          base.net, [&] { return Design1Modular(vmats, v); });
+      break;
+    }
+    case 1: {
+      std::uniform_int_distribution<std::size_t> q_dist(2, 5);
+      std::uniform_int_distribution<std::size_t> m_dist(2, 10);
+      const std::size_t q = q_dist(rng);
+      const std::size_t m = m_dist(rng);
+      const auto [mats, v] = string_instance(q, m, seed * 223);
+      Design2Modular arr(mats, v);
+      base = compile::lower_array(arr, opt);
+      auto vmats = random_matrix_string(q, m, rng);
+      variant_net = variant_lowered(
+          base.net, [&] { return Design2Modular(vmats, v); });
+      break;
+    }
+    case 2: {
+      std::uniform_int_distribution<std::size_t> n_dist(2, 12);
+      const std::size_t n = n_dist(rng);
+      const auto dims = random_chain_dims(n, rng);
+      GktModularArray arr(dims);
+      base = compile::lower_array(arr, opt);
+      auto vdims = random_chain_dims(n, rng);
+      variant_net = variant_lowered(
+          base.net, [&] { return GktModularArray(vdims); });
+      break;
+    }
+    default: {
+      // Triangular family via the chain rule — the rule whose instance
+      // data is weights-only.  (BST's leaf initial values are interned
+      // constants, so a BST tape rebinds only among instances sharing
+      // them; the lane-exactness suite covers BST under oracle binding.)
+      std::uniform_int_distribution<std::size_t> n_dist(3, 10);
+      const std::size_t n = n_dist(rng);
+      std::uniform_int_distribution<Cost> dist(1, 30);
+      const auto draw = [&] {
+        std::vector<Cost> costs(n);
+        for (auto& x : costs) x = dist(rng);
+        return costs;
+      };
+      const auto costs = draw();
+      const auto vcosts = draw();
+      const ChainRule rule(costs);
+      TriangularModularArray<ChainRule> arr(rule, rule.num_matrices());
+      base = compile::lower_array(arr, opt);
+      variant_net = variant_lowered(base.net, [&] {
+        const ChainRule vrule(vcosts);
+        return TriangularModularArray<ChainRule>(vrule,
+                                                 vrule.num_matrices());
+      });
+      break;
+    }
+  }
+
+  // The variant's own fresh lowering is the reference; its checked replay
+  // pins it to the variant oracle run op for op.
+  const std::vector<Cost>& vparams = variant_net.params;
+  ASSERT_EQ(vparams.size(), base.net.params.size());
+  compile::CompiledEngine fresh(variant_net);
+  ASSERT_FALSE(fresh.run_all_checked().found);
+  ASSERT_FALSE(fresh.verify_outputs().found);
+
+  // The rebound base tape must reproduce it slot for slot.
+  compile::CompiledEngine rebound(base.net);
+  rebound.bind(vparams);
+  rebound.run_all();
+  for (sim::SlotId s = 0; s < base.net.num_slots; ++s) {
+    ASSERT_EQ(rebound.value(s), fresh.value(s)) << "slot " << s;
+  }
+
+  // And the batched engine agrees with both, lanes interleaving the
+  // oracle binding and the rebind.
+  expect_lanes_bit_identical(base.net, {{}, vparams, {}, vparams, vparams});
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompiledRebindFuzz, ::testing::Range(1, 25));
 
 }  // namespace
 }  // namespace sysdp
