@@ -23,6 +23,7 @@
 #include <iostream>
 #include <string>
 
+#include "analysis/tape_verify.hpp"
 #include "andor/stage_reduction.hpp"
 #include "arrays/design1_modular.hpp"
 #include "arrays/gkt_modular.hpp"
@@ -145,8 +146,11 @@ int cmd_info(const std::string& path) {
 
 /// Replay `low` with per-op oracle checking; throws on any divergence so
 /// a compiled-route answer is never printed unless it is bit-identical to
-/// the modular run that produced the tape.
+/// the modular run that produced the tape.  Static verification runs
+/// first: a structurally broken tape is rejected before any cycle is
+/// spent replaying it.
 compile::CompiledEngine checked_replay(const compile::Lowered& low) {
+  analysis::verify_tape_or_throw(low.net, "compiled tape");
   compile::CompiledEngine ce(low.net);
   const auto div = ce.run_all_checked();
   if (div.found || ce.verify_outputs().found) {

@@ -40,6 +40,7 @@
 #include <string_view>
 #include <vector>
 
+#include "analysis/tape_verify.hpp"
 #include "compile/engine.hpp"
 #include "compile/lower.hpp"
 #include "design_registry.hpp"
@@ -113,6 +114,14 @@ bool trace_design_compiled(const examples::DesignSpec& spec,
                  spec.name.c_str(), e.what());
     return false;
   }
+  // Static proofs before dynamic replay: a tape that fails verification
+  // would waste the checked run on a schedule that is already known bad.
+  const auto verdict = analysis::verify_tape(low.net, spec.name);
+  if (!verdict.clean()) {
+    std::fprintf(stderr, "sysdp_trace: %s: tape verification failed:\n%s",
+                 spec.name.c_str(), verdict.to_text().c_str());
+    return false;
+  }
   compile::CompiledEngine ce(low.net);
   const auto div = ce.run_all_checked();
   if (div.found) {
@@ -140,6 +149,13 @@ bool trace_design_compiled(const examples::DesignSpec& spec,
   metrics.set_counter("tape.consts_interned", low.net.stats.consts_interned);
   metrics.set_counter("tape.lanes_bound", low.net.stats.lanes_bound);
   metrics.set_counter("tape.named_lanes", low.net.stats.named_lanes);
+  metrics.set_counter("tape.compacted", low.net.compacted() ? 1 : 0);
+  if (low.net.compacted()) {
+    metrics.set_counter("tape.slots_uncompacted",
+                        low.net.stats.slots_uncompacted);
+  }
+  metrics.set_counter("tape.dependence_depth",
+                      verdict.stats.dependence_depth);
   metrics.set_counter("oracle.busy_steps", low.net.stats.oracle_busy_steps);
   metrics.set_counter("oracle.dense_evals", low.net.stats.oracle_dense_evals);
   if (low.net.cycles() > 0) {

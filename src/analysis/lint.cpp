@@ -300,8 +300,14 @@ void Linter::set_severity(std::string_view check, Severity s) {
       return;
     }
   }
+  std::string known;
+  for (const CheckSeverity& cs : severities_) {
+    if (!known.empty()) known += ", ";
+    known += cs.check;
+  }
   throw std::invalid_argument("Linter::set_severity: unknown check '" +
-                              std::string(check) + "'");
+                              std::string(check) + "' (known checks: " +
+                              known + ")");
 }
 
 Severity Linter::severity_of(std::string_view check) const {

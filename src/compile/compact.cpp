@@ -6,12 +6,14 @@
 #include <string>
 #include <vector>
 
+#include "compile/live_range.hpp"
+
 namespace sysdp::compile {
 
 namespace {
 
 constexpr std::uint32_t kNone = 0xffffffffu;
-constexpr std::uint32_t kPinned = 0xffffffffu;
+constexpr std::uint32_t kPinned = TapeLiveness::kPinned;
 
 }  // namespace
 
@@ -20,43 +22,19 @@ CompactStats compact_slots(CompiledNetlist& net) {
   cs.slots_before = net.num_slots;
   cs.slots_after = net.num_slots;
   const std::uint32_t n = net.num_slots;
-  if (n == 0) return cs;
-
-  // --- grouping: kRelax addresses dst/dst+1 and a/a+1 as pairs, so those
-  // slots must stay contiguous.  joined[s] means s and s+1 share a group;
-  // groups are the maximal runs of joined slots.
-  std::vector<std::uint8_t> joined(n, 0);
-  for (const Op& op : net.ops) {
-    if (op.kind == OpKind::kRelax) {
-      joined[op.dst] = 1;
-      joined[op.a] = 1;
-    }
-  }
-  std::vector<std::uint32_t> base(n);
-  std::vector<std::uint32_t> extent(n, 0);
-  for (std::uint32_t s = 0; s < n; ++s) {
-    base[s] = (s > 0 && joined[s - 1] != 0) ? base[s - 1] : s;
-    ++extent[base[s]];
+  if (n == 0) {
+    net.stats.compacted = true;
+    return cs;
   }
 
-  // --- liveness: the last dependency level that touches each group.
-  // Output slots are pinned (verify_outputs reads them after the run).
-  std::vector<std::uint32_t> last(n, 0);
-  const auto touch = [&](sim::SlotId s, std::uint32_t lvl) {
-    std::uint32_t& l = last[base[s]];
-    if (l < lvl) l = lvl;
-  };
+  // --- grouping + liveness (compile/live_range.hpp): pair groups, plus
+  // the last dependency level that touches each group.  Output slots are
+  // pinned (verify_outputs reads them after the run).
+  const TapeLiveness lv = compute_liveness(net);
+  const std::vector<std::uint32_t>& base = lv.base;
+  const std::vector<std::uint32_t>& extent = lv.extent;
+  const std::vector<std::uint32_t>& last = lv.last;
   const auto cycles = static_cast<std::uint32_t>(net.cycles());
-  for (std::uint32_t t = 0; t < cycles; ++t) {
-    for (std::uint32_t i = net.cycle_off[t]; i < net.cycle_off[t + 1]; ++i) {
-      const Op& op = net.ops[i];
-      touch(op.dst, t);  // dst+1 / a+1 share the dst / a group
-      touch(op.a, t);
-      touch(op.b, t);
-      if (op.kind == OpKind::kFold) touch(op.c, t);
-    }
-  }
-  for (const Output& o : net.outputs) last[base[o.slot]] = kPinned;
 
   // --- expiry schedule: non-pinned groups in last-touch order, released
   // just before the first level past their last touch begins.
@@ -128,6 +106,7 @@ CompactStats compact_slots(CompiledNetlist& net) {
   for (Output& o : net.outputs) o.slot = map(o.slot);
 
   net.num_slots = next_phys;
+  net.stats.compacted = true;
   net.stats.slots_uncompacted = cs.slots_before;
   cs.slots_after = next_phys;
   return cs;

@@ -103,9 +103,14 @@ struct TapeStats {
   std::uint64_t oracle_active_evals = 0;
   std::uint64_t oracle_dense_evals = 0;
   std::uint64_t oracle_busy_steps = 0;  ///< must equal ops.size()
+  /// True once compact_slots() has renamed the slot file.  Explicit —
+  /// `slots_uncompacted == 0` used to double as "never compacted", which
+  /// conflated an empty compacted tape with an untouched SSA one and made
+  /// the single-assignment property undecidable from the stats alone.
+  bool compacted = false;
   /// SSA slot count before live-range compaction (compile/compact.hpp);
-  /// 0 means the tape was never compacted.  num_slots after compaction is
-  /// the peak live count — the executor's true working set.
+  /// meaningful only when `compacted`.  num_slots after compaction is the
+  /// peak live count — the executor's true working set.
   std::uint64_t slots_uncompacted = 0;
 };
 
@@ -143,6 +148,27 @@ struct CompiledNetlist {
   [[nodiscard]] std::uint64_t num_ops() const noexcept { return ops.size(); }
   [[nodiscard]] std::uint64_t num_params() const noexcept {
     return params.size();
+  }
+  /// True once live-range compaction has renamed the slot file — the tape
+  /// is no longer SSA and slot indices are reused across levels.
+  [[nodiscard]] bool compacted() const noexcept { return stats.compacted; }
+  /// Dependency level (oracle cycle) op `i` executes in, by binary search
+  /// of the CSR cycle index.  Precondition: i < num_ops() and the CSR
+  /// index is well-formed (static analyses over untrusted tapes validate
+  /// that first).
+  [[nodiscard]] sim::Cycle level_of_op(std::uint64_t i) const noexcept {
+    // First level whose end offset is past op i.
+    std::size_t lo = 0;
+    std::size_t hi = cycle_off.empty() ? 0 : cycle_off.size() - 1;
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (cycle_off[mid + 1] > i) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    return lo;
   }
 };
 

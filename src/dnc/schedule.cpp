@@ -163,8 +163,9 @@ Matrix<Cost> execute_dnc(const std::vector<Matrix<Cost>>& mats,
     if (missing[i] == 0) ready.push(i);
   }
   std::uint64_t steps = 0;
+  std::vector<std::size_t> batch;
   while (!ready.empty()) {
-    std::vector<std::size_t> batch;
+    batch.clear();
     for (std::uint64_t s = 0; s < k && !ready.empty(); ++s) {
       batch.push_back(ready.top());
       ready.pop();
@@ -215,8 +216,9 @@ TimedDncResult execute_dnc_timed(const std::vector<Matrix<Cost>>& mats,
   }
   TimedDncResult res;
   res.t1_cycles = MatmulArray<MinPlus>::completion_cycles(m);
+  std::vector<std::size_t> batch;
   while (!ready.empty()) {
-    std::vector<std::size_t> batch;
+    batch.clear();
     for (std::uint64_t s = 0; s < k && !ready.empty(); ++s) {
       batch.push_back(ready.pop());
     }
