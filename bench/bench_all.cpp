@@ -371,6 +371,13 @@ struct CompiledSample {
   std::string name;
   std::uint64_t cycles = 0;
   std::uint64_t num_ops = 0;
+  /// Activity accounting from the verification replay (ReplayResult):
+  /// non-empty levels actually run, mean op-lanes per executed level, and
+  /// how many design modules the tape's provenance attributes work to —
+  /// the compiled counterparts of the interpreted utilisation columns.
+  std::uint64_t levels_executed = 0;
+  double level_occupancy = 0.0;
+  std::uint64_t provenance_modules = 0;
   double interpreted_seconds = 0.0;
   double compiled_seconds = 0.0;
 
@@ -415,6 +422,18 @@ CompiledSample measure_compiled_one(const char* name, MakeArray&& make,
                  name);
     std::exit(1);
   }
+  const compile::ReplayResult rres = ce.result();
+  if (rres.ops_executed != s.num_ops) {
+    std::fprintf(stderr,
+                 "bench_all: %s replay accounted %llu ops for a tape of "
+                 "%llu\n",
+                 name, static_cast<unsigned long long>(rres.ops_executed),
+                 static_cast<unsigned long long>(s.num_ops));
+    std::exit(1);
+  }
+  s.levels_executed = rres.levels_executed;
+  s.level_occupancy = rres.level_occupancy();
+  s.provenance_modules = low.net.provenance.modules.size();
   s.compiled_seconds = best_seconds(9, [&] {
     ce.reset();
     ce.run_all();
@@ -875,9 +894,10 @@ int main(int argc, char** argv) {
     if (c.speedup() >= kCompiledSpeedupFloor) ++compiled_fast_families;
     std::printf(
         "  compiled %-22s interpreted=%8.3fms compiled=%8.3fms speedup=%.1fx "
-        "(%.0f ops/s)\n",
+        "(%.0f ops/s, occupancy %.1f over %llu levels)\n",
         c.name.c_str(), c.interpreted_seconds * 1e3, c.compiled_seconds * 1e3,
-        c.speedup(), c.ops_per_sec());
+        c.speedup(), c.ops_per_sec(), c.level_occupancy,
+        static_cast<unsigned long long>(c.levels_executed));
   }
 
   // Batched compiled replay: one parameterised lowering per family, B
@@ -972,11 +992,16 @@ int main(int argc, char** argv) {
     const auto& c = compiled[i];
     std::snprintf(buf, sizeof buf,
                   "    {\"name\": \"%s\", \"cycles\": %llu, "
-                  "\"num_ops\": %llu, \"interpreted_seconds\": %.6f, "
+                  "\"num_ops\": %llu, \"levels_executed\": %llu, "
+                  "\"level_occupancy\": %.3f, \"provenance_modules\": %llu, "
+                  "\"interpreted_seconds\": %.6f, "
                   "\"compiled_seconds\": %.6f, \"speedup\": %.3f, "
                   "\"compiled_ops_per_sec\": %.0f}%s\n",
                   c.name.c_str(), static_cast<unsigned long long>(c.cycles),
                   static_cast<unsigned long long>(c.num_ops),
+                  static_cast<unsigned long long>(c.levels_executed),
+                  c.level_occupancy,
+                  static_cast<unsigned long long>(c.provenance_modules),
                   c.interpreted_seconds, c.compiled_seconds, c.speedup(),
                   c.ops_per_sec(), i + 1 < compiled.size() ? "," : "");
     out << buf;

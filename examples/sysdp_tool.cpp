@@ -31,6 +31,8 @@
 #include "compile/batch_engine.hpp"
 #include "compile/engine.hpp"
 #include "compile/lower.hpp"
+#include "compile/profile.hpp"
+#include "obs/replay.hpp"
 #include "sim/batch.hpp"
 #include "core/solver.hpp"
 #include "core/table1.hpp"
@@ -76,8 +78,9 @@ void print_report(const SolveReport& rep) {
 
 /// --metrics: the solve outcome as the shared counter-registry rendering
 /// (same shape sysdp_trace emits), so scripted consumers parse one format.
-void print_metrics(const SolveReport& rep) {
-  obs::MetricsRegistry metrics;
+/// `metrics` may already carry compiled-replay counters and the replay
+/// latency histogram (see profiled_replays) — those render alongside.
+void print_metrics(const SolveReport& rep, obs::MetricsRegistry& metrics) {
   metrics.set_counter("solve.cycles", rep.cycles);
   metrics.set_counter("solve.work_steps", rep.work_steps);
   metrics.set_counter("solve.assignment_len", rep.assignment.size());
@@ -160,6 +163,24 @@ compile::CompiledEngine checked_replay(const compile::Lowered& low) {
   return ce;
 }
 
+/// --metrics on a compiled route: profile nine further replays of the
+/// verified tape so the metrics document carries a real replay-latency
+/// distribution (replay.wall_ns histogram with p50/p90/p99) instead of a
+/// single sample, plus the per-kind op counters.
+void profiled_replays(const compile::Lowered& low,
+                      obs::MetricsRegistry& metrics) {
+  compile::ReplayProfiler prof;
+  compile::CompiledEngine ce(low.net);
+  ce.add_observer(&prof);
+  ce.run_all();
+  for (int r = 0; r < 8; ++r) {
+    ce.reset();
+    ce.run_all();
+  }
+  prof.finish();
+  obs::profile_metrics(metrics, prof);
+}
+
 /// --batch=N: replay the tape across `n` oracle-bound lanes through the
 /// SIMD-batched executor, in chunks of 8 lanes (BatchRunner::run_chunks,
 /// serial here — the bench drives the pooled version).  Every lane is
@@ -197,13 +218,15 @@ std::string batched_replay(const compile::Lowered& low, std::uint64_t n) {
 /// tape.  The optimum comes from the replayed "out" lanes; path recovery
 /// stays with the sequential sweep, exactly like the interpreted route.
 SolveReport solve_monadic_compiled(const MultistageGraph& g,
-                                   std::uint64_t batch) {
+                                   std::uint64_t batch,
+                                   obs::MetricsRegistry* metrics) {
   SolveReport rep;
   rep.cls = {Recursion::kMonadic, Structure::kSerial};
   auto prob = to_string_product(g);
   Design1Modular arr(std::move(prob.mats), std::move(prob.v));
   const auto low = compile::lower_array(arr);
   const auto ce = checked_replay(low);
+  if (metrics != nullptr) profiled_replays(low, *metrics);
   Cost best = kInfCost;
   for (const auto& o : low.net.outputs) {
     if (o.tag == "out") best = std::min(best, ce.value(o.slot));
@@ -222,13 +245,15 @@ SolveReport solve_monadic_compiled(const MultistageGraph& g,
 /// --engine=compiled on a matrix chain: the GKT triangle lowered to a
 /// flat tape; the root cell carries the optimum.
 SolveReport solve_chain_compiled(const std::vector<Cost>& dims,
-                                 std::uint64_t batch) {
+                                 std::uint64_t batch,
+                                 obs::MetricsRegistry* metrics) {
   SolveReport rep;
   rep.cls = {Recursion::kPolyadic, Structure::kNonserial};
   GktModularArray arr(dims);
   const auto low = compile::lower_array(arr);
   const std::size_t n = dims.size() - 1;
   const auto ce = checked_replay(low);
+  if (metrics != nullptr) profiled_replays(low, *metrics);
   rep.cost = n >= 2 ? ce.output("cell", n - 1) : 0;
   rep.method = "GKT array via compiled tape (" +
                std::to_string(low.net.num_ops()) + " ops, " +
@@ -246,9 +271,13 @@ int cmd_solve(const std::string& path, std::uint64_t k, bool metrics,
       [k, metrics, compiled, batch](const auto& p) {
         using T = std::decay_t<decltype(p)>;
         SolveReport rep;
+        // Compiled routes fill the replay-latency histogram when asked.
+        obs::MetricsRegistry registry;
+        obs::MetricsRegistry* const prof =
+            metrics && compiled ? &registry : nullptr;
         if constexpr (std::is_same_v<T, MultistageGraph>) {
           rep = k > 1         ? solve_polyadic_serial(p, k)
-                : compiled    ? solve_monadic_compiled(p, batch)
+                : compiled    ? solve_monadic_compiled(p, batch, prof)
                               : solve_monadic_serial(p);
           if (compiled && k > 1) {
             std::fprintf(stderr,
@@ -256,7 +285,7 @@ int cmd_solve(const std::string& path, std::uint64_t k, bool metrics,
                          "(divide-and-conquer runs interpreted)\n");
           }
         } else if constexpr (std::is_same_v<T, std::vector<Cost>>) {
-          rep = compiled ? solve_chain_compiled(p, batch)
+          rep = compiled ? solve_chain_compiled(p, batch, prof)
                          : solve_chain_order(p);
         } else {
           if (compiled) {
@@ -268,7 +297,7 @@ int cmd_solve(const std::string& path, std::uint64_t k, bool metrics,
           rep = solve_objective(p);
         }
         print_report(rep);
-        if (metrics) print_metrics(rep);
+        if (metrics) print_metrics(rep, registry);
       },
       problem);
   return 0;

@@ -24,9 +24,22 @@
 //
 // --engine compiled switches the capture to the compiled flat-tape
 // backend: each matching design is lowered (compile::lower_array), the
-// tape is replayed with per-op oracle checking, and the tape shape is
-// written as <name>.compiled.metrics.json.  The VCD/timeline artifacts do
-// not apply — the compiled engine has no modules to observe.
+// tape is replayed with per-op oracle checking, and an observed replay
+// emits the full artifact set —
+//
+//   <name>.compiled.vcd           — waveforms rendered from the tape's
+//                                   slot→port provenance, same signal
+//                                   names as the interpreted VCD
+//   <name>.compiled.metrics.json  — tape shape + replay counters +
+//                                   latency histograms (schema v2)
+//   <name>.compiled.profile.json  — sysdp-profile-v1: per-level op/kind
+//                                   counts, per-replay records, timing
+//   <name>.compiled.trace.json    — Chrome-trace spans of the levels
+//
+// with the same cross-checks as the interpreted path: the provenance
+// timeline's aggregate busy count must equal the replay's ops_executed,
+// and the profiler's per-level op counts must equal the tape's own CSR
+// level sizes.
 //
 // --dnc N,K additionally records the divide-and-conquer scheduler of
 // src/dnc/schedule over an N-leaf problem on K arrays and writes
@@ -41,13 +54,16 @@
 #include <vector>
 
 #include "analysis/tape_verify.hpp"
+#include "compile/batch_engine.hpp"
 #include "compile/engine.hpp"
 #include "compile/lower.hpp"
+#include "compile/profile.hpp"
 #include "design_registry.hpp"
 #include "dnc/metrics.hpp"
 #include "dnc/schedule.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/metrics.hpp"
+#include "obs/replay.hpp"
 #include "obs/timeline.hpp"
 #include "obs/vcd.hpp"
 #include "sim/engine.hpp"
@@ -98,11 +114,11 @@ struct Options {
 };
 
 /// --engine compiled: lower the design to its flat tape, replay it with
-/// per-op oracle checking, and emit <name>.compiled.metrics.json with the
-/// tape shape (ops, levels, slots, elided copies).  The compiled engine
-/// has no modules, so the VCD/timeline artifacts do not apply; what it
-/// proves instead is that the tape replays the exact run the modular
-/// telemetry path records.
+/// per-op oracle checking, then replay again with the full observer stack
+/// (provenance VCD, per-module timeline, profiler) attached and emit the
+/// four compiled artifacts.  Scalar and 4-lane batched replays both feed
+/// the profiler, so the profile carries a real latency distribution and
+/// the per-lane skew figure.
 bool trace_design_compiled(const examples::DesignSpec& spec,
                            const Options& opt) {
   const auto inst = spec.make();
@@ -140,7 +156,70 @@ bool trace_design_compiled(const examples::DesignSpec& spec,
     return false;
   }
 
+  const std::filesystem::path dir(opt.out_dir);
+  const std::string base = file_base(spec.name);
+
+  // Observed replay: fresh engine, full stack attached before cycle 0.
+  // The VCD streams straight to disk so a mid-replay failure still leaves
+  // a well-formed document of everything up to the failing level.
+  compile::CompiledEngine replay(low.net);
+  obs::ReplayVcdSink vcd(base);
+  obs::ReplayTimelineSink rtimeline(opt.bucket);
+  compile::ReplayProfiler profiler;
+  replay.add_observer(&vcd);
+  replay.add_observer(&rtimeline);
+  replay.add_observer(&profiler);
+  replay.run_all();
+  profiler.finish();
+
+  // Cross-check: the profiler's per-level op counts are the tape's own
+  // CSR level sizes — the observer saw exactly the work the tape holds.
+  for (sim::Cycle t = 0; t < low.net.cycles(); ++t) {
+    const std::uint64_t width = low.net.cycle_off[t + 1] - low.net.cycle_off[t];
+    const std::uint64_t seen =
+        t < profiler.levels().size() ? profiler.levels()[t].ops : 0;
+    if (seen != width) {
+      std::fprintf(stderr,
+                   "sysdp_trace: %s: profiler level %llu saw %llu ops, tape "
+                   "holds %llu\n",
+                   spec.name.c_str(), static_cast<unsigned long long>(t),
+                   static_cast<unsigned long long>(seen),
+                   static_cast<unsigned long long>(width));
+      return false;
+    }
+  }
+  // Cross-check: every executed op landed in exactly one timeline row.
+  rtimeline.finalize();
+  const compile::ReplayResult rres = replay.result();
+  if (rtimeline.aggregate_busy() != rres.ops_executed) {
+    std::fprintf(stderr,
+                 "sysdp_trace: %s: compiled timeline aggregate %llu != "
+                 "ops_executed %llu\n",
+                 spec.name.c_str(),
+                 static_cast<unsigned long long>(rtimeline.aggregate_busy()),
+                 static_cast<unsigned long long>(rres.ops_executed));
+    return false;
+  }
+
+  // More replays — a few scalar, then a 4-lane batched run — so the
+  // latency histograms and the skew figure describe a distribution, not a
+  // single sample.
+  for (int r = 0; r < 3; ++r) {
+    replay.reset();
+    replay.run_all();
+  }
+  compile::BatchedCompiledEngine batched(low.net, 4);
+  batched.add_observer(&profiler);
+  batched.run_all();
+  profiler.finish();
+
   obs::MetricsRegistry metrics;
+  obs::profile_metrics(metrics, profiler);
+  metrics.set_counter("replay.levels_executed", rres.levels_executed);
+  metrics.set_counter("replay.levels_skipped", rres.levels_skipped);
+  metrics.set_counter("vcd.signals", vcd.num_signals());
+  metrics.set_gauge("replay.occupancy", rres.level_occupancy());
+  metrics.set_gauge("timeline.utilization", rtimeline.utilization());
   metrics.set_counter("tape.ops", low.net.num_ops());
   metrics.set_counter("tape.levels", low.net.cycles());
   metrics.set_counter("tape.slots", low.net.num_slots);
@@ -164,15 +243,23 @@ bool trace_design_compiled(const examples::DesignSpec& spec,
                           static_cast<double>(low.net.cycles()));
   }
 
-  const std::filesystem::path dir(opt.out_dir);
-  const std::string base = file_base(spec.name);
+  obs::ChromeTraceWriter trace;
+  obs::append_replay_trace(trace, spec.name, profiler, 4);
+  obs::append_timeline_trace(trace, rtimeline.timeline(), 2);
+
+  vcd.write_file((dir / (base + ".compiled.vcd")).string());
   obs::write_text_file((dir / (base + ".compiled.metrics.json")).string(),
-                       obs::metrics_v1_json(spec.name, metrics, nullptr));
+                       obs::metrics_json(spec.name, metrics, nullptr));
+  obs::write_text_file((dir / (base + ".compiled.profile.json")).string(),
+                       obs::profile_json(spec.name, low.net, profiler));
+  trace.write_file((dir / (base + ".compiled.trace.json")).string());
   std::printf(
-      "%-28s levels=%-6llu slots=%-6u ops=%-6llu elided=%-6llu replay=ok\n",
+      "%-28s levels=%-6llu slots=%-6u ops=%-6llu elided=%-6llu signals=%zu "
+      "replay=ok\n",
       spec.name.c_str(), static_cast<unsigned long long>(low.net.cycles()),
       low.net.num_slots, static_cast<unsigned long long>(low.net.num_ops()),
-      static_cast<unsigned long long>(low.net.stats.copies_elided));
+      static_cast<unsigned long long>(low.net.stats.copies_elided),
+      vcd.num_signals());
   return true;
 }
 
@@ -247,7 +334,7 @@ bool trace_design(const examples::DesignSpec& spec, const Options& opt,
   const std::string base = file_base(spec.name);
   vcd.write_file((dir / (base + ".vcd")).string());
   obs::write_text_file((dir / (base + ".metrics.json")).string(),
-                       obs::metrics_v1_json(spec.name, metrics, &timeline));
+                       obs::metrics_json(spec.name, metrics, &timeline));
   trace.write_file((dir / (base + ".trace.json")).string());
   std::printf(
       "%-28s cycles=%-6llu pes=%-3zu busy=%-6llu util=%.3f vcd_signals=%zu\n",

@@ -294,6 +294,11 @@ std::string TapeVerifyReport::to_text() const {
       << (stats.parameterised ? ", parameterised" : "") << ", max |finite| "
       << stats.max_abs_finite << (stats.int32_safe ? " (int32-safe)" : "")
       << "\n";
+  if (stats.provenance_lanes > 0) {
+    out << "  provenance: " << stats.provenance_lanes << " lanes, "
+        << stats.provenance_binds << " binds, " << stats.ops_attributed
+        << " of " << stats.ops << " ops attributed\n";
+  }
   for (const Diagnostic& d : diagnostics) {
     out << "  [" << to_string(d.severity) << "] " << d.check << " @ "
         << d.module;
@@ -319,6 +324,9 @@ std::string TapeVerifyReport::to_json() const {
       << ", \"dead_ops\": " << stats.dead_ops
       << ", \"max_abs_finite\": " << stats.max_abs_finite
       << ", \"int32_safe\": " << (stats.int32_safe ? "true" : "false")
+      << ", \"provenance_lanes\": " << stats.provenance_lanes
+      << ", \"provenance_binds\": " << stats.provenance_binds
+      << ", \"ops_attributed\": " << stats.ops_attributed
       << "}, \"counts\": {\"errors\": " << errors()
       << ", \"warnings\": " << warnings()
       << ", \"notes\": " << count(Severity::kNote) << "}, \"diagnostics\": [";
@@ -346,7 +354,8 @@ TapeVerifier::TapeVerifier()
                   {kOutputReachability, Severity::kError},
                   {kValueRange, Severity::kError},
                   {kCompactionSafety, Severity::kError},
-                  {kBindPlane, Severity::kError}} {}
+                  {kBindPlane, Severity::kError},
+                  {kProvenance, Severity::kError}} {}
 
 void TapeVerifier::set_severity(std::string_view check, Severity s) {
   for (CheckSeverity& cs : severities_) {
@@ -751,6 +760,105 @@ TapeVerifyReport TapeVerifier::run(const CompiledNetlist& net,
                  "no declared output can observe this op's value through "
                  "any def-use chain — dead work on the tape",
                  Severity::kWarning);
+    }
+  }
+
+  // --- provenance: the slot→port table, when present, must agree with
+  // the tape it annotates.  Runs after the forward scan so def_level is
+  // available for the sampling-order proof.
+  {
+    const Emitter emit = emitter(kProvenance);
+    const compile::Provenance& prov = net.provenance;
+    st.provenance_lanes = prov.lanes.size();
+    st.provenance_binds = prov.binds.size();
+    const std::uint32_t nlanes = static_cast<std::uint32_t>(prov.lanes.size());
+
+    if (!prov.op_lane.empty() && prov.op_lane.size() != nops) {
+      emit("tape", "",
+           "op→lane attribution holds " +
+               std::to_string(prov.op_lane.size()) + " entries for a tape of " +
+               std::to_string(nops) +
+               " ops — neither absent nor parallel to the tape");
+    } else {
+      for (std::uint64_t i = 0; i < prov.op_lane.size(); ++i) {
+        const std::uint32_t lane = prov.op_lane[i];
+        if (lane == compile::Provenance::kNone) continue;
+        ++st.ops_attributed;
+        if (lane >= nlanes) {
+          emit(op_site(i), "",
+               "attributed to lane " + std::to_string(lane) +
+                   ", outside the table of " + std::to_string(nlanes) +
+                   " lanes");
+        }
+      }
+    }
+
+    for (std::uint32_t l = 0; l < nlanes; ++l) {
+      const compile::ProvenanceLane& lane = prov.lanes[l];
+      const bool module_ok = lane.module_id < prov.modules.size();
+      if (lane.module_id != compile::Provenance::kNone && !module_ok) {
+        emit("lane#" + std::to_string(l), lane.label,
+             "module id " + std::to_string(lane.module_id) +
+                 " is outside the table of " +
+                 std::to_string(prov.modules.size()) + " modules");
+      } else if (lane.named && !module_ok) {
+        emit("lane#" + std::to_string(l), lane.label,
+             "named lane carries no module — the waveform layer could not "
+             "scope its signal");
+      }
+    }
+
+    std::uint32_t prev_stamp = 0;
+    for (std::size_t b = 0; b < prov.binds.size(); ++b) {
+      const compile::ProvenanceBind& bind = prov.binds[b];
+      const std::string site = "bind#" + std::to_string(b);
+      if (bind.stamp < prev_stamp) {
+        emit(site, "",
+             "stamp " + std::to_string(bind.stamp) +
+                 " follows stamp " + std::to_string(prev_stamp) +
+                 " — bind events are not sorted, the replay waveform "
+                 "writer would emit time running backwards");
+      }
+      prev_stamp = std::max(prev_stamp, bind.stamp);
+      if (bind.stamp > cycles) {
+        emit(site, "",
+             "stamp " + std::to_string(bind.stamp) +
+                 " lies past the tape's " + std::to_string(cycles) +
+                 " replayed cycles — no level ever samples it");
+      }
+      if (bind.lane >= nlanes) {
+        emit(site, "",
+             "binds lane " + std::to_string(bind.lane) +
+                 ", outside the table of " + std::to_string(nlanes) +
+                 " lanes");
+        continue;
+      }
+      if (bind.slot >= n) {
+        emit(site, prov.lanes[bind.lane].label,
+             "binds " + slot_name(bind.slot) + ", outside the file of " +
+                 std::to_string(n) + " slots");
+        continue;
+      }
+      if (!st.compacted) {
+        // SSA: the slot has exactly one definition, so "sampled at the end
+        // of level stamp-1" is provable per bind.  (Compacted tapes reuse
+        // slot names; the lifetime extension that keeps these samples
+        // valid is compaction-safety's cross-checked territory.)
+        if (def_op[bind.slot] == kNoDef) {
+          emit(site, prov.lanes[bind.lane].label,
+               "binds " + slot_name(bind.slot) +
+                   ", which nothing ever writes — the waveform would "
+                   "sample garbage");
+        } else if (def_level[bind.slot] >= static_cast<std::int64_t>(
+                                               bind.stamp)) {
+          emit(site, prov.lanes[bind.lane].label,
+               "stamp " + std::to_string(bind.stamp) + " samples " +
+                   slot_name(bind.slot) + " defined at level " +
+                   std::to_string(def_level[bind.slot]) +
+                   " — the register would show a value before the tape "
+                   "computes it");
+        }
+      }
     }
   }
 

@@ -5,7 +5,7 @@
 // jobs.  TapeVerifier adds the static half — machine-checked structural
 // proofs over a compile::CompiledNetlist that hold before a single cycle
 // is replayed, the same treatment the netlist linter (analysis/lint.hpp)
-// gives elaborated designs.  Eight checks:
+// gives elaborated designs.  Nine checks:
 //
 //   tape-structure      — the tape is safely traversable at all: CSR cycle
 //                         index well-formed (monotone offsets, first 0,
@@ -73,6 +73,16 @@
 //                         weights), and any rebinding table offered for
 //                         verification shaped to the plane.  A
 //                         non-parameterised tape must carry no plane.
+//   provenance          — slot→port provenance consistency: the op→lane
+//                         attribution parallel to the tape (or absent),
+//                         every lane/slot/module index in range, bind
+//                         events sorted by stamp with stamps inside the
+//                         replayed cycle range, and — on uncompacted
+//                         tapes, where a slot has one definition — every
+//                         bind sampling its slot no earlier than the
+//                         level that defines it.  An empty table passes
+//                         trivially: provenance is optional, but never
+//                         silently wrong.
 //
 // Severities are per-check and overridable; reports render as human text
 // or JSON (schema sysdp-tapelint-v1, emitted by sysdp_lint --tape).
@@ -117,6 +127,11 @@ struct TapeVerifyStats {
   /// every intermediate) fits TapeVerifyOptions::value_bound.
   Cost max_abs_finite = 0;
   bool int32_safe = false;
+  /// Provenance table shape: narrated lanes, bind events, and how many
+  /// ops carry a lane attribution (0 everywhere when the table is empty).
+  std::uint64_t provenance_lanes = 0;
+  std::uint64_t provenance_binds = 0;
+  std::uint64_t ops_attributed = 0;
 };
 
 struct TapeVerifyReport {
@@ -167,8 +182,9 @@ class TapeVerifier {
   static constexpr std::string_view kValueRange = "value-range";
   static constexpr std::string_view kCompactionSafety = "compaction-safety";
   static constexpr std::string_view kBindPlane = "bind-plane";
+  static constexpr std::string_view kProvenance = "provenance";
 
-  /// All eight checks enabled at their default severities.
+  /// All nine checks enabled at their default severities.
   TapeVerifier();
 
   /// Override the principal severity of one check.  Unknown check names

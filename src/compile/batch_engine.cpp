@@ -203,7 +203,41 @@ void BatchedCompiledEngine::reset() {
   }
   now_ = 0;
   ops_executed_ = 0;
+  levels_executed_ = 0;
   levels_skipped_ = 0;
+  mac_ops_ = 0;
+  fold_ops_ = 0;
+  relax_ops_ = 0;
+  for (ReplayObserver* obs : observers_) {
+    obs->on_replay_begin(*net_, slots_.data(), lanes_);
+  }
+}
+
+void BatchedCompiledEngine::add_observer(ReplayObserver* obs) {
+  if (obs == nullptr) {
+    throw std::invalid_argument(
+        "BatchedCompiledEngine::add_observer: null observer");
+  }
+  if (now_ != 0) {
+    throw std::logic_error(
+        "BatchedCompiledEngine::add_observer: observers attach at cycle 0 "
+        "only — reset() first");
+  }
+  observers_.push_back(obs);
+  obs->on_replay_begin(*net_, slots_.data(), lanes_);
+}
+
+void BatchedCompiledEngine::notify_level(sim::Cycle t) {
+  const std::uint32_t lo = net_->cycle_off[t];
+  const std::uint32_t hi = net_->cycle_off[t + 1];
+  for (ReplayObserver* obs : observers_) {
+    obs->on_level(*net_, t, lo, hi, slots_.data(), lanes_);
+  }
+}
+
+void BatchedCompiledEngine::notify_end() {
+  if (observers_.empty() || now_ < cycles()) return;
+  for (ReplayObserver* obs : observers_) obs->on_replay_end(*net_);
 }
 
 void BatchedCompiledEngine::bind(std::uint32_t lane,
@@ -469,16 +503,43 @@ void BatchedCompiledEngine::exec_level(std::uint32_t level) {
   ops_executed_ += std::uint64_t{net_->cycle_off[level + 1] -
                                  net_->cycle_off[level]} *
                    lanes_;
+  // Per-kind accounting off the run table: runs are kind-homogeneous, so
+  // a level costs at most a handful of adds however many ops it carries.
+  ++levels_executed_;
+  for (std::uint32_t r = rlo; r < rhi; ++r) {
+    const std::uint64_t n = std::uint64_t{runs_[r].hi - runs_[r].lo} * lanes_;
+    switch (runs_[r].kind) {
+      case OpKind::kMac:
+        mac_ops_ += n;
+        break;
+      case OpKind::kFold:
+        fold_ops_ += n;
+        break;
+      case OpKind::kRelax:
+        relax_ops_ += n;
+        break;
+    }
+  }
 }
 
 void BatchedCompiledEngine::step() {
   if (now_ + 1 < net_->cycle_off.size()) {
     exec_level(static_cast<std::uint32_t>(now_));
+    if (!observers_.empty()) {
+      notify_level(static_cast<std::uint32_t>(now_));
+    }
   }
   ++now_;
 }
 
 void BatchedCompiledEngine::run(sim::Cycle n) {
+  // Observed replays visit every level (provenance bind events land on
+  // empty levels); the detached skip-list path below is untouched.
+  if (!observers_.empty()) {
+    const sim::Cycle target = now_ + n;
+    while (now_ < target) step();
+    return;
+  }
   const sim::Cycle target = now_ + n;
   const sim::Cycle end = std::min<sim::Cycle>(target, cycles());
   auto it = std::lower_bound(live_levels_.begin(), live_levels_.end(), now_);
@@ -494,6 +555,7 @@ void BatchedCompiledEngine::run(sim::Cycle n) {
 
 void BatchedCompiledEngine::run_all() {
   run(cycles() > now_ ? cycles() - now_ : 0);
+  notify_end();
 }
 
 Divergence BatchedCompiledEngine::verify_outputs(std::uint32_t lane) const {

@@ -131,9 +131,24 @@ class BatchedCompiledEngine {
     return fallback_levels_;
   }
 
+  /// Activity accounting so far, in op-lane executions (ops × lanes) like
+  /// ops_executed(), matching CompiledEngine::result()'s shape.
+  [[nodiscard]] ReplayResult result() const noexcept {
+    return {now_,     lanes_,   ops_executed_, levels_executed_,
+            levels_skipped_, mac_ops_, fold_ops_,     relax_ops_};
+  }
+
+  /// Attach a replay observer — the same contract as
+  /// CompiledEngine::add_observer: cycle 0 only, on_replay_begin fires at
+  /// attach and on every reset(), observed runs visit every level, the
+  /// detached path is unchanged.  on_level's slot image is lane-major.
+  void add_observer(ReplayObserver* obs);
+
  private:
   void exec_level(std::uint32_t level);
   void set_oracle_bound(std::uint32_t lane, bool bound);
+  void notify_level(sim::Cycle t);
+  void notify_end();
 
   const CompiledNetlist* net_;
   std::uint32_t lanes_;
@@ -156,9 +171,14 @@ class BatchedCompiledEngine {
   /// [level_run_off_[t], level_run_off_[t+1]).
   std::vector<std::uint32_t> level_run_off_;
   std::vector<std::uint32_t> live_levels_;
+  std::vector<ReplayObserver*> observers_;
   sim::Cycle now_ = 0;
   std::uint64_t ops_executed_ = 0;
+  std::uint64_t levels_executed_ = 0;
   std::uint64_t levels_skipped_ = 0;
+  std::uint64_t mac_ops_ = 0;
+  std::uint64_t fold_ops_ = 0;
+  std::uint64_t relax_ops_ = 0;
   std::uint64_t fallback_levels_ = 0;
 };
 

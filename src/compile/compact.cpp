@@ -33,8 +33,20 @@ CompactStats compact_slots(CompiledNetlist& net) {
   const TapeLiveness lv = compute_liveness(net);
   const std::vector<std::uint32_t>& base = lv.base;
   const std::vector<std::uint32_t>& extent = lv.extent;
-  const std::vector<std::uint32_t>& last = lv.last;
+  std::vector<std::uint32_t> last = lv.last;
   const auto cycles = static_cast<std::uint32_t>(net.cycles());
+
+  // Provenance binds sample their slot at the end of level stamp-1 (the
+  // VCD semantics in program.hpp), which can be after the op tape's own
+  // last read — an elided copy keeps the *old* slot bound until the next
+  // commit.  Extend each sampled group's range so the waveform adapters
+  // always read the index before it is recycled.  kPinned groups stay
+  // pinned (max() keeps the sentinel).
+  for (const ProvenanceBind& b : net.provenance.binds) {
+    if (b.stamp == 0 || b.slot >= n) continue;
+    const std::uint32_t g = base[b.slot];
+    last[g] = std::max(last[g], b.stamp - 1);
+  }
 
   // --- expiry schedule: non-pinned groups in last-touch order, released
   // just before the first level past their last touch begins.
@@ -104,6 +116,9 @@ CompactStats compact_slots(CompiledNetlist& net) {
   }
   for (SlotInit& si : net.init) si.slot = map(si.slot);
   for (Output& o : net.outputs) o.slot = map(o.slot);
+  // Carry the provenance table through the renaming: every bound slot is
+  // an init entry or an op destination, so it was acquired above.
+  for (ProvenanceBind& b : net.provenance.binds) b.slot = map(b.slot);
 
   net.num_slots = next_phys;
   net.stats.compacted = true;

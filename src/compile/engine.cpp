@@ -18,16 +18,62 @@ CompiledEngine::CompiledEngine(const CompiledNetlist& net) : net_(&net) {
   for (std::uint32_t t = 0; t + 1 < net.cycle_off.size(); ++t) {
     if (net.cycle_off[t + 1] > net.cycle_off[t]) live_levels_.push_back(t);
   }
+  level_kinds_.assign(net.cycles(), {0, 0, 0});
+  for (std::uint32_t t = 0; t + 1 < net.cycle_off.size(); ++t) {
+    for (std::uint32_t i = net.cycle_off[t]; i < net.cycle_off[t + 1]; ++i) {
+      ++level_kinds_[t][static_cast<std::size_t>(net.ops[i].kind)];
+    }
+  }
   reset();
+}
+
+void CompiledEngine::account_level(sim::Cycle t) {
+  ++levels_executed_;
+  const std::array<std::uint32_t, 3>& k = level_kinds_[t];
+  mac_ops_ += k[0];
+  fold_ops_ += k[1];
+  relax_ops_ += k[2];
+}
+
+void CompiledEngine::add_observer(ReplayObserver* obs) {
+  if (obs == nullptr) {
+    throw std::invalid_argument("CompiledEngine::add_observer: null observer");
+  }
+  if (now_ != 0) {
+    throw std::logic_error(
+        "CompiledEngine::add_observer: observers attach at cycle 0 only — "
+        "reset() first");
+  }
+  observers_.push_back(obs);
+  obs->on_replay_begin(*net_, slots_.data(), 1);
+}
+
+void CompiledEngine::notify_level(sim::Cycle t, std::uint32_t lo,
+                                  std::uint32_t hi) {
+  for (ReplayObserver* obs : observers_) {
+    obs->on_level(*net_, t, lo, hi, slots_.data(), 1);
+  }
+}
+
+void CompiledEngine::notify_end() {
+  if (observers_.empty() || now_ < cycles()) return;
+  for (ReplayObserver* obs : observers_) obs->on_replay_end(*net_);
 }
 
 void CompiledEngine::reset() {
   for (const SlotInit& in : net_->init) slots_[in.slot] = in.value;
   now_ = 0;
   ops_executed_ = 0;
+  levels_executed_ = 0;
   levels_skipped_ = 0;
+  mac_ops_ = 0;
+  fold_ops_ = 0;
+  relax_ops_ = 0;
   // The weight binding survives reset: a rebound engine replays its
   // instance again, exactly like an oracle-bound one replays the oracle's.
+  for (ReplayObserver* obs : observers_) {
+    obs->on_replay_begin(*net_, slots_.data(), 1);
+  }
 }
 
 void CompiledEngine::bind(std::vector<Cost> weights) {
@@ -120,7 +166,11 @@ void CompiledEngine::step() {
   if (now_ + 1 < net_->cycle_off.size()) {
     const std::uint32_t lo = net_->cycle_off[now_];
     const std::uint32_t hi = net_->cycle_off[now_ + 1];
-    if (hi > lo) exec_level_dispatch(lo, hi);
+    if (hi > lo) {
+      exec_level_dispatch(lo, hi);
+      account_level(now_);
+    }
+    if (!observers_.empty()) notify_level(now_, lo, hi);
   }
   ++now_;
 }
@@ -137,13 +187,23 @@ Divergence CompiledEngine::step_checked() {
                                   : exec_level<MinPlus, true, true>(lo, hi))
               : (weights_.empty() ? exec_level<MaxPlus, true, false>(lo, hi)
                                   : exec_level<MaxPlus, true, true>(lo, hi));
+      account_level(now_);
     }
+    if (!observers_.empty() && !d.found) notify_level(now_, lo, hi);
   }
   ++now_;
   return d;
 }
 
 void CompiledEngine::run(sim::Cycle n) {
+  // Observed replays visit every level: provenance bind events (elided
+  // register copies) land on levels with no ops, and the waveform sinks
+  // must hear them in order.  The detached path below is untouched.
+  if (!observers_.empty()) {
+    const sim::Cycle target = now_ + n;
+    while (now_ < target) step();
+    return;
+  }
   // Walk the skip-list from the current position: only the levels that
   // carry ops are visited, the empty stretches between them are accounted
   // once per run instead of one comparison per level.
@@ -153,6 +213,7 @@ void CompiledEngine::run(sim::Cycle n) {
   sim::Cycle from = now_;
   for (; it != live_levels_.end() && *it < end; ++it) {
     exec_level_dispatch(net_->cycle_off[*it], net_->cycle_off[*it + 1]);
+    account_level(*it);
     levels_skipped_ += *it - from;
     from = *it + 1;
   }
@@ -160,7 +221,10 @@ void CompiledEngine::run(sim::Cycle n) {
   now_ = target;
 }
 
-void CompiledEngine::run_all() { run(cycles() > now_ ? cycles() - now_ : 0); }
+void CompiledEngine::run_all() {
+  run(cycles() > now_ ? cycles() - now_ : 0);
+  notify_end();
+}
 
 sim::RunUntilResult CompiledEngine::run_until(
     const std::function<bool(const CompiledEngine&)>& done,
@@ -178,6 +242,7 @@ Divergence CompiledEngine::run_all_checked() {
     const Divergence d = step_checked();
     if (d.found) return d;
   }
+  notify_end();
   return {};
 }
 

@@ -14,6 +14,7 @@
 // design instance.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <string_view>
@@ -21,6 +22,7 @@
 
 #include "compile/aligned.hpp"
 #include "compile/program.hpp"
+#include "compile/replay_observer.hpp"
 #include "semiring/cost.hpp"
 #include "sim/engine.hpp"  // sim::RunUntilResult — one loop shape, two engines
 #include "sim/module.hpp"
@@ -79,6 +81,21 @@ class CompiledEngine {
     return *net_;
   }
 
+  /// Activity accounting so far: levels executed/skipped and the per-kind
+  /// op split, matching the interpreted RunResult fields bench_all reads.
+  [[nodiscard]] ReplayResult result() const noexcept {
+    return {now_,     1,        ops_executed_, levels_executed_,
+            levels_skipped_, mac_ops_, fold_ops_,     relax_ops_};
+  }
+
+  /// Attach a replay observer (borrowed; must outlive the engine).  Only
+  /// legal at cycle 0 — reset() first — mirroring sim::Engine's contract;
+  /// fires on_replay_begin immediately and again on every reset().  While
+  /// any observer is attached, run()/run_all() visit every level instead
+  /// of walking the non-empty skip-list, because provenance bind events
+  /// land on empty levels too; the detached path is unchanged.
+  void add_observer(ReplayObserver* obs);
+
   /// Install a per-instance weight table on a parameterised tape: op `i`
   /// replays with `weights[ops[i].param]` instead of the baked immediate.
   /// The schedule, slots and outputs' *locations* are unchanged — only the
@@ -118,6 +135,10 @@ class CompiledEngine {
   Divergence exec_level(std::uint32_t lo, std::uint32_t hi);
   void exec_level_dispatch(std::uint32_t lo, std::uint32_t hi);
   void require_oracle_binding(const char* site) const;
+  /// Per-kind accounting for the level at `t` (precomputed triples).
+  void account_level(sim::Cycle t);
+  void notify_level(sim::Cycle t, std::uint32_t lo, std::uint32_t hi);
+  void notify_end();
 
   const CompiledNetlist* net_;
   AlignedVec<Cost> slots_;
@@ -128,9 +149,17 @@ class CompiledEngine {
   /// construction: run()/run_all() iterate this instead of paying a
   /// per-level comparison on gated tapes' long empty stretches.
   std::vector<std::uint32_t> live_levels_;
+  /// Per-level op counts by kind (mac, fold, relax), precomputed at
+  /// construction so the executed-level accounting is three adds.
+  std::vector<std::array<std::uint32_t, 3>> level_kinds_;
+  std::vector<ReplayObserver*> observers_;
   sim::Cycle now_ = 0;
   std::uint64_t ops_executed_ = 0;
+  std::uint64_t levels_executed_ = 0;
   std::uint64_t levels_skipped_ = 0;
+  std::uint64_t mac_ops_ = 0;
+  std::uint64_t fold_ops_ = 0;
+  std::uint64_t relax_ops_ = 0;
   bool oracle_bound_ = true;
 };
 

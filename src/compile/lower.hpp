@@ -16,9 +16,11 @@
 // diagnostics) — the compiled program is the same netlist, flattened.
 #pragma once
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "analysis/netlist.hpp"
 #include "compile/compact.hpp"
@@ -71,6 +73,35 @@ template <typename R>
   }
 }
 
+/// Resolve the recorder's provenance lanes against the captured netlist:
+/// each lane's storage key is looked up among the declared storages, its
+/// label becomes the declared port label and its module the storage's
+/// first writer (or the environment node when nothing writes it).  Module
+/// names are interned first-seen into Provenance::modules, which fixes the
+/// compiled timeline's PE-row order.  Returns the number of lanes named.
+inline std::uint64_t resolve_provenance(Provenance& prov,
+                                        const std::vector<const void*>& keys,
+                                        const analysis::Netlist& netlist) {
+  std::uint64_t named = 0;
+  for (std::size_t i = 0; i < prov.lanes.size() && i < keys.size(); ++i) {
+    const std::uint32_t s = netlist.storage_of(keys[i]);
+    if (s == analysis::Netlist::npos) continue;
+    const analysis::Storage& storage = netlist.storages[s];
+    ProvenanceLane& lane = prov.lanes[i];
+    if (!storage.label.empty()) lane.label = storage.label;
+    lane.module = storage.writers.empty()
+                      ? netlist.node(netlist.environment).name
+                      : netlist.node(storage.writers.front()).name;
+    std::uint32_t id = 0;
+    while (id < prov.modules.size() && prov.modules[id] != lane.module) ++id;
+    if (id == prov.modules.size()) prov.modules.push_back(lane.module);
+    lane.module_id = id;
+    lane.named = true;
+    ++named;
+  }
+  return named;
+}
+
 }  // namespace detail
 
 /// Lower `arr` by oracle run.  The array must be fresh (never run); the
@@ -104,11 +135,8 @@ template <typename Array>
   out.net.stats.oracle_dense_evals = oracle.dense_evals();
   out.net.stats.oracle_busy_steps = detail::busy_steps_of(result);
   if (captured) {
-    for (const void* key : rec.lane_keys()) {
-      if (netlist.storage_of(key) != analysis::Netlist::npos) {
-        ++out.net.stats.named_lanes;
-      }
-    }
+    out.net.stats.named_lanes = detail::resolve_provenance(
+        out.net.provenance, rec.lane_key_table(), netlist);
   }
   if (out.net.cycles() != out.oracle_cycles) {
     throw std::logic_error(

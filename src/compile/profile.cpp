@@ -1,0 +1,83 @@
+#include "compile/profile.hpp"
+
+#include <algorithm>
+
+namespace sysdp::compile {
+
+void ReplayProfiler::on_replay_begin(const CompiledNetlist& net,
+                                     const Cost* slots, std::uint32_t lanes) {
+  (void)slots;
+  finish();
+  if (levels_.size() < net.cycles()) levels_.resize(net.cycles());
+  cur_ = {};
+  cur_.lanes = lanes == 0 ? 1 : lanes;
+  in_replay_ = true;
+  level_start_ = std::chrono::steady_clock::now();
+}
+
+void ReplayProfiler::on_level(const CompiledNetlist& net, sim::Cycle t,
+                              std::uint32_t lo, std::uint32_t hi,
+                              const Cost* slots, std::uint32_t lanes) {
+  (void)slots;
+  const auto now = std::chrono::steady_clock::now();
+  const auto ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now - level_start_)
+          .count());
+  level_start_ = now;
+  if (t >= levels_.size()) levels_.resize(t + 1);
+  LevelAgg& agg = levels_[t];
+  ++agg.visits;
+  agg.wall_ns += ns;
+  const std::uint64_t width = lanes == 0 ? 1 : lanes;
+  const std::uint64_t op_lanes = static_cast<std::uint64_t>(hi - lo) * width;
+  agg.ops += op_lanes;
+  for (std::uint32_t i = lo; i < hi; ++i) {
+    switch (net.ops[i].kind) {
+      case OpKind::kMac:
+        agg.mac_ops += width;
+        total_mac_ += width;
+        break;
+      case OpKind::kFold:
+        agg.fold_ops += width;
+        total_fold_ += width;
+        break;
+      case OpKind::kRelax:
+        agg.relax_ops += width;
+        total_relax_ += width;
+        break;
+    }
+  }
+  total_ops_ += op_lanes;
+  total_wall_ns_ += ns;
+  if (in_replay_) {
+    cur_.ops += op_lanes;
+    cur_.wall_ns += ns;
+    if (t + 1 > cur_.levels) cur_.levels = t + 1;
+  }
+}
+
+void ReplayProfiler::on_replay_end(const CompiledNetlist& net) {
+  (void)net;
+  finish();
+}
+
+void ReplayProfiler::finish() {
+  if (!in_replay_) return;
+  in_replay_ = false;
+  replays_.push_back(cur_);
+  cur_ = {};
+}
+
+double ReplayProfiler::replay_skew() const {
+  if (replays_.size() < 2) return 0.0;
+  std::vector<std::uint64_t> wall;
+  wall.reserve(replays_.size());
+  for (const Replay& r : replays_) wall.push_back(r.wall_ns);
+  std::sort(wall.begin(), wall.end());
+  const std::uint64_t median = wall[wall.size() / 2];
+  if (median == 0) return 0.0;
+  return static_cast<double>(wall.back() - wall.front()) /
+         static_cast<double>(median);
+}
+
+}  // namespace sysdp::compile

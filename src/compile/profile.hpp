@@ -1,0 +1,94 @@
+// ReplayProfiler: per-level / per-kernel profile of compiled replays.
+//
+// A ReplayObserver that aggregates, per dependency level, how many op-lane
+// executions of each kernel kind ran and how long the level took on the
+// wall clock, plus one record per replay (ops, lanes, levels, wall time).
+// Several replays through one profiler accumulate: per-level aggregates
+// sum across replays (visits counts how many), and the per-replay records
+// are what the batched lane-skew figure and the latency histograms in
+// obs::MetricsRegistry are computed from.
+//
+// Counts are deterministic functions of the tape and the replay schedule;
+// wall times are not — the sysdp-profile-v1 exporter in src/obs can omit
+// them (ProfileJsonOptions) so telemetry-determinism tests can compare
+// documents byte for byte.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "compile/replay_observer.hpp"
+
+namespace sysdp::compile {
+
+class ReplayProfiler final : public ReplayObserver {
+ public:
+  /// Aggregate over every visit of one dependency level.
+  struct LevelAgg {
+    std::uint64_t visits = 0;    ///< replays that stepped this level
+    std::uint64_t ops = 0;       ///< op-lane executions, summed
+    std::uint64_t mac_ops = 0;
+    std::uint64_t fold_ops = 0;
+    std::uint64_t relax_ops = 0;
+    std::uint64_t wall_ns = 0;   ///< summed level wall time
+  };
+
+  /// One completed (or in-flight-finalised) replay.
+  struct Replay {
+    std::uint32_t lanes = 1;
+    sim::Cycle levels = 0;       ///< levels observed
+    std::uint64_t ops = 0;       ///< op-lane executions
+    std::uint64_t wall_ns = 0;
+  };
+
+  void on_replay_begin(const CompiledNetlist& net, const Cost* slots,
+                       std::uint32_t lanes) override;
+  void on_level(const CompiledNetlist& net, sim::Cycle t, std::uint32_t lo,
+                std::uint32_t hi, const Cost* slots,
+                std::uint32_t lanes) override;
+  void on_replay_end(const CompiledNetlist& net) override;
+
+  /// Close the in-flight replay, if any.  Idempotent; also called by the
+  /// next on_replay_begin, so interleaved reset()/run_all() sequences
+  /// record one Replay each without explicit bookkeeping.
+  void finish();
+
+  [[nodiscard]] const std::vector<LevelAgg>& levels() const noexcept {
+    return levels_;
+  }
+  [[nodiscard]] const std::vector<Replay>& replays() const noexcept {
+    return replays_;
+  }
+  [[nodiscard]] std::uint64_t total_ops() const noexcept { return total_ops_; }
+  [[nodiscard]] std::uint64_t total_mac() const noexcept { return total_mac_; }
+  [[nodiscard]] std::uint64_t total_fold() const noexcept {
+    return total_fold_;
+  }
+  [[nodiscard]] std::uint64_t total_relax() const noexcept {
+    return total_relax_;
+  }
+  [[nodiscard]] std::uint64_t total_wall_ns() const noexcept {
+    return total_wall_ns_;
+  }
+
+  /// Relative spread of replay wall times, (max - min) / median, over the
+  /// closed replays — the per-lane skew proxy for batched runs, where the
+  /// SIMD lanes advance in lockstep and the variation shows up across
+  /// replays rather than inside one.  0 with fewer than two replays.
+  [[nodiscard]] double replay_skew() const;
+
+ private:
+  std::vector<LevelAgg> levels_;
+  std::vector<Replay> replays_;
+  Replay cur_;
+  bool in_replay_ = false;
+  std::uint64_t total_ops_ = 0;
+  std::uint64_t total_mac_ = 0;
+  std::uint64_t total_fold_ = 0;
+  std::uint64_t total_relax_ = 0;
+  std::uint64_t total_wall_ns_ = 0;
+  std::chrono::steady_clock::time_point level_start_{};
+};
+
+}  // namespace sysdp::compile

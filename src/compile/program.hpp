@@ -94,6 +94,62 @@ struct Output {
   Cost expected = 0;
 };
 
+/// One provenance lane: a design storage key the oracle run narrated,
+/// resolved to its writer module and declared port label when lowering
+/// captured the analysis netlist (LowerOptions::capture_netlist).  Lanes
+/// whose key matched no declared storage keep a synthetic "lane<N>" label
+/// and stay unnamed — the waveform layer skips them so every emitted
+/// signal name also exists in the interpreted run's VCD.
+struct ProvenanceLane {
+  std::string module;  ///< writer module name; empty when unresolved
+  std::string label;   ///< declared port label; "lane<N>" when unresolved
+  /// Index into Provenance::modules, or Provenance::kNone when unresolved.
+  std::uint32_t module_id = 0xffffffffu;
+  bool named = false;  ///< resolved against the captured netlist
+};
+
+/// One binding event: at VCD time `stamp`, the design register behind
+/// `lane` started holding the value in tape slot `slot`.  Stamp 0 is the
+/// pre-cycle-0 reset state (obs::VcdSink's `#0` initial dump); stamp t+1
+/// is a binding committed at the end of cycle t, matching the interpreted
+/// VCD's change stamps exactly.  Sampling `slot` at the end of level
+/// stamp-1 (or the initial image, for stamp 0) therefore reproduces the
+/// register's waveform — live-range compaction extends slot lifetimes so
+/// the sample is always taken before the slot index is recycled.
+struct ProvenanceBind {
+  std::uint32_t stamp = 0;
+  std::uint32_t lane = 0;
+  sim::SlotId slot = 0;
+};
+
+/// The slot→port provenance table: which design module and described port
+/// each tape slot and op originated from.  Emitted by the recorder during
+/// lowering, name-resolved against the captured analysis netlist, and
+/// carried through compaction via the live-range remap — the compiled
+/// backend's link from flat slot indices back to the signal names the
+/// interpreted observers (obs::VcdSink, obs::TimelineSink) report.
+struct Provenance {
+  static constexpr std::uint32_t kNone = 0xffffffffu;
+
+  /// Distinct writer-module names, in first-seen lane order.  The
+  /// compiled timeline treats each module as one PE row.
+  std::vector<std::string> modules;
+  std::vector<ProvenanceLane> lanes;
+  /// Sorted by stamp (stable: narration order within one stamp).
+  std::vector<ProvenanceBind> binds;
+  /// Per-op provenance lane (parallel to CompiledNetlist::ops): the lane
+  /// the op's destination slot was first bound to, or kNone for
+  /// intermediates no register ever held (e.g. partial fold results).
+  std::vector<std::uint32_t> op_lane;
+
+  [[nodiscard]] bool empty() const noexcept { return lanes.empty(); }
+  /// Module id op `i` is attributed to, via its destination lane.
+  [[nodiscard]] std::uint32_t module_of_op(std::uint64_t i) const noexcept {
+    if (i >= op_lane.size() || op_lane[i] == kNone) return kNone;
+    return lanes[op_lane[i]].module_id;
+  }
+};
+
 /// Lowering statistics — what the flattening bought.
 struct TapeStats {
   std::uint64_t copies_elided = 0;   ///< register writes with no tape op
@@ -140,6 +196,10 @@ struct CompiledNetlist {
   /// the oracle binding only.
   bool parameterised = false;
   std::vector<Cost> params;
+  /// Slot→port provenance table (empty when lowering recorded none, e.g.
+  /// hand-built or fuzzed tapes — every consumer treats empty as "no
+  /// provenance", never as an error).
+  Provenance provenance;
   TapeStats stats;
 
   [[nodiscard]] sim::Cycle cycles() const noexcept {

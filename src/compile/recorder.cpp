@@ -1,5 +1,6 @@
 #include "compile/recorder.hpp"
 
+#include <algorithm>
 #include <limits>
 #include <stdexcept>
 
@@ -23,7 +24,30 @@ sim::SlotId Recorder::alloc(Cost value) {
   }
   concrete_.push_back(value);
   pair_head_.push_back(0);
+  slot_op_.push_back(Provenance::kNone);
   return static_cast<sim::SlotId>(concrete_.size() - 1);
+}
+
+void Recorder::record_bind(const void* key, sim::SlotId slot,
+                           std::uint32_t stamp) {
+  auto [it, inserted] =
+      lane_id_.emplace(key, static_cast<std::uint32_t>(lane_key_of_.size()));
+  if (inserted) {
+    lane_key_of_.push_back(key);
+    lane_slot_.push_back(Provenance::kNone);
+  }
+  const std::uint32_t lane = it->second;
+  // Rebinding a lane to the slot it already points at carries no waveform
+  // information — skip the event, mirroring the copy-elision dedup.
+  if (lane_slot_[lane] == slot) return;
+  lane_slot_[lane] = slot;
+  binds_.push_back({stamp, lane, slot});
+  // First-bind-wins op attribution: the op that defined this slot belongs
+  // to the module whose register first captures its result.
+  const std::uint32_t def = slot_op_[slot];
+  if (def != Provenance::kNone && op_lane_[def] == Provenance::kNone) {
+    op_lane_[def] = lane;
+  }
 }
 
 Cost Recorder::concrete(sim::SlotId slot, const char* site) const {
@@ -77,9 +101,11 @@ sim::SlotId Recorder::lane(const void* key, std::int64_t live) {
     return it->second;
   }
   // First touch: the oracle observed this lane's reset value — intern it,
-  // so initial state is captured without any per-array bookkeeping.
+  // so initial state is captured without any per-array bookkeeping.  The
+  // bind carries stamp 0: the register has held this value since reset.
   const sim::SlotId s = constant(live);
   bound_.emplace(key, s);
+  record_bind(key, s, 0);
   return s;
 }
 
@@ -97,6 +123,7 @@ sim::SlotId Recorder::lane_pair(const void* key, std::int64_t live,
   }
   const sim::SlotId s = constant_pair(live, arg);
   bound_.emplace(key, s);
+  record_bind(key, s, 0);
   return s;
 }
 
@@ -117,6 +144,9 @@ void Recorder::bind_now(const void* key, sim::SlotId slot) {
     if (it->second != slot) ++copies_elided_;
     it->second = slot;
   }
+  // During cycle t the cycle index holds t+1 entries, so this stamp is
+  // t+1 — the VCD time at which the interpreted run reports the change.
+  record_bind(key, slot, static_cast<std::uint32_t>(cycle_off_.size()));
 }
 
 void Recorder::bind_staged(const void* key, sim::SlotId slot) {
@@ -131,6 +161,8 @@ sim::SlotId Recorder::mac(sim::SlotId base, std::int64_t w, sim::SlotId x) {
   ops_.push_back({dst, base, x, 0, w, OpKind::kMac,
                   static_cast<std::uint32_t>(ops_.size())});
   expected_.push_back(result);
+  slot_op_[dst] = static_cast<std::uint32_t>(ops_.size() - 1);
+  op_lane_.push_back(Provenance::kNone);
   return dst;
 }
 
@@ -144,6 +176,8 @@ sim::SlotId Recorder::fold(sim::SlotId best, sim::SlotId left,
   ops_.push_back({dst, best, left, right, local, OpKind::kFold,
                   static_cast<std::uint32_t>(ops_.size())});
   expected_.push_back(result);
+  slot_op_[dst] = static_cast<std::uint32_t>(ops_.size() - 1);
+  op_lane_.push_back(Provenance::kNone);
   return dst;
 }
 
@@ -161,6 +195,8 @@ sim::SlotId Recorder::relax(sim::SlotId pair, sim::SlotId kh,
   ops_.push_back({dst, pair, kh, static_cast<sim::SlotId>(station), edge,
                   OpKind::kRelax, static_cast<std::uint32_t>(ops_.size())});
   expected_.push_back(concrete_[dst]);
+  slot_op_[dst] = static_cast<std::uint32_t>(ops_.size() - 1);
+  op_lane_.push_back(Provenance::kNone);
   return dst;
 }
 
@@ -189,12 +225,15 @@ void Recorder::on_cycle(const sim::Engine& engine, sim::Cycle t) {
   (void)t;
   // The commit edge: staged rebinds become visible, in narration order
   // (each lane is staged at most once per cycle by two-phase discipline).
+  // Bind stamps are taken before the level closes, so a commit during
+  // cycle t lands at stamp t+1 like the bind_now path.
   for (const auto& [key, slot] : staged_) {
     const auto [it, inserted] = bound_.emplace(key, slot);
     if (!inserted) {
       if (it->second != slot) ++copies_elided_;
       it->second = slot;
     }
+    record_bind(key, slot, static_cast<std::uint32_t>(cycle_off_.size()));
   }
   staged_.clear();
   cycle_off_.push_back(static_cast<std::uint32_t>(ops_.size()));
@@ -232,6 +271,21 @@ CompiledNetlist Recorder::finish(bool parameterise) {
     net.params.reserve(net.ops.size());
     for (const Op& op : net.ops) net.params.push_back(op.w);
   }
+  // Provenance plane: unresolved lane records (lowering resolves names
+  // against the captured netlist once the oracle run is sealed), bind
+  // events sorted by stamp (stable, so narration order survives within
+  // one stamp — first-touch stamp-0 events arrive out of order), and the
+  // per-op lane attribution.
+  net.provenance.lanes.resize(lane_key_of_.size());
+  for (std::size_t i = 0; i < net.provenance.lanes.size(); ++i) {
+    net.provenance.lanes[i].label = "lane" + std::to_string(i);
+  }
+  std::stable_sort(binds_.begin(), binds_.end(),
+                   [](const ProvenanceBind& a, const ProvenanceBind& b) {
+                     return a.stamp < b.stamp;
+                   });
+  net.provenance.binds = std::move(binds_);
+  net.provenance.op_lane = std::move(op_lane_);
   net.stats.copies_elided = copies_elided_;
   net.stats.consts_interned = consts_interned_;
   net.stats.lanes_bound = bound_.size();

@@ -63,6 +63,13 @@ class Recorder final : public sim::OpRecorder, public sim::EngineObserver {
   /// Distinct storage keys narrated so far (for netlist name matching).
   [[nodiscard]] std::vector<const void*> lane_keys() const;
 
+  /// Storage key per provenance lane, indexed by lane id.  Valid after
+  /// finish() too — lowering resolves lane names against the captured
+  /// netlist once the tape is sealed.
+  [[nodiscard]] const std::vector<const void*>& lane_key_table() const {
+    return lane_key_of_;
+  }
+
   /// Seal the tape.  Call after the oracle run completes; the recorder is
   /// spent afterwards.  With `parameterise`, the tape additionally carries
   /// its parameter plane (one weight parameter per op, initialised to the
@@ -73,6 +80,10 @@ class Recorder final : public sim::OpRecorder, public sim::EngineObserver {
   sim::SlotId alloc(Cost concrete);
   [[nodiscard]] Cost concrete(sim::SlotId slot, const char* site) const;
   void check_live(sim::SlotId slot, std::int64_t live, const char* site) const;
+  /// Provenance: lane id for `key` (interning on first sight), one bind
+  /// event at `stamp`, and first-bind-wins op attribution via the bound
+  /// slot's defining op.
+  void record_bind(const void* key, sim::SlotId slot, std::uint32_t stamp);
 
   std::vector<Cost> concrete_;          ///< shadow value per slot
   std::vector<std::uint8_t> pair_head_; ///< slot is the value half of a pair
@@ -89,6 +100,15 @@ class Recorder final : public sim::OpRecorder, public sim::EngineObserver {
   std::map<std::pair<std::string, std::uint64_t>, std::size_t> output_index_;
   std::uint64_t copies_elided_ = 0;
   std::uint64_t consts_interned_ = 0;
+  // Provenance plane: lane interning, bind events in narration order
+  // (stamp 0 = reset, stamp t+1 = committed at end of cycle t), the
+  // defining op of each slot, and the lane each op's dst first bound to.
+  std::unordered_map<const void*, std::uint32_t> lane_id_;
+  std::vector<const void*> lane_key_of_;
+  std::vector<std::uint32_t> lane_slot_;  ///< last recorded slot per lane
+  std::vector<ProvenanceBind> binds_;
+  std::vector<std::uint32_t> slot_op_;  ///< defining op per slot, or kNone
+  std::vector<std::uint32_t> op_lane_;  ///< parallel to ops_
   bool finished_ = false;
 };
 

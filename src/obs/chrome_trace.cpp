@@ -16,6 +16,48 @@ void ChromeTraceWriter::push(std::string json) {
     return;
   }
   events_.push_back(std::move(json));
+  if (stream_.is_open()) {
+    stream_ << (streamed_ == 0 ? "\n" : ",\n") << events_.back();
+    stream_.flush();
+    ++streamed_;
+  }
+}
+
+ChromeTraceWriter::~ChromeTraceWriter() {
+  // Best-effort envelope close; errors are deliberately swallowed here —
+  // use close() for a reporting shutdown.
+  if (stream_.is_open()) {
+    try {
+      close();
+    } catch (const std::runtime_error&) {  // NOLINT(bugprone-empty-catch)
+    }
+  }
+}
+
+void ChromeTraceWriter::stream_to(const std::string& path) {
+  stream_.open(path, std::ios::binary | std::ios::trunc);
+  if (!stream_) {
+    throw std::runtime_error("ChromeTraceWriter::stream_to: cannot open " +
+                             path);
+  }
+  stream_ << "{\"traceEvents\": [";
+  // Catch up on events pushed before streaming started.
+  for (const std::string& e : events_) {
+    stream_ << (streamed_ == 0 ? "\n" : ",\n") << e;
+    ++streamed_;
+  }
+  stream_.flush();
+}
+
+void ChromeTraceWriter::close() {
+  if (!stream_.is_open()) return;
+  stream_ << "\n], \"displayTimeUnit\": \"ms\", \"otherData\": "
+             "{\"dropped_events\": " +
+                 std::to_string(dropped_) + "}}\n";
+  stream_.close();
+  if (stream_.fail()) {
+    throw std::runtime_error("ChromeTraceWriter::close: write failed");
+  }
 }
 
 void ChromeTraceWriter::complete_event(const std::string& name,

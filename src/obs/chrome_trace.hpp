@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <fstream>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -32,6 +33,25 @@ class ChromeTraceWriter {
  public:
   explicit ChromeTraceWriter(std::size_t max_events = 1 << 20)
       : max_events_(max_events) {}
+  ChromeTraceWriter(const ChromeTraceWriter&) = delete;
+  ChromeTraceWriter& operator=(const ChromeTraceWriter&) = delete;
+  ChromeTraceWriter(ChromeTraceWriter&&) = delete;
+  ChromeTraceWriter& operator=(ChromeTraceWriter&&) = delete;
+  /// A streaming writer closes the JSON envelope here, so the file on
+  /// disk parses even when a run throws mid-trace.
+  ~ChromeTraceWriter();
+
+  /// Stream the document to `path` incrementally: events are teed to the
+  /// file as they are pushed, and close() (or the destructor) writes the
+  /// closing envelope — so a run that throws still leaves a parseable
+  /// trace of everything recorded before the failure.  Throws
+  /// std::runtime_error if the file cannot be opened.
+  void stream_to(const std::string& path);
+
+  /// Finish the envelope, flush and close; reports I/O errors by
+  /// exception (the destructor closes silently instead).  No-op when not
+  /// streaming.  No events can be streamed after close().
+  void close();
 
   /// Complete event (ph "X"): a [ts, ts+dur) span on (pid, tid).
   /// Timestamps are microseconds, as the trace-event format specifies.
@@ -62,6 +82,8 @@ class ChromeTraceWriter {
   std::size_t max_events_;
   std::uint64_t dropped_ = 0;
   std::vector<std::string> events_;  ///< pre-rendered JSON objects
+  std::ofstream stream_;
+  std::size_t streamed_ = 0;  ///< events already teed to the stream
 };
 
 /// Thread-safe sim::PoolObserver that buffers spans for later export.

@@ -9,10 +9,57 @@
 
 namespace sysdp::obs {
 
+std::uint64_t Histogram::quantile(double q) const {
+  if (count_ == 0) return 0;
+  const double clamped = q < 0.0 ? 0.0 : (q > 1.0 ? 1.0 : q);
+  auto rank = static_cast<std::uint64_t>(clamped * static_cast<double>(count_));
+  if (static_cast<double>(rank) < clamped * static_cast<double>(count_)) {
+    ++rank;  // ceil
+  }
+  if (rank == 0) rank = 1;
+  std::uint64_t acc = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    acc += buckets_[b];
+    if (acc >= rank) {
+      const std::uint64_t upper =
+          b == 0 ? 0
+                 : (b >= 64 ? max_
+                            : (std::uint64_t{1} << b) - 1);
+      return std::min(std::max(upper, min_), max_);
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::to_json() const {
+  std::string out = "{\"count\": " + std::to_string(count_) +
+                    ", \"sum\": " + std::to_string(sum_) +
+                    ", \"min\": " + std::to_string(min_) +
+                    ", \"max\": " + std::to_string(max_) +
+                    ", \"p50\": " + std::to_string(quantile(0.50)) +
+                    ", \"p90\": " + std::to_string(quantile(0.90)) +
+                    ", \"p99\": " + std::to_string(quantile(0.99)) +
+                    ", \"buckets\": [";
+  bool first = true;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    if (buckets_[b] == 0) continue;
+    if (!first) out += ", ";
+    first = false;
+    const std::uint64_t upper =
+        b == 0 ? 0
+               : (b >= 64 ? max_ : (std::uint64_t{1} << b) - 1);
+    out += "[" + std::to_string(upper) + ", " + std::to_string(buckets_[b]) +
+           "]";
+  }
+  out += "]}";
+  return out;
+}
+
 std::string MetricsRegistry::to_text() const {
   std::size_t width = 0;
   for (const auto& kv : counters_) width = std::max(width, kv.first.size());
   for (const auto& kv : gauges_) width = std::max(width, kv.first.size());
+  for (const auto& kv : histograms_) width = std::max(width, kv.first.size());
   std::string out;
   for (const auto& [name, value] : counters_) {
     out += name;
@@ -24,6 +71,15 @@ std::string MetricsRegistry::to_text() const {
     out += name;
     out.append(width - name.size() + 2, ' ');
     out += json_double(value);
+    out += '\n';
+  }
+  for (const auto& [name, hist] : histograms_) {
+    out += name;
+    out.append(width - name.size() + 2, ' ');
+    out += "count=" + std::to_string(hist.count()) +
+           " p50=" + std::to_string(hist.quantile(0.50)) +
+           " p90=" + std::to_string(hist.quantile(0.90)) +
+           " p99=" + std::to_string(hist.quantile(0.99));
     out += '\n';
   }
   return out;
@@ -44,16 +100,29 @@ std::string MetricsRegistry::to_json() const {
     first = false;
     out += '"' + json_escape(name) + "\": " + json_double(value);
   }
-  out += "}}";
+  out += "}";
+  if (!histograms_.empty()) {
+    out += ", \"histograms\": {";
+    first = true;
+    for (const auto& [name, hist] : histograms_) {
+      if (!first) out += ", ";
+      first = false;
+      out += '"' + json_escape(name) + "\": " + hist.to_json();
+    }
+    out += "}";
+  }
+  out += "}";
   return out;
 }
 
-std::string metrics_v1_json(const std::string& design,
-                            const MetricsRegistry& registry,
-                            const TimelineSink* timeline) {
-  std::string out = "{\n  \"schema\": \"sysdp-metrics-v1\",\n  \"design\": \"" +
-                    json_escape(design) + "\",\n  \"metrics\": " +
-                    registry.to_json();
+std::string metrics_json(const std::string& design,
+                         const MetricsRegistry& registry,
+                         const TimelineSink* timeline) {
+  const char* schema =
+      registry.histograms().empty() ? "sysdp-metrics-v1" : "sysdp-metrics-v2";
+  std::string out = std::string("{\n  \"schema\": \"") + schema +
+                    "\",\n  \"design\": \"" + json_escape(design) +
+                    "\",\n  \"metrics\": " + registry.to_json();
   if (timeline != nullptr) {
     out += ",\n  \"timeline\": " + timeline->to_json();
   }

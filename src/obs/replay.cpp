@@ -1,0 +1,307 @@
+#include "obs/replay.hpp"
+
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/json_util.hpp"
+
+namespace sysdp::obs {
+
+namespace {
+
+using compile::Provenance;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ReplayVcdSink
+
+ReplayVcdSink::ReplayVcdSink(std::string top, std::uint32_t lane,
+                             VcdOptions options)
+    : top_(std::move(top)), lane_(lane), options_(std::move(options)) {}
+
+void ReplayVcdSink::on_replay_begin(const compile::CompiledNetlist& net,
+                                    const Cost* slots, std::uint32_t lanes) {
+  if (lane_ >= lanes) {
+    throw std::out_of_range("ReplayVcdSink: lane " + std::to_string(lane_) +
+                            " out of range for " + std::to_string(lanes) +
+                            "-lane replay");
+  }
+  // A fresh (or restarted) document.
+  header_.clear();
+  body_.clear();
+  probes_.clear();
+  next_bind_ = 0;
+  const Provenance& prov = net.provenance;
+  probe_of_lane_.assign(prov.lanes.size(), npos);
+
+  header_ = "$version sysdp obs::ReplayVcdSink $end\n$timescale " +
+            options_.timescale + " $end\n$scope module " +
+            VcdSink::sanitize(top_) + " $end\n";
+  // Group probes by provenance module, in module-id order — the same
+  // one-scope-per-module shape (and the same sanitizer and value encoding)
+  // as the interpreted VcdSink, so documents diff cleanly side by side.
+  for (std::uint32_t m = 0; m < prov.modules.size(); ++m) {
+    std::string vars;
+    for (std::uint32_t i = 0; i < prov.lanes.size(); ++i) {
+      const compile::ProvenanceLane& lane = prov.lanes[i];
+      if (!lane.named || lane.module_id != m) continue;
+      Probe probe;
+      probe.id = VcdSink::id_code(probes_.size());
+      probe.name = VcdSink::sanitize(lane.label);
+      vars += "  $var integer 64 " + probe.id + " " + probe.name + " $end\n";
+      probe_of_lane_[i] = static_cast<std::uint32_t>(probes_.size());
+      probes_.push_back(std::move(probe));
+    }
+    if (!vars.empty()) {
+      header_ += " $scope module " + VcdSink::sanitize(prov.modules[m]) +
+                 " $end\n" + vars + " $upscope $end\n";
+    }
+  }
+  header_ += "$upscope $end\n$enddefinitions $end\n";
+
+  // Initial dump: stamp-0 binds are the pre-cycle-0 reset state.  Probes
+  // whose register has no stamp-0 bind start unknown ("bx"), exactly what
+  // a waveform viewer shows for an undriven net.
+  while (next_bind_ < prov.binds.size() &&
+         prov.binds[next_bind_].stamp == 0) {
+    const compile::ProvenanceBind& b = prov.binds[next_bind_++];
+    const std::uint32_t p = probe_of_lane_[b.lane];
+    if (p == npos) continue;
+    probes_[p].last = slots[static_cast<std::size_t>(b.slot) * lanes + lane_];
+    probes_[p].known = true;
+  }
+  body_ = "#0\n$dumpvars\n";
+  for (const Probe& probe : probes_) {
+    if (probe.known) {
+      VcdSink::append_value(body_, probe.last, probe.id);
+    } else {
+      body_ += "bx " + probe.id + "\n";
+    }
+  }
+  body_ += "$end\n";
+}
+
+void ReplayVcdSink::on_level(const compile::CompiledNetlist& net, sim::Cycle t,
+                             std::uint32_t lo, std::uint32_t hi,
+                             const Cost* slots, std::uint32_t lanes) {
+  (void)lo;
+  (void)hi;
+  const Provenance& prov = net.provenance;
+  bool stamped = false;
+  // Binds are sorted by stamp; stamp t+1 is a commit at the end of cycle
+  // t, sampled here after the level executed — the same clock-edge
+  // semantics as the interpreted sink's on_cycle dump.
+  while (next_bind_ < prov.binds.size() &&
+         prov.binds[next_bind_].stamp <= t + 1) {
+    const compile::ProvenanceBind& b = prov.binds[next_bind_++];
+    const std::uint32_t p = probe_of_lane_[b.lane];
+    if (p == npos) continue;
+    const Cost v = slots[static_cast<std::size_t>(b.slot) * lanes + lane_];
+    if (probes_[p].known && v == probes_[p].last) continue;
+    if (!stamped) {
+      body_ += '#';
+      body_ += std::to_string(t + 1);
+      body_ += '\n';
+      stamped = true;
+    }
+    probes_[p].last = v;
+    probes_[p].known = true;
+    VcdSink::append_value(body_, v, probes_[p].id);
+  }
+}
+
+std::vector<std::string> ReplayVcdSink::signal_names() const {
+  std::vector<std::string> names;
+  names.reserve(probes_.size());
+  for (const Probe& probe : probes_) names.push_back(probe.name);
+  return names;
+}
+
+void ReplayVcdSink::write_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw std::runtime_error("ReplayVcdSink: cannot open " + path);
+  }
+  out << header_ << body_;
+  if (!out) {
+    throw std::runtime_error("ReplayVcdSink: write failed for " + path);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ReplayTimelineSink
+
+ReplayTimelineSink::ReplayTimelineSink(sim::Cycle bucket_cycles)
+    : bucket_(bucket_cycles) {}
+
+void ReplayTimelineSink::on_replay_begin(const compile::CompiledNetlist& net,
+                                         const Cost* slots,
+                                         std::uint32_t lanes) {
+  (void)slots;
+  (void)lanes;
+  const Provenance& prov = net.provenance;
+  num_modules_ = static_cast<std::uint32_t>(prov.modules.size());
+  // One extra row only when some op actually needs it, so fully-attributed
+  // tapes render exactly one PE per design module.
+  unattributed_row_ = false;
+  for (std::uint64_t i = 0; i < net.num_ops(); ++i) {
+    if (prov.module_of_op(i) >= num_modules_) {
+      unattributed_row_ = true;
+      break;
+    }
+  }
+  names_.assign(prov.modules.begin(), prov.modules.end());
+  if (unattributed_row_) names_.emplace_back("(unattributed)");
+  busy_.assign(names_.size(), 0);
+  timeline_ = std::make_unique<TimelineSink>(
+      names_.size(), [this](std::size_t pe) { return busy_[pe]; }, bucket_);
+}
+
+void ReplayTimelineSink::on_level(const compile::CompiledNetlist& net,
+                                  sim::Cycle t, std::uint32_t lo,
+                                  std::uint32_t hi, const Cost* slots,
+                                  std::uint32_t lanes) {
+  (void)t;
+  (void)slots;
+  const Provenance& prov = net.provenance;
+  for (std::uint32_t i = lo; i < hi; ++i) {
+    std::uint32_t idx = prov.module_of_op(i);
+    if (idx >= num_modules_) idx = num_modules_;  // the unattributed row
+    busy_[idx] += lanes;
+  }
+  timeline_->advance();
+}
+
+void ReplayTimelineSink::finalize() {
+  if (timeline_) timeline_->finalize();
+}
+
+std::uint64_t ReplayTimelineSink::aggregate_busy() const {
+  return timeline_ ? timeline_->aggregate_busy() : 0;
+}
+
+double ReplayTimelineSink::utilization() const {
+  return timeline_ ? timeline_->utilization() : 0.0;
+}
+
+const TimelineSink& ReplayTimelineSink::timeline() const {
+  if (!timeline_) {
+    throw std::logic_error("ReplayTimelineSink: no replay has begun");
+  }
+  return *timeline_;
+}
+
+// ---------------------------------------------------------------------------
+// sysdp-profile-v1
+
+std::string profile_json(const std::string& design,
+                         const compile::CompiledNetlist& net,
+                         const compile::ReplayProfiler& profiler,
+                         const ProfileJsonOptions& options) {
+  std::string out = "{\"schema\": \"sysdp-profile-v1\", \"design\": \"" +
+                    json_escape(design) + "\",\n";
+  out += " \"tape\": {\"ops\": " + std::to_string(net.num_ops()) +
+         ", \"cycles\": " + std::to_string(net.cycles()) +
+         ", \"slots\": " + std::to_string(net.num_slots) +
+         ", \"compacted\": " + (net.compacted() ? "true" : "false") +
+         ", \"params\": " + std::to_string(net.num_params()) +
+         ", \"provenance_lanes\": " +
+         std::to_string(net.provenance.lanes.size()) +
+         ", \"provenance_modules\": " +
+         std::to_string(net.provenance.modules.size()) + "},\n";
+  out += " \"totals\": {\"ops\": " + std::to_string(profiler.total_ops()) +
+         ", \"mac\": " + std::to_string(profiler.total_mac()) +
+         ", \"fold\": " + std::to_string(profiler.total_fold()) +
+         ", \"relax\": " + std::to_string(profiler.total_relax()) + "},\n";
+
+  out += " \"replays\": [";
+  const auto& replays = profiler.replays();
+  for (std::size_t i = 0; i < replays.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "{\"lanes\": " + std::to_string(replays[i].lanes) +
+           ", \"levels\": " + std::to_string(replays[i].levels) +
+           ", \"ops\": " + std::to_string(replays[i].ops);
+    if (options.include_timing) {
+      out += ", \"wall_ns\": " + std::to_string(replays[i].wall_ns);
+    }
+    out += '}';
+  }
+  out += "],\n";
+
+  // Only levels some replay actually visited with work; dense tapes keep
+  // every level, gated phases collapse to the few live ones.
+  out += " \"levels\": [";
+  const auto& levels = profiler.levels();
+  bool first = true;
+  for (std::size_t t = 0; t < levels.size(); ++t) {
+    const auto& agg = levels[t];
+    if (agg.ops == 0) continue;
+    if (!first) out += ",\n  ";
+    first = false;
+    out += "{\"level\": " + std::to_string(t) +
+           ", \"visits\": " + std::to_string(agg.visits) +
+           ", \"ops\": " + std::to_string(agg.ops) +
+           ", \"mac\": " + std::to_string(agg.mac_ops) +
+           ", \"fold\": " + std::to_string(agg.fold_ops) +
+           ", \"relax\": " + std::to_string(agg.relax_ops);
+    if (options.include_timing) {
+      out += ", \"wall_ns\": " + std::to_string(agg.wall_ns);
+    }
+    out += '}';
+  }
+  out += "]";
+
+  if (options.include_timing) {
+    Histogram wall;
+    for (const auto& r : replays) wall.record(r.wall_ns);
+    out += ",\n \"timing\": {\"total_wall_ns\": " +
+           std::to_string(profiler.total_wall_ns()) +
+           ", \"replay_wall_ns\": {\"p50\": " +
+           std::to_string(wall.quantile(0.50)) +
+           ", \"p90\": " + std::to_string(wall.quantile(0.90)) +
+           ", \"p99\": " + std::to_string(wall.quantile(0.99)) +
+           "}, \"replay_skew\": " + json_double(profiler.replay_skew()) + "}";
+  }
+  out += "}\n";
+  return out;
+}
+
+void profile_metrics(MetricsRegistry& registry,
+                     const compile::ReplayProfiler& profiler) {
+  for (const auto& r : profiler.replays()) {
+    registry.observe("replay.wall_ns", r.wall_ns);
+  }
+  for (const auto& agg : profiler.levels()) {
+    if (agg.visits > 0) registry.observe("replay.level_ns", agg.wall_ns);
+  }
+  registry.set_counter("replay.count", profiler.replays().size());
+  registry.set_counter("replay.ops", profiler.total_ops());
+  registry.set_counter("replay.mac_ops", profiler.total_mac());
+  registry.set_counter("replay.fold_ops", profiler.total_fold());
+  registry.set_counter("replay.relax_ops", profiler.total_relax());
+  registry.set_gauge("replay.skew", profiler.replay_skew());
+}
+
+void append_replay_trace(ChromeTraceWriter& writer, const std::string& name,
+                         const compile::ReplayProfiler& profiler,
+                         std::uint32_t pid) {
+  writer.process_name(pid, "compiled replay (" + name + ")");
+  writer.thread_name(pid, 0, "levels");
+  const auto& levels = profiler.levels();
+  for (std::size_t t = 0; t < levels.size(); ++t) {
+    if (levels[t].ops == 0) continue;
+    const double ts = static_cast<double>(t) * kCycleMicroseconds;
+    writer.complete_event("level " + std::to_string(t), "replay", pid, 0, ts,
+                          kCycleMicroseconds);
+    writer.counter_event("tape op-lanes", pid, ts, "ops",
+                         static_cast<std::int64_t>(levels[t].ops));
+  }
+  // Close the counter series so the last sample does not extend forever.
+  writer.counter_event("tape op-lanes", pid,
+                       static_cast<double>(levels.size()) * kCycleMicroseconds,
+                       "ops", 0);
+}
+
+}  // namespace sysdp::obs

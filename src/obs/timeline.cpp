@@ -23,14 +23,22 @@ TimelineSink::TimelineSink(std::size_t num_pes, BusyFn busy,
 
 void TimelineSink::on_elaborated(const sim::Engine& engine) {
   (void)engine;
-  // Re-baseline: elaboration may have reset the counters since
-  // construction, and nothing has run yet, so buckets stay empty.
-  for (std::size_t pe = 0; pe < prev_.size(); ++pe) prev_[pe] = busy_(pe);
+  begin();
 }
 
 void TimelineSink::on_cycle(const sim::Engine& engine, sim::Cycle t) {
   (void)engine;
   (void)t;
+  advance();
+}
+
+void TimelineSink::begin() {
+  // Re-baseline: elaboration may have reset the counters since
+  // construction, and nothing has run yet, so buckets stay empty.
+  for (std::size_t pe = 0; pe < prev_.size(); ++pe) prev_[pe] = busy_(pe);
+}
+
+void TimelineSink::advance() {
   ++cycles_;
   if (++in_bucket_ == bucket_) close_bucket();
 }

@@ -39,6 +39,13 @@ class TimelineSink final : public sim::EngineObserver {
   void on_elaborated(const sim::Engine& engine) override;
   void on_cycle(const sim::Engine& engine, sim::Cycle t) override;
 
+  /// Engine-free driving surface (the observer overrides delegate here):
+  /// the compiled-replay adapters (obs/replay.hpp) maintain their own busy
+  /// counters from tape provenance and have no sim::Engine to pass.
+  /// begin() re-baselines the counters; advance() records one cycle.
+  void begin();
+  void advance();
+
   /// Close the final (possibly partial) bucket.  Idempotent; str()-style
   /// accessors call it implicitly via the const overloads' contract that
   /// the run has ended.

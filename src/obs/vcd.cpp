@@ -20,6 +20,45 @@ constexpr std::size_t kIdRange = 94;
 VcdSink::VcdSink(std::string top, VcdOptions options)
     : top_(std::move(top)), options_(std::move(options)) {}
 
+VcdSink::~VcdSink() {
+  // Best-effort flush: the ofstream destructor closes the handle, and VCD
+  // is append-only, so whatever reached the stream is a valid document.
+  if (stream_.is_open()) flush_stream();
+}
+
+void VcdSink::stream_to(const std::string& path) {
+  stream_.open(path, std::ios::binary | std::ios::trunc);
+  if (!stream_) {
+    throw std::runtime_error("VcdSink::stream_to: cannot open " + path);
+  }
+  flush_stream();
+}
+
+void VcdSink::flush_stream() {
+  if (!stream_.is_open()) return;
+  if (flushed_header_ < header_.size()) {
+    stream_.write(header_.data() + flushed_header_,
+                  static_cast<std::streamsize>(header_.size() -
+                                               flushed_header_));
+    flushed_header_ = header_.size();
+  }
+  if (flushed_body_ < body_.size()) {
+    stream_.write(body_.data() + flushed_body_,
+                  static_cast<std::streamsize>(body_.size() - flushed_body_));
+    flushed_body_ = body_.size();
+  }
+  stream_.flush();
+}
+
+void VcdSink::close() {
+  if (!stream_.is_open()) return;
+  flush_stream();
+  stream_.close();
+  if (stream_.fail()) {
+    throw std::runtime_error("VcdSink::close: write failed");
+  }
+}
+
 std::string VcdSink::id_code(std::size_t index) {
   std::string id;
   do {
@@ -101,6 +140,7 @@ void VcdSink::on_elaborated(const sim::Engine& engine) {
     append_value(body_, probe.last, probe.id);
   }
   body_ += "$end\n";
+  flush_stream();
 }
 
 void VcdSink::on_cycle(const sim::Engine& engine, sim::Cycle t) {
@@ -118,6 +158,7 @@ void VcdSink::on_cycle(const sim::Engine& engine, sim::Cycle t) {
     probe.last = v;
     append_value(body_, v, probe.id);
   }
+  if (stamped) flush_stream();
 }
 
 void VcdSink::write_file(const std::string& path) const {

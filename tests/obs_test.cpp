@@ -150,13 +150,86 @@ TEST(MetricsRegistryTest, MetricsV1DocumentIsWellFormed) {
   obs::MetricsRegistry m;
   m.set_counter("run.cycles", 29);
   m.set_gauge("run.utilization_wall", 0.828);
-  const std::string doc = obs::metrics_v1_json("design1-modular[q4,m6]", m,
-                                               nullptr);
+  const std::string doc = obs::metrics_json("design1-modular[q4,m6]", m,
+                                            nullptr);
   EXPECT_NE(doc.find("\"schema\": \"sysdp-metrics-v1\""), std::string::npos);
   EXPECT_NE(doc.find("\"design\": \"design1-modular[q4,m6]\""),
             std::string::npos);
   EXPECT_NE(doc.find("\"run.cycles\": 29"), std::string::npos);
   EXPECT_TRUE(balanced_json(doc));
+}
+
+TEST(HistogramTest, BucketBoundariesFollowBitWidth) {
+  obs::Histogram h;
+  h.record(0);  // bucket 0: zeros
+  h.record(1);  // bucket 1: [1, 1]
+  h.record(2);  // bucket 2: [2, 3]
+  h.record(3);
+  h.record(4);  // bucket 3: [4, 7]
+  h.record(7);
+  h.record(8);  // bucket 4: [8, 15]
+  EXPECT_EQ(h.count(), 7u);
+  EXPECT_EQ(h.sum(), 25u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 8u);
+  EXPECT_EQ(h.buckets()[0], 1u);
+  EXPECT_EQ(h.buckets()[1], 1u);
+  EXPECT_EQ(h.buckets()[2], 2u);
+  EXPECT_EQ(h.buckets()[3], 2u);
+  EXPECT_EQ(h.buckets()[4], 1u);
+}
+
+TEST(HistogramTest, QuantilesResolveToBucketUpperBoundsClamped) {
+  obs::Histogram empty;
+  EXPECT_EQ(empty.quantile(0.5), 0u);
+
+  obs::Histogram h;
+  for (int i = 0; i < 9; ++i) h.record(5);  // bucket 3, upper bound 7
+  h.record(100);  // bucket 7, upper bound 127 — but clamped to max 100
+  // Rank 5 of 10 lands in bucket 3; its upper bound 7 exceeds every
+  // recorded 5, within the documented 2x contract.
+  EXPECT_EQ(h.quantile(0.50), 7u);
+  // The top quantile clamps to the observed max, not the bucket bound.
+  EXPECT_EQ(h.quantile(0.99), 100u);
+  EXPECT_EQ(h.quantile(0.0), 7u);   // rank floors at 1
+  EXPECT_EQ(h.quantile(-1.0), 7u);  // out-of-range q clamps
+  EXPECT_TRUE(balanced_json(h.to_json()));
+  EXPECT_NE(h.to_json().find("\"buckets\": [[7, 9], [127, 1]]"),
+            std::string::npos);
+}
+
+TEST(HistogramTest, SingleSampleQuantilesClampIntoTheObservedRange) {
+  obs::Histogram h;
+  h.record(1000);  // bucket 10, upper bound 1023
+  EXPECT_EQ(h.quantile(0.5), 1000u);  // clamped to max
+  EXPECT_EQ(h.min(), 1000u);
+  EXPECT_EQ(h.max(), 1000u);
+}
+
+TEST(MetricsRegistryTest, HistogramFreeRegistryStillRendersV1ByteForByte) {
+  // The back-compat contract for the histogram extension: a registry that
+  // never recorded a histogram renders exactly the pre-extension document.
+  obs::MetricsRegistry m;
+  m.set_counter("run.cycles", 29);
+  m.set_gauge("run.utilization_wall", 0.828);
+  const std::string doc = obs::metrics_json("d1", m, nullptr);
+  EXPECT_EQ(doc,
+            "{\n  \"schema\": \"sysdp-metrics-v1\",\n"
+            "  \"design\": \"d1\",\n"
+            "  \"metrics\": {\"counters\": {\"run.cycles\": 29}, "
+            "\"gauges\": {\"run.utilization_wall\": 0.828}}\n}\n");
+
+  // One recorded sample bumps the schema to v2 — v1 plus "histograms",
+  // nothing else moves.
+  m.observe("replay.wall_ns", 4096);
+  const std::string v2 = obs::metrics_json("d1", m, nullptr);
+  EXPECT_NE(v2.find("\"schema\": \"sysdp-metrics-v2\""), std::string::npos);
+  EXPECT_NE(v2.find("\"histograms\": {\"replay.wall_ns\": "),
+            std::string::npos);
+  EXPECT_TRUE(balanced_json(v2));
+  // Histogram summaries join the text rendering.
+  EXPECT_NE(m.to_text().find("replay.wall_ns"), std::string::npos);
+  EXPECT_NE(m.to_text().find("count=1"), std::string::npos);
 }
 
 TEST(MetricsRegistryTest, WriteTextFileRoundTripsAndReportsFailure) {
@@ -402,6 +475,53 @@ TEST(VcdSinkTest, WriteFileMatchesStr) {
   std::filesystem::remove(path);
 }
 
+/// Eval fails at a chosen cycle — the mid-replay crash the streaming
+/// sinks' RAII contract is written for.
+class ThrowAtCycleModule final : public sim::Module {
+ public:
+  explicit ThrowAtCycleModule(sim::Cycle fail_at)
+      : sim::Module("bomb"), fail_at_(fail_at) {}
+  void eval(sim::Cycle t) override {
+    if (t == fail_at_) throw std::runtime_error("injected failure");
+  }
+  void commit() override { ++count_; }
+  void describe_ports(sim::PortSet& ports) const override {
+    ports.writes_register(&count_, "count");
+  }
+
+ private:
+  sim::Cycle fail_at_;
+  std::int64_t count_ = 0;
+};
+
+TEST(VcdSinkTest, StreamSurvivesAThrowingRunWithAWellFormedFile) {
+  const std::filesystem::path path =
+      std::filesystem::path(::testing::TempDir()) / "obs_test_throw.vcd";
+  std::string expected;
+  {
+    ThrowAtCycleModule mod(2);
+    sim::Engine engine;
+    obs::VcdSink vcd;
+    vcd.stream_to(path.string());
+    engine.add(mod);
+    engine.add_observer(&vcd);
+    EXPECT_THROW(engine.run(5), std::runtime_error);
+    expected = vcd.str();
+    // The sink goes out of scope without close(): the destructor must
+    // flush and close, exactly as during exception unwinding.
+  }
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream read_back;
+  read_back << in.rdbuf();
+  // Everything up to the failing cycle is on disk, cleanly terminated:
+  // VCD is append-only, so the truncated document is valid as-is.
+  EXPECT_EQ(read_back.str(), expected);
+  EXPECT_NE(expected.find("$enddefinitions $end\n"), std::string::npos);
+  EXPECT_NE(expected.find("#2\n"), std::string::npos);
+  EXPECT_EQ(expected.find("#3"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
 // ---------------------------------------------------------------------------
 // Utilisation timelines
 
@@ -508,6 +628,30 @@ TEST(ChromeTraceTest, EnvelopeIsWellFormed) {
   EXPECT_NE(doc.find("\"ph\": \"M\""), std::string::npos);
   EXPECT_NE(doc.find("proc \\\"quoted\\\""), std::string::npos);
   EXPECT_NE(doc.find("\"dropped_events\": 0"), std::string::npos);
+}
+
+TEST(ChromeTraceTest, StreamSurvivesAThrowingRunWithAParseableFile) {
+  const std::filesystem::path path =
+      std::filesystem::path(::testing::TempDir()) / "obs_test_throw.trace.json";
+  try {
+    obs::ChromeTraceWriter trace;
+    trace.stream_to(path.string());
+    trace.process_name(1, "doomed run");
+    trace.complete_event("span", "cat", 1, 0, 0.0, 1.0);
+    throw std::runtime_error("injected failure");
+    // Unwinding destroys the writer without close(): the destructor must
+    // finish the envelope so the file parses.
+  } catch (const std::runtime_error&) {
+  }
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream read_back;
+  read_back << in.rdbuf();
+  const std::string doc = read_back.str();
+  EXPECT_TRUE(balanced_json(doc));
+  EXPECT_EQ(doc.find("{\"traceEvents\": ["), 0u);
+  EXPECT_NE(doc.find("doomed run"), std::string::npos);
+  EXPECT_NE(doc.find("\"ph\": \"X\""), std::string::npos);
+  std::filesystem::remove(path);
 }
 
 TEST(ChromeTraceTest, BoundedWriterCountsDrops) {

@@ -10,6 +10,7 @@
 #include <cstddef>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "../examples/design_registry.hpp"
@@ -229,6 +230,105 @@ TEST(TapeVerify, BindPlaneFixtureStrayPlane) {
   net.params = {5, 3};  // plane present, parameterised flag off
   const auto rep = analysis::verify_tape(net, "fixture");
   expect_exactly(rep, TapeVerifier::kBindPlane, Severity::kError);
+}
+
+/// small_tape() plus a consistent one-lane provenance table: the initial
+/// image binds slot 0 at reset, then the two op results as they commit.
+compile::CompiledNetlist provenanced_tape() {
+  auto net = small_tape();
+  compile::Provenance& prov = net.provenance;
+  prov.modules = {"pe"};
+  prov.lanes = {{"pe", "acc", 0, true}};
+  prov.binds = {{0, 0, 0}, {1, 0, 2}, {2, 0, 3}};
+  prov.op_lane = {0, 0};
+  return net;
+}
+
+TEST(TapeVerify, ProvenancedTapeVerifiesCleanWithStats) {
+  const auto rep = analysis::verify_tape(provenanced_tape(), "clean");
+  EXPECT_EQ(rep.errors(), 0u) << rep.to_text();
+  EXPECT_EQ(rep.warnings(), 0u) << rep.to_text();
+  EXPECT_EQ(rep.stats.provenance_lanes, 1u);
+  EXPECT_EQ(rep.stats.provenance_binds, 3u);
+  EXPECT_EQ(rep.stats.ops_attributed, 2u);
+  EXPECT_NE(rep.to_text().find("provenance: 1 lanes, 3 binds"),
+            std::string::npos)
+      << rep.to_text();
+  EXPECT_NE(rep.to_json().find("\"provenance_binds\": 3"), std::string::npos);
+}
+
+TEST(TapeVerify, ProvenanceFixtureOpLaneNeitherAbsentNorParallel) {
+  auto net = provenanced_tape();
+  net.provenance.op_lane = {0};  // 1 entry for a 2-op tape
+  const auto rep = analysis::verify_tape(net, "fixture");
+  expect_exactly(rep, TapeVerifier::kProvenance, Severity::kError);
+}
+
+TEST(TapeVerify, ProvenanceFixtureAttributionLaneOutOfRange) {
+  auto net = provenanced_tape();
+  net.provenance.op_lane = {5, compile::Provenance::kNone};
+  const auto rep = analysis::verify_tape(net, "fixture");
+  expect_exactly(rep, TapeVerifier::kProvenance, Severity::kError);
+}
+
+TEST(TapeVerify, ProvenanceFixtureModuleIdOutOfRange) {
+  auto net = provenanced_tape();
+  net.provenance.lanes[0].module_id = 3;  // table holds one module
+  const auto rep = analysis::verify_tape(net, "fixture");
+  expect_exactly(rep, TapeVerifier::kProvenance, Severity::kError);
+}
+
+TEST(TapeVerify, ProvenanceFixtureNamedLaneWithoutModule) {
+  auto net = provenanced_tape();
+  net.provenance.lanes[0].module_id = compile::Provenance::kNone;
+  const auto rep = analysis::verify_tape(net, "fixture");
+  expect_exactly(rep, TapeVerifier::kProvenance, Severity::kError);
+}
+
+TEST(TapeVerify, ProvenanceFixtureUnsortedBinds) {
+  auto net = provenanced_tape();
+  std::swap(net.provenance.binds[1], net.provenance.binds[2]);
+  const auto rep = analysis::verify_tape(net, "fixture");
+  expect_exactly(rep, TapeVerifier::kProvenance, Severity::kError);
+}
+
+TEST(TapeVerify, ProvenanceFixtureStampPastTheReplay) {
+  auto net = provenanced_tape();
+  net.provenance.binds[2].stamp = 9;  // the tape replays 2 cycles
+  const auto rep = analysis::verify_tape(net, "fixture");
+  expect_exactly(rep, TapeVerifier::kProvenance, Severity::kError);
+}
+
+TEST(TapeVerify, ProvenanceFixtureBindLaneAndSlotOutOfRange) {
+  {
+    auto net = provenanced_tape();
+    net.provenance.binds[0].lane = 7;
+    const auto rep = analysis::verify_tape(net, "fixture");
+    expect_exactly(rep, TapeVerifier::kProvenance, Severity::kError);
+  }
+  {
+    auto net = provenanced_tape();
+    net.provenance.binds[0].slot = 9;
+    const auto rep = analysis::verify_tape(net, "fixture");
+    expect_exactly(rep, TapeVerifier::kProvenance, Severity::kError);
+  }
+}
+
+TEST(TapeVerify, ProvenanceFixtureSampledBeforeComputed) {
+  auto net = provenanced_tape();
+  // Slot 2 is defined at level 0; a stamp-0 bind samples the reset image,
+  // showing a value before the tape computes it.
+  net.provenance.binds[1] = {0, 0, 2};
+  const auto rep = analysis::verify_tape(net, "fixture");
+  expect_exactly(rep, TapeVerifier::kProvenance, Severity::kError);
+}
+
+TEST(TapeVerify, ProvenanceFixtureBindsAnUnwrittenSlot) {
+  auto net = provenanced_tape();
+  net.num_slots = 5;  // slot 4 exists but nothing initialises or writes it
+  net.provenance.binds.push_back({2, 0, 4});
+  const auto rep = analysis::verify_tape(net, "fixture");
+  expect_exactly(rep, TapeVerifier::kProvenance, Severity::kError);
 }
 
 TEST(TapeVerify, RelaxPairHalvesFromDifferentDefsRejected) {
