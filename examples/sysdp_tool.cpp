@@ -5,7 +5,8 @@
 //   sysdp_tool gen objective <vars> <domain> <seed>     (banded, eq. 36)
 //   sysdp_tool info <file>                              classify and describe
 //   sysdp_tool solve <file> [k] [--metrics] [--engine=modular|compiled]
-//                    [--batch=N]                        route per Table 1
+//                    [--batch=N] [--opt=0|1|2] [--replay-workers=N]
+//                                                       route per Table 1
 //
 // `solve` dispatches exactly as core/solver.hpp: multistage graphs to the
 // Design 1 systolic array (plus divide-and-conquer when k > 1 is given),
@@ -18,6 +19,11 @@
 // through the SIMD-batched executor (chunks of 8 lanes), verifies every
 // lane against the oracle, and reports the replay throughput — the
 // multi-instance path the benchmarks use, driven from the CLI.
+// --opt=0|1|2 runs the tape optimizer pipeline at lowering time
+// (compile/optimize.hpp) — the replay stays oracle-checked, so an
+// optimizer bug can never change a printed answer.  --replay-workers=N
+// additionally replays through the thread-parallel executor on an
+// N-worker pool and verifies its outputs too.
 #include <algorithm>
 #include <cstdio>
 #include <iostream>
@@ -31,6 +37,7 @@
 #include "compile/batch_engine.hpp"
 #include "compile/engine.hpp"
 #include "compile/lower.hpp"
+#include "compile/parallel_engine.hpp"
 #include "compile/profile.hpp"
 #include "obs/replay.hpp"
 #include "sim/batch.hpp"
@@ -54,6 +61,7 @@ int usage() {
                "  sysdp_tool info <file>\n"
                "  sysdp_tool solve <file> [k] [--metrics]\n"
                "                  [--engine=modular|compiled] [--batch=N]\n"
+               "                  [--opt=0|1|2] [--replay-workers=N]\n"
                "  sysdp_tool reduce <file>      stage-reduction plan "
                "(multistage only)\n");
   return 2;
@@ -214,17 +222,63 @@ std::string batched_replay(const compile::Lowered& low, std::uint64_t n) {
   return buf;
 }
 
+/// Per-run knobs of the compiled route, bundled so the two compiled
+/// solvers share one signature.
+struct CompiledRoute {
+  std::uint64_t batch = 1;
+  int opt = 0;                ///< --opt=N tape optimizer level
+  std::uint64_t workers = 0;  ///< --replay-workers=N pool size
+  bool parallel = false;      ///< --replay-workers given at all
+};
+
+/// --replay-workers=N: replay the verified tape once more through the
+/// thread-parallel executor on an N-worker pool and verify its outputs —
+/// the CLI face of ParallelCompiledEngine.  Reports the plan shape so the
+/// user can see whether the tape was wide enough to slice.
+std::string parallel_replay(const compile::Lowered& low,
+                            std::uint64_t workers) {
+  sim::ThreadPool pool(static_cast<std::size_t>(workers));
+  sim::WallTimer timer;
+  compile::ParallelCompiledEngine pe(low.net, &pool);
+  pe.run_all();
+  if (pe.verify_outputs(0).found) {
+    throw std::runtime_error(
+        "parallel replay diverged from the modular oracle");
+  }
+  const double secs = timer.seconds();
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "; parallel x%u: %llu sliced + %llu serial levels in %.3fs",
+                pe.participants(),
+                static_cast<unsigned long long>(pe.parallel_levels()),
+                static_cast<unsigned long long>(pe.serial_levels()), secs);
+  return buf;
+}
+
+/// Decorations shared by the compiled routes' method strings: optimizer
+/// level, batched throughput, parallel-replay plan.
+std::string route_suffix(const compile::Lowered& low,
+                         const CompiledRoute& route) {
+  std::string s;
+  if (route.opt > 0) s += ", opt" + std::to_string(route.opt);
+  if (route.batch > 1) s += batched_replay(low, route.batch);
+  if (route.parallel) s += parallel_replay(low, route.workers);
+  return s;
+}
+
 /// --engine=compiled on a multistage graph: Design 1 lowered to a flat
 /// tape.  The optimum comes from the replayed "out" lanes; path recovery
 /// stays with the sequential sweep, exactly like the interpreted route.
 SolveReport solve_monadic_compiled(const MultistageGraph& g,
-                                   std::uint64_t batch,
+                                   const CompiledRoute& route,
                                    obs::MetricsRegistry* metrics) {
   SolveReport rep;
   rep.cls = {Recursion::kMonadic, Structure::kSerial};
   auto prob = to_string_product(g);
   Design1Modular arr(std::move(prob.mats), std::move(prob.v));
-  const auto low = compile::lower_array(arr);
+  compile::LowerOptions lopt;
+  lopt.optimize = route.opt;
+  const auto low = compile::lower_array(arr, lopt);
   const auto ce = checked_replay(low);
   if (metrics != nullptr) profiled_replays(low, *metrics);
   Cost best = kInfCost;
@@ -235,7 +289,7 @@ SolveReport solve_monadic_compiled(const MultistageGraph& g,
   rep.method = "Design 1 via compiled tape (" +
                std::to_string(low.net.num_ops()) + " ops, " +
                std::to_string(low.net.cycles()) + " levels" +
-               (batch > 1 ? batched_replay(low, batch) : "") + ")";
+               route_suffix(low, route) + ")";
   rep.work_steps = low.net.num_ops();
   rep.cycles = low.net.cycles();
   rep.assignment = solve_monadic_serial(g).assignment;
@@ -245,12 +299,14 @@ SolveReport solve_monadic_compiled(const MultistageGraph& g,
 /// --engine=compiled on a matrix chain: the GKT triangle lowered to a
 /// flat tape; the root cell carries the optimum.
 SolveReport solve_chain_compiled(const std::vector<Cost>& dims,
-                                 std::uint64_t batch,
+                                 const CompiledRoute& route,
                                  obs::MetricsRegistry* metrics) {
   SolveReport rep;
   rep.cls = {Recursion::kPolyadic, Structure::kNonserial};
   GktModularArray arr(dims);
-  const auto low = compile::lower_array(arr);
+  compile::LowerOptions lopt;
+  lopt.optimize = route.opt;
+  const auto low = compile::lower_array(arr, lopt);
   const std::size_t n = dims.size() - 1;
   const auto ce = checked_replay(low);
   if (metrics != nullptr) profiled_replays(low, *metrics);
@@ -258,17 +314,17 @@ SolveReport solve_chain_compiled(const std::vector<Cost>& dims,
   rep.method = "GKT array via compiled tape (" +
                std::to_string(low.net.num_ops()) + " ops, " +
                std::to_string(low.net.cycles()) + " levels" +
-               (batch > 1 ? batched_replay(low, batch) : "") + ")";
+               route_suffix(low, route) + ")";
   rep.work_steps = low.net.num_ops();
   rep.cycles = low.net.cycles();
   return rep;
 }
 
 int cmd_solve(const std::string& path, std::uint64_t k, bool metrics,
-              bool compiled, std::uint64_t batch) {
+              bool compiled, const CompiledRoute& route) {
   const auto problem = load_problem(path);
   std::visit(
-      [k, metrics, compiled, batch](const auto& p) {
+      [k, metrics, compiled, &route](const auto& p) {
         using T = std::decay_t<decltype(p)>;
         SolveReport rep;
         // Compiled routes fill the replay-latency histogram when asked.
@@ -277,7 +333,7 @@ int cmd_solve(const std::string& path, std::uint64_t k, bool metrics,
             metrics && compiled ? &registry : nullptr;
         if constexpr (std::is_same_v<T, MultistageGraph>) {
           rep = k > 1         ? solve_polyadic_serial(p, k)
-                : compiled    ? solve_monadic_compiled(p, batch, prof)
+                : compiled    ? solve_monadic_compiled(p, route, prof)
                               : solve_monadic_serial(p);
           if (compiled && k > 1) {
             std::fprintf(stderr,
@@ -285,7 +341,7 @@ int cmd_solve(const std::string& path, std::uint64_t k, bool metrics,
                          "(divide-and-conquer runs interpreted)\n");
           }
         } else if constexpr (std::is_same_v<T, std::vector<Cost>>) {
-          rep = compiled ? solve_chain_compiled(p, batch, prof)
+          rep = compiled ? solve_chain_compiled(p, route, prof)
                          : solve_chain_order(p);
         } else {
           if (compiled) {
@@ -345,11 +401,11 @@ int main(int argc, char** argv) {
     const std::string cmd = argv[1];
     if (cmd == "gen") return cmd_gen(argc - 2, argv + 2);
     if (cmd == "info" && argc == 3) return cmd_info(argv[2]);
-    if (cmd == "solve" && argc >= 3 && argc <= 7) {
+    if (cmd == "solve" && argc >= 3 && argc <= 9) {
       std::uint64_t k = 1;
       bool metrics = false;
       bool compiled = false;
-      std::uint64_t batch = 1;
+      CompiledRoute route;
       for (int i = 3; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--metrics") {
@@ -359,17 +415,27 @@ int main(int argc, char** argv) {
         } else if (arg == "--engine=modular") {
           compiled = false;
         } else if (arg.rfind("--batch=", 0) == 0) {
-          batch = std::stoull(arg.substr(8));
+          route.batch = std::stoull(arg.substr(8));
+        } else if (arg.rfind("--opt=", 0) == 0) {
+          route.opt = std::stoi(arg.substr(6));
+          if (route.opt < 0 || route.opt > 2) {
+            std::fprintf(stderr, "error: --opt takes 0, 1 or 2\n");
+            return 2;
+          }
+        } else if (arg.rfind("--replay-workers=", 0) == 0) {
+          route.workers = std::stoull(arg.substr(17));
+          route.parallel = true;
         } else {
           k = std::stoull(arg);
         }
       }
-      if (batch > 1 && !compiled) {
+      if ((route.batch > 1 || route.opt > 0 || route.parallel) && !compiled) {
         std::fprintf(stderr,
-                     "note: --batch=N requires --engine=compiled; ignored\n");
-        batch = 1;
+                     "note: --batch/--opt/--replay-workers require "
+                     "--engine=compiled; ignored\n");
+        route = CompiledRoute{};
       }
-      return cmd_solve(argv[2], k, metrics, compiled, batch);
+      return cmd_solve(argv[2], k, metrics, compiled, route);
     }
     if (cmd == "reduce" && argc == 3) return cmd_reduce(argv[2]);
     return usage();

@@ -2,7 +2,8 @@
 //
 //   sysdp_trace [--design <substr>] [--out-dir <dir>] [--bucket <cycles>]
 //               [--pool <threads>] [--gating <dense|sparse>]
-//               [--engine <modular|compiled>] [--dnc <N,K>] [--list]
+//               [--engine <modular|compiled>] [--opt=0|1|2]
+//               [--replay-workers=N] [--dnc <N,K>] [--list]
 //
 // For every matching design of examples/design_registry.hpp (the same
 // fixed instances the lint gate certifies) the tool runs the array once on
@@ -41,6 +42,15 @@
 // and the profiler's per-level op counts must equal the tape's own CSR
 // level sizes.
 //
+// --opt=0|1|2 (compiled engine only) lowers every matching design through
+// the tape optimizer pipeline at that level, so the artifacts describe
+// the optimized schedule: the metrics document carries the optimizer's
+// own stats (tape.opt_level, tape.ops_pruned, tape.levels_fused) and the
+// cross-checks run against the rewritten tape.  --replay-workers=N
+// additionally replays the verified tape through the thread-parallel
+// executor on an N-worker pool, verifies its outputs, and records the
+// slicing plan (parallel.levels_sliced etc.) in the metrics.
+//
 // --dnc N,K additionally records the divide-and-conquer scheduler of
 // src/dnc/schedule over an N-leaf problem on K arrays and writes
 // dnc-n<N>-k<K>.trace.json with one Chrome-trace thread per array; the
@@ -57,6 +67,7 @@
 #include "compile/batch_engine.hpp"
 #include "compile/engine.hpp"
 #include "compile/lower.hpp"
+#include "compile/parallel_engine.hpp"
 #include "compile/profile.hpp"
 #include "design_registry.hpp"
 #include "dnc/metrics.hpp"
@@ -80,6 +91,7 @@ int usage() {
       "                   [--bucket <cycles>] [--pool <threads>]\n"
       "                   [--gating <dense|sparse>]\n"
       "                   [--engine <modular|compiled>]\n"
+      "                   [--opt=0|1|2] [--replay-workers=N]\n"
       "                   [--dnc <N,K>] [--list]\n");
   return 2;
 }
@@ -107,6 +119,9 @@ struct Options {
   std::size_t pool_threads = 0;
   sim::Gating gating = sim::Gating::kSparse;
   bool compiled = false;
+  int opt_level = 0;
+  std::size_t replay_workers = 0;
+  bool parallel = false;
   bool list = false;
   bool dnc = false;
   std::uint64_t dnc_n = 0;
@@ -124,7 +139,9 @@ bool trace_design_compiled(const examples::DesignSpec& spec,
   const auto inst = spec.make();
   compile::Lowered low;
   try {
-    low = inst->lower();
+    compile::LowerOptions lopt;
+    lopt.optimize = opt.opt_level;
+    low = inst->lower(lopt);
   } catch (const std::logic_error& e) {
     std::fprintf(stderr, "sysdp_trace: %s: lowering failed: %s\n",
                  spec.name.c_str(), e.what());
@@ -213,7 +230,35 @@ bool trace_design_compiled(const examples::DesignSpec& spec,
   batched.run_all();
   profiler.finish();
 
+  // --replay-workers=N: one more replay through the thread-parallel
+  // executor, verified against the same oracle outputs; its slicing plan
+  // lands in the metrics document below.
+  std::uint64_t par_sliced = 0;
+  std::uint64_t par_serial = 0;
+  std::uint64_t par_cuts_adjusted = 0;
+  std::uint32_t par_participants = 0;
+  if (opt.parallel) {
+    sim::ThreadPool ppool(opt.replay_workers);
+    compile::ParallelCompiledEngine pe(low.net, &ppool);
+    pe.run_all();
+    if (pe.verify_outputs(0).found) {
+      std::fprintf(stderr, "sysdp_trace: %s: parallel replay outputs diverge\n",
+                   spec.name.c_str());
+      return false;
+    }
+    par_sliced = pe.parallel_levels();
+    par_serial = pe.serial_levels();
+    par_cuts_adjusted = pe.cuts_adjusted();
+    par_participants = pe.participants();
+  }
+
   obs::MetricsRegistry metrics;
+  if (opt.parallel) {
+    metrics.set_counter("parallel.participants", par_participants);
+    metrics.set_counter("parallel.levels_sliced", par_sliced);
+    metrics.set_counter("parallel.levels_serial", par_serial);
+    metrics.set_counter("parallel.cuts_adjusted", par_cuts_adjusted);
+  }
   obs::profile_metrics(metrics, profiler);
   metrics.set_counter("replay.levels_executed", rres.levels_executed);
   metrics.set_counter("replay.levels_skipped", rres.levels_skipped);
@@ -229,6 +274,11 @@ bool trace_design_compiled(const examples::DesignSpec& spec,
   metrics.set_counter("tape.lanes_bound", low.net.stats.lanes_bound);
   metrics.set_counter("tape.named_lanes", low.net.stats.named_lanes);
   metrics.set_counter("tape.compacted", low.net.compacted() ? 1 : 0);
+  metrics.set_counter("tape.opt_level", low.net.stats.opt_level);
+  if (low.net.stats.opt_level > 0) {
+    metrics.set_counter("tape.ops_pruned", low.net.stats.ops_pruned);
+    metrics.set_counter("tape.levels_fused", low.net.stats.levels_fused);
+  }
   if (low.net.compacted()) {
     metrics.set_counter("tape.slots_uncompacted",
                         low.net.stats.slots_uncompacted);
@@ -417,11 +467,28 @@ int main(int argc, char** argv) {
       } else if (e != "modular") {
         return usage();
       }
+    } else if (arg.rfind("--opt=", 0) == 0) {
+      const long v = std::atol(std::string(arg.substr(6)).c_str());
+      if (v < 0 || v > 2) return usage();
+      opt.opt_level = static_cast<int>(v);
+    } else if (arg.rfind("--replay-workers=", 0) == 0) {
+      const long v = std::atol(std::string(arg.substr(17)).c_str());
+      if (v < 0) return usage();
+      opt.replay_workers = static_cast<std::size_t>(v);
+      opt.parallel = true;
     } else if (arg == "--dnc" && i + 1 < argc) {
       if (!parse_dnc(argv[++i], opt)) return usage();
     } else {
       return usage();
     }
+  }
+
+  if ((opt.opt_level > 0 || opt.parallel) && !opt.compiled) {
+    std::fprintf(stderr,
+                 "note: --opt/--replay-workers require --engine compiled; "
+                 "ignored\n");
+    opt.opt_level = 0;
+    opt.parallel = false;
   }
 
   const auto designs = examples::all_designs();

@@ -6,109 +6,19 @@
 #include <type_traits>
 #include <unordered_map>
 
+#include "compile/lane_math.hpp"
 #include "semiring/closed_semiring.hpp"
 
 namespace sysdp::compile {
 
-// The lane loops below carry no loop-borne dependence by construction
-// (SSA destinations; see the class comment), but every row pointer derives
-// from the one slot-file base, so the vectoriser cannot prove it and emits
-// per-op runtime overlap checks — at B = 8 lanes the checks cost more than
-// the arithmetic.  This pragma states the independence we can prove and
-// the compiler cannot.
-#if defined(__clang__)
-#define SYSDP_LANE_IVDEP \
-  _Pragma("clang loop vectorize(assume_safety) interleave(assume_safety)")
-#elif defined(__GNUC__)
-#define SYSDP_LANE_IVDEP _Pragma("GCC ivdep")
-#else
-#define SYSDP_LANE_IVDEP
-#endif
+// The branchless lane primitives (sel / lane_sat_add / the weight-class
+// lift) and the SYSDP_LANE_IVDEP / SYSDP_LANE_CLONES codegen macros live
+// in compile/lane_math.hpp, shared with ParallelCompiledEngine.
+using lanes::lane_sat_add;
+using lanes::lane_sat_add_w;
+using lanes::with_w_class;
 
 namespace {
-
-/// Branch-proof select: all-ones/all-zero mask from the condition, then
-/// bitwise blend.  A plain `cond ? a : b` is usually if-converted, but
-/// when several selects chain over correlated sentinel compares (two
-/// sat_adds back to back), jump threading turns them into real control
-/// flow first and the loop vectoriser then refuses the loop outright.
-/// Masks cannot be threaded, so the lane loops stay branch-free.
-[[nodiscard]] inline Cost sel(bool cond, Cost a, Cost b) noexcept {
-  const Cost m = -static_cast<Cost>(cond);
-  return (a & m) | (b & ~m);
-}
-
-/// Branchless sat_add, bit-identical to sysdp::sat_add for every input
-/// pair (the lane-exactness suite depends on this).  The scalar version
-/// early-returns on the sentinels; here the same priorities are applied as
-/// selects — +inf checked last so it wins over -inf, exactly like the
-/// scalar's first early return — and the operands are clamped before the
-/// raw add so the sum cannot overflow (|clamped| <= max/4).  Every
-/// operation is a compare, mask-select, min, max or add: the lane loops
-/// built from this vectorise with no intrinsics.
-[[nodiscard]] inline Cost lane_sat_add(Cost a, Cost b) noexcept {
-  const Cost ca = std::min(std::max(a, kNegInfCost), kInfCost);
-  const Cost cb = std::min(std::max(b, kNegInfCost), kInfCost);
-  Cost sum = ca + cb;
-  sum = std::min(std::max(sum, kNegInfCost), kInfCost);
-  sum = sel((a <= kNegInfCost) | (b <= kNegInfCost), kNegInfCost, sum);
-  sum = sel((a >= kInfCost) | (b >= kInfCost), kInfCost, sum);
-  return sum;
-}
-
-/// Sentinel class of a scalar weight.  On the baked-immediate path the
-/// weight is lane-invariant, and leaving its sentinel compares inside the
-/// lane loop is ruinous: the vectoriser if-converts them into per-op
-/// scalar-boolean mask materialisation (dozens of scalar ops smearing one
-/// bit across a vector mask).  Classifying w once per op and branching
-/// OUTSIDE the lane loop leaves only vector-vector compares inside.
-enum class WClass : std::uint8_t { kNegInf, kFinite, kInf };
-
-[[nodiscard]] inline WClass classify_w(Cost w) noexcept {
-  if (w >= kInfCost) return WClass::kInf;
-  if (w <= kNegInfCost) return WClass::kNegInf;
-  return WClass::kFinite;
-}
-
-/// lane_sat_add(x, w) with w's sentinel class a compile-time constant.
-/// Bit-identical to lane_sat_add (which is symmetric) for every x whenever
-/// classify_w(w) == kWC: the w-side clamps and overrides are resolved at
-/// compile time, the x-side ones stay as vector-friendly selects.
-template <WClass kWC>
-[[nodiscard]] inline Cost lane_sat_add_w([[maybe_unused]] Cost x,
-                                         [[maybe_unused]] Cost w) noexcept {
-  if constexpr (kWC == WClass::kInf) {
-    return kInfCost;  // +inf wins over everything, -inf included
-  } else if constexpr (kWC == WClass::kNegInf) {
-    return sel(x >= kInfCost, kInfCost, kNegInfCost);
-  } else {
-    // w is strictly between the sentinels, so clamp(w) == w and the
-    // w-side override conditions are statically false.
-    const Cost cx = std::min(std::max(x, kNegInfCost), kInfCost);
-    Cost sum = cx + w;
-    sum = std::min(std::max(sum, kNegInfCost), kInfCost);
-    sum = sel(x <= kNegInfCost, kNegInfCost, sum);
-    sum = sel(x >= kInfCost, kInfCost, sum);
-    return sum;
-  }
-}
-
-/// Invoke `f` with w's class lifted to a compile-time constant — the
-/// three-way branch each kernel wraps around its lane loop.
-template <typename F>
-inline void with_w_class(Cost w, F&& f) {
-  switch (classify_w(w)) {
-    case WClass::kNegInf:
-      f(std::integral_constant<WClass, WClass::kNegInf>{});
-      break;
-    case WClass::kFinite:
-      f(std::integral_constant<WClass, WClass::kFinite>{});
-      break;
-    case WClass::kInf:
-      f(std::integral_constant<WClass, WClass::kInf>{});
-      break;
-  }
-}
 
 [[nodiscard]] constexpr std::uint8_t kind_rank(OpKind k) noexcept {
   return static_cast<std::uint8_t>(k);
@@ -418,35 +328,21 @@ inline void exec_runs_impl(const RunCtx& ctx, std::uint32_t rlo,
   }
 }
 
-// Function multiversioning: one entry point, compiled once per ISA level
-// (AVX-512F / AVX2 / baseline) with load-time ifunc dispatch, so the same
-// binary runs everywhere yet the hot loops use the widest vectors the
-// host has.  int64 compare/min/max only vectorise profitably from AVX2
-// up, and widest from AVX-512F (vpminsq/vpcmpq on 8 lanes) — with
-// baseline x86-64 codegen the lane loops are scalar-equivalent.
-// `flatten` force-inlines the kernel templates (and everything below
-// them) into each clone so their loops are vectorised under the clone's
-// ISA rather than compiled once at baseline.
-// ThreadSanitizer cannot run under multiversioning: the ifunc resolver
-// that picks a clone executes during relocation, before TSan's runtime
-// is initialised, and the interposed resolver segfaults.  TSan builds
-// fall back to the baseline kernels — they exercise the same source.
-#if defined(__SANITIZE_THREAD__)
-#define SYSDP_BATCH_TSAN 1
-#elif defined(__has_feature)
-#if __has_feature(thread_sanitizer)
-#define SYSDP_BATCH_TSAN 1
-#endif
-#endif
-#if defined(__x86_64__) && defined(__gnu_linux__) && \
-    (defined(__GNUC__) || defined(__clang__)) && !defined(SYSDP_BATCH_TSAN)
-#define SYSDP_BATCH_CLONES \
-  __attribute__((flatten, target_clones("avx512f", "avx2", "default")))
-#else
-#define SYSDP_BATCH_CLONES
-#endif
-
-SYSDP_BATCH_CLONES
+// Function multiversioning (SYSDP_LANE_CLONES, lane_math.hpp): one entry
+// point, compiled once per ISA level (AVX-512F / AVX2 / baseline) with
+// load-time ifunc dispatch, so the same binary runs everywhere yet the
+// hot loops use the widest vectors the host has.  int64 compare/min/max
+// only vectorise profitably from AVX2 up, and widest from AVX-512F
+// (vpminsq/vpcmpq on 8 lanes) — with baseline x86-64 codegen the lane
+// loops are scalar-equivalent.  `flatten` force-inlines the kernel
+// templates (and everything below them) into each clone so their loops
+// are vectorised under the clone's ISA rather than compiled once at
+// baseline.  ThreadSanitizer cannot run under multiversioning: the ifunc
+// resolver that picks a clone executes during relocation, before TSan's
+// runtime is initialised, and the interposed resolver segfaults.  TSan
+// builds fall back to the baseline kernels — they exercise the same
+// source.
+SYSDP_LANE_CLONES
 void exec_runs_dispatch(const RunCtx& ctx, std::uint32_t rlo,
                         std::uint32_t rhi, TapeSemiring semiring,
                         bool param) {
@@ -568,7 +464,14 @@ Divergence BatchedCompiledEngine::verify_outputs(std::uint32_t lane) const {
   for (std::uint64_t i = 0; i < net_->outputs.size(); ++i) {
     const Output& out = net_->outputs[i];
     const Cost got = value(out.slot, lane);
-    if (got != out.expected) return {true, i, got, out.expected};
+    if (got != out.expected) {
+      Divergence d;
+      d.found = true;
+      d.index = i;
+      d.got = got;
+      d.expected = out.expected;
+      return d;
+    }
   }
   return {};
 }

@@ -106,15 +106,18 @@ void CompiledEngine::require_oracle_binding(const char* site) const {
 }
 
 // The hot loop.  One pass over a contiguous span of 32-byte ops; all
-// operands are direct indices into one flat array.  The switch compiles to
-// a three-way branch that is perfectly predicted inside homogeneous spans
-// (a cycle's ops are overwhelmingly one kind), and each arm is the same
+// operands are direct indices into one flat array.  When the level is
+// homogeneous — which construction records per level, and the optimizer's
+// kind-major reordering makes the common case — kKind lifts the op kind
+// to a compile-time constant and the switch folds away entirely; the
+// mixed fallback (kKind == -1) keeps the three-way branch, perfectly
+// predicted inside homogeneous spans anyway.  Each arm is the same
 // branch-free scalar kernel the interpreter uses — so results are
 // bit-identical while the per-op overhead drops from a virtual eval/commit
 // round trip to a handful of instructions.  With kParam the weight comes
 // from the bound per-instance table via the op's parameter index instead
 // of the baked immediate; everything else is identical.
-template <typename S, bool kChecked, bool kParam>
+template <typename S, bool kChecked, bool kParam, int kKind>
 Divergence CompiledEngine::exec_level(std::uint32_t lo, std::uint32_t hi) {
   Cost* const s = slots_.data();
   const Op* const ops = net_->ops.data();
@@ -122,7 +125,9 @@ Divergence CompiledEngine::exec_level(std::uint32_t lo, std::uint32_t hi) {
   for (std::uint32_t i = lo; i < hi; ++i) {
     const Op& op = ops[i];
     const Cost w = kParam ? wt[op.param] : op.w;
-    switch (op.kind) {
+    constexpr int kFixed = kKind >= 0 ? kKind : 0;  // never cast -1
+    const OpKind kind = kKind >= 0 ? static_cast<OpKind>(kFixed) : op.kind;
+    switch (kind) {
       case OpKind::kMac:
         s[op.dst] = kern::mac<S>(s[op.a], w, s[op.b]);
         break;
@@ -143,7 +148,12 @@ Divergence CompiledEngine::exec_level(std::uint32_t lo, std::uint32_t hi) {
     }
     if constexpr (kChecked) {
       if (s[op.dst] != net_->expected[i]) {
-        return {true, i, s[op.dst], net_->expected[i]};
+        Divergence d;
+        d.found = true;
+        d.index = i;
+        d.got = s[op.dst];
+        d.expected = net_->expected[i];
+        return d;
       }
     }
   }
@@ -151,15 +161,58 @@ Divergence CompiledEngine::exec_level(std::uint32_t lo, std::uint32_t hi) {
   return {};
 }
 
-void CompiledEngine::exec_level_dispatch(std::uint32_t lo, std::uint32_t hi) {
-  const bool param = !weights_.empty();
-  if (net_->semiring == TapeSemiring::kMinPlus) {
-    param ? exec_level<MinPlus, false, true>(lo, hi)
-          : exec_level<MinPlus, false, false>(lo, hi);
-  } else {
-    param ? exec_level<MaxPlus, false, true>(lo, hi)
-          : exec_level<MaxPlus, false, false>(lo, hi);
+template <typename S, bool kParam>
+void CompiledEngine::exec_level_kind(int kind, std::uint32_t lo,
+                                     std::uint32_t hi) {
+  switch (kind) {
+    case 0:
+      exec_level<S, false, kParam, 0>(lo, hi);
+      break;
+    case 1:
+      exec_level<S, false, kParam, 1>(lo, hi);
+      break;
+    case 2:
+      exec_level<S, false, kParam, 2>(lo, hi);
+      break;
+    default:
+      exec_level<S, false, kParam, -1>(lo, hi);
+      break;
   }
+}
+
+void CompiledEngine::exec_level_dispatch(sim::Cycle t, std::uint32_t lo,
+                                         std::uint32_t hi) {
+  const bool param = !weights_.empty();
+  // Homogeneous-level detection is three compares against the counts
+  // construction already took; the checked path stays on the mixed
+  // instantiation — it is not a throughput path.
+  const std::array<std::uint32_t, 3>& k = level_kinds_[t];
+  const std::uint32_t width = hi - lo;
+  int kind = -1;
+  if (k[0] == width) {
+    kind = 0;
+  } else if (k[1] == width) {
+    kind = 1;
+  } else if (k[2] == width) {
+    kind = 2;
+  }
+  if (net_->semiring == TapeSemiring::kMinPlus) {
+    param ? exec_level_kind<MinPlus, true>(kind, lo, hi)
+          : exec_level_kind<MinPlus, false>(kind, lo, hi);
+  } else {
+    param ? exec_level_kind<MaxPlus, true>(kind, lo, hi)
+          : exec_level_kind<MaxPlus, false>(kind, lo, hi);
+  }
+}
+
+void CompiledEngine::annotate_divergence(Divergence& d) const {
+  if (!d.found) return;
+  const Provenance& prov = net_->provenance;
+  if (prov.op_lane.size() != net_->ops.size()) return;
+  const std::uint32_t lane = prov.op_lane[d.index];
+  if (lane == Provenance::kNone || lane >= prov.lanes.size()) return;
+  d.module = prov.lanes[lane].module;
+  d.label = prov.lanes[lane].label;
 }
 
 void CompiledEngine::step() {
@@ -167,7 +220,7 @@ void CompiledEngine::step() {
     const std::uint32_t lo = net_->cycle_off[now_];
     const std::uint32_t hi = net_->cycle_off[now_ + 1];
     if (hi > lo) {
-      exec_level_dispatch(lo, hi);
+      exec_level_dispatch(now_, lo, hi);
       account_level(now_);
     }
     if (!observers_.empty()) notify_level(now_, lo, hi);
@@ -187,6 +240,7 @@ Divergence CompiledEngine::step_checked() {
                                   : exec_level<MinPlus, true, true>(lo, hi))
               : (weights_.empty() ? exec_level<MaxPlus, true, false>(lo, hi)
                                   : exec_level<MaxPlus, true, true>(lo, hi));
+      annotate_divergence(d);
       account_level(now_);
     }
     if (!observers_.empty() && !d.found) notify_level(now_, lo, hi);
@@ -212,7 +266,7 @@ void CompiledEngine::run(sim::Cycle n) {
   auto it = std::lower_bound(live_levels_.begin(), live_levels_.end(), now_);
   sim::Cycle from = now_;
   for (; it != live_levels_.end() && *it < end; ++it) {
-    exec_level_dispatch(net_->cycle_off[*it], net_->cycle_off[*it + 1]);
+    exec_level_dispatch(*it, net_->cycle_off[*it], net_->cycle_off[*it + 1]);
     account_level(*it);
     levels_skipped_ += *it - from;
     from = *it + 1;
@@ -251,7 +305,12 @@ Divergence CompiledEngine::verify_outputs() const {
   for (std::uint64_t i = 0; i < net_->outputs.size(); ++i) {
     const Output& out = net_->outputs[i];
     if (slots_[out.slot] != out.expected) {
-      return {true, i, slots_[out.slot], out.expected};
+      Divergence d;
+      d.found = true;
+      d.index = i;
+      d.got = slots_[out.slot];
+      d.expected = out.expected;
+      return d;
     }
   }
   return {};

@@ -17,6 +17,7 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -31,11 +32,18 @@ namespace sysdp::compile {
 
 /// First divergence found by a checked replay (op-level) or output
 /// verification; index is an op index or output index respectively.
+/// Checked replay additionally attributes the diverging op through the
+/// tape's provenance tables (module instance + declared port label), so a
+/// failing differential test names the design signal, not just a flat op
+/// index; both strings stay empty when the tape carries no op_lane plane
+/// or the op is an unnamed intermediate.
 struct Divergence {
   bool found = false;
   std::uint64_t index = 0;
   Cost got = 0;
   Cost expected = 0;
+  std::string module;
+  std::string label;
 };
 
 class CompiledEngine {
@@ -131,9 +139,18 @@ class CompiledEngine {
   [[nodiscard]] Cost output(std::string_view tag, std::uint64_t index) const;
 
  private:
-  template <typename S, bool kChecked, bool kParam>
+  /// kKind lifts a homogeneous level's op kind to a compile-time constant
+  /// (-1 = mixed, per-op switch): single-kind levels — which is every
+  /// level the tape optimizer's kind-major reordering produces, and most
+  /// recorded ones — run a switch-free loop.
+  template <typename S, bool kChecked, bool kParam, int kKind = -1>
   Divergence exec_level(std::uint32_t lo, std::uint32_t hi);
-  void exec_level_dispatch(std::uint32_t lo, std::uint32_t hi);
+  template <typename S, bool kParam>
+  void exec_level_kind(int kind, std::uint32_t lo, std::uint32_t hi);
+  void exec_level_dispatch(sim::Cycle t, std::uint32_t lo, std::uint32_t hi);
+  /// Attribute an op-level divergence to its design signal via the tape's
+  /// provenance plane (no-op when unavailable).
+  void annotate_divergence(Divergence& d) const;
   void require_oracle_binding(const char* site) const;
   /// Per-kind accounting for the level at `t` (precomputed triples).
   void account_level(sim::Cycle t);

@@ -24,6 +24,7 @@
 
 #include "analysis/netlist.hpp"
 #include "compile/compact.hpp"
+#include "compile/optimize.hpp"
 #include "compile/program.hpp"
 #include "compile/recorder.hpp"
 #include "sim/engine.hpp"
@@ -52,6 +53,15 @@ struct LowerOptions {
   /// and counters, never on cost values), so their parameter planes align
   /// index for index.
   bool parameterise = false;
+  /// Tape optimizer level (compile/optimize.hpp): 0 leaves the recorded
+  /// schedule untouched, 1 runs the conservative pipeline (dead-op
+  /// elimination, edge-free level fusion, kind-major reordering), 2 also
+  /// fuses across same-kind chain edges.  Runs after the oracle
+  /// cross-checks — the recorded tape is validated, then rewritten — and
+  /// before compaction, which requires the SSA slot file.  Replay stays
+  /// bit-identical at every level; an optimized tape's now() counts
+  /// fused dependency levels, not oracle cycles.
+  int optimize = 0;
 };
 
 struct Lowered {
@@ -151,6 +161,11 @@ template <typename Array>
         " ops but the oracle counted " +
         std::to_string(out.net.stats.oracle_busy_steps) +
         " busy steps — a narration site is missing or duplicated");
+  }
+  if (opt.optimize > 0) {
+    OptimizeOptions oo;
+    oo.level = opt.optimize;
+    optimize_tape(out.net, oo);
   }
   if (opt.compact) compact_slots(out.net);
   return out;
